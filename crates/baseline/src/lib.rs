@@ -1,0 +1,27 @@
+//! Stand-alone Balkesen-style joins — the prior-work baselines.
+//!
+//! The paper validates its in-system joins against the publicly available
+//! stand-alone implementations of Balkesen et al. (ICDE'13 / TKDE'15):
+//! the hardware-conscious **parallel radix join (PRJ)** and the
+//! hardware-oblivious **no-partitioning join (NPJ)**. This crate rebuilds
+//! both under the baselines' own simplifying assumptions, which are exactly
+//! what the paper criticizes (§5.2):
+//!
+//! * inputs are fully materialized arrays of narrow `(key, payload)`
+//!   tuples — 8/8 B for Workload A, 4/4 B for Workload B (Table 1),
+//! * cardinalities are known in advance (histogram-based partitioning, a
+//!   perfectly sized hash table),
+//! * keys are used directly for partitioning (no stored hash),
+//! * the "join result" is just the match count — no result materialization.
+//!
+//! [`workload`] generates the Table-1 datasets plus the selectivity and
+//! Zipf-skew variations used by Figures 14 and 17.
+
+pub mod npj;
+pub mod prj;
+pub mod tuple;
+pub mod workload;
+
+pub use npj::npj_count;
+pub use prj::{prj_count, PrjConfig};
+pub use tuple::{JoinTuple, Tuple16, Tuple8};

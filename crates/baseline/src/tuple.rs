@@ -1,0 +1,103 @@
+//! Narrow join tuples, matching the layouts of prior work (Table 1).
+
+/// A join input tuple for the stand-alone baselines.
+pub trait JoinTuple: Copy + Send + Sync + 'static {
+    /// The join key widened to `i64`.
+    fn key(&self) -> i64;
+
+    /// Construct from key + payload.
+    fn make(key: i64, payload: i64) -> Self;
+
+    /// Tuple width in bytes (for throughput/bandwidth accounting).
+    const WIDTH: usize;
+}
+
+/// Workload A tuple: 8 B key + 8 B payload (`BIGINT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Tuple16 {
+    pub key: i64,
+    pub payload: i64,
+}
+
+impl JoinTuple for Tuple16 {
+    #[inline]
+    fn key(&self) -> i64 {
+        self.key
+    }
+
+    fn make(key: i64, payload: i64) -> Self {
+        Tuple16 { key, payload }
+    }
+
+    const WIDTH: usize = 16;
+}
+
+/// Workload B tuple: 4 B key + 4 B payload (`INT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct Tuple8 {
+    pub key: i32,
+    pub payload: i32,
+}
+
+impl JoinTuple for Tuple8 {
+    #[inline]
+    fn key(&self) -> i64 {
+        i64::from(self.key)
+    }
+
+    fn make(key: i64, payload: i64) -> Self {
+        Tuple8 {
+            key: key as i32,
+            payload: payload as i32,
+        }
+    }
+
+    const WIDTH: usize = 8;
+}
+
+/// The baselines hash/partition directly on the key (unlike the in-system
+/// joins, which store a computed hash) — Murmur-finalized here so radix
+/// bits are usable even for dense keys.
+#[inline]
+pub fn key_hash(key: i64) -> u64 {
+    let mut h = key as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_table1() {
+        assert_eq!(Tuple16::WIDTH, 16);
+        assert_eq!(std::mem::size_of::<Tuple16>(), 16);
+        assert_eq!(Tuple8::WIDTH, 8);
+        assert_eq!(std::mem::size_of::<Tuple8>(), 8);
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        assert_eq!(Tuple16::make(-7, 3).key(), -7);
+        assert_eq!(Tuple8::make(123, 0).key(), 123);
+    }
+
+    #[test]
+    fn key_hash_spreads_dense_keys() {
+        let parts = 64u64;
+        let mut counts = vec![0usize; parts as usize];
+        for k in 0..64_000i64 {
+            counts[(key_hash(k) & (parts - 1)) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 1000.0).abs() < 250.0, "skewed bucket: {c}");
+        }
+    }
+}

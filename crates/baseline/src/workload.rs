@@ -1,0 +1,161 @@
+//! Workload generators matching prior work (Table 1) and the paper's
+//! microbenchmark variations (Figures 14 and 17).
+//!
+//! * **Workload A** (Balkesen et al., Blanas et al.): a unique-key build
+//!   relation and a larger foreign-key probe relation — every probe tuple
+//!   has exactly one join partner. Full scale: 16 M ⋈ 256 M tuples.
+//! * **Workload B** (Kim et al., Balkesen et al.): equally sized relations
+//!   with unique 4-byte keys. Full scale: 128 M ⋈ 128 M.
+//!
+//! All generators take explicit cardinalities so the harness can scale the
+//! workloads to the machine while preserving the build:probe ratio.
+
+use crate::tuple::JoinTuple;
+use joinstudy_storage::gen::{Rng, Zipf};
+
+/// A build relation with unique keys `0..n`, shuffled.
+pub fn gen_build<T: JoinTuple>(n: usize, rng: &mut Rng) -> Vec<T> {
+    let mut keys: Vec<u64> = (0..n as u64).collect();
+    rng.shuffle(&mut keys);
+    keys.into_iter()
+        .map(|k| T::make(k as i64, k as i64))
+        .collect()
+}
+
+/// Workload A: unique build keys; probe is a uniform foreign-key relation
+/// (every probe key exists in the build side).
+pub fn gen_workload_a<T: JoinTuple>(
+    build_n: usize,
+    probe_n: usize,
+    rng: &mut Rng,
+) -> (Vec<T>, Vec<T>) {
+    let build = gen_build(build_n, rng);
+    let probe = (0..probe_n)
+        .map(|i| {
+            let k = rng.u64_below(build_n as u64) as i64;
+            T::make(k, i as i64)
+        })
+        .collect();
+    (build, probe)
+}
+
+/// Workload B: both relations hold the same unique key set, shuffled
+/// independently (1:1 join).
+pub fn gen_workload_b<T: JoinTuple>(n: usize, rng: &mut Rng) -> (Vec<T>, Vec<T>) {
+    let build = gen_build(n, rng);
+    let probe = gen_build(n, rng);
+    (build, probe)
+}
+
+/// Figure 14 variation: only `selectivity` (0.0..=1.0) of the probe tuples
+/// find a join partner; the rest get keys outside the build domain. Probe
+/// size stays constant, as in the paper ("preserving its size to ensure
+/// that the number of processed tuples remained constant").
+pub fn gen_probe_selectivity<T: JoinTuple>(
+    build_n: usize,
+    probe_n: usize,
+    selectivity: f64,
+    rng: &mut Rng,
+) -> Vec<T> {
+    assert!((0.0..=1.0).contains(&selectivity));
+    (0..probe_n)
+        .map(|i| {
+            let k = if rng.bool(selectivity) {
+                rng.u64_below(build_n as u64) as i64
+            } else {
+                // Disjoint key range: guaranteed miss.
+                (build_n as u64 + rng.u64_below(build_n as u64)) as i64
+            };
+            T::make(k, i as i64)
+        })
+        .collect()
+}
+
+/// Figure 17 variation: probe keys drawn from a Zipf distribution over the
+/// build key domain (`z = 0` is uniform; `z = 2` is the paper's high-skew
+/// endpoint). A fixed permutation maps Zipf rank → key so the hot keys are
+/// scattered over the domain.
+pub fn gen_probe_zipf<T: JoinTuple>(
+    build_n: usize,
+    probe_n: usize,
+    z: f64,
+    rng: &mut Rng,
+) -> Vec<T> {
+    let zipf = Zipf::new(build_n as u64, z);
+    let perm = rng.permutation(build_n);
+    (0..probe_n)
+        .map(|i| {
+            let rank = zipf.sample(rng) - 1;
+            T::make(perm[rank as usize] as i64, i as i64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npj::npj_count;
+    use crate::tuple::Tuple16;
+
+    #[test]
+    fn workload_a_every_probe_matches_once() {
+        let mut rng = Rng::new(1);
+        let (build, probe) = gen_workload_a::<Tuple16>(1000, 8000, &mut rng);
+        assert_eq!(build.len(), 1000);
+        assert_eq!(probe.len(), 8000);
+        assert_eq!(npj_count(&build, &probe, 2), 8000);
+    }
+
+    #[test]
+    fn workload_b_is_one_to_one() {
+        let mut rng = Rng::new(2);
+        let (build, probe) = gen_workload_b::<Tuple16>(5000, &mut rng);
+        assert_eq!(npj_count(&build, &probe, 2), 5000);
+    }
+
+    #[test]
+    fn build_keys_are_unique_and_dense() {
+        let mut rng = Rng::new(3);
+        let build = gen_build::<Tuple16>(2000, &mut rng);
+        let mut keys: Vec<i64> = build.iter().map(|t| t.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..2000).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn selectivity_controls_match_fraction() {
+        let mut rng = Rng::new(4);
+        let build = gen_build::<Tuple16>(1000, &mut rng);
+        for sel in [0.0, 0.25, 0.5, 1.0] {
+            let probe = gen_probe_selectivity::<Tuple16>(1000, 40_000, sel, &mut rng);
+            let matches = npj_count(&build, &probe, 2) as f64 / 40_000.0;
+            assert!(
+                (matches - sel).abs() < 0.02,
+                "sel {sel}: observed match rate {matches}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_probe_stays_in_domain_and_matches_fully() {
+        let mut rng = Rng::new(5);
+        let build = gen_build::<Tuple16>(500, &mut rng);
+        for z in [0.0, 1.0, 2.0] {
+            let probe = gen_probe_zipf::<Tuple16>(500, 5000, z, &mut rng);
+            assert_eq!(npj_count(&build, &probe, 2), 5000, "z={z}");
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_keys() {
+        let mut rng = Rng::new(6);
+        let probe = gen_probe_zipf::<Tuple16>(10_000, 50_000, 2.0, &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for t in &probe {
+            *counts.entry(t.key).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        // Under z=2 the hottest key dominates.
+        assert!(max > 50_000 / 10, "hottest key only {max}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion: register-blocked Bloom filter — build and probe throughput
+//! at hit rates matching the paper's selectivity regimes (§4.7, §5.4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use joinstudy_core::bloom::BlockedBloom;
+use joinstudy_core::hash::hash_u64;
+use std::hint::black_box;
+
+const KEYS: usize = 256 * 1024;
+const PARTS: usize = 1024;
+
+fn filled() -> BlockedBloom {
+    let bloom = BlockedBloom::new(PARTS, KEYS);
+    for k in 0..KEYS as u64 {
+        let h = hash_u64(k);
+        bloom.insert(h as usize & (PARTS - 1), h);
+    }
+    bloom
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom_filter");
+    g.throughput(Throughput::Elements(KEYS as u64));
+    g.sample_size(20);
+
+    g.bench_function("insert", |b| {
+        b.iter(|| {
+            let bloom = BlockedBloom::new(PARTS, KEYS);
+            for k in 0..KEYS as u64 {
+                let h = hash_u64(k);
+                bloom.insert(h as usize & (PARTS - 1), h);
+            }
+            black_box(bloom.byte_size())
+        })
+    });
+
+    let bloom = filled();
+    for hit_pct in [0u64, 50, 100] {
+        g.bench_with_input(
+            BenchmarkId::new("probe", format!("{hit_pct}%_hits")),
+            &hit_pct,
+            |b, &pct| {
+                b.iter(|| {
+                    let mut passed = 0usize;
+                    for k in 0..KEYS as u64 {
+                        // Shift misses outside the inserted key domain.
+                        let key = if k % 100 < pct { k } else { k + KEYS as u64 };
+                        let h = hash_u64(key);
+                        passed += usize::from(bloom.contains(h as usize & (PARTS - 1), h));
+                    }
+                    black_box(passed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

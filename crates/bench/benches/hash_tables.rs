@@ -1,0 +1,107 @@
+//! Criterion: the two hash tables behind the joins — the global chaining
+//! table with tagged pointers (BHJ) and the partition-local robin-hood
+//! table (RJ) — on build and on hit/miss probes. The miss probes show the
+//! tagged-pointer filter (§5.1.1) earning its keep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use joinstudy_core::hash::hash_u64;
+use joinstudy_core::ht_chain::{ChainTable, RowArena};
+use joinstudy_core::ht_rh::RobinHoodTable;
+use joinstudy_core::row::write_u64;
+use std::hint::black_box;
+
+const KEYS: usize = 256 * 1024;
+const STRIDE: usize = 24;
+
+fn build_chain(arena: &mut RowArena) -> ChainTable {
+    let table = ChainTable::new(KEYS);
+    for k in 0..KEYS as u64 {
+        let h = hash_u64(k);
+        let row = arena.alloc_row();
+        write_u64(row, 8, h);
+        write_u64(row, 16, k);
+        unsafe { table.insert(row.as_mut_ptr(), h) };
+    }
+    table
+}
+
+fn probe_chain(table: &ChainTable, offset: u64) -> usize {
+    let mut hits = 0;
+    for k in 0..KEYS as u64 {
+        let key = k + offset;
+        let h = hash_u64(key);
+        let head = table.head(h);
+        if !ChainTable::tag_may_contain(head, h) {
+            continue;
+        }
+        let mut row = ChainTable::first_row(head);
+        while !row.is_null() {
+            unsafe {
+                if std::ptr::read(row.add(8).cast::<u64>()) == h
+                    && std::ptr::read(row.add(16).cast::<u64>()) == key
+                {
+                    hits += 1;
+                }
+                row = ChainTable::next_row(row);
+            }
+        }
+    }
+    hits
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_tables");
+    g.throughput(Throughput::Elements(KEYS as u64));
+    g.sample_size(20);
+
+    g.bench_function("chain_build", |b| {
+        b.iter(|| {
+            let mut arena = RowArena::new(STRIDE);
+            black_box(build_chain(&mut arena).num_buckets())
+        })
+    });
+    g.bench_function("robinhood_build", |b| {
+        let mut t = RobinHoodTable::new();
+        b.iter(|| {
+            t.reset(KEYS);
+            for k in 0..KEYS as u64 {
+                t.insert(hash_u64(k), k as u32);
+            }
+            black_box(t.len())
+        })
+    });
+
+    let mut arena = RowArena::new(STRIDE);
+    let chain = build_chain(&mut arena);
+    for (name, offset) in [("hits", 0u64), ("misses_tagged", KEYS as u64)] {
+        g.bench_with_input(BenchmarkId::new("chain_probe", name), &offset, |b, &off| {
+            b.iter(|| black_box(probe_chain(&chain, off)))
+        });
+    }
+
+    let mut rh = RobinHoodTable::new();
+    rh.reset(KEYS);
+    for k in 0..KEYS as u64 {
+        rh.insert(hash_u64(k), k as u32);
+    }
+    for (name, offset) in [("hits", 0u64), ("misses", KEYS as u64)] {
+        g.bench_with_input(
+            BenchmarkId::new("robinhood_probe", name),
+            &offset,
+            |b, &off| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for k in 0..KEYS as u64 {
+                        let h = hash_u64(k + off);
+                        rh.for_each_match(h, |_| hits += 1);
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion: end-to-end join microbenchmarks — the three in-system joins
+//! plus ablations of the radix join's design choices (SWWCB, NT stores,
+//! BHJ prefetching, adaptive Bloom) on Workload A'.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use joinstudy_bench::workloads::{count_plan, tables, ProbeKeys};
+use joinstudy_core::{Engine, JoinAlgo, RadixConfig};
+use joinstudy_storage::types::DataType;
+use std::hint::black_box;
+
+const BUILD: usize = 64 * 1024;
+const PROBE: usize = 512 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let m = tables(BUILD, PROBE, DataType::Int64, 0, ProbeKeys::UniformFk, 11);
+    let m_sel = tables(
+        BUILD,
+        PROBE,
+        DataType::Int64,
+        0,
+        ProbeKeys::Selectivity(0.05),
+        12,
+    );
+    let threads = 1;
+
+    let mut g = c.benchmark_group("joins_micro");
+    g.throughput(Throughput::Elements((BUILD + PROBE) as u64));
+    g.sample_size(10);
+
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+        let engine = Engine::new(threads);
+        let plan = count_plan(&m, algo);
+        g.bench_with_input(BenchmarkId::new("fk100", algo.name()), &plan, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan).num_rows()))
+        });
+        let plan_sel = count_plan(&m_sel, algo);
+        g.bench_with_input(
+            BenchmarkId::new("sel5", algo.name()),
+            &plan_sel,
+            |b, plan| b.iter(|| black_box(engine.execute(plan).num_rows())),
+        );
+    }
+
+    // Ablations of the radix join's design choices (DESIGN.md).
+    let base = RadixConfig::default();
+    let ablations = [
+        ("full", base),
+        (
+            "no_nt",
+            RadixConfig {
+                use_nt_stores: false,
+                ..base
+            },
+        ),
+        (
+            "no_swwcb",
+            RadixConfig {
+                use_swwcb: false,
+                use_nt_stores: false,
+                ..base
+            },
+        ),
+        (
+            "tiny_partitions",
+            RadixConfig {
+                target_partition_bytes: 16 * 1024,
+                ..base
+            },
+        ),
+        (
+            "huge_partitions",
+            RadixConfig {
+                target_partition_bytes: 4 * 1024 * 1024,
+                ..base
+            },
+        ),
+    ];
+    for (name, cfg) in ablations {
+        let mut engine = Engine::new(threads);
+        engine.radix = cfg;
+        let plan = count_plan(&m, JoinAlgo::Rj);
+        g.bench_with_input(BenchmarkId::new("rj_ablation", name), &plan, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan).num_rows()))
+        });
+    }
+
+    // BHJ with and without software prefetching.
+    for (name, prefetch) in [("prefetch", true), ("no_prefetch", false)] {
+        let mut engine = Engine::new(threads);
+        engine.bhj_prefetch = prefetch;
+        let plan = count_plan(&m, JoinAlgo::Bhj);
+        g.bench_with_input(BenchmarkId::new("bhj_ablation", name), &plan, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan).num_rows()))
+        });
+    }
+
+    // Adaptive Bloom on a 100%-hit workload (its worst case).
+    for (name, adaptive) in [("static", false), ("adaptive", true)] {
+        let mut engine = Engine::new(threads);
+        engine.adaptive_bloom = adaptive;
+        let plan = count_plan(&m, JoinAlgo::Brj);
+        g.bench_with_input(BenchmarkId::new("brj_fk100", name), &plan, |b, plan| {
+            b.iter(|| black_box(engine.execute(plan).num_rows()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion: radix-partitioning throughput and the ablations of its two
+//! key optimizations — software write-combine buffers and non-temporal
+//! streaming stores (§3.3) — plus single- vs two-pass fanout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use joinstudy_core::radix::{PartitionSink, PhaseSet, RadixConfig};
+use joinstudy_core::row::RowLayout;
+use joinstudy_exec::batch::BatchBuilder;
+use joinstudy_exec::pipeline::Sink;
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::gen::Rng;
+use joinstudy_storage::types::DataType;
+
+const ROWS: usize = 512 * 1024;
+
+fn partition_all(cfg: RadixConfig, bits2: u32, batches: &[joinstudy_exec::Batch]) -> usize {
+    let layout = RowLayout::new(&[DataType::Int64, DataType::Int64], false);
+    let sink = PartitionSink::new(layout, vec![0], cfg, PhaseSet::build());
+    let mut local = sink.create_local();
+    for b in batches {
+        sink.consume(&mut local, b.clone());
+    }
+    sink.finish_local(local);
+    let (side, _) = sink.finalize(1, Some(bits2), false);
+    side.total_rows()
+}
+
+fn make_batches() -> Vec<joinstudy_exec::Batch> {
+    let mut rng = Rng::new(5);
+    let mut batches = Vec::new();
+    let mut done = 0;
+    while done < ROWS {
+        let n = 1024.min(ROWS - done);
+        let mut bb = BatchBuilder::new(vec![DataType::Int64, DataType::Int64]);
+        *bb.column_mut(0) = ColumnData::Int64((0..n).map(|_| rng.next_u64() as i64).collect());
+        *bb.column_mut(1) = ColumnData::Int64(vec![0; n]);
+        bb.advance(n);
+        batches.push(bb.flush().unwrap());
+        done += n;
+    }
+    batches
+}
+
+fn bench(c: &mut Criterion) {
+    let batches = make_batches();
+    let mut g = c.benchmark_group("radix_partition");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.sample_size(10);
+
+    let base = RadixConfig::default();
+    let variants = [
+        ("swwcb+nt", base),
+        (
+            "swwcb_only",
+            RadixConfig {
+                use_nt_stores: false,
+                ..base
+            },
+        ),
+        (
+            "plain_stores",
+            RadixConfig {
+                use_swwcb: false,
+                use_nt_stores: false,
+                ..base
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        g.bench_with_input(BenchmarkId::new("two_pass", name), &cfg, |b, cfg| {
+            b.iter(|| partition_all(*cfg, 4, &batches));
+        });
+    }
+    g.bench_function("single_pass(bits2=0)", |b| {
+        b.iter(|| partition_all(base, 0, &batches));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

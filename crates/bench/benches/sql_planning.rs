@@ -1,0 +1,47 @@
+//! Criterion: SQL frontend overhead — tokenize/parse/plan cost for the
+//! paper's statements (the paper excludes query compilation time from its
+//! measurements, footnote 3: "negligible"; this bench quantifies ours).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joinstudy_sql::{parser, Session};
+use std::hint::black_box;
+
+const COUNT_SQL: &str = "SELECT count(*) FROM probe r, build s WHERE r.k = s.key";
+const Q3ISH_SQL: &str = "SELECT o_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM customer, orders, lineitem \
+     WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey \
+       AND l_orderkey = o_orderkey \
+       AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' \
+     GROUP BY o_orderkey ORDER BY revenue DESC LIMIT 10";
+
+fn session() -> Session {
+    let mut s = Session::new(1);
+    s.execute("CREATE TABLE build (key BIGINT, pay BIGINT)").unwrap();
+    s.execute("CREATE TABLE probe (k BIGINT, p1 BIGINT)").unwrap();
+    let data = joinstudy_tpch::generate(0.001, 3);
+    for name in ["customer", "orders", "lineitem"] {
+        s.register(name, std::sync::Arc::clone(data.table(name)));
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let s = session();
+    let mut g = c.benchmark_group("sql_planning");
+    g.bench_function("parse_count_query", |b| {
+        b.iter(|| black_box(parser::parse(COUNT_SQL).unwrap()))
+    });
+    g.bench_function("parse_q3ish", |b| {
+        b.iter(|| black_box(parser::parse(Q3ISH_SQL).unwrap()))
+    });
+    g.bench_function("plan_count_query", |b| {
+        b.iter(|| black_box(s.explain(COUNT_SQL).unwrap().len()))
+    });
+    g.bench_function("plan_q3ish", |b| {
+        b.iter(|| black_box(s.explain(Q3ISH_SQL).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

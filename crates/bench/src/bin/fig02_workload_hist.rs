@@ -1,0 +1,133 @@
+//! Figure 2 — tuple-size and join-partner distributions: TPC-H vs prior
+//! work (§1).
+//!
+//! An all-RJ pass over every TPC-H query materializes both sides of every
+//! join, so the join log yields exact per-join materialized tuple widths
+//! and (via the probe-match counters) the fraction of probe tuples with a
+//! join partner. Prior work's microbenchmarks sit at 8–16 B tuples and
+//! 100% join partners — the mismatch that motivates the whole paper.
+//!
+//! `cargo run --release -p joinstudy-bench --bin fig02_workload_hist --
+//!  [--sf 0.1] [--threads T]`
+
+use joinstudy_bench::harness::{banner, Args, Csv};
+use joinstudy_core::plan::joinlog;
+use joinstudy_core::JoinAlgo;
+use joinstudy_tpch::generate;
+use joinstudy_tpch::queries::{all_queries, QueryConfig};
+
+fn histogram(values: &[f64], edges: &[f64]) -> Vec<usize> {
+    let mut counts = vec![0usize; edges.len() - 1];
+    for &v in values {
+        for b in 0..edges.len() - 1 {
+            if v >= edges[b] && v < edges[b + 1] {
+                counts[b] += 1;
+                break;
+            }
+        }
+    }
+    counts
+}
+
+fn print_hist(title: &str, unit: &str, edges: &[f64], counts: &[usize]) {
+    println!("\n{title}");
+    let total: usize = counts.iter().sum::<usize>().max(1);
+    for b in 0..counts.len() {
+        let pct = counts[b] as f64 / total as f64 * 100.0;
+        let bar = "#".repeat((pct / 2.0).round() as usize);
+        println!(
+            "  {:>5.0}-{:<5.0}{unit} {:>5.1}% {bar}",
+            edges[b],
+            edges[b + 1],
+            pct
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let sf = args.f64("sf", 0.1);
+    let threads = args.threads();
+
+    banner(
+        "Figure 2: tuple sizes and join partners — TPC-H vs prior work",
+        &format!("SF {sf}, all joins executed as RJ to materialize both sides"),
+    );
+
+    let data = generate(sf, 20260706);
+    let engine = joinstudy_bench::workloads::engine(threads, false);
+
+    let mut widths: Vec<f64> = Vec::new();
+    let mut partners: Vec<f64> = Vec::new();
+    let mut csv = Csv::create(
+        "fig02_workload_hist",
+        "query,join,probe_tuple_bytes,build_tuple_bytes,join_partners_pct",
+    );
+
+    for q in all_queries() {
+        joinlog::set_enabled(true);
+        joinlog::take();
+        let _ = (q.run)(&data, &QueryConfig::new(JoinAlgo::Rj), &engine);
+        let log = joinlog::take();
+        joinlog::set_enabled(false);
+        for (j, e) in log.iter().filter(|e| e.algo == "RJ").enumerate() {
+            if e.probe_rows == 0 {
+                continue;
+            }
+            let probe_width = e.probe_bytes as f64 / e.probe_rows as f64;
+            let build_width = if e.build_rows > 0 {
+                e.build_bytes as f64 / e.build_rows as f64
+            } else {
+                0.0
+            };
+            let match_pct = e
+                .stats
+                .as_ref()
+                .map(|s| s.match_fraction() * 100.0)
+                .unwrap_or(0.0);
+            widths.push(probe_width);
+            partners.push(match_pct);
+            csv.row(&[
+                q.id.to_string(),
+                (j + 1).to_string(),
+                format!("{probe_width:.1}"),
+                format!("{build_width:.1}"),
+                format!("{match_pct:.1}"),
+            ]);
+        }
+    }
+
+    let size_edges = [0.0, 16.0, 32.0, 48.0, 64.0, 80.0, 96.0, 128.0];
+    print_hist(
+        "Materialized probe tuple size across TPC-H joins (prior work: 8-16 B):",
+        "B",
+        &size_edges,
+        &histogram(&widths, &size_edges),
+    );
+    let sel_edges = [
+        0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.01,
+    ];
+    print_hist(
+        "Probe tuples with a join partner (prior work: 100%):",
+        "%",
+        &sel_edges,
+        &histogram(&partners, &sel_edges),
+    );
+
+    let avg_width = widths.iter().sum::<f64>() / widths.len().max(1) as f64;
+    let low_sel = partners.iter().filter(|&&p| p < 25.0).count();
+    println!(
+        "\n{} joins measured; mean probe tuple {:.0} B; {} of {} joins have \
+         < 25% join partners.",
+        widths.len(),
+        avg_width,
+        low_sel,
+        partners.len()
+    );
+    println!("CSV: {}", csv.path().display());
+    println!(
+        "Paper shape: TPC-H tuples cluster around ~32 B (far above prior \
+         work's 8-16 B) and most joins sit at low selectivity — the regime \
+         where the plain RJ materializes tuples that never reach the result."
+    );
+}

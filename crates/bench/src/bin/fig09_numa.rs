@@ -1,0 +1,74 @@
+//! Figure 9 — scalability on the NUMA machines (§5.2.2), reproduced as
+//! thread-count scaling on the host.
+//!
+//! SUBSTITUTION (DESIGN.md §1): the paper uses a dual-socket Sandy Bridge
+//! and a chiplet-based Ryzen 9. We do not have that hardware; what *is*
+//! reproduced is the NUMA-awareness mechanism itself (Schuh et al.'s
+//! worker-local output chunks — pass 1 writes only worker-local pages,
+//! pass 2 writes task-private regions), plus the saturation behaviour as
+//! thread counts exceed physical cores (oversubscription sweep below).
+//!
+//! `cargo run --release -p joinstudy-bench --bin fig09_numa --
+//!  [--build N] [--reps R]`
+
+use joinstudy_bench::harness::{banner, fmt_si, Args, Csv};
+use joinstudy_bench::workloads::{bench_plan, count_plan, engine, tables, ProbeKeys};
+use joinstudy_core::JoinAlgo;
+use joinstudy_storage::types::DataType;
+
+fn main() {
+    let args = Args::parse();
+    let build_n = args.usize("build", 128 * 1024);
+    let reps = args.reps();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    banner(
+        "Figure 9: scalability under oversubscription (NUMA substitution)",
+        &format!(
+            "host has {cores} hardware thread(s); sweeping 1..4x oversubscription. \
+             The paper's NUMA machines are simulated per DESIGN.md: the \
+             write-local chunked partitioning is implemented, the socket \
+             topology is not."
+        ),
+    );
+
+    let mut csv = Csv::create("fig09_numa", "workload,threads,bhj_tps,rj_tps");
+    let mut threads_list = vec![1usize];
+    let mut t = 2;
+    while t <= cores * 4 {
+        threads_list.push(t);
+        t *= 2;
+    }
+
+    for (wl, probe_factor, key_type) in [
+        ("A", 16usize, DataType::Int64),
+        ("B", 1usize, DataType::Int32),
+    ] {
+        let probe_n = build_n * probe_factor;
+        let total = build_n + probe_n;
+        let m = tables(build_n, probe_n, key_type, 0, ProbeKeys::UniformFk, 55);
+        println!("\nWorkload {wl} ({build_n} ⋈ {probe_n}):");
+        println!("{:>8} {:>12} {:>12}", "threads", "BHJ[T/s]", "RJ[T/s]");
+        for &t in &threads_list {
+            let e = engine(t, false);
+            let (bhj, _) = bench_plan(&e, &count_plan(&m, JoinAlgo::Bhj), total, reps);
+            let (rj, _) = bench_plan(&e, &count_plan(&m, JoinAlgo::Rj), total, reps);
+            println!("{:>8} {:>12} {:>12}", t, fmt_si(bhj), fmt_si(rj));
+            csv.row(&[
+                wl.to_string(),
+                t.to_string(),
+                format!("{bhj:.0}"),
+                format!("{rj:.0}"),
+            ]);
+        }
+    }
+    println!("\nCSV: {}", csv.path().display());
+    println!(
+        "Paper shape: RJ scales 10–16x on the 20-core NUMA box but hits the \
+         bandwidth wall early on the Ryzen (60% of Skylake's per-core \
+         bandwidth) and *degrades* under contention; BHJ scales more \
+         uniformly across machines and workloads."
+    );
+}

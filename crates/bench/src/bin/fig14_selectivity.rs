@@ -1,0 +1,82 @@
+//! Figure 14 — effect of foreign-key selectivity on BRJ / BHJ / RJ /
+//! adaptive BRJ (§5.4.1).
+//!
+//! Workload A with the probe side's join-partner fraction swept from 0% to
+//! 100% while its cardinality stays constant. Expected shape: BRJ clearly
+//! ahead of RJ at low selectivity (up to ~50%), RJ overtaking BRJ once most
+//! probes match; the adaptive BRJ tracks the winner with a small sampling
+//! overhead.
+//!
+//! `cargo run --release -p joinstudy-bench --bin fig14_selectivity --
+//!  [--build N] [--probe N] [--threads T] [--reps R]`
+
+use joinstudy_bench::harness::{banner, fmt_si, Args, Csv};
+use joinstudy_bench::workloads::{bench_plan, count_plan, engine, tables, ProbeKeys};
+use joinstudy_core::JoinAlgo;
+use joinstudy_storage::types::DataType;
+
+fn main() {
+    let args = Args::parse();
+    let build_n = args.usize("build", 128 * 1024);
+    let probe_n = args.usize("probe", 16 * build_n);
+    let threads = args.threads();
+    let reps = args.reps();
+
+    banner(
+        "Figure 14: impact of pre-filtering the probe side (Bloom early probe)",
+        &format!(
+            "Workload A' ({build_n} build x {probe_n} probe tuples, 8B key/pay), {threads} threads, median of {reps}"
+        ),
+    );
+
+    let mut csv = Csv::create(
+        "fig14_selectivity",
+        "join_partners_pct,brj_tps,bhj_tps,rj_tps,brj_adaptive_tps",
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>14}",
+        "partners[%]", "BRJ[T/s]", "BHJ[T/s]", "RJ[T/s]", "BRJ adpt[T/s]"
+    );
+
+    for pct in [0, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let sel = pct as f64 / 100.0;
+        let m = tables(
+            build_n,
+            probe_n,
+            DataType::Int64,
+            0,
+            ProbeKeys::Selectivity(sel),
+            42 + pct,
+        );
+        let total = m.total_tuples();
+
+        let e = engine(threads, false);
+        let (brj, _) = bench_plan(&e, &count_plan(&m, JoinAlgo::Brj), total, reps);
+        let (bhj, _) = bench_plan(&e, &count_plan(&m, JoinAlgo::Bhj), total, reps);
+        let (rj, _) = bench_plan(&e, &count_plan(&m, JoinAlgo::Rj), total, reps);
+        let ea = engine(threads, true);
+        let (adaptive, _) = bench_plan(&ea, &count_plan(&m, JoinAlgo::Brj), total, reps);
+
+        println!(
+            "{:>12} {:>12} {:>12} {:>12} {:>14}",
+            pct,
+            fmt_si(brj),
+            fmt_si(bhj),
+            fmt_si(rj),
+            fmt_si(adaptive)
+        );
+        csv.row(&[
+            pct.to_string(),
+            format!("{brj:.0}"),
+            format!("{bhj:.0}"),
+            format!("{rj:.0}"),
+            format!("{adaptive:.0}"),
+        ]);
+    }
+    println!("\nCSV: {}", csv.path().display());
+    println!(
+        "Paper shape: BRJ up to ~50% faster than RJ at low selectivity; RJ \
+         overtakes BRJ above ~50% join partners; adaptive BRJ switches off \
+         (≤10% overhead) near 100%."
+    );
+}

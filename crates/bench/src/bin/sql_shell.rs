@@ -1,0 +1,155 @@
+//! Interactive SQL shell over generated TPC-H data.
+//!
+//! ```text
+//! cargo run --release -p joinstudy-bench --bin sql_shell -- [--sf 0.05] [--zipf Z]
+//! joinstudy> .algo brj
+//! joinstudy> SELECT o_orderpriority, count(*) FROM orders GROUP BY o_orderpriority;
+//! joinstudy> .explain SELECT count(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey;
+//! joinstudy> .quit
+//! ```
+//!
+//! Dot-commands: `.algo bhj|rj|brj` picks the join implementation,
+//! `.explain <select>` prints the plan, `.tables` lists relations,
+//! `.timing on|off` toggles wall-clock reporting, `.quit` exits.
+
+use joinstudy_bench::harness::Args;
+use joinstudy_core::JoinAlgo;
+use joinstudy_sql::Session;
+use joinstudy_storage::table::Table;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+const TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
+fn print_table(t: &Table, max_rows: usize) {
+    let header: Vec<String> = t.schema().fields.iter().map(|f| f.name.clone()).collect();
+    if header.is_empty() {
+        return;
+    }
+    println!("{}", header.join(" | "));
+    println!(
+        "{}",
+        header
+            .iter()
+            .map(|h| "-".repeat(h.len()))
+            .collect::<Vec<_>>()
+            .join("-+-")
+    );
+    for r in 0..t.num_rows().min(max_rows) {
+        let row: Vec<String> = t.row(r).iter().map(|v| v.to_string()).collect();
+        println!("{}", row.join(" | "));
+    }
+    if t.num_rows() > max_rows {
+        println!("... ({} more rows)", t.num_rows() - max_rows);
+    }
+    println!("({} rows)", t.num_rows());
+}
+
+fn main() {
+    let args = Args::parse();
+    let sf = args.f64("sf", 0.05);
+    let zipf = args.f64("zipf", 0.0);
+    let threads = args.threads();
+
+    eprintln!(
+        "generating TPC-H SF {sf}{} ...",
+        if zipf > 0.0 {
+            format!(" (zipf {zipf})")
+        } else {
+            String::new()
+        }
+    );
+    let data = if zipf > 0.0 {
+        joinstudy_tpch::generate_skewed(sf, 42, zipf)
+    } else {
+        joinstudy_tpch::generate(sf, 42)
+    };
+    let mut session = Session::new(threads);
+    for name in TABLES {
+        session.register(name, Arc::clone(data.table(name)));
+    }
+    eprintln!(
+        "ready — {} tables, {} threads, join algo BHJ. '.algo brj' to switch, '.quit' to exit.",
+        TABLES.len(),
+        threads
+    );
+
+    let stdin = std::io::stdin();
+    let mut timing = true;
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("joinstudy> ");
+        } else {
+            print!("........ > ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            let mut parts = trimmed.splitn(2, ' ');
+            match parts.next().unwrap() {
+                ".quit" | ".exit" => break,
+                ".tables" => {
+                    for t in TABLES {
+                        println!(
+                            "  {t:<10} {:>9} rows",
+                            session.table(t).map(|t| t.num_rows()).unwrap_or(0)
+                        );
+                    }
+                }
+                ".timing" => {
+                    timing = parts.next().map(str::trim) != Some("off");
+                    println!("timing {}", if timing { "on" } else { "off" });
+                }
+                ".algo" => match parts.next().map(|s| s.trim().to_ascii_lowercase()) {
+                    Some(a) if a == "bhj" => session.set_join_algo(JoinAlgo::Bhj),
+                    Some(a) if a == "rj" => session.set_join_algo(JoinAlgo::Rj),
+                    Some(a) if a == "brj" => session.set_join_algo(JoinAlgo::Brj),
+                    _ => println!("usage: .algo bhj|rj|brj"),
+                },
+                ".explain" => match parts.next() {
+                    Some(sql) => match session.explain(sql) {
+                        Ok(text) => print!("{text}"),
+                        Err(e) => println!("{e}"),
+                    },
+                    None => println!("usage: .explain SELECT ..."),
+                },
+                other => {
+                    println!("unknown command {other:?} (.tables .algo .explain .timing .quit)")
+                }
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        // Execute once a statement terminator (or blank line) arrives.
+        if !trimmed.ends_with(';') && !trimmed.is_empty() {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        if sql.trim().is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        match session.execute(&sql) {
+            Ok(t) => {
+                print_table(&t, 40);
+                if timing {
+                    println!("time: {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Table 1 — the microbenchmark workloads of prior work, at full scale and
+//! at this harness's default scale (§5.1.2).
+//!
+//! `cargo run --release -p joinstudy-bench --bin table1_workloads -- [--build N]`
+
+use joinstudy_bench::harness::{banner, fmt_bytes, Args, Csv};
+
+fn main() {
+    let args = Args::parse();
+    let build_n = args.usize("build", 128 * 1024);
+
+    banner(
+        "Table 1: workloads from prior work",
+        "sizes at paper scale and harness scale",
+    );
+
+    let mut csv = Csv::create(
+        "table1_workloads",
+        "workload,key_pay_bytes,build_tuples,probe_tuples,build_bytes,probe_bytes",
+    );
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "workload", "key/pay[B]", "build tuples", "probe tuples", "build", "probe"
+    );
+
+    let rows = [
+        // (name, key/pay bytes, build, probe) — paper scale per Table 1.
+        ("A (paper)", 8usize, 16usize << 20, 256usize << 20),
+        ("B (paper)", 4, 128_000_000, 128_000_000),
+        // Harness scale preserving the build:probe ratios.
+        ("A (here)", 8, build_n, 16 * build_n),
+        ("B (here)", 4, build_n, build_n),
+    ];
+    for (name, kp, b, p) in rows {
+        let tuple = 2 * kp;
+        println!(
+            "{:<10} {:>10} {:>14} {:>14} {:>12} {:>12}",
+            name,
+            format!("{kp}/{kp}"),
+            b,
+            p,
+            fmt_bytes(b * tuple),
+            fmt_bytes(p * tuple)
+        );
+        csv.row(&[
+            name.to_string(),
+            format!("{kp}/{kp}"),
+            b.to_string(),
+            p.to_string(),
+            (b * tuple).to_string(),
+            (p * tuple).to_string(),
+        ]);
+    }
+    println!("\nCSV: {}", csv.path().display());
+    println!(
+        "Workload A: 16 B tuples, unique build keys, FK probe (Balkesen et \
+         al., Blanas et al.). Workload B: 8 B tuples, equal relation sizes \
+         (Kim et al., Balkesen et al.)."
+    );
+}

@@ -1,0 +1,263 @@
+//! Table 4 — synthesizing the workload-characteristic ranges where
+//! partitioned joins are *workable* / *beneficial* (§6).
+//!
+//! Re-runs compact versions of the §5.4 sweeps and derives, per factor,
+//! where the best radix variant (RJ or BRJ) is within 80% of the BHJ
+//! ("workable") and where it actually beats the BHJ ("beneficial").
+//!
+//! `cargo run --release -p joinstudy-bench --bin table4_synthesis --
+//!  [--build N] [--threads T] [--reps R]`
+
+use joinstudy_bench::harness::{banner, Args, Csv};
+use joinstudy_bench::hw;
+use joinstudy_bench::workloads::{
+    bench_plan, count_plan, engine, star_plan, star_schema, sum_plan, tables, ProbeKeys,
+};
+use joinstudy_core::{Engine, JoinAlgo};
+use joinstudy_storage::types::DataType;
+
+struct Sweep {
+    factor: &'static str,
+    paper_workable: &'static str,
+    paper_beneficial: &'static str,
+    /// (x-label, bhj, best-radix) per point.
+    points: Vec<(String, f64, f64)>,
+}
+
+fn classify(points: &[(String, f64, f64)]) -> (String, String) {
+    let workable: Vec<&str> = points
+        .iter()
+        .filter(|(_, bhj, radix)| radix >= &(bhj * 0.8))
+        .map(|(x, _, _)| x.as_str())
+        .collect();
+    let beneficial: Vec<&str> = points
+        .iter()
+        .filter(|(_, bhj, radix)| radix >= bhj)
+        .map(|(x, _, _)| x.as_str())
+        .collect();
+    let fmt = |v: &[&str]| {
+        if v.is_empty() {
+            "none".to_string()
+        } else {
+            format!("{} .. {}", v.first().unwrap(), v.last().unwrap())
+        }
+    };
+    (fmt(&workable), fmt(&beneficial))
+}
+
+fn radix_best(e: &Engine, m: &joinstudy_bench::workloads::Micro, reps: usize) -> (f64, f64) {
+    let total = m.total_tuples();
+    let (bhj, _) = bench_plan(e, &count_plan(m, JoinAlgo::Bhj), total, reps);
+    let (rj, _) = bench_plan(e, &count_plan(m, JoinAlgo::Rj), total, reps);
+    let (brj, _) = bench_plan(e, &count_plan(m, JoinAlgo::Brj), total, reps);
+    (bhj, rj.max(brj))
+}
+
+fn main() {
+    let args = Args::parse();
+    let build_n = args.usize("build", 128 * 1024);
+    let threads = args.threads();
+    let reps = args.reps();
+    let e = engine(threads, false);
+    let llc = hw::llc_bytes();
+
+    banner(
+        "Table 4: workload ranges where partitioned joins work / pay off",
+        &format!(
+            "derived from compact sweeps (build {build_n}, {threads} threads, \
+             median of {reps}); 'workable' = best radix ≥ 80% of BHJ, \
+             'beneficial' = best radix ≥ BHJ; host LLC = {} KiB",
+            llc / 1024
+        ),
+    );
+
+    let mut sweeps: Vec<Sweep> = Vec::new();
+
+    // Selectivity (handled by the Bloom filter per the paper).
+    {
+        let mut points = Vec::new();
+        for pct in [5usize, 25, 50, 75, 100] {
+            let m = tables(
+                build_n,
+                16 * build_n,
+                DataType::Int64,
+                0,
+                ProbeKeys::Selectivity(pct as f64 / 100.0),
+                300 + pct as u64,
+            );
+            let (bhj, radix) = radix_best(&e, &m, reps);
+            points.push((format!("{pct}%"), bhj, radix));
+        }
+        sweeps.push(Sweep {
+            factor: "Selectivity",
+            paper_workable: "handled by Bloom filter",
+            paper_beneficial: "handled by Bloom filter",
+            points,
+        });
+    }
+
+    // Payload size.
+    {
+        let mut points = Vec::new();
+        for cols in [0usize, 1, 2, 4, 8] {
+            let m = tables(
+                build_n,
+                16 * build_n,
+                DataType::Int64,
+                cols,
+                ProbeKeys::UniformFk,
+                310,
+            );
+            let total = m.total_tuples();
+            let mk = |algo| {
+                if cols == 0 {
+                    count_plan(&m, algo)
+                } else {
+                    sum_plan(&m, algo, cols, false)
+                }
+            };
+            let (bhj, _) = bench_plan(&e, &mk(JoinAlgo::Bhj), total, reps);
+            let (rj, _) = bench_plan(&e, &mk(JoinAlgo::Rj), total, reps);
+            let (brj, _) = bench_plan(&e, &mk(JoinAlgo::Brj), total, reps);
+            points.push((format!("{}B", 16 + 8 * cols), bhj, rj.max(brj)));
+        }
+        sweeps.push(Sweep {
+            factor: "Payload Size",
+            paper_workable: "<= 32B",
+            paper_beneficial: "<= 16B",
+            points,
+        });
+    }
+
+    // Pipeline depth.
+    {
+        let mut points = Vec::new();
+        for depth in [1usize, 2, 4, 8] {
+            let star = star_schema(depth, build_n / 2, build_n * 4, 320 + depth as u64);
+            let total = star.fact_n + depth * star.dim_n;
+            let (bhj, _) = bench_plan(&e, &star_plan(&star, JoinAlgo::Bhj), total, reps);
+            let (rj, _) = bench_plan(&e, &star_plan(&star, JoinAlgo::Rj), total, reps);
+            points.push((format!("{depth} joins"), bhj, rj));
+        }
+        sweeps.push(Sweep {
+            factor: "Pipeline Depth",
+            paper_workable: "< 8 joins",
+            paper_beneficial: "< 2 joins",
+            points,
+        });
+    }
+
+    // Skew.
+    {
+        let mut points = Vec::new();
+        for z in [0.0f64, 0.5, 1.0, 1.5, 2.0] {
+            let m = tables(
+                build_n,
+                16 * build_n,
+                DataType::Int64,
+                0,
+                ProbeKeys::Zipf(z),
+                330 + (z * 10.0) as u64,
+            );
+            let (bhj, radix) = radix_best(&e, &m, reps);
+            points.push((format!("z={z:.1}"), bhj, radix));
+        }
+        sweeps.push(Sweep {
+            factor: "Skew (Zipf)",
+            paper_workable: "<= 1",
+            paper_beneficial: "<= 0.5",
+            points,
+        });
+    }
+
+    // Build size (relative to the LLC). Virtualized hosts sometimes report
+    // absurd LLC sizes; clamp so the sweep stays tractable.
+    {
+        let llc = llc.min(16 * 1024 * 1024);
+        let mut points = Vec::new();
+        for factor in [0.25f64, 1.0, 4.0, 8.0] {
+            let n = ((llc as f64 * factor) / 16.0) as usize; // 16 B build tuples
+            let m = tables(
+                n.max(1024),
+                4 * n.max(1024),
+                DataType::Int64,
+                0,
+                ProbeKeys::UniformFk,
+                340,
+            );
+            let (bhj, radix) = radix_best(&e, &m, reps);
+            points.push((format!("{factor}xLLC"), bhj, radix));
+        }
+        sweeps.push(Sweep {
+            factor: "Build Size",
+            paper_workable: "> LLC",
+            paper_beneficial: ">> LLC",
+            points,
+        });
+    }
+
+    // Build:probe size difference.
+    {
+        let mut points = Vec::new();
+        for ratio in [1usize, 10, 50, 100] {
+            let m = tables(
+                build_n,
+                ratio * build_n,
+                DataType::Int64,
+                0,
+                ProbeKeys::UniformFk,
+                350,
+            );
+            let (bhj, radix) = radix_best(&e, &m, reps);
+            points.push((format!("1:{ratio}"), bhj, radix));
+        }
+        sweeps.push(Sweep {
+            factor: "Size Difference",
+            paper_workable: "< x50",
+            paper_beneficial: "< x10",
+            points,
+        });
+    }
+
+    let mut csv = Csv::create(
+        "table4_synthesis",
+        "factor,measured_workable,measured_beneficial,paper_workable,paper_beneficial",
+    );
+    println!(
+        "\n{:<16} {:<26} {:<26} {:<22} {:<20}",
+        "Factor", "measured workable", "measured beneficial", "paper workable", "paper beneficial"
+    );
+    for s in &sweeps {
+        let (workable, beneficial) = classify(&s.points);
+        println!(
+            "{:<16} {:<26} {:<26} {:<22} {:<20}",
+            s.factor, workable, beneficial, s.paper_workable, s.paper_beneficial
+        );
+        csv.row(&[
+            s.factor.to_string(),
+            workable,
+            beneficial,
+            s.paper_workable.to_string(),
+            s.paper_beneficial.to_string(),
+        ]);
+    }
+    println!("\nPer-point detail:");
+    for s in &sweeps {
+        println!("  {}:", s.factor);
+        for (x, bhj, radix) in &s.points {
+            println!(
+                "    {:<10} BHJ {:>10.0} T/s   best radix {:>10.0} T/s   ratio {:.2}",
+                x,
+                bhj,
+                radix,
+                radix / bhj
+            );
+        }
+    }
+    println!("\nCSV: {}", csv.path().display());
+    println!(
+        "Note: on a small host the BHJ's cache-resident builds make radix \
+         wins rarer than on the paper's 10-core machine — which only \
+         sharpens the paper's conclusion."
+    );
+}

@@ -1,0 +1,204 @@
+//! Shared benchmark plumbing: flags, repeated timing, formatting, CSV.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Minimal `--key value` / `--flag` argument parser (no external deps).
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().expect(key))
+            .unwrap_or(default)
+    }
+
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().expect(key))
+            .unwrap_or(default)
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Default thread count: all available cores unless overridden.
+    pub fn threads(&self) -> usize {
+        self.usize(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    pub fn reps(&self) -> usize {
+        self.usize("reps", 3)
+    }
+}
+
+/// Run `f` `reps` times; return the median duration and the last result.
+pub fn measure<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = f();
+        times.push(start.elapsed());
+        last = Some(r);
+    }
+    times.sort();
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// Tuples per second.
+pub fn throughput(tuples: usize, d: Duration) -> f64 {
+    tuples as f64 / d.as_secs_f64()
+}
+
+/// Format a rate as the paper's axes do ("0.62 G", "431 M").
+pub fn fmt_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Format a byte count ("256 MiB").
+pub fn fmt_bytes(b: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+/// CSV writer targeting `results/<name>.csv` (created on demand).
+pub struct Csv {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl Csv {
+    pub fn create(name: &str, header: &str) -> Csv {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = std::fs::File::create(&path).expect("create csv");
+        writeln!(file, "{header}").unwrap();
+        Csv { file, path }
+    }
+
+    pub fn row(&mut self, fields: &[String]) {
+        writeln!(self.file, "{}", fields.join(",")).unwrap();
+    }
+
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+/// Convenience macro-ish helper: stringify heterogeneous CSV fields.
+#[macro_export]
+macro_rules! csv_row {
+    ($csv:expr, $($field:expr),+ $(,)?) => {
+        $csv.row(&[$(format!("{}", $field)),+])
+    };
+}
+
+/// Print a standard experiment banner.
+pub fn banner(what: &str, detail: &str) {
+    println!("================================================================");
+    println!("{what}");
+    println!("{detail}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_si_ranges() {
+        assert_eq!(fmt_si(1.62e9), "1.62 G");
+        assert_eq!(fmt_si(431.4e6), "431.4 M");
+        assert_eq!(fmt_si(12_345.0), "12.3 k");
+        assert_eq!(fmt_si(3.2), "3.2");
+    }
+
+    #[test]
+    fn fmt_bytes_ranges() {
+        assert_eq!(fmt_bytes(42), "42 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(256 * 1024 * 1024), "256.0 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+
+    #[test]
+    fn measure_returns_median_and_result() {
+        let mut calls = 0;
+        let (d, r) = measure(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(r, 5);
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // duration is valid
+    }
+
+    #[test]
+    fn throughput_math() {
+        let d = Duration::from_millis(500);
+        assert!((throughput(1_000_000, d) - 2_000_000.0).abs() < 1.0);
+    }
+}

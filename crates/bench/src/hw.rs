@@ -1,0 +1,134 @@
+//! Host hardware detection + a memory-bandwidth probe (Table 2's columns).
+
+use std::time::Instant;
+
+/// Detected platform description.
+#[derive(Debug, Clone)]
+pub struct Hardware {
+    pub vendor: String,
+    pub model: String,
+    pub sockets: usize,
+    pub cores: usize,
+    pub threads: usize,
+    pub clock_mhz: f64,
+    pub l1d_kib: Option<usize>,
+    pub l2_kib: Option<usize>,
+    pub llc_kib: Option<usize>,
+    /// Measured copy bandwidth in GiB/s (single-threaded memcpy stream).
+    pub dram_gib_s: f64,
+}
+
+fn cpuinfo_field(content: &str, key: &str) -> Option<String> {
+    content
+        .lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().to_string())
+}
+
+fn read_cache_kib(index: usize) -> Option<usize> {
+    let path = format!("/sys/devices/system/cpu/cpu0/cache/index{index}/size");
+    let raw = std::fs::read_to_string(path).ok()?;
+    let raw = raw.trim();
+    if let Some(k) = raw.strip_suffix('K') {
+        k.parse().ok()
+    } else if let Some(m) = raw.strip_suffix('M') {
+        m.parse::<usize>().ok().map(|v| v * 1024)
+    } else {
+        raw.parse().ok()
+    }
+}
+
+fn cache_level_and_type(index: usize) -> (Option<u32>, String) {
+    let base = format!("/sys/devices/system/cpu/cpu0/cache/index{index}");
+    let level = std::fs::read_to_string(format!("{base}/level"))
+        .ok()
+        .and_then(|s| s.trim().parse().ok());
+    let ctype = std::fs::read_to_string(format!("{base}/type"))
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    (level, ctype)
+}
+
+/// Single-threaded streaming-copy bandwidth over a buffer well beyond LLC.
+pub fn measure_copy_bandwidth() -> f64 {
+    const BYTES: usize = 256 * 1024 * 1024;
+    let src = vec![1u8; BYTES];
+    let mut dst = vec![0u8; BYTES];
+    // Warm up page tables.
+    dst.copy_from_slice(&src);
+    let start = Instant::now();
+    let reps = 4;
+    for _ in 0..reps {
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&dst);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // Copy touches 2 × BYTES per rep (read + write).
+    (2 * reps * BYTES) as f64 / secs / (1u64 << 30) as f64
+}
+
+/// Detect the host.
+pub fn detect() -> Hardware {
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+    let model = cpuinfo_field(&cpuinfo, "model name").unwrap_or_else(|| "unknown".into());
+    let vendor = cpuinfo_field(&cpuinfo, "vendor_id").unwrap_or_else(|| "unknown".into());
+    let clock_mhz = cpuinfo_field(&cpuinfo, "cpu MHz")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sockets = {
+        let ids: std::collections::HashSet<String> = cpuinfo
+            .lines()
+            .filter(|l| l.starts_with("physical id"))
+            .map(|l| l.to_string())
+            .collect();
+        ids.len().max(1)
+    };
+    let cores = cpuinfo_field(&cpuinfo, "cpu cores")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(threads);
+
+    let mut l1d = None;
+    let mut l2 = None;
+    let mut llc = None;
+    for idx in 0..6 {
+        let (level, ctype) = cache_level_and_type(idx);
+        let size = read_cache_kib(idx);
+        match (level, ctype.as_str()) {
+            (Some(1), "Data") => l1d = size,
+            (Some(2), _) => l2 = size,
+            (Some(3), _) | (Some(4), _) => llc = size.or(llc),
+            _ => {}
+        }
+    }
+
+    Hardware {
+        vendor,
+        model,
+        sockets,
+        cores,
+        threads,
+        clock_mhz,
+        l1d_kib: l1d,
+        l2_kib: l2,
+        llc_kib: llc,
+        dram_gib_s: measure_copy_bandwidth(),
+    }
+}
+
+/// Best-effort LLC size in bytes (default 16 MiB when undetectable) — used
+/// by harnesses that size workloads relative to the cache, like the paper.
+pub fn llc_bytes() -> usize {
+    for idx in 0..6 {
+        let (level, _) = cache_level_and_type(idx);
+        if level == Some(3) {
+            if let Some(kib) = read_cache_kib(idx) {
+                return kib * 1024;
+            }
+        }
+    }
+    16 * 1024 * 1024
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness for the join study.
+//!
+//! Every table and figure of the paper has a dedicated binary in
+//! `src/bin/` (run with `cargo run -p joinstudy-bench --release --bin
+//! fig14_selectivity -- --help` style flags); this library holds the shared
+//! machinery:
+//!
+//! * [`harness`] — flag parsing, repeated timing with median reporting,
+//!   throughput formatting, CSV output under `results/`,
+//! * [`hw`] — host hardware detection and a memory-bandwidth probe
+//!   (Table 2),
+//! * [`workloads`] — SQL-level microbenchmark relations modeled on
+//!   Balkesen et al.'s Workloads A/B with the paper's selectivity, payload,
+//!   skew and pipeline-depth variations (§5.4).
+//!
+//! Defaults are sized for a small container; `--scale`/`--threads`/`--reps`
+//! flags scale every experiment up to real hardware.
+
+pub mod harness;
+pub mod hw;
+pub mod workloads;

@@ -1,0 +1,319 @@
+//! SQL-level microbenchmark relations (the paper's §5.4 workloads).
+//!
+//! All sweeps start from Balkesen et al.'s Workload A — a unique-key build
+//! relation joined by a uniform foreign-key probe relation — expressed as
+//! real tables inside the engine (`CREATE TABLE b(key BIGINT, pay BIGINT)`,
+//! §5.1.2), then vary exactly one factor: join partner selectivity
+//! (Fig 14), probe payload width (Fig 15), pipeline depth via a star schema
+//! (Fig 16), or Zipf skew (Fig 17). Workload B uses 4-byte `INT` columns.
+
+use joinstudy_core::{Engine, JoinAlgo, JoinType, Plan};
+use joinstudy_exec::ops::scan::TID_COLUMN;
+use joinstudy_exec::ops::{AggFunc, AggSpec};
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::gen::{Rng, Zipf};
+use joinstudy_storage::table::{Schema, Table, TableBuilder};
+use joinstudy_storage::types::DataType;
+use std::sync::Arc;
+
+/// How probe keys relate to the dense build key domain `0..build_n`.
+#[derive(Debug, Clone, Copy)]
+pub enum ProbeKeys {
+    /// Every probe key matches (Workload A/B baseline).
+    UniformFk,
+    /// Only this fraction matches; the rest miss (Fig 14).
+    Selectivity(f64),
+    /// Zipf-distributed over the build domain, rank-permuted (Fig 17).
+    Zipf(f64),
+}
+
+/// A microbenchmark join pair.
+pub struct Micro {
+    pub build: Arc<Table>,
+    pub probe: Arc<Table>,
+    pub build_n: usize,
+    pub probe_n: usize,
+}
+
+impl Micro {
+    /// Total input tuples (the throughput denominator used by the paper:
+    /// the tuples counted at all pipeline sources).
+    pub fn total_tuples(&self) -> usize {
+        self.build_n + self.probe_n
+    }
+}
+
+fn int_col(dtype: DataType, values: impl Iterator<Item = i64>) -> ColumnData {
+    match dtype {
+        DataType::Int64 => ColumnData::Int64(values.collect()),
+        DataType::Int32 => ColumnData::Int32(values.map(|v| v as i32).collect()),
+        other => panic!("microbench columns are integers, not {other:?}"),
+    }
+}
+
+/// Build the pair. `key_type` is `Int64` for Workload A (8 B key/pay) and
+/// `Int32` for Workload B; `payload_cols` adds that many extra 8 B probe
+/// columns (Fig 15).
+pub fn tables(
+    build_n: usize,
+    probe_n: usize,
+    key_type: DataType,
+    payload_cols: usize,
+    probe_keys: ProbeKeys,
+    seed: u64,
+) -> Micro {
+    let mut rng = Rng::new(seed);
+
+    // Build: unique dense keys, shuffled.
+    let keys = rng.permutation(build_n);
+    let build_schema = Schema::of(&[("bk", key_type), ("bp", key_type)]);
+    let mut bb = TableBuilder::with_capacity(build_schema.clone(), build_n);
+    *bb.column_mut(0) = int_col(key_type, keys.iter().map(|&k| k as i64));
+    *bb.column_mut(1) = int_col(key_type, keys.iter().map(|&k| k as i64));
+    let build = bb.finish();
+
+    // Probe keys per the requested distribution.
+    let pk: Vec<i64> = match probe_keys {
+        ProbeKeys::UniformFk => (0..probe_n)
+            .map(|_| rng.u64_below(build_n as u64) as i64)
+            .collect(),
+        ProbeKeys::Selectivity(sel) => (0..probe_n)
+            .map(|_| {
+                if rng.bool(sel) {
+                    rng.u64_below(build_n as u64) as i64
+                } else {
+                    (build_n as u64 + rng.u64_below(build_n as u64)) as i64
+                }
+            })
+            .collect(),
+        ProbeKeys::Zipf(z) => {
+            let zipf = Zipf::new(build_n as u64, z);
+            let perm = rng.permutation(build_n);
+            (0..probe_n)
+                .map(|_| perm[(zipf.sample(&mut rng) - 1) as usize] as i64)
+                .collect()
+        }
+    };
+
+    let mut fields = vec![("pk", key_type)];
+    let names: Vec<String> = (1..=payload_cols).map(|i| format!("p{i}")).collect();
+    for n in &names {
+        fields.push((n.as_str(), DataType::Int64));
+    }
+    let probe_schema = Schema::of(&fields);
+    let mut pb = TableBuilder::with_capacity(probe_schema, probe_n);
+    *pb.column_mut(0) = int_col(key_type, pk.into_iter());
+    for c in 1..=payload_cols {
+        *pb.column_mut(c) = ColumnData::Int64(
+            (0..probe_n)
+                .map(|_| (rng.next_u64() >> 20) as i64)
+                .collect(),
+        );
+    }
+    let probe = pb.finish();
+
+    Micro {
+        build: Arc::new(build),
+        probe: Arc::new(probe),
+        build_n,
+        probe_n,
+    }
+}
+
+/// `SELECT count(*) FROM probe r, build s WHERE r.k = s.k` (§5.2).
+pub fn count_plan(m: &Micro, algo: JoinAlgo) -> Plan {
+    Plan::scan(&m.build, &["bk"], None)
+        .join(
+            Plan::scan(&m.probe, &["pk"], None),
+            algo,
+            JoinType::Inner,
+            &[0],
+            &[0],
+        )
+        .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")])
+}
+
+/// `SELECT sum(s.p1) FROM build r, probe s WHERE r.k = s.k` (§5.4.2), with
+/// all payload columns materialized through the join. With `lm`, payloads
+/// ride as a tuple id and are fetched after the join (§5.4.3).
+pub fn sum_plan(m: &Micro, algo: JoinAlgo, payload_cols: usize, lm: bool) -> Plan {
+    assert!(
+        payload_cols >= 1,
+        "sum_plan needs at least one payload column"
+    );
+    let names: Vec<String> = (1..=payload_cols).map(|i| format!("p{i}")).collect();
+    let mut probe_cols: Vec<&str> = vec!["pk"];
+    if !lm {
+        probe_cols.extend(names.iter().map(String::as_str));
+    }
+    let probe = if lm {
+        Plan::scan_tid(&m.probe, &probe_cols, None)
+    } else {
+        Plan::scan(&m.probe, &probe_cols, None)
+    };
+    let mut joined =
+        Plan::scan(&m.build, &["bk"], None).join(probe, algo, JoinType::Inner, &[0], &[0]);
+    if lm {
+        let tid_col = joined.schema().index_of(TID_COLUMN);
+        let load: Vec<&str> = names.iter().map(String::as_str).collect();
+        joined = joined.late_load(&m.probe, tid_col, &load);
+    }
+    let p1 = joined.schema().index_of("p1");
+    joined.aggregate(&[], vec![AggSpec::new(AggFunc::Sum, p1, "s")])
+}
+
+/// Star schema for the pipeline-depth sweep (Fig 16): a fact table whose
+/// `depth` key columns each reference one dimension copy (100% selectivity,
+/// randomly permuted rows), producing one long pipeline of joins.
+pub struct StarSchema {
+    pub dims: Vec<Arc<Table>>,
+    pub fact: Arc<Table>,
+    pub dim_n: usize,
+    pub fact_n: usize,
+}
+
+pub fn star_schema(depth: usize, dim_n: usize, fact_n: usize, seed: u64) -> StarSchema {
+    let mut rng = Rng::new(seed);
+    let mut dims = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let keys = rng.permutation(dim_n);
+        let schema = Schema::of(&[("dk", DataType::Int64), ("dp", DataType::Int64)]);
+        let mut b = TableBuilder::with_capacity(schema, dim_n);
+        *b.column_mut(0) = ColumnData::Int64(keys.iter().map(|&k| k as i64).collect());
+        *b.column_mut(1) = ColumnData::Int64(keys.iter().map(|&k| k as i64).collect());
+        dims.push(Arc::new(b.finish()));
+    }
+    let mut fields = Vec::new();
+    let names: Vec<String> = (0..depth).map(|i| format!("k{i}")).collect();
+    for n in &names {
+        fields.push((n.as_str(), DataType::Int64));
+    }
+    let schema = Schema::of(&fields);
+    let mut f = TableBuilder::with_capacity(schema, fact_n);
+    for c in 0..depth {
+        *f.column_mut(c) = ColumnData::Int64(
+            (0..fact_n)
+                .map(|_| rng.u64_below(dim_n as u64) as i64)
+                .collect(),
+        );
+    }
+    StarSchema {
+        dims,
+        fact: Arc::new(f.finish()),
+        dim_n,
+        fact_n,
+    }
+}
+
+/// The single-pipeline star query: fact ⋈ dim0 ⋈ dim1 ⋈ ... ⋈ dim_{d-1},
+/// counted at the top.
+pub fn star_plan(star: &StarSchema, algo: JoinAlgo) -> Plan {
+    let names: Vec<String> = (0..star.dims.len()).map(|i| format!("k{i}")).collect();
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut plan = Plan::scan(&star.fact, &cols, None);
+    for (i, dim) in star.dims.iter().enumerate() {
+        let probe_key = plan.schema().index_of(&format!("k{i}"));
+        plan = Plan::scan(dim, &["dk", "dp"], None).join(
+            plan,
+            algo,
+            JoinType::Inner,
+            &[0],
+            &[probe_key],
+        );
+    }
+    plan.aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")])
+}
+
+/// Run a plan and return its single count/sum cell (sanity anchor).
+pub fn run_scalar(engine: &Engine, plan: &Plan) -> i64 {
+    let t = engine.execute(plan);
+    t.column(0).as_i64()[0]
+}
+
+/// Median-of-`reps` timing of a plan; returns (tuples/s over
+/// `total_tuples`, median duration).
+pub fn bench_plan(
+    engine: &Engine,
+    plan: &Plan,
+    total_tuples: usize,
+    reps: usize,
+) -> (f64, std::time::Duration) {
+    let (d, _) = crate::harness::measure(reps, || engine.execute(plan));
+    (crate::harness::throughput(total_tuples, d), d)
+}
+
+/// Engine with the given thread count and adaptive-Bloom setting.
+pub fn engine(threads: usize, adaptive_bloom: bool) -> Engine {
+    let mut e = Engine::new(threads);
+    e.adaptive_bloom = adaptive_bloom;
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_a_count_matches_probe_size() {
+        let m = tables(1000, 16_000, DataType::Int64, 0, ProbeKeys::UniformFk, 1);
+        let engine = Engine::new(2);
+        for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+            let plan = count_plan(&m, algo);
+            assert_eq!(run_scalar(&engine, &plan), 16_000, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn workload_b_int32_keys() {
+        let m = tables(5000, 5000, DataType::Int32, 0, ProbeKeys::UniformFk, 2);
+        let engine = Engine::new(1);
+        assert_eq!(run_scalar(&engine, &count_plan(&m, JoinAlgo::Rj)), 5000);
+    }
+
+    #[test]
+    fn selectivity_controls_matches() {
+        let m = tables(
+            2000,
+            40_000,
+            DataType::Int64,
+            0,
+            ProbeKeys::Selectivity(0.25),
+            3,
+        );
+        let engine = Engine::new(1);
+        let cnt = run_scalar(&engine, &count_plan(&m, JoinAlgo::Brj)) as f64;
+        let rate = cnt / 40_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "match rate {rate}");
+    }
+
+    #[test]
+    fn zipf_keys_all_match() {
+        let m = tables(500, 10_000, DataType::Int64, 0, ProbeKeys::Zipf(1.5), 4);
+        let engine = Engine::new(1);
+        assert_eq!(run_scalar(&engine, &count_plan(&m, JoinAlgo::Rj)), 10_000);
+    }
+
+    #[test]
+    fn payload_sum_em_equals_lm() {
+        let m = tables(1000, 8000, DataType::Int64, 4, ProbeKeys::UniformFk, 5);
+        let engine = Engine::new(2);
+        let em = run_scalar(&engine, &sum_plan(&m, JoinAlgo::Rj, 4, false));
+        for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+            assert_eq!(run_scalar(&engine, &sum_plan(&m, algo, 4, false)), em);
+            assert_eq!(run_scalar(&engine, &sum_plan(&m, algo, 4, true)), em);
+        }
+    }
+
+    #[test]
+    fn star_schema_full_selectivity() {
+        let star = star_schema(3, 500, 5000, 6);
+        let engine = Engine::new(2);
+        for algo in [JoinAlgo::Bhj, JoinAlgo::Rj] {
+            assert_eq!(
+                run_scalar(&engine, &star_plan(&star, algo)),
+                5000,
+                "{algo:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! The Buffered Non-Partitioned Hash Join (BHJ).
+//!
+//! The paper's baseline-in-system (§4.3, §5.1.1): a global chaining hash
+//! table with tagged pointers, built in parallel from materialized rows,
+//! probed *inside* the probe pipeline without materializing probe tuples.
+//! Relaxed operator fusion shows up as the batch-at-a-time probe: the whole
+//! batch is hashed first, all bucket heads are software-prefetched, and only
+//! then are the chains walked — hiding the random-access latency that
+//! otherwise dominates when the hash table exceeds the caches.
+//!
+//! Build-preserving variants (e.g. Q22's anti join) mark matched build rows
+//! through an atomic flag in the row header; a follow-up pipeline
+//! ([`BhjUnmatchedSource`]) then scans the build rows and emits the
+//! (un)matched ones — exactly how a real system starts the anti-join's
+//! result pipeline from the hash table.
+
+use crate::hash::hash_columns;
+use crate::ht_chain::{ChainTable, RowArena};
+use crate::join_common::{default_column, JoinType};
+use crate::row::{RowLayout, StrHeap};
+use crate::swwcb::prefetch_read;
+use joinstudy_exec::batch::{Batch, BatchBuilder, BATCH_ROWS};
+use joinstudy_exec::metrics::{self, MemPhase};
+use joinstudy_exec::pipeline::{Emit, LocalState, Operator, Sink, Source};
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::types::DataType;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The materialized build side: arenas + chaining table. Kept alive behind
+/// an `Arc` for as long as any probe operator holds pointers into it.
+pub struct BhjState {
+    pub layout: RowLayout,
+    pub key_cols: Vec<usize>,
+    arenas: Vec<RowArena>,
+    pub heaps: Vec<StrHeap>,
+    pub table: ChainTable,
+    pub rows: usize,
+}
+
+impl BhjState {
+    /// Total bytes of materialized build rows (harness size accounting).
+    pub fn byte_size(&self) -> usize {
+        self.arenas.iter().map(RowArena::byte_size).sum::<usize>()
+            + self.heaps.iter().map(StrHeap::byte_len).sum::<usize>()
+    }
+}
+
+struct BuildLocal {
+    arena: RowArena,
+    heap: StrHeap,
+    heap_id: usize,
+    hashes: Vec<u64>,
+}
+
+struct BuildGlobal {
+    arenas: Vec<RowArena>,
+    heaps: Vec<(usize, StrHeap)>,
+}
+
+/// Pipeline breaker materializing the build side into row arenas.
+pub struct BhjBuildSink {
+    layout: RowLayout,
+    key_cols: Vec<usize>,
+    next_heap_id: AtomicUsize,
+    global: Mutex<BuildGlobal>,
+}
+
+impl BhjBuildSink {
+    /// `types`: the build input schema's column types; `key_cols`: join-key
+    /// columns within that schema.
+    pub fn new(types: &[DataType], key_cols: Vec<usize>) -> BhjBuildSink {
+        BhjBuildSink {
+            layout: RowLayout::new(types, true),
+            key_cols,
+            next_heap_id: AtomicUsize::new(0),
+            global: Mutex::new(BuildGlobal {
+                arenas: Vec::new(),
+                heaps: Vec::new(),
+            }),
+        }
+    }
+
+    /// Build the chaining hash table over all materialized rows and freeze
+    /// the state. `threads` workers CAS-insert in parallel (one arena each;
+    /// arenas are per-build-worker so counts are balanced).
+    pub fn into_state(&self, threads: usize) -> Arc<BhjState> {
+        let mut global = self.global.lock();
+        let arenas = std::mem::take(&mut global.arenas);
+        let mut heap_pairs = std::mem::take(&mut global.heaps);
+        drop(global);
+
+        let max_id = heap_pairs
+            .iter()
+            .map(|(id, _)| *id)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut heaps: Vec<StrHeap> = (0..max_id).map(|_| StrHeap::new()).collect();
+        for (id, heap) in heap_pairs.drain(..) {
+            heaps[id] = heap;
+        }
+
+        let rows: usize = arenas.iter().map(RowArena::rows).sum();
+        let table = ChainTable::new(rows);
+        let hash_off = self.layout.hash_offset();
+
+        let next = AtomicUsize::new(0);
+        let insert_arena = |arena: &RowArena| {
+            for ptr in arena.row_ptrs() {
+                unsafe {
+                    let h = std::ptr::read(ptr.add(hash_off).cast::<u64>());
+                    table.insert(ptr as *mut u8, h);
+                }
+            }
+        };
+        if threads <= 1 || arenas.len() <= 1 {
+            for a in &arenas {
+                insert_arena(a);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(arenas.len()) {
+                    let next = &next;
+                    let arenas = &arenas;
+                    let insert_arena = &insert_arena;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= arenas.len() {
+                            break;
+                        }
+                        insert_arena(&arenas[i]);
+                    });
+                }
+            });
+        }
+
+        Arc::new(BhjState {
+            layout: self.layout.clone(),
+            key_cols: self.key_cols.clone(),
+            arenas,
+            heaps,
+            table,
+            rows,
+        })
+    }
+}
+
+impl Sink for BhjBuildSink {
+    fn create_local(&self) -> LocalState {
+        Box::new(BuildLocal {
+            arena: RowArena::new(self.layout.stride()),
+            heap: StrHeap::new(),
+            heap_id: self.next_heap_id.fetch_add(1, Ordering::Relaxed),
+            hashes: Vec::new(),
+        })
+    }
+
+    fn consume(&self, local: &mut LocalState, input: Batch) {
+        let local = local.downcast_mut::<BuildLocal>().unwrap();
+        let n = input.num_rows();
+        let key_cols: Vec<_> = self.key_cols.iter().map(|&c| input.column(c)).collect();
+        let mut hashes = std::mem::take(&mut local.hashes);
+        hash_columns(&key_cols, n, &mut hashes);
+        drop(key_cols);
+        for r in 0..n {
+            let row = local.arena.alloc_row();
+            self.layout
+                .encode_row(row, hashes[r], &input, r, &mut local.heap, local.heap_id);
+        }
+        local.hashes = hashes;
+        metrics::record_write(MemPhase::Build, (n * self.layout.stride()) as u64);
+    }
+
+    fn finish_local(&self, local: LocalState) {
+        let local = *local.downcast::<BuildLocal>().unwrap();
+        let mut global = self.global.lock();
+        global.arenas.push(local.arena);
+        global.heaps.push((local.heap_id, local.heap));
+    }
+}
+
+/// The in-pipeline probe operator.
+pub struct BhjProbeOp {
+    state: Arc<BhjState>,
+    probe_keys: Vec<usize>,
+    join_type: JoinType,
+    prefetch: bool,
+}
+
+struct ProbeLocal {
+    hashes: Vec<u64>,
+}
+
+impl BhjProbeOp {
+    pub fn new(
+        state: Arc<BhjState>,
+        probe_keys: Vec<usize>,
+        join_type: JoinType,
+        prefetch: bool,
+    ) -> BhjProbeOp {
+        BhjProbeOp {
+            state,
+            probe_keys,
+            join_type,
+            prefetch,
+        }
+    }
+
+    /// Emit matched pairs as (build ++ probe) batches.
+    fn emit_pairs(&self, input: &Batch, ptrs: &[*const u8], sel: &[u32], out: Emit) {
+        debug_assert_eq!(ptrs.len(), sel.len());
+        let layout = &self.state.layout;
+        let mut start = 0;
+        while start < ptrs.len() {
+            let end = (start + BATCH_ROWS).min(ptrs.len());
+            let mut columns = Vec::with_capacity(layout.num_columns() + input.num_columns());
+            for c in 0..layout.num_columns() {
+                let mut col = ColumnData::with_capacity(layout.types()[c], end - start);
+                unsafe {
+                    layout.decode_ptrs_into(&ptrs[start..end], c, &self.state.heaps, &mut col);
+                }
+                columns.push(col);
+            }
+            let probe_part = input.take(&sel[start..end]);
+            columns.extend(probe_part.into_columns());
+            out(Batch::new(columns));
+            start = end;
+        }
+    }
+}
+
+impl Operator for BhjProbeOp {
+    fn create_local(&self) -> LocalState {
+        Box::new(ProbeLocal { hashes: Vec::new() })
+    }
+
+    fn process(&self, local: &mut LocalState, input: Batch, out: Emit) {
+        let local = local.downcast_mut::<ProbeLocal>().unwrap();
+        let n = input.num_rows();
+        let key_cols: Vec<_> = self.probe_keys.iter().map(|&c| input.column(c)).collect();
+        let mut hashes = std::mem::take(&mut local.hashes);
+        hash_columns(&key_cols, n, &mut hashes);
+        drop(key_cols);
+
+        // ROF stage 2: prefetch every bucket head for this batch before any
+        // chain is walked.
+        if self.prefetch {
+            for &h in &hashes[..n] {
+                prefetch_read(self.state.table.bucket_ptr(h));
+            }
+        }
+
+        let layout = &self.state.layout;
+        let hash_off = layout.hash_offset();
+        let heaps = &self.state.heaps;
+
+        match self.join_type {
+            JoinType::Inner | JoinType::ProbeOuter => {
+                let mut ptrs: Vec<*const u8> = Vec::new();
+                let mut sel: Vec<u32> = Vec::new();
+                let mut unmatched: Vec<u32> = Vec::new();
+                for r in 0..n {
+                    let h = hashes[r];
+                    let head = self.state.table.head(h);
+                    let mut any = false;
+                    if ChainTable::tag_may_contain(head, h) {
+                        let mut row = ChainTable::first_row(head);
+                        while !row.is_null() {
+                            unsafe {
+                                let rs = std::slice::from_raw_parts(row, layout.width());
+                                if std::ptr::read(row.add(hash_off).cast::<u64>()) == h
+                                    && layout.keys_match_batch(
+                                        rs,
+                                        &self.state.key_cols,
+                                        heaps,
+                                        &input,
+                                        &self.probe_keys,
+                                        r,
+                                    )
+                                {
+                                    ptrs.push(row);
+                                    sel.push(r as u32);
+                                    any = true;
+                                }
+                                row = ChainTable::next_row(row);
+                            }
+                        }
+                    }
+                    if !any && self.join_type == JoinType::ProbeOuter {
+                        unmatched.push(r as u32);
+                    }
+                }
+                self.emit_pairs(&input, &ptrs, &sel, out);
+                if !unmatched.is_empty() {
+                    // NULL-padded build columns + surviving probe columns.
+                    let k = unmatched.len();
+                    let mut columns = Vec::new();
+                    let mut validity = Vec::new();
+                    for &t in layout.types() {
+                        columns.push(default_column(t, k));
+                        validity.push(Some(vec![false; k]));
+                    }
+                    let probe_part = input.take(&unmatched);
+                    for (i, col) in probe_part.into_columns().into_iter().enumerate() {
+                        validity.push(
+                            input
+                                .validity(i)
+                                .as_ref()
+                                .map(|m| unmatched.iter().map(|&r| m[r as usize]).collect()),
+                        );
+                        columns.push(col);
+                    }
+                    out(Batch::with_validity(columns, validity));
+                }
+            }
+            JoinType::ProbeSemi | JoinType::ProbeAnti | JoinType::ProbeMark => {
+                let want_match = self.join_type != JoinType::ProbeAnti;
+                let mut sel: Vec<u32> = Vec::new();
+                let mut marks: Vec<bool> = Vec::new();
+                for r in 0..n {
+                    let h = hashes[r];
+                    let head = self.state.table.head(h);
+                    let mut any = false;
+                    if ChainTable::tag_may_contain(head, h) {
+                        let mut row = ChainTable::first_row(head);
+                        while !row.is_null() {
+                            unsafe {
+                                let rs = std::slice::from_raw_parts(row, layout.width());
+                                if std::ptr::read(row.add(hash_off).cast::<u64>()) == h
+                                    && layout.keys_match_batch(
+                                        rs,
+                                        &self.state.key_cols,
+                                        heaps,
+                                        &input,
+                                        &self.probe_keys,
+                                        r,
+                                    )
+                                {
+                                    any = true;
+                                    break;
+                                }
+                                row = ChainTable::next_row(row);
+                            }
+                        }
+                    }
+                    if self.join_type == JoinType::ProbeMark {
+                        marks.push(any);
+                    } else if any == want_match {
+                        sel.push(r as u32);
+                    }
+                }
+                if self.join_type == JoinType::ProbeMark {
+                    let mut batch = input;
+                    batch.push_column(ColumnData::Bool(marks));
+                    out(batch);
+                } else if !sel.is_empty() {
+                    out(input.take(&sel));
+                }
+            }
+            JoinType::BuildSemi | JoinType::BuildAnti => {
+                // Mark matched build rows; emit nothing here — the result
+                // pipeline starts from BhjUnmatchedSource.
+                for r in 0..n {
+                    let h = hashes[r];
+                    let head = self.state.table.head(h);
+                    if !ChainTable::tag_may_contain(head, h) {
+                        continue;
+                    }
+                    let mut row = ChainTable::first_row(head);
+                    while !row.is_null() {
+                        unsafe {
+                            let rs = std::slice::from_raw_parts(row, layout.width());
+                            if std::ptr::read(row.add(hash_off).cast::<u64>()) == h
+                                && layout.keys_match_batch(
+                                    rs,
+                                    &self.state.key_cols,
+                                    heaps,
+                                    &input,
+                                    &self.probe_keys,
+                                    r,
+                                )
+                            {
+                                ChainTable::mark_matched(row);
+                            }
+                            row = ChainTable::next_row(row);
+                        }
+                    }
+                }
+            }
+        }
+        local.hashes = hashes;
+    }
+}
+
+/// Result pipeline source for build-preserving variants: scans every build
+/// row, emitting those whose matched flag agrees with the variant.
+pub struct BhjUnmatchedSource {
+    state: Arc<BhjState>,
+    /// `true` = BuildSemi (emit matched), `false` = BuildAnti.
+    emit_matched: bool,
+}
+
+impl BhjUnmatchedSource {
+    pub fn new(state: Arc<BhjState>, join_type: JoinType) -> BhjUnmatchedSource {
+        let emit_matched = match join_type {
+            JoinType::BuildSemi => true,
+            JoinType::BuildAnti => false,
+            other => panic!("BhjUnmatchedSource on non-build-preserving {other:?}"),
+        };
+        BhjUnmatchedSource {
+            state,
+            emit_matched,
+        }
+    }
+}
+
+impl Source for BhjUnmatchedSource {
+    fn task_count(&self) -> usize {
+        self.state.arenas.len()
+    }
+
+    fn poll_task(&self, task: usize, out: Emit) {
+        let layout = &self.state.layout;
+        let arena = &self.state.arenas[task];
+        let mut bb = BatchBuilder::new(layout.types().to_vec());
+        let mut selected: Vec<*const u8> = Vec::new();
+        let flush = |bb: &mut BatchBuilder, selected: &mut Vec<*const u8>, out: Emit| {
+            if selected.is_empty() {
+                return;
+            }
+            for c in 0..layout.num_columns() {
+                unsafe {
+                    layout.decode_ptrs_into(selected, c, &self.state.heaps, bb.column_mut(c));
+                }
+            }
+            bb.advance(selected.len());
+            selected.clear();
+            if let Some(b) = bb.flush() {
+                out(b);
+            }
+        };
+        for ptr in arena.row_ptrs() {
+            let matched = unsafe { ChainTable::is_matched(ptr) };
+            if matched == self.emit_matched {
+                selected.push(ptr);
+                if selected.len() >= BATCH_ROWS {
+                    flush(&mut bb, &mut selected, &mut *out);
+                }
+            }
+        }
+        flush(&mut bb, &mut selected, &mut *out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinstudy_storage::types::Value;
+
+    fn build_state(keys: &[i64], payloads: &[i64], threads: usize) -> Arc<BhjState> {
+        let sink = BhjBuildSink::new(&[DataType::Int64, DataType::Int64], vec![0]);
+        let mut local = sink.create_local();
+        let mut bb = BatchBuilder::new(vec![DataType::Int64, DataType::Int64]);
+        for (&k, &p) in keys.iter().zip(payloads) {
+            bb.push_row(&[Value::Int64(k), Value::Int64(p)]);
+            if bb.is_full() {
+                sink.consume(&mut local, bb.flush().unwrap());
+            }
+        }
+        if let Some(b) = bb.flush() {
+            sink.consume(&mut local, b);
+        }
+        sink.finish_local(local);
+        sink.into_state(threads)
+    }
+
+    fn probe(state: Arc<BhjState>, join_type: JoinType, probe_keys: &[i64]) -> Vec<Vec<Value>> {
+        let op = BhjProbeOp::new(state, vec![0], join_type, true);
+        let mut local = op.create_local();
+        let input = Batch::new(vec![ColumnData::Int64(probe_keys.to_vec())]);
+        let mut outs = Vec::new();
+        op.process(&mut local, input, &mut |b| outs.push(b));
+        let mut rows = Vec::new();
+        for b in outs {
+            for r in 0..b.num_rows() {
+                rows.push((0..b.num_columns()).map(|c| b.value(c, r)).collect());
+            }
+        }
+        rows.sort_by(|a: &Vec<Value>, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        rows
+    }
+
+    #[test]
+    fn inner_join_matches_pairs_and_duplicates() {
+        let state = build_state(&[1, 2, 2, 3], &[10, 20, 21, 30], 1);
+        let rows = probe(state, JoinType::Inner, &[2, 4, 1]);
+        // key 2 matches two build rows; key 4 none; key 1 one.
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            // [build key, build payload, probe key]
+            assert_eq!(row[0], row[2]);
+        }
+        let payloads: Vec<i64> = rows.iter().map(|r| r[1].as_i64()).collect();
+        assert!(payloads.contains(&20) && payloads.contains(&21) && payloads.contains(&10));
+    }
+
+    #[test]
+    fn semi_anti_mark_variants() {
+        let state = build_state(&[1, 2], &[0, 0], 1);
+        let semi = probe(state.clone(), JoinType::ProbeSemi, &[1, 3, 2, 2]);
+        assert_eq!(semi.len(), 3);
+        let anti = probe(state.clone(), JoinType::ProbeAnti, &[1, 3, 2, 4]);
+        assert_eq!(anti.len(), 2);
+        let mark = probe(state, JoinType::ProbeMark, &[1, 3]);
+        assert_eq!(mark.len(), 2);
+        let marked: Vec<(i64, bool)> = mark
+            .iter()
+            .map(|r| (r[0].as_i64(), matches!(r[1], Value::Bool(true))))
+            .collect();
+        assert!(marked.contains(&(1, true)));
+        assert!(marked.contains(&(3, false)));
+    }
+
+    #[test]
+    fn probe_outer_pads_with_nulls() {
+        let state = build_state(&[5], &[50], 1);
+        let rows = probe(state, JoinType::ProbeOuter, &[5, 6]);
+        assert_eq!(rows.len(), 2);
+        let matched = rows.iter().find(|r| r[2] == Value::Int64(5)).unwrap();
+        assert_eq!(matched[0], Value::Int64(5));
+        assert_eq!(matched[1], Value::Int64(50));
+        let unmatched = rows.iter().find(|r| r[2] == Value::Int64(6)).unwrap();
+        assert_eq!(unmatched[0], Value::Null);
+        assert_eq!(unmatched[1], Value::Null);
+    }
+
+    #[test]
+    fn build_anti_emits_unmatched_build_rows() {
+        let state = build_state(&[1, 2, 3, 4], &[10, 20, 30, 40], 1);
+        // Probe with keys {2, 4}: marks those build rows.
+        let _ = probe(state.clone(), JoinType::BuildAnti, &[2, 4, 4]);
+        let source = BhjUnmatchedSource::new(state, JoinType::BuildAnti);
+        let mut rows = Vec::new();
+        for t in 0..source.task_count() {
+            source.poll_task(t, &mut |b| {
+                for r in 0..b.num_rows() {
+                    rows.push((b.value(0, r).as_i64(), b.value(1, r).as_i64()));
+                }
+            });
+        }
+        rows.sort_unstable();
+        assert_eq!(rows, vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn build_semi_emits_matched_build_rows() {
+        let state = build_state(&[1, 2, 3], &[10, 20, 30], 1);
+        let _ = probe(state.clone(), JoinType::BuildSemi, &[3, 3, 1]);
+        let source = BhjUnmatchedSource::new(state, JoinType::BuildSemi);
+        let mut rows = Vec::new();
+        for t in 0..source.task_count() {
+            source.poll_task(t, &mut |b| {
+                for r in 0..b.num_rows() {
+                    rows.push(b.value(0, r).as_i64());
+                }
+            });
+        }
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 3]);
+    }
+
+    #[test]
+    fn parallel_build_equals_serial() {
+        let keys: Vec<i64> = (0..10_000).map(|i| i % 1000).collect();
+        let pays: Vec<i64> = (0..10_000).collect();
+        // Build with several worker arenas.
+        let sink = BhjBuildSink::new(&[DataType::Int64, DataType::Int64], vec![0]);
+        std::thread::scope(|scope| {
+            for chunk in keys.chunks(2500).zip(pays.chunks(2500)) {
+                let sink = &sink;
+                scope.spawn(move || {
+                    let mut local = sink.create_local();
+                    let mut bb = BatchBuilder::new(vec![DataType::Int64, DataType::Int64]);
+                    for (&k, &p) in chunk.0.iter().zip(chunk.1) {
+                        bb.push_row(&[Value::Int64(k), Value::Int64(p)]);
+                        if bb.is_full() {
+                            sink.consume(&mut local, bb.flush().unwrap());
+                        }
+                    }
+                    if let Some(b) = bb.flush() {
+                        sink.consume(&mut local, b);
+                    }
+                    sink.finish_local(local);
+                });
+            }
+        });
+        let state = sink.into_state(4);
+        assert_eq!(state.rows, 10_000);
+        // Key 7 appears 10 times (i % 1000 == 7 for 10 values of i).
+        let rows = probe(state, JoinType::Inner, &[7]);
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let state = build_state(&[], &[], 1);
+        assert_eq!(probe(state.clone(), JoinType::Inner, &[1, 2]).len(), 0);
+        assert_eq!(probe(state.clone(), JoinType::ProbeAnti, &[1, 2]).len(), 2);
+        let outer = probe(state, JoinType::ProbeOuter, &[9]);
+        assert_eq!(outer.len(), 1);
+        assert_eq!(outer[0][0], Value::Null);
+    }
+}

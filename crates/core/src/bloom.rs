@@ -1,0 +1,190 @@
+//! Register-blocked Bloom filter — the probe-side semi-join reducer of the
+//! Bloom radix join (BRJ, §4.7).
+//!
+//! Following Lang et al. ("Performance-optimal filtering"), the filter is
+//! partitioned into register-sized (64-bit) blocks: each key touches exactly
+//! one block, so a probe costs at most one cache miss. Blocks are
+//! additionally *partition-aligned*: every radix partition owns a private,
+//! equally-sized range of blocks, so the filter can be built during the
+//! build side's second partitioning pass without any synchronization — two
+//! partitions can never share a block (§4.7).
+//!
+//! Bit placement uses hash bits 16..40 and block selection bits 40..56,
+//! both disjoint from the low bits consumed by radix partitioning.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits budgeted per build key. 16 bits/key with k = 4 sectors keeps the
+/// false-positive rate in the low single digits, which is what makes the
+/// BRJ "around 40% faster for 5% foreign-key join partners" (§4.7).
+pub const BITS_PER_KEY: usize = 16;
+
+/// Number of bits set per key.
+const K: usize = 4;
+
+/// A partition-aligned, register-blocked Bloom filter.
+pub struct BlockedBloom {
+    words: Vec<AtomicU64>,
+    /// Words per partition (power of two).
+    words_per_partition: usize,
+    word_mask: u64,
+    partitions: usize,
+}
+
+impl BlockedBloom {
+    /// Size the filter for `total_keys` build tuples spread over
+    /// `partitions` radix partitions. Every partition receives the same
+    /// power-of-two block count (uniform layout keeps the probe mask a
+    /// single constant; skewed partitions trade a slightly higher FPR).
+    pub fn new(partitions: usize, total_keys: usize) -> BlockedBloom {
+        assert!(partitions > 0);
+        let keys_per_part = total_keys.div_ceil(partitions).max(1);
+        let words_per_partition = (keys_per_part * BITS_PER_KEY)
+            .div_ceil(64)
+            .next_power_of_two();
+        let total_words = words_per_partition * partitions;
+        let mut words = Vec::with_capacity(total_words);
+        words.resize_with(total_words, || AtomicU64::new(0));
+        BlockedBloom {
+            words,
+            words_per_partition,
+            word_mask: (words_per_partition - 1) as u64,
+            partitions,
+        }
+    }
+
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Total filter size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The word index a hash maps to within partition `p`.
+    #[inline]
+    fn word_index(&self, p: usize, hash: u64) -> usize {
+        debug_assert!(p < self.partitions);
+        p * self.words_per_partition + ((hash >> 40) & self.word_mask) as usize
+    }
+
+    /// The K-bit mask a hash sets/tests within its block. Sector bits come
+    /// from hash bits 16..40 (6 bits each).
+    #[inline]
+    fn bit_mask(hash: u64) -> u64 {
+        let mut mask = 0u64;
+        let mut h = hash >> 16;
+        for _ in 0..K {
+            mask |= 1u64 << (h & 63);
+            h >>= 6;
+        }
+        mask
+    }
+
+    /// Insert a key (by hash) into partition `p`'s block range. Safe to call
+    /// concurrently; pass-2 tasks own disjoint partitions anyway.
+    #[inline]
+    pub fn insert(&self, p: usize, hash: u64) {
+        let idx = self.word_index(p, hash);
+        self.words[idx].fetch_or(Self::bit_mask(hash), Ordering::Relaxed);
+    }
+
+    /// Test a key. False positives possible; false negatives never.
+    #[inline]
+    pub fn contains(&self, p: usize, hash: u64) -> bool {
+        let idx = self.word_index(p, hash);
+        let word = self.words[idx].load(Ordering::Relaxed);
+        let mask = Self::bit_mask(hash);
+        word & mask == mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_u64;
+
+    #[test]
+    fn no_false_negatives() {
+        let parts = 16;
+        let n = 10_000u64;
+        let bloom = BlockedBloom::new(parts, n as usize);
+        for k in 0..n {
+            let h = hash_u64(k);
+            let p = (h as usize) & (parts - 1);
+            bloom.insert(p, h);
+        }
+        for k in 0..n {
+            let h = hash_u64(k);
+            let p = (h as usize) & (parts - 1);
+            assert!(bloom.contains(p, h), "false negative for key {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let parts = 16;
+        let n = 100_000u64;
+        let bloom = BlockedBloom::new(parts, n as usize);
+        for k in 0..n {
+            let h = hash_u64(k);
+            bloom.insert((h as usize) & (parts - 1), h);
+        }
+        let probes = 100_000u64;
+        let mut fp = 0usize;
+        for k in n..n + probes {
+            let h = hash_u64(k);
+            if bloom.contains((h as usize) & (parts - 1), h) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        // Register-blocked with 16 bits/key and k=4: expect low single
+        // digits; be generous to stay robust.
+        assert!(rate < 0.08, "false-positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bloom = BlockedBloom::new(4, 1000);
+        for k in 0..1000u64 {
+            let h = hash_u64(k);
+            assert!(!bloom.contains((h as usize) & 3, h));
+        }
+    }
+
+    #[test]
+    fn partitions_are_isolated() {
+        let bloom = BlockedBloom::new(8, 8 * 64);
+        let h = hash_u64(42);
+        bloom.insert(3, h);
+        assert!(bloom.contains(3, h));
+        for p in 0..8 {
+            if p != 3 {
+                assert!(!bloom.contains(p, h), "leak into partition {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizing_scales_with_keys_and_partitions() {
+        let small = BlockedBloom::new(4, 1_000);
+        let big = BlockedBloom::new(4, 100_000);
+        assert!(big.byte_size() > small.byte_size());
+        // ~16 bits/key → ~2 bytes/key, modulo power-of-two rounding.
+        let bytes_per_key = big.byte_size() as f64 / 100_000.0;
+        assert!(
+            (1.0..=4.0).contains(&bytes_per_key),
+            "bytes/key = {bytes_per_key}"
+        );
+    }
+
+    #[test]
+    fn bit_mask_sets_at_most_k_bits() {
+        for k in 0..1000u64 {
+            let ones = BlockedBloom::bit_mask(hash_u64(k)).count_ones() as usize;
+            assert!((1..=K).contains(&ones));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! 64-bit hashing of join keys.
+//!
+//! One hash value drives everything downstream, with disjoint bit ranges
+//! used by the different consumers so their placements stay uncorrelated
+//! (the classic radix-join trick):
+//!
+//! * **low bits** — radix partition selection (pass 1 uses bits `0..b1`,
+//!   pass 2 bits `b1..b1+b2`),
+//! * **middle bits** (16..40) — Bloom-filter block/bit selection,
+//! * **high bits** (48..64) — hash-table slot selection and the 16-bit
+//!   tagged-pointer filter of the non-partitioned join.
+//!
+//! Like the paper's system (§5.2 "we create an equally sized hash value and
+//! store it with each tuple"), the hash is computed once in the pipeline and
+//! materialized in the row, so partitioning passes and the final join never
+//! rehash.
+
+use joinstudy_storage::column::ColumnData;
+
+/// Murmur3-style 64-bit finalizer: full avalanche, cheap, and good enough
+/// to pass the partition-balance tests below.
+#[inline]
+pub fn hash_u64(key: u64) -> u64 {
+    let mut h = key;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h
+}
+
+/// Combine an accumulated hash with the next column's hash (boost-style mix
+/// strengthened to 64 bit).
+#[inline]
+pub fn hash_combine(acc: u64, next: u64) -> u64 {
+    hash_u64(
+        acc ^ next
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(acc << 6),
+    )
+}
+
+/// Hash a byte string (FNV-1a, finalized).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash_u64(h)
+}
+
+/// Hash the key columns of every row in a batch into `out` (one u64 per
+/// row). Multi-column keys are combined with [`hash_combine`].
+pub fn hash_columns(cols: &[&ColumnData], rows: usize, out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(rows, 0);
+    for (ci, col) in cols.iter().enumerate() {
+        match col {
+            ColumnData::Int32(v) | ColumnData::Date(v) => {
+                hash_typed(ci, out, |i| hash_u64(v[i] as u64))
+            }
+            ColumnData::Int64(v) | ColumnData::Decimal(v) => {
+                hash_typed(ci, out, |i| hash_u64(v[i] as u64))
+            }
+            ColumnData::Bool(v) => hash_typed(ci, out, |i| hash_u64(u64::from(v[i]))),
+            ColumnData::Float64(v) => hash_typed(ci, out, |i| hash_u64(v[i].to_bits())),
+            ColumnData::Str(v) => hash_typed(ci, out, |i| hash_bytes(v.get(i).as_bytes())),
+        }
+    }
+}
+
+#[inline]
+fn hash_typed(col_idx: usize, out: &mut [u64], f: impl Fn(usize) -> u64) {
+    if col_idx == 0 {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+    } else {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = hash_combine(*o, f(i));
+        }
+    }
+}
+
+/// The 16-bit one-hot tag used by tagged pointers (Leis et al.): one of 16
+/// bits selected by the hash's top nibble.
+#[inline]
+pub fn pointer_tag(hash: u64) -> u64 {
+    1u64 << (48 + (hash >> 60))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_ne!(hash_u64(42), hash_u64(43));
+        // Consecutive keys should differ in low bits often enough for
+        // partitioning: check balance over 64 partitions.
+        let parts = 64u64;
+        let mut counts = vec![0usize; parts as usize];
+        let n = 64 * 1000;
+        for k in 0..n {
+            counts[(hash_u64(k) & (parts - 1)) as usize] += 1;
+        }
+        let expect = (n / parts) as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.2,
+                "partition skew: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_bits_also_spread() {
+        let buckets = 256u64;
+        let mut counts = vec![0usize; buckets as usize];
+        let n = 256 * 500;
+        for k in 0..n {
+            counts[(hash_u64(k) >> (64 - 8)) as usize] += 1;
+        }
+        let expect = (n / buckets) as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < expect * 0.35);
+        }
+    }
+
+    #[test]
+    fn bytes_hash_distinguishes() {
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_eq!(hash_bytes(b"abc"), hash_bytes(b"abc"));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = hash_combine(hash_u64(1), hash_u64(2));
+        let b = hash_combine(hash_u64(2), hash_u64(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_columns_single_and_multi() {
+        let c1 = ColumnData::Int64(vec![1, 2, 3]);
+        let c2 = ColumnData::Int32(vec![7, 7, 8]);
+        let mut single = Vec::new();
+        hash_columns(&[&c1], 3, &mut single);
+        assert_eq!(single[0], hash_u64(1));
+
+        let mut multi = Vec::new();
+        hash_columns(&[&c1, &c2], 3, &mut multi);
+        assert_ne!(multi[0], single[0]);
+        // (1,7) vs (2,7): differ in first column.
+        assert_ne!(multi[0], multi[1]);
+        // Equal keys hash equally.
+        let mut again = Vec::new();
+        hash_columns(&[&c1, &c2], 3, &mut again);
+        assert_eq!(multi, again);
+    }
+
+    #[test]
+    fn int32_and_int64_same_value_hash_equal() {
+        // Mixed-width equi-joins (INT vs BIGINT) must agree on the hash.
+        let a = ColumnData::Int32(vec![123]);
+        let b = ColumnData::Int64(vec![123]);
+        let mut ha = Vec::new();
+        let mut hb = Vec::new();
+        hash_columns(&[&a], 1, &mut ha);
+        hash_columns(&[&b], 1, &mut hb);
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn pointer_tag_is_one_hot_in_top_16() {
+        for k in 0..1000u64 {
+            let t = pointer_tag(hash_u64(k));
+            assert_eq!(t.count_ones(), 1);
+            assert!(t >= 1 << 48);
+        }
+    }
+}

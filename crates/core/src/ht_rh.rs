@@ -1,0 +1,275 @@
+//! Robin-Hood open-addressing hash table for the radix join's final phase.
+//!
+//! The paper (§4.6): each join task builds its partition's table with
+//! robin-hood hashing — the most robust choice for thread-local workloads
+//! (Richter et al.) — storing only (hash, row) pairs because moving tuples
+//! is expensive. The table is sized exactly from the known partition
+//! cardinality (no resizing) and its allocation is reused across partitions
+//! processed by the same worker (no per-partition malloc).
+
+/// Sentinel marking an empty slot.
+const EMPTY: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    hash: u64,
+    row: u32,
+}
+
+/// A reusable robin-hood table mapping 64-bit hashes to 32-bit row indices.
+/// Duplicate hashes are fully supported (foreign-key joins).
+pub struct RobinHoodTable {
+    entries: Vec<Entry>,
+    mask: usize,
+    /// Right-shift applied to the hash to derive the home slot. Uses the
+    /// *high* hash bits, which are independent of the low bits consumed by
+    /// radix partitioning (all keys in one partition share those).
+    shift: u32,
+    len: usize,
+}
+
+impl RobinHoodTable {
+    pub fn new() -> RobinHoodTable {
+        RobinHoodTable {
+            entries: Vec::new(),
+            mask: 0,
+            shift: 64,
+            len: 0,
+        }
+    }
+
+    /// Prepare for `count` insertions: capacity = next power of two ≥ 2 ×
+    /// count. Reuses the existing allocation whenever it is large enough —
+    /// reallocation only happens when partition sizes are heavily skewed,
+    /// exactly as described in the paper.
+    pub fn reset(&mut self, count: usize) {
+        let cap = (count.max(4) * 2).next_power_of_two();
+        if cap > self.entries.len() {
+            self.entries = vec![
+                Entry {
+                    hash: 0,
+                    row: EMPTY
+                };
+                cap
+            ];
+        } else {
+            for e in &mut self.entries[..cap] {
+                *e = Entry {
+                    hash: 0,
+                    row: EMPTY,
+                };
+            }
+        }
+        self.mask = cap - 1;
+        self.shift = 64 - cap.trailing_zeros();
+        self.len = 0;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Slots physically allocated (≥ capacity; reused across resets).
+    pub fn allocated_slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn home(&self, hash: u64) -> usize {
+        (hash >> self.shift) as usize & self.mask
+    }
+
+    /// Probe distance of the entry currently at `idx`.
+    #[inline]
+    fn displacement(&self, idx: usize, hash: u64) -> usize {
+        idx.wrapping_sub(self.home(hash)) & self.mask
+    }
+
+    /// Insert a (hash, row) pair with robin-hood displacement balancing.
+    pub fn insert(&mut self, hash: u64, row: u32) {
+        debug_assert!(self.len < self.capacity(), "robin-hood table overfull");
+        let mut idx = self.home(hash);
+        let mut cur = Entry { hash, row };
+        let mut dist = 0usize;
+        loop {
+            let slot = &mut self.entries[idx];
+            if slot.row == EMPTY {
+                *slot = cur;
+                self.len += 1;
+                return;
+            }
+            let slot_dist = idx.wrapping_sub((slot.hash >> self.shift) as usize) & self.mask;
+            if slot_dist < dist {
+                // Rich entry found: steal its slot, keep displacing it.
+                std::mem::swap(&mut cur, slot);
+                dist = slot_dist;
+            }
+            idx = (idx + 1) & self.mask;
+            dist += 1;
+        }
+    }
+
+    /// Invoke `f` for every stored row whose hash equals `hash`. The
+    /// robin-hood invariant (displacements are non-decreasing along a probe
+    /// sequence) allows stopping early at the first poorer entry.
+    #[inline]
+    pub fn for_each_match(&self, hash: u64, mut f: impl FnMut(u32)) {
+        let mut idx = self.home(hash);
+        let mut dist = 0usize;
+        loop {
+            let slot = self.entries[idx];
+            if slot.row == EMPTY {
+                return;
+            }
+            let slot_dist = self.displacement(idx, slot.hash);
+            if slot_dist < dist {
+                return;
+            }
+            if slot.hash == hash {
+                f(slot.row);
+            }
+            idx = (idx + 1) & self.mask;
+            dist += 1;
+        }
+    }
+
+    /// Whether any entry with this hash exists (semi/anti fast path).
+    #[inline]
+    pub fn contains_hash(&self, hash: u64) -> bool {
+        let mut found = false;
+        self.for_each_match(hash, |_| found = true);
+        found
+    }
+}
+
+impl Default for RobinHoodTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_u64;
+
+    fn matches(t: &RobinHoodTable, h: u64) -> Vec<u32> {
+        let mut v = Vec::new();
+        t.for_each_match(h, |r| v.push(r));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_and_find_unique_keys() {
+        let mut t = RobinHoodTable::new();
+        t.reset(1000);
+        for k in 0..1000u64 {
+            t.insert(hash_u64(k), k as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(matches(&t, hash_u64(k)), vec![k as u32], "key {k}");
+        }
+        assert_eq!(matches(&t, hash_u64(5000)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn duplicate_hashes_all_returned() {
+        let mut t = RobinHoodTable::new();
+        t.reset(10);
+        let h = hash_u64(7);
+        t.insert(h, 1);
+        t.insert(h, 2);
+        t.insert(h, 3);
+        t.insert(hash_u64(8), 9);
+        assert_eq!(matches(&t, h), vec![1, 2, 3]);
+        assert_eq!(matches(&t, hash_u64(8)), vec![9]);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut t = RobinHoodTable::new();
+        t.reset(1 << 12);
+        let cap = t.capacity();
+        for k in 0..100u64 {
+            t.insert(hash_u64(k), k as u32);
+        }
+        t.reset(16);
+        assert_eq!(
+            t.allocated_slots(),
+            cap,
+            "small reset must reuse the allocation"
+        );
+        assert!(t.capacity() < cap, "logical capacity shrinks to fit");
+        assert!(t.is_empty());
+        assert_eq!(matches(&t, hash_u64(5)), Vec::<u32>::new());
+        t.insert(hash_u64(5), 42);
+        assert_eq!(matches(&t, hash_u64(5)), vec![42]);
+    }
+
+    #[test]
+    fn contains_hash_agrees_with_matches() {
+        let mut t = RobinHoodTable::new();
+        t.reset(100);
+        for k in (0..100u64).step_by(2) {
+            t.insert(hash_u64(k), k as u32);
+        }
+        for k in 0..100u64 {
+            assert_eq!(t.contains_hash(hash_u64(k)), k % 2 == 0, "key {k}");
+        }
+    }
+
+    #[test]
+    fn dense_fill_still_terminates() {
+        // Fill to exactly `count` (half of capacity) with adversarially
+        // similar hashes: sequential values shifted into the home-slot bits.
+        let mut t = RobinHoodTable::new();
+        t.reset(512);
+        let shift = 64 - (t.capacity().trailing_zeros());
+        for k in 0..512u64 {
+            // All land in a small cluster of home slots.
+            let h = (k % 8) << shift;
+            t.insert(h, k as u32);
+        }
+        assert_eq!(t.len(), 512);
+        let mut total = 0;
+        for c in 0..8u64 {
+            let h = c << shift;
+            total += matches(&t, h).len();
+        }
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn dense_random_fill_remains_fully_searchable() {
+        // The property robin-hood displacement must preserve: every inserted
+        // (hash, row) pair stays findable, at 50% load with random hashes.
+        let mut t = RobinHoodTable::new();
+        t.reset(4096);
+        let mut expected: std::collections::HashMap<u64, Vec<u32>> =
+            std::collections::HashMap::new();
+        for k in 0..4096u64 {
+            // Deliberately collide every 4th key onto the same hash.
+            let h = hash_u64(k / 4);
+            t.insert(h, k as u32);
+            expected.entry(h).or_default().push(k as u32);
+        }
+        for (h, rows) in expected {
+            let mut found = matches(&t, h);
+            found.sort_unstable();
+            let mut want = rows;
+            want.sort_unstable();
+            assert_eq!(found, want, "hash {h:#x}");
+        }
+    }
+}

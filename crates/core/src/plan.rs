@@ -1,0 +1,1038 @@
+//! Physical plans and the pipeline compiler.
+//!
+//! A [`Plan`] is the tree an optimizer would emit; [`Engine::execute`]
+//! decomposes it into pipelines exactly like the paper's data-centric host
+//! system (§4.1, Figure 4):
+//!
+//! * scans, filters, projections, late loads, **BHJ probes** and **Bloom
+//!   probes** are fused into one pipeline — tuples flow through them in
+//!   batches without materialization;
+//! * **BHJ build sides**, **radix partitioning** (both sides!),
+//!   aggregation and sorting are pipeline breakers;
+//! * the radix join is *both* a full pipeline breaker and a pipeline
+//!   starter (Algorithm 1): the build pipeline runs to completion and is
+//!   partitioned, then the probe pipeline runs and is partitioned, then the
+//!   partition-wise join starts the next pipeline.
+//!
+//! Swapping `JoinAlgo` on a join node is all it takes to re-run a query
+//! with a different join implementation — the drop-in-replacement property
+//! the paper's evaluation methodology depends on (§5.3).
+
+use crate::bhj::{BhjBuildSink, BhjProbeOp, BhjUnmatchedSource};
+use crate::groupjoin::{GroupAggSpec, GroupJoinBuildSink, GroupJoinProbeOp, GroupJoinSource};
+use crate::join_common::JoinType;
+use crate::radix::{PartitionSink, PhaseSet, RadixConfig};
+use crate::rj::{BloomProbeOp, RadixJoinSource};
+use crate::row::RowLayout;
+use joinstudy_exec::expr::Expr;
+use joinstudy_exec::metrics::{self, MemPhase};
+use joinstudy_exec::ops::{
+    AggSink, AggSpec, CollectSink, FilterOp, LateLoadOp, ProjectOp, SortKey, SortSink, TableScan,
+};
+use joinstudy_exec::pipeline::{LocalState, Sink, StreamSpec};
+use joinstudy_exec::{Batch, Executor};
+use joinstudy_storage::table::{Field, Schema, Table};
+use std::sync::Arc;
+
+/// Which join implementation a join node uses (the paper's §5.1.1 contenders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Buffered non-partitioned hash join.
+    Bhj,
+    /// Radix-partitioned join.
+    Rj,
+    /// Bloom-filtered radix-partitioned join.
+    Brj,
+}
+
+impl JoinAlgo {
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinAlgo::Bhj => "BHJ",
+            JoinAlgo::Rj => "RJ",
+            JoinAlgo::Brj => "BRJ",
+        }
+    }
+}
+
+/// A physical query plan.
+#[derive(Clone)]
+pub enum Plan {
+    /// Base-table scan with projection and pushed-down predicate. `tid`
+    /// additionally emits the `@tid` column (late materialization).
+    Scan {
+        table: Arc<Table>,
+        cols: Vec<usize>,
+        filter: Option<Expr>,
+        tid: bool,
+    },
+    /// In-pipeline filter.
+    Filter { input: Box<Plan>, pred: Expr },
+    /// In-pipeline projection (expressions + output names).
+    Map {
+        input: Box<Plan>,
+        exprs: Vec<Expr>,
+        names: Vec<String>,
+    },
+    /// Hash join; output schema is `build ++ probe` for inner/outer
+    /// variants (see [`JoinType::output_schema`]).
+    Join {
+        algo: JoinAlgo,
+        kind: JoinType,
+        build: Box<Plan>,
+        probe: Box<Plan>,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+    },
+    /// Fused join + group-by (Moerkotte & Neumann): one output row per
+    /// build tuple with aggregates over its probe matches, empty groups
+    /// included (the paper's Q13 operator, footnote 6).
+    GroupJoin {
+        build: Box<Plan>,
+        probe: Box<Plan>,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        aggs: Vec<GroupAggSpec>,
+    },
+    /// Hash aggregation (pipeline breaker).
+    Aggregate {
+        input: Box<Plan>,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort / top-k (pipeline breaker).
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+        limit: Option<usize>,
+    },
+    /// Late materialization: fetch `cols` of `table` by the tuple id in
+    /// column `tid_col` of the input.
+    LateLoad {
+        input: Box<Plan>,
+        table: Arc<Table>,
+        tid_col: usize,
+        cols: Vec<usize>,
+    },
+}
+
+impl Plan {
+    // Ergonomic builders, so TPC-H plan code stays readable.
+
+    pub fn scan(table: &Arc<Table>, cols: &[&str], filter: Option<Expr>) -> Plan {
+        let idx = cols.iter().map(|n| table.schema().index_of(n)).collect();
+        Plan::Scan {
+            table: Arc::clone(table),
+            cols: idx,
+            filter,
+            tid: false,
+        }
+    }
+
+    pub fn scan_tid(table: &Arc<Table>, cols: &[&str], filter: Option<Expr>) -> Plan {
+        let idx = cols.iter().map(|n| table.schema().index_of(n)).collect();
+        Plan::Scan {
+            table: Arc::clone(table),
+            cols: idx,
+            filter,
+            tid: true,
+        }
+    }
+
+    pub fn filter(self, pred: Expr) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    pub fn map(self, exprs: Vec<Expr>, names: &[&str]) -> Plan {
+        Plan::Map {
+            input: Box::new(self),
+            exprs,
+            names: names.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn join(
+        self,
+        probe: Plan,
+        algo: JoinAlgo,
+        kind: JoinType,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+    ) -> Plan {
+        Plan::Join {
+            algo,
+            kind,
+            build: Box::new(self),
+            probe: Box::new(probe),
+            build_keys: build_keys.to_vec(),
+            probe_keys: probe_keys.to_vec(),
+        }
+    }
+
+    pub fn group_join(
+        self,
+        probe: Plan,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+        aggs: Vec<GroupAggSpec>,
+    ) -> Plan {
+        Plan::GroupJoin {
+            build: Box::new(self),
+            probe: Box::new(probe),
+            build_keys: build_keys.to_vec(),
+            probe_keys: probe_keys.to_vec(),
+            aggs,
+        }
+    }
+
+    pub fn aggregate(self, group_cols: &[usize], aggs: Vec<AggSpec>) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_cols: group_cols.to_vec(),
+            aggs,
+        }
+    }
+
+    pub fn sort(self, keys: Vec<SortKey>, limit: Option<usize>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+            limit,
+        }
+    }
+
+    pub fn late_load(self, table: &Arc<Table>, tid_col: usize, cols: &[&str]) -> Plan {
+        let idx = cols.iter().map(|n| table.schema().index_of(n)).collect();
+        Plan::LateLoad {
+            input: Box::new(self),
+            table: Arc::clone(table),
+            tid_col,
+            cols: idx,
+        }
+    }
+
+    /// The schema this plan produces.
+    pub fn schema(&self) -> Schema {
+        match self {
+            Plan::Scan {
+                table, cols, tid, ..
+            } => {
+                let mut fields: Vec<Field> = cols
+                    .iter()
+                    .map(|&c| table.schema().fields[c].clone())
+                    .collect();
+                if *tid {
+                    fields.push(Field::new(
+                        joinstudy_exec::ops::scan::TID_COLUMN,
+                        joinstudy_storage::types::DataType::Int64,
+                    ));
+                }
+                Schema::new(fields)
+            }
+            Plan::Filter { input, .. } => input.schema(),
+            Plan::Map {
+                input,
+                exprs,
+                names,
+            } => {
+                let in_schema = input.schema();
+                Schema::new(
+                    exprs
+                        .iter()
+                        .zip(names)
+                        .map(|(e, n)| Field::new(n.clone(), e.dtype(&in_schema)))
+                        .collect(),
+                )
+            }
+            Plan::Join {
+                kind, build, probe, ..
+            } => kind.output_schema(&build.schema(), &probe.schema()),
+            Plan::GroupJoin { build, aggs, .. } => {
+                let mut fields = build.schema().fields;
+                for a in aggs {
+                    fields.push(Field::new(
+                        a.name.clone(),
+                        match a.func {
+                            crate::groupjoin::GroupAggFunc::SumDecimal => {
+                                joinstudy_storage::types::DataType::Decimal
+                            }
+                            _ => joinstudy_storage::types::DataType::Int64,
+                        },
+                    ));
+                }
+                Schema::new(fields)
+            }
+            Plan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+            } => AggSink::new(input.schema(), group_cols.clone(), aggs.clone()).output_schema(),
+            Plan::Sort { input, .. } => input.schema(),
+            Plan::LateLoad {
+                input, table, cols, ..
+            } => {
+                let mut fields = input.schema().fields;
+                for &c in cols {
+                    fields.push(table.schema().fields[c].clone());
+                }
+                Schema::new(fields)
+            }
+        }
+    }
+
+    /// Number of join nodes (used by the Fig 12 permutation harness).
+    pub fn count_joins(&self) -> usize {
+        match self {
+            Plan::Scan { .. } => 0,
+            Plan::Filter { input, .. }
+            | Plan::Map { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::LateLoad { input, .. } => input.count_joins(),
+            // The groupjoin has one fixed implementation (it is not part of
+            // the BHJ/RJ/BRJ swap), so it does not count as an overridable join.
+            Plan::GroupJoin { build, probe, .. } => build.count_joins() + probe.count_joins(),
+            Plan::Join { build, probe, .. } => 1 + build.count_joins() + probe.count_joins(),
+        }
+    }
+
+    /// Override the algorithm of join number `idx` (post-order numbering,
+    /// build side first — the paper's Figure 12/13 numbering). Returns the
+    /// number of joins seen in this subtree.
+    pub fn override_join_algo(&mut self, idx: usize, algo: JoinAlgo) -> usize {
+        fn walk(plan: &mut Plan, idx: usize, algo: JoinAlgo, counter: &mut usize) {
+            match plan {
+                Plan::Scan { .. } => {}
+                Plan::Filter { input, .. }
+                | Plan::Map { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::LateLoad { input, .. } => walk(input, idx, algo, counter),
+                Plan::GroupJoin { build, probe, .. } => {
+                    walk(build, idx, algo, counter);
+                    walk(probe, idx, algo, counter);
+                }
+                Plan::Join {
+                    build,
+                    probe,
+                    algo: a,
+                    ..
+                } => {
+                    walk(build, idx, algo, counter);
+                    walk(probe, idx, algo, counter);
+                    if *counter == idx {
+                        *a = algo;
+                    }
+                    *counter += 1;
+                }
+            }
+        }
+        let mut counter = 0;
+        walk(self, idx, algo, &mut counter);
+        counter
+    }
+
+    /// Set every join node's algorithm (the §5.3 methodology: "replacing
+    /// all joins in the query tree with the join under testing").
+    pub fn set_all_join_algos(&mut self, algo: JoinAlgo) {
+        match self {
+            Plan::Scan { .. } => {}
+            Plan::Filter { input, .. }
+            | Plan::Map { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::LateLoad { input, .. } => input.set_all_join_algos(algo),
+            Plan::GroupJoin { build, probe, .. } => {
+                build.set_all_join_algos(algo);
+                probe.set_all_join_algos(algo);
+            }
+            Plan::Join {
+                build,
+                probe,
+                algo: a,
+                ..
+            } => {
+                *a = algo;
+                build.set_all_join_algos(algo);
+                probe.set_all_join_algos(algo);
+            }
+        }
+    }
+
+    /// Render the plan as an indented operator tree (EXPLAIN). Joins carry
+    /// their algorithm, variant, key columns, and post-order join number
+    /// (the numbering used by Figures 12/13 and the override API).
+    pub fn explain(&self) -> String {
+        fn fmt_cols(schema: &Schema, cols: &[usize]) -> String {
+            cols.iter()
+                .map(|&c| schema.fields[c].name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        fn walk(plan: &Plan, depth: usize, join_no: &mut usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match plan {
+                Plan::Scan {
+                    table,
+                    cols,
+                    filter,
+                    tid,
+                } => {
+                    let names = fmt_cols(table.schema(), cols);
+                    out.push_str(&format!(
+                        "{pad}Scan [{names}]{}{} ({} rows)\n",
+                        if filter.is_some() { " filtered" } else { "" },
+                        if *tid { " +tid" } else { "" },
+                        table.num_rows()
+                    ));
+                }
+                Plan::Filter { input, .. } => {
+                    out.push_str(&format!("{pad}Filter\n"));
+                    walk(input, depth + 1, join_no, out);
+                }
+                Plan::Map { input, names, .. } => {
+                    out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                    walk(input, depth + 1, join_no, out);
+                }
+                Plan::Join {
+                    algo,
+                    kind,
+                    build,
+                    probe,
+                    build_keys,
+                    probe_keys,
+                } => {
+                    // Children first: the printed number matches the
+                    // post-order numbering of override_join_algo.
+                    let mut child_text = String::new();
+                    walk(build, depth + 1, join_no, &mut child_text);
+                    walk(probe, depth + 1, join_no, &mut child_text);
+                    *join_no += 1;
+                    out.push_str(&format!(
+                        "{pad}Join #{} {} {:?} on build[{}] = probe[{}]\n",
+                        join_no,
+                        algo.name(),
+                        kind,
+                        fmt_cols(&build.schema(), build_keys),
+                        fmt_cols(&probe.schema(), probe_keys),
+                    ));
+                    out.push_str(&child_text);
+                }
+                Plan::GroupJoin {
+                    build,
+                    probe,
+                    build_keys,
+                    probe_keys,
+                    aggs,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}GroupJoin on build[{}] = probe[{}] aggs[{}]\n",
+                        fmt_cols(&build.schema(), build_keys),
+                        fmt_cols(&probe.schema(), probe_keys),
+                        aggs.iter()
+                            .map(|a| a.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ));
+                    walk(build, depth + 1, join_no, out);
+                    walk(probe, depth + 1, join_no, out);
+                }
+                Plan::Aggregate {
+                    input,
+                    group_cols,
+                    aggs,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}Aggregate by[{}] aggs[{}]\n",
+                        fmt_cols(&input.schema(), group_cols),
+                        aggs.iter()
+                            .map(|a| a.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ));
+                    walk(input, depth + 1, join_no, out);
+                }
+                Plan::Sort { input, keys, limit } => {
+                    let keys: Vec<String> = keys
+                        .iter()
+                        .map(|k| {
+                            format!(
+                                "{}{}",
+                                input.schema().fields[k.col].name,
+                                if k.ascending { "" } else { " desc" }
+                            )
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "{pad}Sort [{}]{}\n",
+                        keys.join(", "),
+                        limit.map(|l| format!(" limit {l}")).unwrap_or_default()
+                    ));
+                    walk(input, depth + 1, join_no, out);
+                }
+                Plan::LateLoad {
+                    input, table, cols, ..
+                } => {
+                    out.push_str(&format!(
+                        "{pad}LateLoad [{}]\n",
+                        fmt_cols(table.schema(), cols)
+                    ));
+                    walk(input, depth + 1, join_no, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        let mut join_no = 0;
+        walk(self, 0, &mut join_no, &mut out);
+        out
+    }
+}
+
+/// Per-join size accounting for the Figure-1 scatter plot (build × probe
+/// side bytes of every executed join). Enabled explicitly by the harness;
+/// sizes are exact for RJ/BRJ (both sides materialized) and build-only for
+/// the BHJ (its probe side is never materialized — the point of the paper).
+pub mod joinlog {
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// One executed join's materialization footprint.
+    #[derive(Debug, Clone)]
+    pub struct JoinSizes {
+        pub algo: &'static str,
+        pub build_rows: usize,
+        pub build_bytes: usize,
+        pub probe_rows: usize,
+        /// 0 for BHJ (probe side not materialized).
+        pub probe_bytes: usize,
+        /// Probe-match statistics, filled lazily while the consuming
+        /// pipeline runs (RJ/BRJ only).
+        pub stats: Option<std::sync::Arc<crate::join_common::JoinStats>>,
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static LOG: Mutex<Vec<JoinSizes>> = Mutex::new(Vec::new());
+
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record(entry: JoinSizes) {
+        if ENABLED.load(Ordering::Relaxed) {
+            LOG.lock().push(entry);
+        }
+    }
+
+    /// Drain the recorded entries (execution order).
+    pub fn take() -> Vec<JoinSizes> {
+        std::mem::take(&mut *LOG.lock())
+    }
+}
+
+/// A sink that drops everything (used for the probe pipeline of
+/// build-preserving BHJ variants, whose output pipeline starts elsewhere).
+struct DiscardSink;
+
+impl Sink for DiscardSink {
+    fn consume(&self, _local: &mut LocalState, _input: Batch) {}
+}
+
+/// The query engine: executes plans with a fixed thread count and join
+/// configuration.
+#[derive(Clone)]
+pub struct Engine {
+    pub threads: usize,
+    pub radix: RadixConfig,
+    /// Adaptive Bloom-filter switch-off (§5.4.1).
+    pub adaptive_bloom: bool,
+    /// Software prefetching in the BHJ probe (ablation switch).
+    pub bhj_prefetch: bool,
+}
+
+impl Engine {
+    pub fn new(threads: usize) -> Engine {
+        Engine {
+            threads,
+            radix: RadixConfig::default(),
+            adaptive_bloom: false,
+            bhj_prefetch: true,
+        }
+    }
+
+    fn executor(&self) -> Executor {
+        Executor::new(self.threads)
+    }
+
+    /// Execute a plan to a materialized result table.
+    pub fn execute(&self, plan: &Plan) -> Table {
+        let spec = self.stream(plan);
+        let sink = CollectSink::new(spec.schema.clone());
+        self.executor()
+            .run_pipeline(spec.source.as_ref(), &spec.ops, &sink);
+        sink.into_table()
+    }
+
+    /// Compile a plan into its topmost pipeline, running every pipeline
+    /// below the last breaker.
+    fn stream(&self, plan: &Plan) -> StreamSpec {
+        match plan {
+            Plan::Scan {
+                table,
+                cols,
+                filter,
+                tid,
+            } => {
+                let mut scan = TableScan::new(Arc::clone(table), cols.clone(), filter.clone());
+                if *tid {
+                    scan = scan.with_tid();
+                }
+                let schema = scan.output_schema();
+                StreamSpec::new(Arc::new(scan), schema)
+            }
+            Plan::Filter { input, pred } => {
+                let spec = self.stream(input);
+                let schema = spec.schema.clone();
+                spec.push_op(Arc::new(FilterOp::new(pred.clone())), schema)
+            }
+            Plan::Map {
+                input,
+                exprs,
+                names,
+            } => {
+                let spec = self.stream(input);
+                let op = ProjectOp::new(exprs.clone());
+                let names: Vec<&str> = names.iter().map(String::as_str).collect();
+                let schema = op.output_schema(&spec.schema, &names);
+                spec.push_op(Arc::new(op), schema)
+            }
+            Plan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+            } => {
+                let spec = self.stream(input);
+                let sink = AggSink::new(spec.schema.clone(), group_cols.clone(), aggs.clone());
+                let schema = sink.output_schema();
+                self.executor()
+                    .run_pipeline(spec.source.as_ref(), &spec.ops, &sink);
+                let result = Arc::new(sink.into_table());
+                let cols = (0..schema.len()).collect();
+                let scan = TableScan::new(result, cols, None);
+                StreamSpec::new(Arc::new(scan), schema)
+            }
+            Plan::Sort { input, keys, limit } => {
+                let spec = self.stream(input);
+                let sink = SortSink::new(spec.schema.clone(), keys.clone(), *limit);
+                self.executor()
+                    .run_pipeline(spec.source.as_ref(), &spec.ops, &sink);
+                let schema = sink.output_schema();
+                let result = Arc::new(sink.into_table());
+                let cols = (0..schema.len()).collect();
+                let scan = TableScan::new(result, cols, None);
+                StreamSpec::new(Arc::new(scan), schema)
+            }
+            Plan::LateLoad {
+                input,
+                table,
+                tid_col,
+                cols,
+            } => {
+                let spec = self.stream(input);
+                let op = LateLoadOp::new(Arc::clone(table), *tid_col, cols.clone());
+                let schema = op.output_schema(&spec.schema);
+                spec.push_op(Arc::new(op), schema)
+            }
+            Plan::GroupJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                aggs,
+            } => {
+                // Pipeline 1: materialize + index the build side.
+                let build_spec = self.stream(build);
+                let build_types: Vec<_> =
+                    build_spec.schema.fields.iter().map(|f| f.dtype).collect();
+                let sink = GroupJoinBuildSink::new(&build_types, build_keys.clone());
+                self.executor()
+                    .run_pipeline(build_spec.source.as_ref(), &build_spec.ops, &sink);
+                let state = sink.into_state(aggs.clone());
+                let out_schema = state.output_schema(&build_spec.schema);
+
+                // Pipeline 2: probe updates the aggregate cells, emits nothing.
+                let probe_spec = self.stream(probe);
+                let op = Arc::new(GroupJoinProbeOp::new(
+                    Arc::clone(&state),
+                    probe_keys.clone(),
+                ));
+                let spec = probe_spec.push_op(op, out_schema.clone());
+                self.executor()
+                    .run_pipeline(spec.source.as_ref(), &spec.ops, &DiscardSink);
+
+                // Pipeline 3: one row per group.
+                StreamSpec::new(Arc::new(GroupJoinSource::new(state)), out_schema)
+            }
+            Plan::Join {
+                algo,
+                kind,
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+            } => match algo {
+                JoinAlgo::Bhj => self.compile_bhj(*kind, build, probe, build_keys, probe_keys),
+                JoinAlgo::Rj => {
+                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, false)
+                }
+                JoinAlgo::Brj => {
+                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, true)
+                }
+            },
+        }
+    }
+
+    fn compile_bhj(
+        &self,
+        kind: JoinType,
+        build: &Plan,
+        probe: &Plan,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+    ) -> StreamSpec {
+        // Pipeline 1: materialize the build side + parallel table build.
+        let build_spec = self.stream(build);
+        let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
+        let sink = BhjBuildSink::new(&build_types, build_keys.to_vec());
+        metrics::mark_phase(MemPhase::Build);
+        self.executor()
+            .run_pipeline(build_spec.source.as_ref(), &build_spec.ops, &sink);
+        let state = sink.into_state(self.threads);
+        joinlog::record(joinlog::JoinSizes {
+            algo: "BHJ",
+            build_rows: state.rows,
+            build_bytes: state.byte_size(),
+            probe_rows: 0,
+            probe_bytes: 0,
+            stats: None,
+        });
+
+        // Pipeline 2: the probe side, with the probe fused in.
+        let probe_spec = self.stream(probe);
+        let out_schema = kind.output_schema(&build_spec.schema, &probe_spec.schema);
+        let probe_op = Arc::new(BhjProbeOp::new(
+            Arc::clone(&state),
+            probe_keys.to_vec(),
+            kind,
+            self.bhj_prefetch,
+        ));
+
+        if kind.preserves_build() {
+            // The probe pipeline only marks; the result pipeline scans the
+            // hash table (how real systems start an anti-join's output).
+            metrics::mark_phase(MemPhase::Other);
+            let spec = probe_spec.push_op(probe_op, out_schema.clone());
+            self.executor()
+                .run_pipeline(spec.source.as_ref(), &spec.ops, &DiscardSink);
+            let source = Arc::new(BhjUnmatchedSource::new(state, kind));
+            StreamSpec::new(source, out_schema)
+        } else {
+            metrics::mark_phase(MemPhase::Other);
+            probe_spec.push_op(probe_op, out_schema)
+        }
+    }
+
+    fn compile_radix(
+        &self,
+        kind: JoinType,
+        build: &Plan,
+        probe: &Plan,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+        with_bloom: bool,
+    ) -> StreamSpec {
+        // The Bloom reducer may only *drop* probe tuples when unmatched
+        // probe tuples leave the join anyway; for anti/mark/outer variants
+        // it must stay out of the way (the optimizer would pick RJ there).
+        let use_bloom = with_bloom && !kind.probe_tuples_survive_unmatched();
+
+        // Pipeline 1: build side → radix partitions (full breaker).
+        let build_spec = self.stream(build);
+        let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
+        let build_layout = RowLayout::new(&build_types, false);
+        let build_sink = PartitionSink::new(
+            build_layout,
+            build_keys.to_vec(),
+            self.radix,
+            PhaseSet::build(),
+        );
+        metrics::mark_phase(MemPhase::Build);
+        self.executor()
+            .run_pipeline(build_spec.source.as_ref(), &build_spec.ops, &build_sink);
+        let (build_side, bloom) = build_sink.finalize(self.threads, None, use_bloom);
+        let bits2 = build_side.bits2();
+        let build_side = Arc::new(build_side);
+
+        // Pipeline 2: probe side (+ Bloom reducer) → radix partitions.
+        let mut probe_spec = self.stream(probe);
+        if let Some(bloom) = bloom {
+            let schema = probe_spec.schema.clone();
+            probe_spec = probe_spec.push_op(
+                Arc::new(BloomProbeOp::new(
+                    Arc::new(bloom),
+                    probe_keys.to_vec(),
+                    build_side.bits1(),
+                    bits2,
+                    self.adaptive_bloom,
+                )),
+                schema,
+            );
+        }
+        let probe_types: Vec<_> = probe_spec.schema.fields.iter().map(|f| f.dtype).collect();
+        let probe_layout = RowLayout::new(&probe_types, false);
+        let probe_sink = PartitionSink::new(
+            probe_layout,
+            probe_keys.to_vec(),
+            self.radix,
+            PhaseSet::probe(),
+        );
+        metrics::mark_phase(MemPhase::PartitionPass1);
+        self.executor()
+            .run_pipeline(probe_spec.source.as_ref(), &probe_spec.ops, &probe_sink);
+        let (probe_side, _) = probe_sink.finalize(self.threads, Some(bits2), false);
+        let stats = Arc::new(crate::join_common::JoinStats::default());
+        joinlog::record(joinlog::JoinSizes {
+            algo: if with_bloom { "BRJ" } else { "RJ" },
+            build_rows: build_side.total_rows(),
+            build_bytes: build_side.byte_size(),
+            probe_rows: probe_side.total_rows(),
+            probe_bytes: probe_side.byte_size(),
+            stats: Some(Arc::clone(&stats)),
+        });
+
+        // Pipeline 3 starts here: the partition-wise join.
+        metrics::mark_phase(MemPhase::Join);
+        let out_schema = kind.output_schema(&build_spec.schema, &probe_spec.schema);
+        let source = Arc::new(
+            RadixJoinSource::new(
+                build_side,
+                Arc::new(probe_side),
+                build_keys.to_vec(),
+                probe_keys.to_vec(),
+                kind,
+            )
+            .with_stats(stats),
+        );
+        StreamSpec::new(source, out_schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinstudy_exec::ops::AggFunc;
+    use joinstudy_storage::table::TableBuilder;
+    use joinstudy_storage::types::{DataType, Value};
+
+    fn table_kv(rows: &[(i64, i64)]) -> Arc<Table> {
+        let schema = Schema::of(&[("k", DataType::Int64), ("v", DataType::Int64)]);
+        let mut b = TableBuilder::new(schema);
+        for &(k, v) in rows {
+            b.push_row(&[Value::Int64(k), Value::Int64(v)]);
+        }
+        Arc::new(b.finish())
+    }
+
+    fn join_count(algo: JoinAlgo, threads: usize) -> i64 {
+        let build: Vec<(i64, i64)> = (0..3000).map(|i| (i, i)).collect();
+        let probe: Vec<(i64, i64)> = (0..9000).map(|i| (i % 4500, i)).collect();
+        let bt = table_kv(&build);
+        let pt = table_kv(&probe);
+        let plan = Plan::scan(&bt, &["k", "v"], None)
+            .join(
+                Plan::scan(&pt, &["k", "v"], None),
+                algo,
+                JoinType::Inner,
+                &[0],
+                &[0],
+            )
+            .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
+        let engine = Engine::new(threads);
+        let result = engine.execute(&plan);
+        result.column_by_name("cnt").as_i64()[0]
+    }
+
+    #[test]
+    fn all_three_algorithms_agree_on_count() {
+        // probe keys are i % 4500 for i in 0..9000 → keys 0..4500, each
+        // twice; matches = keys 0..3000, twice each = 6000.
+        for threads in [1, 4] {
+            assert_eq!(join_count(JoinAlgo::Bhj, threads), 6000, "BHJ t={threads}");
+            assert_eq!(join_count(JoinAlgo::Rj, threads), 6000, "RJ t={threads}");
+            assert_eq!(join_count(JoinAlgo::Brj, threads), 6000, "BRJ t={threads}");
+        }
+    }
+
+    #[test]
+    fn pipelined_two_joins_bhj() {
+        // Two chained BHJs stay in one pipeline and still produce the right
+        // answer: fact → dim1 → dim2.
+        let dim1 = table_kv(&[(1, 100), (2, 200)]);
+        let dim2 = table_kv(&[(100, 7), (200, 8)]);
+        let fact = table_kv(&[(1, 0), (2, 0), (2, 0), (3, 0)]);
+        // join1: dim1 ⋈ fact on k; output [d1.k, d1.v, f.k, f.v]
+        let j1 = Plan::scan(&dim1, &["k", "v"], None).join(
+            Plan::scan(&fact, &["k", "v"], None),
+            JoinAlgo::Bhj,
+            JoinType::Inner,
+            &[0],
+            &[0],
+        );
+        // join2: dim2 ⋈ j1 on dim2.k = d1.v; output [d2.k, d2.v, ...j1]
+        let j2 = Plan::scan(&dim2, &["k", "v"], None).join(
+            j1,
+            JoinAlgo::Bhj,
+            JoinType::Inner,
+            &[0],
+            &[1],
+        );
+        let plan = j2.aggregate(
+            &[],
+            vec![
+                AggSpec::new(AggFunc::CountStar, 0, "cnt"),
+                AggSpec::new(AggFunc::Sum, 1, "s"),
+            ],
+        );
+        let t = Engine::new(2).execute(&plan);
+        assert_eq!(t.column_by_name("cnt").as_i64()[0], 3);
+        // d2.v: one row with 7 (fact key 1) + two rows with 8 (fact key 2).
+        assert_eq!(t.column_by_name("s").as_i64()[0], 7 + 8 + 8);
+    }
+
+    #[test]
+    fn filter_map_sort_pipeline() {
+        let t = table_kv(&[(5, 50), (1, 10), (3, 30), (4, 40)]);
+        let plan = Plan::scan(&t, &["k", "v"], None)
+            .filter(Expr::col(0).gt(Expr::i64(1)))
+            .map(
+                vec![Expr::col(0), Expr::col(1).mul(Expr::i64(2))],
+                &["k", "v2"],
+            )
+            .sort(vec![SortKey::desc(1)], Some(2));
+        let result = Engine::new(1).execute(&plan);
+        assert_eq!(result.column_by_name("v2").as_i64(), &[100, 80]);
+    }
+
+    #[test]
+    fn build_anti_join_via_engine_all_algos() {
+        let cust = table_kv(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let orders = table_kv(&[(2, 0), (2, 0), (4, 0)]);
+        for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+            let plan = Plan::scan(&cust, &["k"], None)
+                .join(
+                    Plan::scan(&orders, &["k"], None),
+                    algo,
+                    JoinType::BuildAnti,
+                    &[0],
+                    &[0],
+                )
+                .sort(vec![SortKey::asc(0)], None);
+            let result = Engine::new(2).execute(&plan);
+            assert_eq!(result.column(0).as_i64(), &[1, 3], "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn join_algo_override_by_index() {
+        let t = table_kv(&[(1, 1)]);
+        let mk = || {
+            Plan::scan(&t, &["k"], None).join(
+                Plan::scan(&t, &["k"], None).join(
+                    Plan::scan(&t, &["k"], None),
+                    JoinAlgo::Bhj,
+                    JoinType::Inner,
+                    &[0],
+                    &[0],
+                ),
+                JoinAlgo::Bhj,
+                JoinType::Inner,
+                &[0],
+                &[0],
+            )
+        };
+        let mut plan = mk();
+        assert_eq!(plan.count_joins(), 2);
+        // Post-order: inner join is index 0, outer join index 1.
+        plan.override_join_algo(0, JoinAlgo::Brj);
+        match &plan {
+            Plan::Join { algo, probe, .. } => {
+                assert_eq!(*algo, JoinAlgo::Bhj);
+                match probe.as_ref() {
+                    Plan::Join { algo, .. } => assert_eq!(*algo, JoinAlgo::Brj),
+                    _ => panic!("expected join"),
+                }
+            }
+            _ => panic!("expected join"),
+        }
+        let mut plan2 = mk();
+        plan2.set_all_join_algos(JoinAlgo::Rj);
+        match &plan2 {
+            Plan::Join { algo, .. } => assert_eq!(*algo, JoinAlgo::Rj),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn late_load_via_engine() {
+        let t = table_kv(&[(10, 100), (20, 200), (30, 300)]);
+        let plan = Plan::scan_tid(&t, &["k"], Some(Expr::col(0).ge(Expr::i64(20))))
+            .late_load(&t, 1, &["v"])
+            .sort(vec![SortKey::asc(0)], None);
+        let result = Engine::new(1).execute(&plan);
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.column(2).as_i64(), &[200, 300]);
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use joinstudy_storage::table::TableBuilder;
+    use joinstudy_storage::types::{DataType, Value};
+
+    #[test]
+    fn explain_numbers_joins_in_post_order() {
+        let schema = Schema::of(&[("k", DataType::Int64)]);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&[Value::Int64(1)]);
+        let t = Arc::new(b.finish());
+        // Two nested joins: inner one is #1, outer #2 (post-order).
+        let plan = Plan::scan(&t, &["k"], None)
+            .join(
+                Plan::scan(&t, &["k"], None).join(
+                    Plan::scan(&t, &["k"], None),
+                    JoinAlgo::Rj,
+                    JoinType::Inner,
+                    &[0],
+                    &[0],
+                ),
+                JoinAlgo::Bhj,
+                JoinType::ProbeSemi,
+                &[0],
+                &[0],
+            )
+            .sort(vec![SortKey::asc(0)], Some(5));
+        let text = plan.explain();
+        assert!(text.contains("Join #1 RJ Inner"), "{text}");
+        assert!(text.contains("Join #2 BHJ ProbeSemi"), "{text}");
+        assert!(text.contains("Sort [k] limit 5"), "{text}");
+        assert!(text.contains("(1 rows)"), "{text}");
+        // #1 must appear textually after #2's header line is printed above
+        // its children — i.e. the deeper join is printed below.
+        let pos1 = text.find("Join #1").unwrap();
+        let pos2 = text.find("Join #2").unwrap();
+        assert!(pos2 < pos1, "outer join should print first:\n{text}");
+    }
+}

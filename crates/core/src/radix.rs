@@ -1,0 +1,909 @@
+//! Two-pass, morsel-driven radix partitioning (the paper's §4.5, Figure 6).
+//!
+//! The partitioning step consumes a *dataflow* (not a materialized array —
+//! the key difference to stand-alone radix joins), so cardinalities are
+//! unknown until the input pipeline finishes. The structure follows the
+//! paper exactly:
+//!
+//! 1. **Pass 1** — each worker consumes morsels from the source pipeline,
+//!    hashes the join key, and scatters rows by the hash's low `bits1` bits
+//!    into its *worker-local* set of pre-partitions, each a linked list of
+//!    pages. Writes go through SWWCBs flushed with non-temporal stores.
+//!    No synchronization anywhere.
+//! 2. **Histogram scan** — the pre-partition page lists are scanned to
+//!    count, per pre-partition, how many rows fall into each of the
+//!    `2^bits2` second-pass sub-partitions.
+//! 3. **Exchange** — prefix sums over the histograms yield the exact byte
+//!    range every final partition occupies in one contiguous output buffer;
+//!    all workers' page lists for a pre-partition are (conceptually)
+//!    concatenated.
+//! 4. **Pass 2** — pre-partitions become morsels again: workers steal them
+//!    from a shared queue (skew tolerance) and scatter each row to its
+//!    final position, again through SWWCBs + streaming stores. Each task
+//!    writes a private contiguous region, so there is still no
+//!    synchronization. Optionally, the build side populates the
+//!    register-blocked Bloom filter here (§4.7: "the second pass over the
+//!    build side generates the filter while partitioning").
+//!
+//! Deviation from Figure 6, documented in DESIGN.md: the histogram scan
+//! runs as its own parallel phase over pre-partitions (instead of inline in
+//! each pass-1 worker), because `bits2` is chosen adaptively from the now-
+//! known cardinality. The byte volume touched is identical.
+
+use crate::bloom::BlockedBloom;
+use crate::hash::hash_columns;
+use crate::row::{read_u64, RowLayout, StrHeap};
+use crate::swwcb::{nt_copy, nt_fence, SwwcbSet};
+use joinstudy_exec::batch::Batch;
+use joinstudy_exec::metrics::{self, MemPhase};
+use joinstudy_exec::pipeline::{LocalState, Sink};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tuning knobs of the radix machinery. The ablation benches flip the
+/// boolean switches; everything else follows the paper's setup.
+#[derive(Debug, Clone, Copy)]
+pub struct RadixConfig {
+    /// Pass-1 fanout bits. 64 pre-partitions stays within typical L1-TLB
+    /// reach, the original motivation for multi-pass partitioning.
+    pub bits_pass1: u32,
+    /// Upper bound on pass-2 fanout bits.
+    pub max_bits_pass2: u32,
+    /// Target bytes per final build partition; `bits2` is chosen so the
+    /// per-partition hash table stays cache-resident.
+    pub target_partition_bytes: usize,
+    /// Software write-combine buffers (ablation switch).
+    pub use_swwcb: bool,
+    /// Non-temporal streaming stores (ablation switch; only effective
+    /// together with SWWCBs, as in the paper).
+    pub use_nt_stores: bool,
+}
+
+impl Default for RadixConfig {
+    fn default() -> RadixConfig {
+        RadixConfig {
+            bits_pass1: 6,
+            max_bits_pass2: 8,
+            target_partition_bytes: 128 * 1024,
+            use_swwcb: true,
+            use_nt_stores: true,
+        }
+    }
+}
+
+/// Final partition index of a hash under the two-pass split: region-major
+/// (pre-partition first, sub-partition second). Build and probe side MUST
+/// use identical `bits1`/`bits2`.
+#[inline]
+pub fn partition_of(hash: u64, bits1: u32, bits2: u32) -> usize {
+    let p1 = (hash & ((1u64 << bits1) - 1)) as usize;
+    let p2 = ((hash >> bits1) & ((1u64 << bits2) - 1)) as usize;
+    (p1 << bits2) | p2
+}
+
+/// Phase attribution for the byte-accounting of each partitioning stage.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSet {
+    pub pass1: MemPhase,
+    pub hist: MemPhase,
+    pub pass2: MemPhase,
+}
+
+impl PhaseSet {
+    /// Build-side pipelines: everything counts as "build" (Figure 10).
+    pub fn build() -> PhaseSet {
+        PhaseSet {
+            pass1: MemPhase::Build,
+            hist: MemPhase::Build,
+            pass2: MemPhase::Build,
+        }
+    }
+
+    /// Probe-side pipelines: the individually plotted phases of Figure 10.
+    pub fn probe() -> PhaseSet {
+        PhaseSet {
+            pass1: MemPhase::PartitionPass1,
+            hist: MemPhase::HistogramScan,
+            pass2: MemPhase::PartitionPass2,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paged pre-partitions (pass-1 output)
+// ---------------------------------------------------------------------------
+
+struct Page {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Page {
+    fn capacity(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn bytes(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+/// Growth schedule: "whenever a page is full, a larger page is prepended".
+const FIRST_PAGE_BYTES: usize = 4 * 1024;
+const MAX_PAGE_BYTES: usize = 256 * 1024;
+
+/// A linked list of pages holding materialized rows of one pre-partition.
+pub struct PageList {
+    pages: Vec<Page>,
+    stride: usize,
+    total_bytes: usize,
+}
+
+impl PageList {
+    pub fn new(stride: usize) -> PageList {
+        PageList {
+            pages: Vec::new(),
+            stride,
+            total_bytes: 0,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.total_bytes / self.stride
+    }
+
+    fn next_page_capacity(&self, at_least: usize) -> usize {
+        let grown = match self.pages.last() {
+            None => FIRST_PAGE_BYTES,
+            Some(p) => (p.capacity() * 2).min(MAX_PAGE_BYTES),
+        };
+        grown.max(at_least.next_multiple_of(8))
+    }
+
+    fn ensure_room(&mut self, bytes: usize) {
+        let need_new = match self.pages.last() {
+            None => true,
+            Some(p) => p.capacity() - p.len < bytes,
+        };
+        if need_new {
+            let cap = self.next_page_capacity(bytes);
+            self.pages.push(Page {
+                words: vec![0u64; cap / 8],
+                len: 0,
+            });
+        }
+    }
+
+    /// Append a block of whole rows (e.g. a flushed SWWCB).
+    pub fn append(&mut self, bytes: &[u8], nt: bool) {
+        debug_assert_eq!(bytes.len() % self.stride, 0);
+        if bytes.is_empty() {
+            return;
+        }
+        self.ensure_room(bytes.len());
+        let page = self.pages.last_mut().unwrap();
+        let off = page.len;
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(
+                page.words.as_mut_ptr().cast::<u8>().add(off),
+                bytes.len(),
+            )
+        };
+        if nt {
+            nt_copy(dst, bytes);
+        } else {
+            dst.copy_from_slice(bytes);
+        }
+        page.len += bytes.len();
+        self.total_bytes += bytes.len();
+    }
+
+    /// Reserve one row slot for in-place encoding (the no-SWWCB path).
+    pub fn alloc_row(&mut self) -> &mut [u8] {
+        self.ensure_room(self.stride);
+        let page = self.pages.last_mut().unwrap();
+        let off = page.len;
+        page.len += self.stride;
+        self.total_bytes += self.stride;
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                page.words.as_mut_ptr().cast::<u8>().add(off),
+                self.stride,
+            )
+        }
+    }
+
+    /// Iterate the filled chunk of every page.
+    pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
+        self.pages.iter().map(Page::bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: the pipeline sink
+// ---------------------------------------------------------------------------
+
+struct Pass1Local {
+    swwcb: Option<SwwcbSet>,
+    lists: Vec<PageList>,
+    heap: StrHeap,
+    heap_id: usize,
+    hashes: Vec<u64>,
+}
+
+struct Pass1Global {
+    /// One entry per finished worker: its pre-partition page lists.
+    worker_lists: Vec<Vec<PageList>>,
+    /// (heap_id, heap) pairs, placed into a dense vec at finalize.
+    heaps: Vec<(usize, StrHeap)>,
+}
+
+/// The radix join's pipeline breaker: materializes and pass-1-partitions an
+/// input dataflow. After the pipeline completes, [`PartitionSink::finalize`]
+/// runs the histogram/exchange/pass-2 stages and yields a
+/// [`PartitionedSide`].
+pub struct PartitionSink {
+    layout: RowLayout,
+    key_cols: Vec<usize>,
+    cfg: RadixConfig,
+    phases: PhaseSet,
+    next_heap_id: AtomicUsize,
+    global: Mutex<Pass1Global>,
+}
+
+impl PartitionSink {
+    pub fn new(
+        layout: RowLayout,
+        key_cols: Vec<usize>,
+        cfg: RadixConfig,
+        phases: PhaseSet,
+    ) -> PartitionSink {
+        assert!(
+            !layout.has_header(),
+            "partitioned rows carry no chain header"
+        );
+        PartitionSink {
+            layout,
+            key_cols,
+            cfg,
+            phases,
+            next_heap_id: AtomicUsize::new(0),
+            global: Mutex::new(Pass1Global {
+                worker_lists: Vec::new(),
+                heaps: Vec::new(),
+            }),
+        }
+    }
+
+    pub fn layout(&self) -> &RowLayout {
+        &self.layout
+    }
+
+    fn fanout1(&self) -> usize {
+        1 << self.cfg.bits_pass1
+    }
+}
+
+impl Sink for PartitionSink {
+    fn create_local(&self) -> LocalState {
+        let heap_id = self.next_heap_id.fetch_add(1, Ordering::Relaxed);
+        let stride = self.layout.stride();
+        let use_swwcb = self.cfg.use_swwcb && self.layout.swwcb_eligible();
+        Box::new(Pass1Local {
+            swwcb: use_swwcb.then(|| SwwcbSet::new(self.fanout1(), stride)),
+            lists: (0..self.fanout1()).map(|_| PageList::new(stride)).collect(),
+            heap: StrHeap::new(),
+            heap_id,
+            hashes: Vec::new(),
+        })
+    }
+
+    fn consume(&self, local: &mut LocalState, input: Batch) {
+        let local = local.downcast_mut::<Pass1Local>().unwrap();
+        let n = input.num_rows();
+        let key_cols: Vec<_> = self.key_cols.iter().map(|&c| input.column(c)).collect();
+        let mut hashes = std::mem::take(&mut local.hashes);
+        hash_columns(&key_cols, n, &mut hashes);
+        drop(key_cols);
+
+        let mask1 = (self.fanout1() - 1) as u64;
+        let nt = self.cfg.use_nt_stores;
+        let width = self.layout.width();
+        for r in 0..n {
+            let h = hashes[r];
+            let p = (h & mask1) as usize;
+            match &mut local.swwcb {
+                Some(set) => {
+                    if set.is_full(p) {
+                        local.lists[p].append(set.filled(p), nt);
+                        set.clear(p);
+                    }
+                    let slot = set.next_slot(p);
+                    self.layout.encode_row(
+                        &mut slot[..width],
+                        h,
+                        &input,
+                        r,
+                        &mut local.heap,
+                        local.heap_id,
+                    );
+                }
+                None => {
+                    let slot = local.lists[p].alloc_row();
+                    self.layout.encode_row(
+                        &mut slot[..width],
+                        h,
+                        &input,
+                        r,
+                        &mut local.heap,
+                        local.heap_id,
+                    );
+                }
+            }
+        }
+        local.hashes = hashes;
+        metrics::record_write(self.phases.pass1, (n * self.layout.stride()) as u64);
+    }
+
+    fn finish_local(&self, local: LocalState) {
+        let mut local = *local.downcast::<Pass1Local>().unwrap();
+        if let Some(set) = &mut local.swwcb {
+            for p in set.non_empty() {
+                local.lists[p].append(set.filled(p), self.cfg.use_nt_stores);
+                set.clear(p);
+            }
+        }
+        nt_fence();
+        let mut global = self.global.lock();
+        global.worker_lists.push(local.lists);
+        global.heaps.push((local.heap_id, local.heap));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram / exchange / pass 2
+// ---------------------------------------------------------------------------
+
+/// A fully partitioned, contiguous, materialized join side.
+pub struct PartitionedSide {
+    layout: RowLayout,
+    heaps: Vec<StrHeap>,
+    data: Vec<u64>,
+    total_rows: usize,
+    /// Row-index boundaries of each final partition: `bounds[p]..bounds[p+1]`.
+    bounds: Vec<usize>,
+    bits1: u32,
+    bits2: u32,
+}
+
+impl PartitionedSide {
+    pub fn layout(&self) -> &RowLayout {
+        &self.layout
+    }
+
+    pub fn heaps(&self) -> &[StrHeap] {
+        &self.heaps
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    pub fn bits1(&self) -> u32 {
+        self.bits1
+    }
+
+    pub fn bits2(&self) -> u32 {
+        self.bits2
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    pub fn partition_row_range(&self, p: usize) -> std::ops::Range<usize> {
+        self.bounds[p]..self.bounds[p + 1]
+    }
+
+    /// All row bytes (stride-spaced).
+    pub fn data_bytes(&self) -> &[u8] {
+        unsafe {
+            std::slice::from_raw_parts(
+                self.data.as_ptr().cast::<u8>(),
+                self.total_rows * self.layout.stride(),
+            )
+        }
+    }
+
+    /// Byte size of one partition (harness size accounting).
+    pub fn partition_bytes(&self, p: usize) -> usize {
+        self.partition_row_range(p).len() * self.layout.stride()
+    }
+
+    /// Total materialized bytes (rows + out-of-line strings).
+    pub fn byte_size(&self) -> usize {
+        self.total_rows * self.layout.stride()
+            + self.heaps.iter().map(StrHeap::byte_len).sum::<usize>()
+    }
+}
+
+/// Disjoint-region shared output buffer for pass-2 scatter tasks.
+struct SharedBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+unsafe impl Sync for SharedBuf {}
+unsafe impl Send for SharedBuf {}
+
+impl SharedBuf {
+    /// # Safety
+    /// Caller guarantees disjoint ranges across concurrent calls — each
+    /// pass-2 task owns a private byte range, so handing out `&mut` from
+    /// `&self` is sound here (the usual reason `mut_from_ref` is denied
+    /// does not apply).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, off: usize, len: usize) -> &mut [u8] {
+        debug_assert!(off + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(off), len)
+    }
+}
+
+impl PartitionSink {
+    /// Run histogram, exchange and pass 2, producing the final partitioned
+    /// side. `bits2_override` forces the pass-2 fanout (the probe side must
+    /// reuse the build side's value); `bloom` requests construction of the
+    /// Bloom-filter reducer during the scatter (build side of the BRJ).
+    pub fn finalize(
+        &self,
+        threads: usize,
+        bits2_override: Option<u32>,
+        build_bloom: bool,
+    ) -> (PartitionedSide, Option<BlockedBloom>) {
+        let mut global = self.global.lock();
+        let worker_lists = std::mem::take(&mut global.worker_lists);
+        let mut heap_pairs = std::mem::take(&mut global.heaps);
+        drop(global);
+
+        // Dense heap vector indexed by heap id.
+        let max_id = heap_pairs
+            .iter()
+            .map(|(id, _)| *id)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut heaps: Vec<StrHeap> = (0..max_id).map(|_| StrHeap::new()).collect();
+        for (id, heap) in heap_pairs.drain(..) {
+            heaps[id] = heap;
+        }
+
+        let fanout1 = self.fanout1();
+        let stride = self.layout.stride();
+
+        // Exchange (a): total and per-pre-partition cardinalities.
+        let mut pre_counts = vec![0usize; fanout1];
+        for lists in &worker_lists {
+            for (p, list) in lists.iter().enumerate() {
+                pre_counts[p] += list.rows();
+            }
+        }
+        let total_rows: usize = pre_counts.iter().sum();
+
+        // Choose the pass-2 fanout so build partitions hit the cache target.
+        let bits2 = bits2_override.unwrap_or_else(|| {
+            let total_bytes = total_rows * stride;
+            let ideal_parts = total_bytes.div_ceil(self.cfg.target_partition_bytes).max(1);
+            let total_bits =
+                (ideal_parts.next_power_of_two().trailing_zeros()).max(self.cfg.bits_pass1);
+            (total_bits - self.cfg.bits_pass1).min(self.cfg.max_bits_pass2)
+        });
+        let fanout2 = 1usize << bits2;
+        let nparts = fanout1 * fanout2;
+        let mask2 = (fanout2 - 1) as u64;
+        let bits1 = self.cfg.bits_pass1;
+
+        // Histogram scan: per pre-partition, count rows per sub-partition.
+        metrics::mark_phase(self.phases.hist);
+        let histograms: Vec<Mutex<Vec<usize>>> =
+            (0..fanout1).map(|_| Mutex::new(Vec::new())).collect();
+        let task = AtomicUsize::new(0);
+        let hash_off = self.layout.hash_offset();
+        let run_hist = || loop {
+            let p = task.fetch_add(1, Ordering::Relaxed);
+            if p >= fanout1 {
+                break;
+            }
+            let mut counts = vec![0usize; fanout2];
+            let mut bytes = 0usize;
+            for lists in &worker_lists {
+                for chunk in lists[p].chunks() {
+                    bytes += chunk.len();
+                    for row in chunk.chunks_exact(stride) {
+                        let h = read_u64(row, hash_off);
+                        counts[((h >> bits1) & mask2) as usize] += 1;
+                    }
+                }
+            }
+            metrics::record_read(self.phases.hist, bytes as u64);
+            *histograms[p].lock() = counts;
+        };
+        run_parallel(threads, fanout1, run_hist);
+
+        // Exchange (b): absolute row offsets per final partition.
+        let mut bounds = vec![0usize; nparts + 1];
+        {
+            let mut cursor = 0usize;
+            for p in 0..fanout1 {
+                let hist = histograms[p].lock();
+                for s in 0..fanout2 {
+                    bounds[p * fanout2 + s] = cursor;
+                    cursor += hist[s];
+                }
+            }
+            bounds[nparts] = cursor;
+            debug_assert_eq!(cursor, total_rows);
+        }
+
+        // Pass 2: scatter every pre-partition into its contiguous region.
+        metrics::mark_phase(self.phases.pass2);
+        let mut data = vec![0u64; (total_rows * stride).div_ceil(8)];
+        let shared = SharedBuf {
+            ptr: data.as_mut_ptr().cast::<u8>(),
+            len: total_rows * stride,
+        };
+        let bloom = build_bloom.then(|| BlockedBloom::new(nparts, total_rows.max(1)));
+        let use_swwcb = self.cfg.use_swwcb && self.layout.swwcb_eligible();
+        let nt = self.cfg.use_nt_stores;
+
+        let task2 = AtomicUsize::new(0);
+        let run_scatter = || {
+            let mut set = use_swwcb.then(|| SwwcbSet::new(fanout2, stride));
+            loop {
+                let p = task2.fetch_add(1, Ordering::Relaxed);
+                if p >= fanout1 {
+                    break;
+                }
+                // Row cursors per sub-partition, in absolute rows.
+                let mut cursors: Vec<usize> =
+                    (0..fanout2).map(|s| bounds[p * fanout2 + s]).collect();
+                let mut bytes = 0usize;
+                for lists in &worker_lists {
+                    for chunk in lists[p].chunks() {
+                        bytes += chunk.len();
+                        for row in chunk.chunks_exact(stride) {
+                            let h = read_u64(row, hash_off);
+                            let s = ((h >> bits1) & mask2) as usize;
+                            if let Some(b) = &bloom {
+                                b.insert(p * fanout2 + s, h);
+                            }
+                            match &mut set {
+                                Some(set) => {
+                                    if set.is_full(s) {
+                                        let buf = set.filled(s);
+                                        let rows = buf.len() / stride;
+                                        let dst = unsafe {
+                                            shared.slice_mut(cursors[s] * stride, buf.len())
+                                        };
+                                        if nt {
+                                            nt_copy(dst, buf);
+                                        } else {
+                                            dst.copy_from_slice(buf);
+                                        }
+                                        cursors[s] += rows;
+                                        set.clear(s);
+                                    }
+                                    set.next_slot(s).copy_from_slice(row);
+                                }
+                                None => {
+                                    let dst =
+                                        unsafe { shared.slice_mut(cursors[s] * stride, stride) };
+                                    dst.copy_from_slice(row);
+                                    cursors[s] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(set) = &mut set {
+                    for s in set.non_empty() {
+                        let buf = set.filled(s);
+                        let dst = unsafe { shared.slice_mut(cursors[s] * stride, buf.len()) };
+                        if nt {
+                            nt_copy(dst, buf);
+                        } else {
+                            dst.copy_from_slice(buf);
+                        }
+                        cursors[s] += buf.len() / stride;
+                        set.clear(s);
+                    }
+                }
+                metrics::record_read(self.phases.pass2, bytes as u64);
+                metrics::record_write(self.phases.pass2, bytes as u64);
+            }
+            nt_fence();
+        };
+        run_parallel(threads, fanout1, run_scatter);
+
+        let side = PartitionedSide {
+            layout: self.layout.clone(),
+            heaps,
+            data,
+            total_rows,
+            bounds,
+            bits1,
+            bits2,
+        };
+        (side, bloom)
+    }
+}
+
+/// Tiny scoped-thread fork-join used by the histogram and scatter stages.
+fn run_parallel(threads: usize, tasks: usize, body: impl Fn() + Sync) {
+    if threads <= 1 || tasks <= 1 {
+        body();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(tasks) {
+                scope.spawn(&body);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_u64;
+    use joinstudy_exec::batch::BatchBuilder;
+    use joinstudy_storage::types::{DataType, Value};
+
+    fn partition_i64(
+        values: &[i64],
+        cfg: RadixConfig,
+        threads: usize,
+        bits2: Option<u32>,
+    ) -> PartitionedSide {
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], cfg, PhaseSet::build());
+        let mut local = sink.create_local();
+        let mut bb = BatchBuilder::new(vec![DataType::Int64]);
+        for &v in values {
+            bb.push_row(&[Value::Int64(v)]);
+            if bb.is_full() {
+                sink.consume(&mut local, bb.flush().unwrap());
+            }
+        }
+        if let Some(b) = bb.flush() {
+            sink.consume(&mut local, b);
+        }
+        sink.finish_local(local);
+        sink.finish();
+        sink.finalize(threads, bits2, false).0
+    }
+
+    fn collect_rows(side: &PartitionedSide) -> Vec<(usize, u64, i64)> {
+        let stride = side.layout().stride();
+        let data = side.data_bytes();
+        let mut out = Vec::new();
+        for p in 0..side.num_partitions() {
+            for r in side.partition_row_range(p) {
+                let row = &data[r * stride..(r + 1) * stride];
+                let h = side.layout().read_hash(row);
+                let v = read_u64(row, side.layout().col_offset(0)) as i64;
+                out.push((p, h, v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn partitioning_is_a_permutation() {
+        let values: Vec<i64> = (0..50_000).collect();
+        let side = partition_i64(&values, RadixConfig::default(), 1, Some(2));
+        assert_eq!(side.total_rows(), values.len());
+        let mut got: Vec<i64> = collect_rows(&side).iter().map(|&(_, _, v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn rows_land_in_their_hash_partition() {
+        let values: Vec<i64> = (0..20_000).collect();
+        let side = partition_i64(&values, RadixConfig::default(), 1, Some(3));
+        for (p, h, v) in collect_rows(&side) {
+            assert_eq!(h, hash_u64(v as u64), "stored hash mismatch for {v}");
+            assert_eq!(
+                partition_of(h, side.bits1(), side.bits2()),
+                p,
+                "row {v} in wrong partition"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_partitioning_matches_serial() {
+        let values: Vec<i64> = (0..30_000).map(|i| i * 7 + 3).collect();
+        let serial = partition_i64(&values, RadixConfig::default(), 1, Some(4));
+        // Multi-worker pass 1 (simulate two workers consuming halves).
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build());
+        std::thread::scope(|scope| {
+            for half in values.chunks(values.len() / 2 + 1) {
+                let sink = &sink;
+                scope.spawn(move || {
+                    let mut local = sink.create_local();
+                    let mut bb = BatchBuilder::new(vec![DataType::Int64]);
+                    for &v in half {
+                        bb.push_row(&[Value::Int64(v)]);
+                        if bb.is_full() {
+                            sink.consume(&mut local, bb.flush().unwrap());
+                        }
+                    }
+                    if let Some(b) = bb.flush() {
+                        sink.consume(&mut local, b);
+                    }
+                    sink.finish_local(local);
+                });
+            }
+        });
+        let parallel = sink.finalize(4, Some(4), false).0;
+
+        assert_eq!(parallel.total_rows(), serial.total_rows());
+        assert_eq!(parallel.num_partitions(), serial.num_partitions());
+        // Same (partition, value) multiset; order within a partition may differ.
+        let mut a = collect_sorted(&serial);
+        let mut b = collect_sorted(&parallel);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ablations_produce_identical_partitions() {
+        let values: Vec<i64> = (0..10_000).map(|i| i * 13).collect();
+        let base = RadixConfig::default();
+        let no_swwcb = RadixConfig {
+            use_swwcb: false,
+            ..base
+        };
+        let no_nt = RadixConfig {
+            use_nt_stores: false,
+            ..base
+        };
+        let reference = collect_sorted(&partition_i64(&values, base, 1, Some(2)));
+        assert_eq!(
+            reference,
+            collect_sorted(&partition_i64(&values, no_swwcb, 1, Some(2)))
+        );
+        assert_eq!(
+            reference,
+            collect_sorted(&partition_i64(&values, no_nt, 1, Some(2)))
+        );
+    }
+
+    fn collect_sorted(side: &PartitionedSide) -> Vec<(usize, i64)> {
+        let mut v: Vec<(usize, i64)> = collect_rows(side)
+            .iter()
+            .map(|&(p, _, val)| (p, val))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn adaptive_bits2_respects_target() {
+        // 100k rows × 16 B ≈ 1.6 MB; with a 16 KiB target and bits1=6 the
+        // sink should pick bits2 > 0.
+        let cfg = RadixConfig {
+            target_partition_bytes: 16 * 1024,
+            ..RadixConfig::default()
+        };
+        let values: Vec<i64> = (0..100_000).collect();
+        let side = partition_i64(&values, cfg, 1, None);
+        assert!(side.bits2() >= 1, "bits2 = {}", side.bits2());
+        // Partitions should be near the target on average.
+        let avg = (side.total_rows() * side.layout().stride()) / side.num_partitions();
+        assert!(avg <= 32 * 1024, "avg partition {avg} bytes");
+    }
+
+    #[test]
+    fn empty_input_finalizes_cleanly() {
+        let side = partition_i64(&[], RadixConfig::default(), 2, None);
+        assert_eq!(side.total_rows(), 0);
+        assert_eq!(side.bits2(), 0);
+        assert!(side.num_partitions() >= 1);
+        for p in 0..side.num_partitions() {
+            assert!(side.partition_row_range(p).is_empty());
+        }
+    }
+
+    #[test]
+    fn bloom_filter_built_during_pass2() {
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build());
+        let mut local = sink.create_local();
+        let mut bb = BatchBuilder::new(vec![DataType::Int64]);
+        for v in 0..5000i64 {
+            bb.push_row(&[Value::Int64(v)]);
+            if bb.is_full() {
+                sink.consume(&mut local, bb.flush().unwrap());
+            }
+        }
+        if let Some(b) = bb.flush() {
+            sink.consume(&mut local, b);
+        }
+        sink.finish_local(local);
+        let (side, bloom) = sink.finalize(1, Some(2), true);
+        let bloom = bloom.expect("bloom requested");
+        // Every inserted key must pass its partition's filter.
+        for v in 0..5000u64 {
+            let h = hash_u64(v);
+            let p = partition_of(h, side.bits1(), side.bits2());
+            assert!(bloom.contains(p, h), "false negative for {v}");
+        }
+        // Most absent keys are rejected.
+        let mut rejected = 0;
+        for v in 10_000..20_000u64 {
+            let h = hash_u64(v);
+            let p = partition_of(h, side.bits1(), side.bits2());
+            if !bloom.contains(p, h) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 8500, "bloom rejected only {rejected}/10000");
+    }
+
+    #[test]
+    fn page_list_growth_and_iteration() {
+        let mut list = PageList::new(16);
+        let row_count = 10_000;
+        for i in 0..row_count {
+            let slot = list.alloc_row();
+            slot[..8].copy_from_slice(&(i as u64).to_le_bytes());
+        }
+        assert_eq!(list.rows(), row_count);
+        let mut seen = 0u64;
+        for chunk in list.chunks() {
+            assert_eq!(chunk.len() % 16, 0);
+            for row in chunk.chunks_exact(16) {
+                assert_eq!(read_u64(row, 0), seen);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, row_count as u64);
+    }
+
+    #[test]
+    fn strings_survive_partitioning() {
+        let layout = RowLayout::new(&[DataType::Int64, DataType::Str], false);
+        let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build());
+        let mut local = sink.create_local();
+        let mut bb = BatchBuilder::new(vec![DataType::Int64, DataType::Str]);
+        for i in 0..3000i64 {
+            bb.push_row(&[Value::Int64(i), Value::Str(format!("name-{i}"))]);
+            if bb.is_full() {
+                sink.consume(&mut local, bb.flush().unwrap());
+            }
+        }
+        if let Some(b) = bb.flush() {
+            sink.consume(&mut local, b);
+        }
+        sink.finish_local(local);
+        let (side, _) = sink.finalize(1, Some(1), false);
+        let stride = side.layout().stride();
+        let data = side.data_bytes();
+        let mut checked = 0;
+        for p in 0..side.num_partitions() {
+            for r in side.partition_row_range(p) {
+                let row = &data[r * stride..(r + 1) * stride];
+                let id = read_u64(row, side.layout().col_offset(0)) as i64;
+                let sref = read_u64(row, side.layout().col_offset(1));
+                assert_eq!(
+                    crate::row::resolve_str(side.heaps(), sref),
+                    format!("name-{id}")
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 3000);
+    }
+}

@@ -1,0 +1,38 @@
+//! Vectorized, morsel-driven pipeline execution engine.
+//!
+//! This crate is the reproduction of the *environment* the paper keeps
+//! emphasizing: a join inside a real system is not a stand-alone kernel but
+//! part of operator pipelines. The engine here mirrors the structure of the
+//! paper's host system (Umbra):
+//!
+//! * **Pipelines** ([`pipeline`]): a [`pipeline::Source`] produces tuple
+//!   batches morsel-by-morsel, a chain of fused [`pipeline::Operator`]s
+//!   transforms them *without materialization*, and a
+//!   [`pipeline::Sink`] (the pipeline breaker) materializes.
+//! * **Morsel-driven parallelism** ([`sched`]): worker threads pull morsels
+//!   from a shared queue, giving work stealing and skew tolerance
+//!   (Leis et al., SIGMOD'14).
+//! * **Relaxed operator fusion**: tuples flow in cache-resident batches of
+//!   [`batch::BATCH_ROWS`] rows — exactly the staging points ROF
+//!   (Menon et al., VLDB'17) introduces into data-centric plans, which is
+//!   what enables the software prefetching used by the non-partitioned join.
+//! * **Vectorized expressions** ([`expr`]): the predicate/projection
+//!   machinery TPC-H queries need (arithmetic, dates, `LIKE`, `CASE`, ...).
+//! * **Relational operators** ([`ops`]): scans with predicate pushdown,
+//!   filters, projections, hash aggregation, sorting, late materialization.
+//! * **Byte-accounting instrumentation** ([`metrics`]): the software
+//!   substitute for PCM hardware counters used to regenerate Figure 10.
+//!
+//! The join operators themselves live in `joinstudy-core`; they plug into
+//! this engine through the same [`pipeline`] traits as every other operator.
+
+pub mod batch;
+pub mod expr;
+pub mod metrics;
+pub mod ops;
+pub mod pipeline;
+pub mod sched;
+
+pub use batch::{Batch, BATCH_ROWS};
+pub use pipeline::{Operator, Sink, Source, StreamSpec};
+pub use sched::Executor;

@@ -1,0 +1,261 @@
+//! Byte-accounting instrumentation — the software substitute for the PCM
+//! hardware counters the paper uses for Figure 10.
+//!
+//! Every materializing primitive (partition scatter, page writes, hash-table
+//! build, scans) reports the bytes it read and wrote, attributed to a
+//! [`MemPhase`]. The harness additionally records a wall-clock timeline of
+//! phase transitions, so `fig10_bandwidth` can print per-phase duration,
+//! volume and effective bandwidth exactly in the shape of the paper's plot
+//! (build → partition pass 1 → scan → partition pass 2 → join).
+//!
+//! Accounting is global and lock-free (relaxed atomics), off by default, and
+//! recorded at page/batch granularity so enabling it does not distort the
+//! measured run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Execution phases matching the legend of the paper's Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemPhase {
+    /// Build-side pipeline (scan + partition of the build input).
+    Build,
+    /// First radix-partitioning pass over the probe side.
+    PartitionPass1,
+    /// Histogram scan over the pass-1 pre-partitions.
+    HistogramScan,
+    /// Second radix-partitioning pass (scatter to final partitions).
+    PartitionPass2,
+    /// Per-partition hash build + probe (the actual join).
+    Join,
+    /// Non-partitioned probe phase (BHJ) and everything else.
+    Other,
+}
+
+impl MemPhase {
+    pub const ALL: [MemPhase; 6] = [
+        MemPhase::Build,
+        MemPhase::PartitionPass1,
+        MemPhase::HistogramScan,
+        MemPhase::PartitionPass2,
+        MemPhase::Join,
+        MemPhase::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MemPhase::Build => "build",
+            MemPhase::PartitionPass1 => "partition pass 1",
+            MemPhase::HistogramScan => "scan",
+            MemPhase::PartitionPass2 => "partition pass 2",
+            MemPhase::Join => "join",
+            MemPhase::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MemPhase::Build => 0,
+            MemPhase::PartitionPass1 => 1,
+            MemPhase::HistogramScan => 2,
+            MemPhase::PartitionPass2 => 3,
+            MemPhase::Join => 4,
+            MemPhase::Other => 5,
+        }
+    }
+}
+
+struct PhaseCounters {
+    read: AtomicU64,
+    write: AtomicU64,
+}
+
+impl PhaseCounters {
+    const fn new() -> PhaseCounters {
+        PhaseCounters {
+            read: AtomicU64::new(0),
+            write: AtomicU64::new(0),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COUNTERS: [PhaseCounters; 6] = [
+    PhaseCounters::new(),
+    PhaseCounters::new(),
+    PhaseCounters::new(),
+    PhaseCounters::new(),
+    PhaseCounters::new(),
+    PhaseCounters::new(),
+];
+
+/// One entry of the phase-transition timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineEvent {
+    pub phase: MemPhase,
+    /// Seconds since [`reset`] was called.
+    pub at_secs: f64,
+}
+
+struct Timeline {
+    origin: Option<Instant>,
+    events: Vec<TimelineEvent>,
+}
+
+static TIMELINE: Mutex<Timeline> = Mutex::new(Timeline {
+    origin: None,
+    events: Vec::new(),
+});
+
+/// Turn byte accounting on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether accounting is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero all counters and restart the timeline clock.
+pub fn reset() {
+    for c in &COUNTERS {
+        c.read.store(0, Ordering::Relaxed);
+        c.write.store(0, Ordering::Relaxed);
+    }
+    let mut t = TIMELINE.lock().unwrap();
+    t.origin = Some(Instant::now());
+    t.events.clear();
+}
+
+/// Record `bytes` read during `phase`. No-op when accounting is off.
+#[inline]
+pub fn record_read(phase: MemPhase, bytes: u64) {
+    if enabled() {
+        COUNTERS[phase.index()]
+            .read
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Record `bytes` written during `phase`. No-op when accounting is off.
+#[inline]
+pub fn record_write(phase: MemPhase, bytes: u64) {
+    if enabled() {
+        COUNTERS[phase.index()]
+            .write
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Record a phase transition for the Figure-10 timeline.
+pub fn mark_phase(phase: MemPhase) {
+    if !enabled() {
+        return;
+    }
+    let mut t = TIMELINE.lock().unwrap();
+    let origin = *t.origin.get_or_insert_with(Instant::now);
+    let at_secs = origin.elapsed().as_secs_f64();
+    t.events.push(TimelineEvent { phase, at_secs });
+}
+
+/// Per-phase read/write byte totals since the last [`reset`].
+pub fn snapshot() -> Vec<(MemPhase, u64, u64)> {
+    MemPhase::ALL
+        .iter()
+        .map(|&p| {
+            let c = &COUNTERS[p.index()];
+            (
+                p,
+                c.read.load(Ordering::Relaxed),
+                c.write.load(Ordering::Relaxed),
+            )
+        })
+        .collect()
+}
+
+/// The recorded phase-transition timeline since the last [`reset`].
+pub fn timeline() -> Vec<TimelineEvent> {
+    TIMELINE.lock().unwrap().events.clone()
+}
+
+/// Rows scanned at pipeline sources (the paper's throughput denominator,
+/// footnote 5: "the sum of all tuples counted at the pipeline sources").
+/// Always counted — a single relaxed atomic add per morsel.
+static SOURCE_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// Count `rows` scanned by a pipeline source.
+#[inline]
+pub fn add_source_rows(rows: u64) {
+    SOURCE_ROWS.fetch_add(rows, Ordering::Relaxed);
+}
+
+/// Read and reset the source-row counter.
+pub fn take_source_rows() -> u64 {
+    SOURCE_ROWS.swap(0, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Metrics are global state; run the whole lifecycle in one test to avoid
+    // cross-test interference under the parallel test runner.
+    #[test]
+    fn lifecycle_record_snapshot_reset() {
+        set_enabled(true);
+        reset();
+        record_read(MemPhase::Build, 100);
+        record_write(MemPhase::Build, 50);
+        record_write(MemPhase::PartitionPass1, 7);
+        mark_phase(MemPhase::Build);
+        mark_phase(MemPhase::PartitionPass1);
+
+        let snap = snapshot();
+        let build = snap.iter().find(|(p, _, _)| *p == MemPhase::Build).unwrap();
+        assert_eq!((build.1, build.2), (100, 50));
+        let p1 = snap
+            .iter()
+            .find(|(p, _, _)| *p == MemPhase::PartitionPass1)
+            .unwrap();
+        assert_eq!((p1.1, p1.2), (0, 7));
+
+        let tl = timeline();
+        assert_eq!(tl.len(), 2);
+        assert!(tl[0].at_secs <= tl[1].at_secs);
+        assert_eq!(tl[0].phase, MemPhase::Build);
+
+        // Disabled recording is a no-op.
+        set_enabled(false);
+        record_read(MemPhase::Build, 999);
+        let snap2 = snapshot();
+        let build2 = snap2
+            .iter()
+            .find(|(p, _, _)| *p == MemPhase::Build)
+            .unwrap();
+        assert_eq!(build2.1, 100);
+
+        set_enabled(true);
+        reset();
+        let snap3 = snapshot();
+        assert!(snap3.iter().all(|(_, r, w)| *r == 0 && *w == 0));
+        assert!(timeline().is_empty());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn phase_names_cover_fig10_legend() {
+        let names: Vec<&str> = MemPhase::ALL.iter().map(|p| p.name()).collect();
+        for expected in [
+            "build",
+            "partition pass 1",
+            "scan",
+            "partition pass 2",
+            "join",
+        ] {
+            assert!(names.contains(&expected), "missing phase {expected}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Result collection sink: materializes a pipeline into a [`Table`].
+
+use crate::batch::Batch;
+use crate::pipeline::{LocalState, Sink};
+use joinstudy_storage::table::{Schema, Table, TableBuilder};
+use parking_lot::Mutex;
+
+/// Materializes every batch of a pipeline into one output table. Used at
+/// the query root and by tests that need to inspect intermediate pipelines.
+pub struct CollectSink {
+    schema: Schema,
+    batches: Mutex<Vec<Batch>>,
+}
+
+impl CollectSink {
+    pub fn new(schema: Schema) -> CollectSink {
+        CollectSink {
+            schema,
+            batches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Concatenate the collected batches into a table. Row order follows
+    /// worker completion order and is therefore nondeterministic under
+    /// parallel execution (like any unordered SQL result).
+    pub fn into_table(&self) -> Table {
+        let batches = std::mem::take(&mut *self.batches.lock());
+        let rows: usize = batches.iter().map(Batch::num_rows).sum();
+        let mut builder = TableBuilder::with_capacity(self.schema.clone(), rows);
+        let ncols = self.schema.len();
+        for b in batches {
+            assert_eq!(b.num_columns(), ncols, "collected batch arity mismatch");
+            for r in 0..b.num_rows() {
+                let row: Vec<_> = (0..ncols).map(|c| b.value(c, r)).collect();
+                builder.push_row(&row);
+            }
+        }
+        builder.finish()
+    }
+}
+
+impl Sink for CollectSink {
+    fn create_local(&self) -> LocalState {
+        Box::new(Vec::<Batch>::new())
+    }
+
+    fn consume(&self, local: &mut LocalState, input: Batch) {
+        local.downcast_mut::<Vec<Batch>>().unwrap().push(input);
+    }
+
+    fn finish_local(&self, local: LocalState) {
+        let local = *local.downcast::<Vec<Batch>>().unwrap();
+        self.batches.lock().extend(local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinstudy_storage::column::ColumnData;
+    use joinstudy_storage::types::DataType;
+
+    #[test]
+    fn collects_batches_into_table() {
+        let sink = CollectSink::new(Schema::of(&[("x", DataType::Int64)]));
+        let mut l1 = sink.create_local();
+        let mut l2 = sink.create_local();
+        sink.consume(&mut l1, Batch::new(vec![ColumnData::Int64(vec![1, 2])]));
+        sink.consume(&mut l2, Batch::new(vec![ColumnData::Int64(vec![3])]));
+        sink.finish_local(l1);
+        sink.finish_local(l2);
+        let t = sink.into_table();
+        assert_eq!(t.num_rows(), 3);
+        let mut v = t.column(0).as_i64().to_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let sink = CollectSink::new(Schema::of(&[("x", DataType::Int64)]));
+        let t = sink.into_table();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_columns(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Relational operators: pipeline sources, fused in-pipeline operators and
+//! pipeline-breaking sinks. The join operators live in `joinstudy-core` and
+//! plug into the same traits.
+
+pub mod aggregate;
+pub mod collect;
+pub mod filter;
+pub mod lateload;
+pub mod scan;
+pub mod sort;
+
+pub use aggregate::{AggFunc, AggSink, AggSpec};
+pub use collect::CollectSink;
+pub use filter::{FilterOp, ProjectOp};
+pub use lateload::LateLoadOp;
+pub use scan::TableScan;
+pub use sort::{SortKey, SortSink};

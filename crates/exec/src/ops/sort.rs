@@ -1,0 +1,164 @@
+//! Sort / Top-K pipeline breaker (ORDER BY ... LIMIT ...).
+
+use crate::batch::Batch;
+use crate::ops::aggregate::value_cmp;
+use crate::pipeline::{LocalState, Sink};
+use joinstudy_storage::table::{Schema, Table, TableBuilder};
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+
+/// One ORDER BY key: column index + direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    pub col: usize,
+    pub ascending: bool,
+}
+
+impl SortKey {
+    pub fn asc(col: usize) -> SortKey {
+        SortKey {
+            col,
+            ascending: true,
+        }
+    }
+
+    pub fn desc(col: usize) -> SortKey {
+        SortKey {
+            col,
+            ascending: false,
+        }
+    }
+}
+
+/// Materializing sort with optional LIMIT.
+pub struct SortSink {
+    schema: Schema,
+    keys: Vec<SortKey>,
+    limit: Option<usize>,
+    batches: Mutex<Vec<Batch>>,
+}
+
+impl SortSink {
+    pub fn new(schema: Schema, keys: Vec<SortKey>, limit: Option<usize>) -> SortSink {
+        SortSink {
+            schema,
+            keys,
+            limit,
+            batches: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    /// Produce the sorted (and limited) result table.
+    pub fn into_table(&self) -> Table {
+        let batches = std::mem::take(&mut *self.batches.lock());
+        // (batch, row) handles sorted by the key columns.
+        let mut handles: Vec<(u32, u32)> = Vec::new();
+        for (bi, b) in batches.iter().enumerate() {
+            for r in 0..b.num_rows() {
+                handles.push((bi as u32, r as u32));
+            }
+        }
+        let cmp = |a: &(u32, u32), b: &(u32, u32)| -> Ordering {
+            for k in &self.keys {
+                let va = batches[a.0 as usize].value(k.col, a.1 as usize);
+                let vb = batches[b.0 as usize].value(k.col, b.1 as usize);
+                let ord = value_cmp(&va, &vb);
+                let ord = if k.ascending { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        };
+        handles.sort_by(cmp);
+        if let Some(limit) = self.limit {
+            handles.truncate(limit);
+        }
+        let mut builder = TableBuilder::with_capacity(self.schema.clone(), handles.len());
+        let ncols = self.schema.len();
+        for (bi, r) in handles {
+            let b = &batches[bi as usize];
+            let row: Vec<_> = (0..ncols).map(|c| b.value(c, r as usize)).collect();
+            builder.push_row(&row);
+        }
+        builder.finish()
+    }
+}
+
+impl Sink for SortSink {
+    fn create_local(&self) -> LocalState {
+        Box::new(Vec::<Batch>::new())
+    }
+
+    fn consume(&self, local: &mut LocalState, input: Batch) {
+        local.downcast_mut::<Vec<Batch>>().unwrap().push(input);
+    }
+
+    fn finish_local(&self, local: LocalState) {
+        let local = *local.downcast::<Vec<Batch>>().unwrap();
+        self.batches.lock().extend(local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinstudy_storage::column::ColumnData;
+    use joinstudy_storage::types::DataType;
+
+    fn run(keys: Vec<SortKey>, limit: Option<usize>, batches: Vec<Batch>) -> Table {
+        let schema = Schema::of(&[("a", DataType::Int64), ("b", DataType::Int64)]);
+        let sink = SortSink::new(schema, keys, limit);
+        let mut local = sink.create_local();
+        for b in batches {
+            sink.consume(&mut local, b);
+        }
+        sink.finish_local(local);
+        sink.into_table()
+    }
+
+    fn batch(a: Vec<i64>, b: Vec<i64>) -> Batch {
+        Batch::new(vec![ColumnData::Int64(a), ColumnData::Int64(b)])
+    }
+
+    #[test]
+    fn sorts_ascending() {
+        let t = run(
+            vec![SortKey::asc(0)],
+            None,
+            vec![batch(vec![3, 1], vec![0, 0]), batch(vec![2], vec![0])],
+        );
+        assert_eq!(t.column(0).as_i64(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn sorts_descending_with_limit() {
+        let t = run(
+            vec![SortKey::desc(0)],
+            Some(2),
+            vec![batch(vec![5, 1, 9, 7], vec![0, 0, 0, 0])],
+        );
+        assert_eq!(t.column(0).as_i64(), &[9, 7]);
+    }
+
+    #[test]
+    fn secondary_key_breaks_ties() {
+        let t = run(
+            vec![SortKey::asc(0), SortKey::desc(1)],
+            None,
+            vec![batch(vec![1, 1, 0], vec![10, 20, 5])],
+        );
+        assert_eq!(t.column(0).as_i64(), &[0, 1, 1]);
+        assert_eq!(t.column(1).as_i64(), &[5, 20, 10]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        let t = run(vec![SortKey::asc(0)], Some(10), vec![]);
+        assert_eq!(t.num_rows(), 0);
+    }
+}

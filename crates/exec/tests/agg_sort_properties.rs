@@ -1,0 +1,132 @@
+//! Property tests: hash aggregation against a HashMap reference, sorting
+//! against std's sort, across arbitrary inputs and worker splits.
+
+use joinstudy_exec::batch::Batch;
+use joinstudy_exec::ops::{AggFunc, AggSink, AggSpec, SortKey, SortSink};
+use joinstudy_exec::pipeline::Sink;
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::table::Schema;
+use joinstudy_storage::types::DataType;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn schema() -> Schema {
+    Schema::of(&[("g", DataType::Int64), ("v", DataType::Int64)])
+}
+
+fn batch(rows: &[(i64, i64)]) -> Batch {
+    Batch::new(vec![
+        ColumnData::Int64(rows.iter().map(|r| r.0).collect()),
+        ColumnData::Int64(rows.iter().map(|r| r.1).collect()),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grouped_sum_count_min_max_match_reference(
+        rows in prop::collection::vec((-6i64..6, -100i64..100), 0..300),
+        workers in 1usize..4,
+    ) {
+        let sink = AggSink::new(
+            schema(),
+            vec![0],
+            vec![
+                AggSpec::new(AggFunc::Sum, 1, "s"),
+                AggSpec::new(AggFunc::CountStar, 0, "c"),
+                AggSpec::new(AggFunc::Min, 1, "lo"),
+                AggSpec::new(AggFunc::Max, 1, "hi"),
+            ],
+        );
+        // Split rows across `workers` local states (simulated parallelism).
+        let chunk = rows.len().div_ceil(workers).max(1);
+        for part in rows.chunks(chunk) {
+            let mut local = sink.create_local();
+            sink.consume(&mut local, batch(part));
+            sink.finish_local(local);
+        }
+        if rows.is_empty() {
+            // No worker consumed anything; still merge one empty local.
+            sink.finish_local(sink.create_local());
+        }
+        let t = sink.into_table();
+
+        let mut want: HashMap<i64, (i64, i64, i64, i64)> = HashMap::new();
+        for &(g, v) in &rows {
+            let e = want.entry(g).or_insert((0, 0, i64::MAX, i64::MIN));
+            e.0 += v;
+            e.1 += 1;
+            e.2 = e.2.min(v);
+            e.3 = e.3.max(v);
+        }
+        prop_assert_eq!(t.num_rows(), want.len());
+        for r in 0..t.num_rows() {
+            let g = t.column(0).as_i64()[r];
+            let (s, c, lo, hi) = want[&g];
+            prop_assert_eq!(t.column_by_name("s").as_i64()[r], s);
+            prop_assert_eq!(t.column_by_name("c").as_i64()[r], c);
+            prop_assert_eq!(t.column_by_name("lo").as_i64()[r], lo);
+            prop_assert_eq!(t.column_by_name("hi").as_i64()[r], hi);
+        }
+    }
+
+    #[test]
+    fn count_distinct_matches_reference(
+        rows in prop::collection::vec((-4i64..4, -8i64..8), 0..200),
+    ) {
+        let sink = AggSink::new(
+            schema(),
+            vec![0],
+            vec![AggSpec::new(AggFunc::CountDistinct, 1, "d")],
+        );
+        let mut local = sink.create_local();
+        if !rows.is_empty() {
+            sink.consume(&mut local, batch(&rows));
+        }
+        sink.finish_local(local);
+        let t = sink.into_table();
+        let mut want: HashMap<i64, std::collections::HashSet<i64>> = HashMap::new();
+        for &(g, v) in &rows {
+            want.entry(g).or_default().insert(v);
+        }
+        prop_assert_eq!(t.num_rows(), want.len());
+        for r in 0..t.num_rows() {
+            let g = t.column(0).as_i64()[r];
+            prop_assert_eq!(t.column(1).as_i64()[r] as usize, want[&g].len());
+        }
+    }
+
+    #[test]
+    fn sort_matches_std_sort(
+        rows in prop::collection::vec((-50i64..50, -50i64..50), 0..300),
+        limit in prop::option::of(0usize..50),
+        asc: bool,
+    ) {
+        let keys = if asc {
+            vec![SortKey::asc(0), SortKey::asc(1)]
+        } else {
+            vec![SortKey::desc(0), SortKey::desc(1)]
+        };
+        let sink = SortSink::new(schema(), keys, limit);
+        let mut local = sink.create_local();
+        if !rows.is_empty() {
+            sink.consume(&mut local, batch(&rows));
+        }
+        sink.finish_local(local);
+        let t = sink.into_table();
+
+        let mut want = rows.clone();
+        want.sort();
+        if !asc {
+            want.reverse();
+        }
+        if let Some(l) = limit {
+            want.truncate(l);
+        }
+        let got: Vec<(i64, i64)> = (0..t.num_rows())
+            .map(|r| (t.column(0).as_i64()[r], t.column(1).as_i64()[r]))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the vectorized expression evaluator: the batch
+//! evaluation must agree with an obvious row-at-a-time reference on
+//! arbitrary inputs, and boolean algebra must hold.
+
+use joinstudy_exec::batch::Batch;
+use joinstudy_exec::expr::{CmpOp, Expr, LikeMatcher};
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::types::Value;
+use proptest::prelude::*;
+
+fn two_col_batch(a: &[i64], b: &[i64]) -> Batch {
+    Batch::new(vec![
+        ColumnData::Int64(a.to_vec()),
+        ColumnData::Int64(b.to_vec()),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn comparisons_match_rowwise(
+        pairs in prop::collection::vec((-50i64..50, -50i64..50), 1..200)
+    ) {
+        let a: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let batch = two_col_batch(&a, &b);
+        for (op, f) in [
+            (CmpOp::Eq, (|x, y| x == y) as fn(i64, i64) -> bool),
+            (CmpOp::Ne, |x, y| x != y),
+            (CmpOp::Lt, |x, y| x < y),
+            (CmpOp::Le, |x, y| x <= y),
+            (CmpOp::Gt, |x, y| x > y),
+            (CmpOp::Ge, |x, y| x >= y),
+        ] {
+            let e = Expr::Cmp(op, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+            let got = e.eval_bool(&batch);
+            let want: Vec<bool> = pairs.iter().map(|p| f(p.0, p.1)).collect();
+            prop_assert_eq!(got, want, "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds(
+        pairs in prop::collection::vec((-10i64..10, -10i64..10), 1..100)
+    ) {
+        let a: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let batch = two_col_batch(&a, &b);
+        let p = Expr::col(0).gt(Expr::i64(0));
+        let q = Expr::col(1).lt(Expr::i64(5));
+        // !(p && q) == !p || !q
+        let lhs = Expr::and(vec![p.clone(), q.clone()]).not().eval_bool(&batch);
+        let rhs = Expr::or(vec![p.not(), q.not()]).eval_bool(&batch);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn between_equals_ge_and_le(
+        vals in prop::collection::vec(-100i64..100, 1..150),
+        lo in -100i64..100,
+        span in 0i64..100,
+    ) {
+        let hi = lo + span;
+        let batch = Batch::new(vec![ColumnData::Int64(vals.clone())]);
+        let between = Expr::col(0)
+            .between(Value::Int64(lo), Value::Int64(hi))
+            .eval_bool(&batch);
+        let manual = Expr::and(vec![
+            Expr::col(0).ge(Expr::i64(lo)),
+            Expr::col(0).le(Expr::i64(hi)),
+        ])
+        .eval_bool(&batch);
+        prop_assert_eq!(between, manual);
+    }
+
+    #[test]
+    fn in_list_equals_or_of_eq(
+        vals in prop::collection::vec(-20i64..20, 1..100),
+        list in prop::collection::vec(-20i64..20, 1..6),
+    ) {
+        let batch = Batch::new(vec![ColumnData::Int64(vals)]);
+        let in_list = Expr::col(0)
+            .in_list(list.iter().map(|&v| Value::Int64(v)).collect())
+            .eval_bool(&batch);
+        let ors = Expr::or(list.iter().map(|&v| Expr::col(0).eq(Expr::i64(v))).collect())
+            .eval_bool(&batch);
+        prop_assert_eq!(in_list, ors);
+    }
+
+    #[test]
+    fn arithmetic_matches_rowwise(
+        pairs in prop::collection::vec((-1000i64..1000, 1i64..1000), 1..100)
+    ) {
+        let a: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let batch = two_col_batch(&a, &b);
+        let sum = Expr::col(0).add(Expr::col(1)).eval(&batch);
+        let prod = Expr::col(0).mul(Expr::col(1)).eval(&batch);
+        let quot = Expr::col(0).div(Expr::col(1)).eval(&batch);
+        for (i, p) in pairs.iter().enumerate() {
+            prop_assert_eq!(sum.as_i64()[i], p.0 + p.1);
+            prop_assert_eq!(prod.as_i64()[i], p.0 * p.1);
+            prop_assert_eq!(quot.as_i64()[i], p.0 / p.1);
+        }
+    }
+
+    #[test]
+    fn like_matches_naive_reference(
+        s in "[ab]{0,8}",
+        pattern in "[ab%_]{0,6}",
+    ) {
+        let got = LikeMatcher::new(&pattern).matches(&s);
+        let want = naive_like(pattern.as_bytes(), s.as_bytes());
+        prop_assert_eq!(got, want, "s={:?} pattern={:?}", s, pattern);
+    }
+
+    #[test]
+    fn eval_sel_agrees_with_eval_bool(
+        vals in prop::collection::vec(-50i64..50, 0..200),
+        threshold in -50i64..50,
+    ) {
+        let batch = Batch::new(vec![ColumnData::Int64(vals)]);
+        let pred = Expr::col(0).ge(Expr::i64(threshold));
+        let mask = pred.eval_bool(&batch);
+        let sel = pred.eval_sel(&batch);
+        let from_mask: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u32))
+            .collect();
+        prop_assert_eq!(sel, from_mask);
+    }
+}
+
+/// Character-by-character reference LIKE (exponential, fine for tiny inputs).
+fn naive_like(pat: &[u8], s: &[u8]) -> bool {
+    match (pat.first(), s.first()) {
+        (None, None) => true,
+        (None, Some(_)) => false,
+        (Some(b'%'), _) => naive_like(&pat[1..], s) || (!s.is_empty() && naive_like(pat, &s[1..])),
+        (Some(b'_'), Some(_)) => naive_like(&pat[1..], &s[1..]),
+        (Some(&c), Some(&d)) if c == d => naive_like(&pat[1..], &s[1..]),
+        _ => false,
+    }
+}

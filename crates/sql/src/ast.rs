@@ -1,0 +1,167 @@
+//! Abstract syntax for the supported SQL subset.
+
+use joinstudy_storage::types::{DataType, Decimal};
+
+/// A column reference, possibly qualified (`r.k`) or bare (`k`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+/// Scalar literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Decimal(Decimal),
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'`.
+    Date(joinstudy_storage::types::Date),
+    Bool(bool),
+    Null,
+}
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinCmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinArith {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    Column(ColumnRef),
+    Literal(Literal),
+    Cmp(BinCmp, Box<ExprAst>, Box<ExprAst>),
+    Arith(BinArith, Box<ExprAst>, Box<ExprAst>),
+    And(Box<ExprAst>, Box<ExprAst>),
+    Or(Box<ExprAst>, Box<ExprAst>),
+    Not(Box<ExprAst>),
+    Between {
+        expr: Box<ExprAst>,
+        lo: Box<ExprAst>,
+        hi: Box<ExprAst>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<ExprAst>,
+        list: Vec<Literal>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<ExprAst>,
+        pattern: String,
+        negated: bool,
+    },
+    Case {
+        cond: Box<ExprAst>,
+        then: Box<ExprAst>,
+        otherwise: Box<ExprAst>,
+    },
+    ExtractYear(Box<ExprAst>),
+    Substring {
+        expr: Box<ExprAst>,
+        start: usize,
+        len: usize,
+    },
+}
+
+/// Aggregate functions in the projection list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggCall {
+    CountStar,
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One projection item: an expression, an aggregate over an expression, and
+/// an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Expr {
+        expr: ExprAst,
+        alias: Option<String>,
+    },
+    Agg {
+        func: AggCall,
+        arg: Option<ExprAst>,
+        alias: Option<String>,
+    },
+}
+
+/// `FROM` entry: table name + optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name expressions refer to this table by.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// `ORDER BY` key: 1-based projection ordinal or output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub target: OrderTarget,
+    pub ascending: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderTarget {
+    Ordinal(usize),
+    Name(String),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<ExprAst>,
+    pub group_by: Vec<ExprAst>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(Select),
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Literal>>,
+    },
+}

@@ -1,0 +1,329 @@
+//! SQL tokenizer. Case-insensitive keywords, `'...'` string literals
+//! (with `''` escaping), integer/decimal numbers, identifiers, and the
+//! operator/punctuation set the supported grammar needs.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier, lower-cased.
+    Ident(String),
+    /// Keyword (subset), upper-cased.
+    Keyword(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal with its scale-2 cents value (e.g. `0.05` → 5).
+    Dec(i64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    // Punctuation / operators.
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Dot,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Keyword(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Dec(v) => write!(f, "{}.{:02}", v / 100, (v % 100).abs()),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Dot => write!(f, "."),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "LIMIT",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "BETWEEN",
+    "IN",
+    "LIKE",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "DISTINCT",
+    "EXTRACT",
+    "YEAR",
+    "SUBSTRING",
+    "DATE",
+    "CREATE",
+    "TABLE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "NULL",
+    "BIGINT",
+    "INT",
+    "INTEGER",
+    "DOUBLE",
+    "DECIMAL",
+    "VARCHAR",
+    "TEXT",
+    "BOOLEAN",
+    "ASC",
+    "DESC",
+    "TRUE",
+    "FALSE",
+];
+
+/// Tokenize a statement. Errors carry a byte position.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, String> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // `--` line comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(format!("unexpected '!' at byte {i}"));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err("unterminated string literal".into()),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    // Decimal literal: up to 2 fractional digits honored.
+                    let whole: i64 = sql[start..i].parse().map_err(|e| format!("{e}"))?;
+                    i += 1;
+                    let fstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let frac = &sql[fstart..i];
+                    let cents: i64 = match frac.len() {
+                        0 => 0,
+                        1 => frac.parse::<i64>().unwrap() * 10,
+                        _ => frac[..2].parse::<i64>().unwrap(),
+                    };
+                    out.push(Token::Dec(whole * 100 + cents));
+                } else {
+                    let v: i64 = sql[start..i].parse().map_err(|e| format!("{e}"))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_ascii_lowercase()));
+                }
+            }
+            other => return Err(format!("unexpected character {other:?} at byte {i}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_papers_count_query() {
+        let toks = tokenize("SELECT count(*) FROM probe r, build s WHERE r.k = s.k;").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Keyword("COUNT".into()));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Ident("probe".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn numbers_and_decimals() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("0.05").unwrap(), vec![Token::Dec(5)]);
+        assert_eq!(tokenize("12.3").unwrap(), vec![Token::Dec(1230)]);
+        assert_eq!(tokenize("12.345").unwrap(), vec![Token::Dec(1234)]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comments() {
+        assert_eq!(
+            tokenize("'BRAND''S' -- trailing comment\n42").unwrap(),
+            vec![Token::Str("BRAND'S".into()), Token::Int(42)]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            tokenize("a <= b <> c >= d != e").unwrap(),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ne,
+                Token::Ident("c".into()),
+                Token::Ge,
+                Token::Ident("d".into()),
+                Token::Ne,
+                Token::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive_idents_lowercased() {
+        let toks = tokenize("select MyCol from T").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("mycol".into()));
+        assert_eq!(toks[3], Token::Ident("t".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT @x").is_err());
+        assert!(tokenize("'unterminated").is_err());
+    }
+}

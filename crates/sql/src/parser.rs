@@ -1,0 +1,686 @@
+//! Recursive-descent parser for the supported SQL subset.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! stmt      := select | create | insert
+//! select    := SELECT item (',' item)* FROM table (',' table)*
+//!              [WHERE expr] [GROUP BY expr (',' expr)*]
+//!              [ORDER BY key (',' key)*] [LIMIT int] [';']
+//! item      := agg '(' ['DISTINCT'] (expr|'*') ')' [AS? ident]
+//!            | expr [AS? ident]
+//! table     := ident [AS? ident]
+//! expr      := or_expr  (standard precedence: OR < AND < NOT < cmp < +- < */)
+//! primary   := literal | column | '(' expr ')' | CASE WHEN ... | EXTRACT |
+//!              SUBSTRING '(' expr ',' int ',' int ')' | DATE 'lit'
+//! create    := CREATE TABLE ident '(' col (',' col)* ')' [';']
+//! insert    := INSERT INTO ident VALUES row (',' row)* [';']
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use joinstudy_storage::types::{DataType, Date, Decimal};
+
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+/// Parse one statement.
+pub fn parse(sql: &str) -> PResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.peek_keyword("SELECT") {
+        Statement::Select(p.parse_select()?)
+    } else if p.peek_keyword("CREATE") {
+        p.parse_create()?
+    } else if p.peek_keyword("INSERT") {
+        p.parse_insert()?
+    } else {
+        return Err(format!("expected SELECT/CREATE/INSERT, got {:?}", p.peek()));
+    };
+    p.eat(&Token::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing tokens after statement: {:?}", p.peek()));
+    }
+    Ok(stmt)
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw)
+    }
+
+    fn next(&mut self) -> PResult<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> PResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(format!("expected {t}, got {:?}", self.peek()))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected {kw}, got {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(format!("expected identifier, got {other}")),
+        }
+    }
+
+    // ---------------------------------------------------------- SELECT
+
+    fn parse_select(&mut self) -> PResult<Select> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.parse_table_ref()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.parse_table_ref()?);
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let target = match self.peek() {
+                    Some(Token::Int(n)) => {
+                        let n = *n;
+                        self.pos += 1;
+                        OrderTarget::Ordinal(n as usize)
+                    }
+                    _ => OrderTarget::Name(self.ident()?),
+                };
+                let ascending = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderKey { target, ascending });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                other => return Err(format!("expected LIMIT count, got {other}")),
+            }
+        } else {
+            None
+        };
+        Ok(Select {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> PResult<SelectItem> {
+        let agg = match self.peek() {
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "COUNT" => Some(AggCall::Count),
+                "SUM" => Some(AggCall::Sum),
+                "AVG" => Some(AggCall::Avg),
+                "MIN" => Some(AggCall::Min),
+                "MAX" => Some(AggCall::Max),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(mut func) = agg {
+            self.pos += 1;
+            self.expect(&Token::LParen)?;
+            let arg = if func == AggCall::Count && self.eat(&Token::Star) {
+                func = AggCall::CountStar;
+                None
+            } else {
+                if func == AggCall::Count && self.eat_keyword("DISTINCT") {
+                    func = AggCall::CountDistinct;
+                }
+                Some(self.parse_expr()?)
+            };
+            self.expect(&Token::RParen)?;
+            let alias = self.parse_alias()?;
+            return Ok(SelectItem::Agg { func, arg, alias });
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_alias(&mut self) -> PResult<Option<String>> {
+        if self.eat_keyword("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        if let Some(Token::Ident(s)) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            return Ok(Some(s));
+        }
+        Ok(None)
+    }
+
+    fn parse_table_ref(&mut self) -> PResult<TableRef> {
+        let table = self.ident()?;
+        let alias = self.parse_alias()?;
+        Ok(TableRef { table, alias })
+    }
+
+    // ------------------------------------------------------ expressions
+
+    pub(crate) fn parse_expr(&mut self) -> PResult<ExprAst> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> PResult<ExprAst> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.parse_and()?;
+            lhs = ExprAst::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> PResult<ExprAst> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.parse_not()?;
+            lhs = ExprAst::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> PResult<ExprAst> {
+        if self.eat_keyword("NOT") {
+            return Ok(ExprAst::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_predicate()
+    }
+
+    /// Comparison / BETWEEN / IN / LIKE level.
+    fn parse_predicate(&mut self) -> PResult<ExprAst> {
+        let lhs = self.parse_additive()?;
+        // Optional NOT before BETWEEN/IN/LIKE.
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_additive()?;
+            return Ok(ExprAst::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect(&Token::LParen)?;
+            let mut list = vec![self.parse_literal()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.parse_literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(ExprAst::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.next()? {
+                Token::Str(s) => s,
+                other => return Err(format!("expected LIKE pattern, got {other}")),
+            };
+            return Ok(ExprAst::Like {
+                expr: Box::new(lhs),
+                pattern,
+                negated,
+            });
+        }
+        if negated {
+            return Err("dangling NOT before a non-predicate".into());
+        }
+        let cmp = match self.peek() {
+            Some(Token::Eq) => Some(BinCmp::Eq),
+            Some(Token::Ne) => Some(BinCmp::Ne),
+            Some(Token::Lt) => Some(BinCmp::Lt),
+            Some(Token::Le) => Some(BinCmp::Le),
+            Some(Token::Gt) => Some(BinCmp::Gt),
+            Some(Token::Ge) => Some(BinCmp::Ge),
+            _ => None,
+        };
+        if let Some(op) = cmp {
+            self.pos += 1;
+            let rhs = self.parse_additive()?;
+            return Ok(ExprAst::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> PResult<ExprAst> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinArith::Add,
+                Some(Token::Minus) => BinArith::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_multiplicative()?;
+            lhs = ExprAst::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<ExprAst> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinArith::Mul,
+                Some(Token::Slash) => BinArith::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_primary()?;
+            lhs = ExprAst::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_literal(&mut self) -> PResult<Literal> {
+        match self.next()? {
+            Token::Int(v) => Ok(Literal::Int(v)),
+            Token::Dec(v) => Ok(Literal::Decimal(Decimal(v))),
+            Token::Str(s) => Ok(Literal::Str(s)),
+            Token::Minus => match self.next()? {
+                Token::Int(v) => Ok(Literal::Int(-v)),
+                Token::Dec(v) => Ok(Literal::Decimal(Decimal(-v))),
+                other => Err(format!("expected number after '-', got {other}")),
+            },
+            Token::Keyword(k) if k == "TRUE" => Ok(Literal::Bool(true)),
+            Token::Keyword(k) if k == "FALSE" => Ok(Literal::Bool(false)),
+            Token::Keyword(k) if k == "NULL" => Ok(Literal::Null),
+            Token::Keyword(k) if k == "DATE" => match self.next()? {
+                Token::Str(s) => parse_date(&s).map(Literal::Date),
+                other => Err(format!("expected date string, got {other}")),
+            },
+            other => Err(format!("expected literal, got {other}")),
+        }
+    }
+
+    fn parse_primary(&mut self) -> PResult<ExprAst> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Keyword(k)) if k == "CASE" => {
+                self.pos += 1;
+                self.expect_keyword("WHEN")?;
+                let cond = self.parse_expr()?;
+                self.expect_keyword("THEN")?;
+                let then = self.parse_expr()?;
+                self.expect_keyword("ELSE")?;
+                let otherwise = self.parse_expr()?;
+                self.expect_keyword("END")?;
+                Ok(ExprAst::Case {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    otherwise: Box::new(otherwise),
+                })
+            }
+            Some(Token::Keyword(k)) if k == "EXTRACT" => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                self.expect_keyword("YEAR")?;
+                self.expect_keyword("FROM")?;
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(ExprAst::ExtractYear(Box::new(e)))
+            }
+            Some(Token::Keyword(k)) if k == "SUBSTRING" => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let e = self.parse_expr()?;
+                self.expect(&Token::Comma)?;
+                let start = match self.next()? {
+                    Token::Int(v) if v >= 1 => v as usize,
+                    other => return Err(format!("substring start must be ≥ 1, got {other}")),
+                };
+                self.expect(&Token::Comma)?;
+                let len = match self.next()? {
+                    Token::Int(v) if v >= 0 => v as usize,
+                    other => return Err(format!("substring length, got {other}")),
+                };
+                self.expect(&Token::RParen)?;
+                Ok(ExprAst::Substring {
+                    expr: Box::new(e),
+                    start,
+                    len,
+                })
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                if self.eat(&Token::Dot) {
+                    let col = self.ident()?;
+                    Ok(ExprAst::Column(ColumnRef {
+                        qualifier: Some(name),
+                        name: col,
+                    }))
+                } else {
+                    Ok(ExprAst::Column(ColumnRef {
+                        qualifier: None,
+                        name,
+                    }))
+                }
+            }
+            Some(Token::Int(_))
+            | Some(Token::Dec(_))
+            | Some(Token::Str(_))
+            | Some(Token::Minus)
+            | Some(Token::Keyword(_)) => self.parse_literal().map(ExprAst::Literal),
+            other => Err(format!("unexpected token in expression: {other:?}")),
+        }
+    }
+
+    // ------------------------------------------------------------ DDL/DML
+
+    fn parse_create(&mut self) -> PResult<Statement> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let dtype = self.parse_type()?;
+            // Optional NOT NULL (accepted, not enforced beyond generation).
+            if self.eat_keyword("NOT") {
+                self.expect_keyword("NULL")?;
+            }
+            columns.push(ColumnDef { name: col, dtype });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn parse_type(&mut self) -> PResult<DataType> {
+        match self.next()? {
+            Token::Keyword(k) => match k.as_str() {
+                "BIGINT" => Ok(DataType::Int64),
+                "INT" | "INTEGER" => Ok(DataType::Int32),
+                "DOUBLE" => Ok(DataType::Float64),
+                "DATE" => Ok(DataType::Date),
+                "BOOLEAN" => Ok(DataType::Bool),
+                "VARCHAR" | "TEXT" => {
+                    // Optional (n).
+                    if self.eat(&Token::LParen) {
+                        self.next()?;
+                        self.expect(&Token::RParen)?;
+                    }
+                    Ok(DataType::Str)
+                }
+                "DECIMAL" => {
+                    if self.eat(&Token::LParen) {
+                        self.next()?;
+                        if self.eat(&Token::Comma) {
+                            self.next()?;
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    Ok(DataType::Decimal)
+                }
+                other => Err(format!("unsupported type {other}")),
+            },
+            other => Err(format!("expected type, got {other}")),
+        }
+    }
+
+    fn parse_insert(&mut self) -> PResult<Statement> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.parse_literal()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.parse_literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+}
+
+/// Parse `YYYY-MM-DD`.
+pub fn parse_date(s: &str) -> Result<Date, String> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(format!("bad date literal {s:?}"));
+    }
+    let y: i32 = parts[0].parse().map_err(|_| format!("bad year in {s:?}"))?;
+    let m: u32 = parts[1]
+        .parse()
+        .map_err(|_| format!("bad month in {s:?}"))?;
+    let d: u32 = parts[2].parse().map_err(|_| format!("bad day in {s:?}"))?;
+    Ok(Date::from_ymd(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_count_query() {
+        let stmt = parse("SELECT count(*) FROM probe r, build s WHERE r.k = s.k;").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert_eq!(s.items.len(), 1);
+        assert!(matches!(
+            s.items[0],
+            SelectItem::Agg {
+                func: AggCall::CountStar,
+                ..
+            }
+        ));
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].binding(), "r");
+        assert_eq!(s.from[1].binding(), "s");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_the_papers_sum_query() {
+        let stmt = parse("SELECT sum(s.p1) FROM build r, probe s WHERE r.k = s.k").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Agg { func: AggCall::Sum, arg: Some(ExprAst::Column(c)), .. }
+                if c.qualifier.as_deref() == Some("s") && c.name == "p1"
+        ));
+    }
+
+    #[test]
+    fn parses_the_papers_create_table() {
+        let stmt = parse("CREATE TABLE b(key BIGINT NOT NULL, pay BIGINT NOT NULL);").unwrap();
+        let Statement::CreateTable { name, columns } = stmt else {
+            panic!()
+        };
+        assert_eq!(name, "b");
+        assert_eq!(columns.len(), 2);
+        assert_eq!(columns[0].dtype, DataType::Int64);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let Statement::Select(s) = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap()
+        else {
+            panic!()
+        };
+        // AND binds tighter: Or(a=1, And(b=2, c=3)).
+        match s.where_clause.unwrap() {
+            ExprAst::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, ExprAst::Cmp(BinCmp::Eq, _, _)));
+                assert!(matches!(*rhs, ExprAst::And(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_in_like_with_not() {
+        let Statement::Select(s) = parse(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b NOT IN ('x','y') AND c LIKE '%z%' AND d NOT LIKE 'w%'",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let mut found = (false, false, false, false);
+        fn walk(e: &ExprAst, f: &mut (bool, bool, bool, bool)) {
+            match e {
+                ExprAst::And(a, b) => {
+                    walk(a, f);
+                    walk(b, f);
+                }
+                ExprAst::Between { negated: false, .. } => f.0 = true,
+                ExprAst::InList { negated: true, .. } => f.1 = true,
+                ExprAst::Like { negated: false, .. } => f.2 = true,
+                ExprAst::Like { negated: true, .. } => f.3 = true,
+                _ => {}
+            }
+        }
+        walk(&s.where_clause.unwrap(), &mut found);
+        assert_eq!(found, (true, true, true, true));
+    }
+
+    #[test]
+    fn date_literals_and_arithmetic() {
+        let Statement::Select(s) = parse(
+            "SELECT l_extendedprice * (1 - l_discount) AS revenue FROM lineitem \
+             WHERE l_shipdate >= DATE '1994-01-01'",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { alias: Some(a), .. } if a == "revenue"
+        ));
+        match s.where_clause.unwrap() {
+            ExprAst::Cmp(BinCmp::Ge, _, rhs) => {
+                assert_eq!(
+                    *rhs,
+                    ExprAst::Literal(Literal::Date(Date::from_ymd(1994, 1, 1)))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let Statement::Select(s) =
+            parse("SELECT g, count(*) c FROM t GROUP BY g ORDER BY 2 DESC, g LIMIT 10").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].ascending);
+        assert_eq!(s.order_by[0].target, OrderTarget::Ordinal(2));
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn insert_values() {
+        let Statement::Insert { table, rows } =
+            parse("INSERT INTO t VALUES (1, 'a', 0.05), (-2, 'b', 3.50)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][2], Literal::Decimal(Decimal(5)));
+        assert_eq!(rows[1][0], Literal::Int(-2));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("CREATE TABLE t (a FLOAT32)").is_err());
+        assert!(parse("SELECT a FROM t extra garbage ,").is_err());
+    }
+}

@@ -1,0 +1,716 @@
+//! Lowering SQL to physical [`Plan`]s.
+//!
+//! The planner is deliberately simple but honest about it:
+//!
+//! * single-table WHERE conjuncts are pushed into the scans,
+//! * `a.x = b.y` conjuncts become hash-join edges (several edges between
+//!   the same pair form one composite-key join, as in TPC-H Q9),
+//! * join order is greedy: start from the first FROM entry, repeatedly
+//!   attach a connected table, putting the *smaller base table* on the
+//!   build side — the heuristic every textbook optimizer starts from,
+//! * remaining multi-table conjuncts become a residual filter above the
+//!   joins,
+//! * aggregation requires every non-aggregate projection to appear in
+//!   GROUP BY (standard SQL), and `ORDER BY` accepts output names or
+//!   1-based ordinals.
+//!
+//! Integer literals are coerced to the column side's type (`Int32`,
+//! `Decimal`) so `price > 100` means `100.00` against money columns.
+
+use crate::ast::*;
+use joinstudy_core::{JoinAlgo, JoinType, Plan};
+use joinstudy_exec::expr::{CmpOp, Expr};
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::table::Table;
+use joinstudy_storage::types::{DataType, Decimal, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type PResult<T> = Result<T, String>;
+
+/// Column layout of an in-flight plan: which (binding, column) each output
+/// position carries.
+#[derive(Clone)]
+struct Layout {
+    slots: Vec<(String, String, DataType)>,
+}
+
+impl Layout {
+    fn find(&self, col: &ColumnRef) -> PResult<usize> {
+        let matches: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, (b, n, _))| {
+                n == &col.name && col.qualifier.as_ref().is_none_or(|q| q == b)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.len() {
+            0 => Err(format!(
+                "unknown column {}{}",
+                col.qualifier
+                    .as_ref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default(),
+                col.name
+            )),
+            1 => Ok(matches[0]),
+            _ => Err(format!("ambiguous column {:?}", col.name)),
+        }
+    }
+
+    fn dtype(&self, i: usize) -> DataType {
+        self.slots[i].2
+    }
+}
+
+/// Which bindings an expression references.
+fn bindings_of(
+    e: &ExprAst,
+    layouts: &HashMap<String, Layout>,
+    out: &mut Vec<String>,
+) -> PResult<()> {
+    match e {
+        ExprAst::Column(c) => {
+            let binding = resolve_binding(c, layouts)?;
+            if !out.contains(&binding) {
+                out.push(binding);
+            }
+            Ok(())
+        }
+        ExprAst::Literal(_) => Ok(()),
+        ExprAst::Cmp(_, a, b)
+        | ExprAst::Arith(_, a, b)
+        | ExprAst::And(a, b)
+        | ExprAst::Or(a, b) => {
+            bindings_of(a, layouts, out)?;
+            bindings_of(b, layouts, out)
+        }
+        ExprAst::Not(a) | ExprAst::ExtractYear(a) => bindings_of(a, layouts, out),
+        ExprAst::Between { expr, lo, hi, .. } => {
+            bindings_of(expr, layouts, out)?;
+            bindings_of(lo, layouts, out)?;
+            bindings_of(hi, layouts, out)
+        }
+        ExprAst::InList { expr, .. } | ExprAst::Like { expr, .. } => {
+            bindings_of(expr, layouts, out)
+        }
+        ExprAst::Case {
+            cond,
+            then,
+            otherwise,
+        } => {
+            bindings_of(cond, layouts, out)?;
+            bindings_of(then, layouts, out)?;
+            bindings_of(otherwise, layouts, out)
+        }
+        ExprAst::Substring { expr, .. } => bindings_of(expr, layouts, out),
+    }
+}
+
+fn resolve_binding(c: &ColumnRef, layouts: &HashMap<String, Layout>) -> PResult<String> {
+    if let Some(q) = &c.qualifier {
+        if !layouts.contains_key(q) {
+            return Err(format!("unknown table alias {q:?}"));
+        }
+        return Ok(q.clone());
+    }
+    let owners: Vec<&String> = layouts
+        .iter()
+        .filter(|(_, l)| l.slots.iter().any(|(_, n, _)| n == &c.name))
+        .map(|(b, _)| b)
+        .collect();
+    match owners.len() {
+        0 => Err(format!("unknown column {:?}", c.name)),
+        1 => Ok(owners[0].clone()),
+        _ => Err(format!("ambiguous column {:?} (qualify it)", c.name)),
+    }
+}
+
+/// Flatten an AND tree into conjuncts.
+fn conjuncts(e: ExprAst, out: &mut Vec<ExprAst>) {
+    match e {
+        ExprAst::And(a, b) => {
+            conjuncts(*a, out);
+            conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn coerce_literal(lit: &Literal, target: DataType) -> PResult<Value> {
+    Ok(match (lit, target) {
+        (Literal::Int(v), DataType::Int64) => Value::Int64(*v),
+        (Literal::Int(v), DataType::Int32) => {
+            Value::Int32(i32::try_from(*v).map_err(|_| format!("{v} out of INT range"))?)
+        }
+        (Literal::Int(v), DataType::Decimal) => Value::Decimal(Decimal::from_int(*v)),
+        (Literal::Int(v), DataType::Float64) => Value::Float64(*v as f64),
+        (Literal::Decimal(d), DataType::Decimal) => Value::Decimal(*d),
+        (Literal::Decimal(d), DataType::Float64) => Value::Float64(d.to_f64()),
+        (Literal::Str(s), DataType::Str) => Value::Str(s.clone()),
+        (Literal::Date(d), DataType::Date) => Value::Date(*d),
+        (Literal::Bool(b), DataType::Bool) => Value::Bool(*b),
+        (l, t) => return Err(format!("cannot use literal {l:?} where {t} is expected")),
+    })
+}
+
+fn literal_value(lit: &Literal) -> PResult<Value> {
+    Ok(match lit {
+        Literal::Int(v) => Value::Int64(*v),
+        Literal::Decimal(d) => Value::Decimal(*d),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Date(d) => Value::Date(*d),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Null => return Err("NULL literals are not supported in expressions".into()),
+    })
+}
+
+/// Lower an AST expression against a layout into a physical [`Expr`].
+fn lower(e: &ExprAst, layout: &Layout) -> PResult<Expr> {
+    Ok(match e {
+        ExprAst::Column(c) => Expr::col(layout.find(c)?),
+        ExprAst::Literal(l) => Expr::Const(literal_value(l)?),
+        ExprAst::Cmp(op, a, b) => {
+            let (ea, eb) = lower_coerced_pair(a, b, layout)?;
+            let op = match op {
+                BinCmp::Eq => CmpOp::Eq,
+                BinCmp::Ne => CmpOp::Ne,
+                BinCmp::Lt => CmpOp::Lt,
+                BinCmp::Le => CmpOp::Le,
+                BinCmp::Gt => CmpOp::Gt,
+                BinCmp::Ge => CmpOp::Ge,
+            };
+            Expr::Cmp(op, Box::new(ea), Box::new(eb))
+        }
+        ExprAst::Arith(op, a, b) => {
+            let (ea, eb) = lower_coerced_pair(a, b, layout)?;
+            match op {
+                BinArith::Add => ea.add(eb),
+                BinArith::Sub => ea.sub(eb),
+                BinArith::Mul => ea.mul(eb),
+                BinArith::Div => ea.div(eb),
+            }
+        }
+        ExprAst::And(a, b) => Expr::and(vec![lower(a, layout)?, lower(b, layout)?]),
+        ExprAst::Or(a, b) => Expr::or(vec![lower(a, layout)?, lower(b, layout)?]),
+        ExprAst::Not(a) => lower(a, layout)?.not(),
+        ExprAst::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let target = expr_dtype(expr, layout)?;
+            let e = lower(expr, layout)?;
+            let lo = lower_literal_side(lo, target, layout)?;
+            let hi = lower_literal_side(hi, target, layout)?;
+            let between = Expr::and(vec![e.clone().ge(lo), e.le(hi)]);
+            if *negated {
+                between.not()
+            } else {
+                between
+            }
+        }
+        ExprAst::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let target = expr_dtype(expr, layout)?;
+            let e = lower(expr, layout)?;
+            let values: Vec<Value> = list
+                .iter()
+                .map(|l| coerce_literal(l, target))
+                .collect::<PResult<_>>()?;
+            let inlist = e.in_list(values);
+            if *negated {
+                inlist.not()
+            } else {
+                inlist
+            }
+        }
+        ExprAst::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let e = lower(expr, layout)?.like(pattern.clone());
+            if *negated {
+                e.not()
+            } else {
+                e
+            }
+        }
+        ExprAst::Case {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let (t, o) = lower_coerced_pair(then, otherwise, layout)?;
+            Expr::case_when(lower(cond, layout)?, t, o)
+        }
+        ExprAst::ExtractYear(a) => lower(a, layout)?.extract_year(),
+        ExprAst::Substring { expr, start, len } => lower(expr, layout)?.substr(*start, *len),
+    })
+}
+
+/// Result type of an AST expression against a layout.
+fn expr_dtype(e: &ExprAst, layout: &Layout) -> PResult<DataType> {
+    Ok(match e {
+        ExprAst::Column(c) => layout.dtype(layout.find(c)?),
+        ExprAst::Literal(l) => match l {
+            Literal::Int(_) => DataType::Int64,
+            Literal::Decimal(_) => DataType::Decimal,
+            Literal::Str(_) => DataType::Str,
+            Literal::Date(_) => DataType::Date,
+            Literal::Bool(_) => DataType::Bool,
+            Literal::Null => return Err("NULL literal has no type".into()),
+        },
+        ExprAst::Cmp(..)
+        | ExprAst::And(..)
+        | ExprAst::Or(..)
+        | ExprAst::Not(..)
+        | ExprAst::Between { .. }
+        | ExprAst::InList { .. }
+        | ExprAst::Like { .. } => DataType::Bool,
+        ExprAst::Arith(_, a, b) => {
+            let (ta, tb) = (expr_dtype(a, layout)?, expr_dtype(b, layout)?);
+            // Int literal beside a Decimal operand promotes to Decimal.
+            if ta == DataType::Decimal || tb == DataType::Decimal {
+                DataType::Decimal
+            } else {
+                ta
+            }
+        }
+        ExprAst::Case { then, .. } => expr_dtype(then, layout)?,
+        ExprAst::ExtractYear(_) => DataType::Int32,
+        ExprAst::Substring { .. } => DataType::Str,
+    })
+}
+
+/// Lower two operand expressions, coercing a bare Int literal to the other
+/// side's type (the `price > 100` / `1 - l_discount` cases).
+fn lower_coerced_pair(a: &ExprAst, b: &ExprAst, layout: &Layout) -> PResult<(Expr, Expr)> {
+    let ta = expr_dtype(a, layout);
+    let tb = expr_dtype(b, layout);
+    let ea = match (a, &tb) {
+        (ExprAst::Literal(l), Ok(t)) if matches!(l, Literal::Int(_) | Literal::Decimal(_)) => {
+            Expr::Const(coerce_literal(l, *t)?)
+        }
+        _ => lower(a, layout)?,
+    };
+    let eb = match (b, &ta) {
+        (ExprAst::Literal(l), Ok(t)) if matches!(l, Literal::Int(_) | Literal::Decimal(_)) => {
+            Expr::Const(coerce_literal(l, *t)?)
+        }
+        _ => lower(b, layout)?,
+    };
+    Ok((ea, eb))
+}
+
+fn lower_literal_side(e: &ExprAst, target: DataType, layout: &Layout) -> PResult<Expr> {
+    match e {
+        ExprAst::Literal(l) => Ok(Expr::Const(coerce_literal(l, target)?)),
+        other => lower(other, layout),
+    }
+}
+
+/// A join edge `left_binding.col = right_binding.col`.
+struct JoinEdge {
+    a: (String, String),
+    b: (String, String),
+}
+
+/// Plan a SELECT against the catalog.
+pub fn plan_select(
+    select: &Select,
+    catalog: &HashMap<String, Arc<Table>>,
+    algo: JoinAlgo,
+) -> PResult<Plan> {
+    if select.from.is_empty() {
+        return Err("FROM clause is required".into());
+    }
+    // Bindings.
+    let mut tables: HashMap<String, Arc<Table>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for t in &select.from {
+        let table = catalog
+            .get(&t.table)
+            .ok_or_else(|| format!("unknown table {:?}", t.table))?;
+        let binding = t.binding().to_string();
+        if tables.insert(binding.clone(), Arc::clone(table)).is_some() {
+            return Err(format!("duplicate table binding {binding:?}"));
+        }
+        order.push(binding);
+    }
+    let full_layouts: HashMap<String, Layout> = tables
+        .iter()
+        .map(|(b, t)| {
+            let slots = t
+                .schema()
+                .fields
+                .iter()
+                .map(|f| (b.clone(), f.name.clone(), f.dtype))
+                .collect();
+            (b.clone(), Layout { slots })
+        })
+        .collect();
+
+    // Classify WHERE conjuncts.
+    let mut filters: HashMap<String, Vec<ExprAst>> = HashMap::new();
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    let mut residual: Vec<ExprAst> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        let mut cs = Vec::new();
+        conjuncts(w.clone(), &mut cs);
+        for c in cs {
+            let mut bs = Vec::new();
+            bindings_of(&c, &full_layouts, &mut bs)?;
+            match bs.len() {
+                0 | 1 => {
+                    let b = bs.into_iter().next().unwrap_or_else(|| order[0].clone());
+                    filters.entry(b).or_default().push(c);
+                }
+                2 => {
+                    if let ExprAst::Cmp(BinCmp::Eq, l, r) = &c {
+                        if let (ExprAst::Column(lc), ExprAst::Column(rc)) = (&**l, &**r) {
+                            let lb = resolve_binding(lc, &full_layouts)?;
+                            let rb = resolve_binding(rc, &full_layouts)?;
+                            edges.push(JoinEdge {
+                                a: (lb, lc.name.clone()),
+                                b: (rb, rc.name.clone()),
+                            });
+                            continue;
+                        }
+                    }
+                    residual.push(c);
+                }
+                _ => residual.push(c),
+            }
+        }
+    }
+
+    // Column pruning: keep what any expression or edge references.
+    let mut needed: HashMap<String, Vec<String>> = HashMap::new();
+    {
+        let mut note = |binding: &str, col: &str| {
+            let v = needed.entry(binding.to_string()).or_default();
+            if !v.iter().any(|c| c == col) {
+                v.push(col.to_string());
+            }
+        };
+        let note_expr = |e: &ExprAst, note: &mut dyn FnMut(&str, &str)| -> PResult<()> {
+            collect_columns(e, &full_layouts, note)
+        };
+        for item in &select.items {
+            match item {
+                SelectItem::Expr { expr, .. } => note_expr(expr, &mut note)?,
+                SelectItem::Agg { arg: Some(a), .. } => note_expr(a, &mut note)?,
+                SelectItem::Agg { arg: None, .. } => {}
+            }
+        }
+        for g in &select.group_by {
+            note_expr(g, &mut note)?;
+        }
+        for (b, fs) in &filters {
+            let _ = b;
+            for f in fs {
+                note_expr(f, &mut note)?;
+            }
+        }
+        for r in &residual {
+            note_expr(r, &mut note)?;
+        }
+        for e in &edges {
+            note(&e.a.0, &e.a.1);
+            note(&e.b.0, &e.b.1);
+        }
+        // Every binding must scan at least one column.
+        for b in &order {
+            needed
+                .entry(b.clone())
+                .or_insert_with(|| vec![tables[b].schema().fields[0].name.clone()]);
+        }
+    }
+
+    // Per-binding scans with pushed filters.
+    let mut scans: HashMap<String, (Plan, Layout)> = HashMap::new();
+    for b in &order {
+        let table = &tables[b];
+        let cols = &needed[b];
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let layout = Layout {
+            slots: cols
+                .iter()
+                .map(|c| {
+                    let idx = table.schema().index_of(c);
+                    (b.clone(), c.clone(), table.schema().dtype(idx))
+                })
+                .collect(),
+        };
+        let mut plan = Plan::scan(table, &col_refs, None);
+        if let Some(fs) = filters.get(b) {
+            let mut pred: Option<Expr> = None;
+            for f in fs {
+                let e = lower(f, &layout)?;
+                pred = Some(match pred {
+                    None => e,
+                    Some(p) => Expr::and(vec![p, e]),
+                });
+            }
+            // Push into the scan (the engine applies it during the scan).
+            if let Plan::Scan { filter, .. } = &mut plan {
+                *filter = pred;
+            }
+        }
+        scans.insert(b.clone(), (plan, layout));
+    }
+
+    // Greedy join tree from the first FROM entry.
+    let first = order[0].clone();
+    let (mut plan, mut layout) = scans.remove(&first).unwrap();
+    let mut joined: Vec<String> = vec![first];
+    let mut remaining: Vec<String> = order[1..].to_vec();
+
+    while !remaining.is_empty() {
+        // Find a remaining binding connected to the joined set.
+        let next = remaining
+            .iter()
+            .position(|b| {
+                edges.iter().any(|e| {
+                    (joined.contains(&e.a.0) && &e.b.0 == b)
+                        || (joined.contains(&e.b.0) && &e.a.0 == b)
+                })
+            })
+            .ok_or_else(|| {
+                format!(
+                    "no join predicate connects {:?} to {:?} (cross joins unsupported)",
+                    remaining, joined
+                )
+            })?;
+        let binding = remaining.remove(next);
+        let (scan, scan_layout) = scans.remove(&binding).unwrap();
+
+        // All edges between the joined set and this binding → composite key.
+        let mut left_keys: Vec<usize> = Vec::new(); // in current plan
+        let mut right_keys: Vec<usize> = Vec::new(); // in new scan
+        for e in &edges {
+            let (cur, new) = if joined.contains(&e.a.0) && e.b.0 == binding {
+                (&e.a, &e.b)
+            } else if joined.contains(&e.b.0) && e.a.0 == binding {
+                (&e.b, &e.a)
+            } else {
+                continue;
+            };
+            let cur_idx = layout.find(&ColumnRef {
+                qualifier: Some(cur.0.clone()),
+                name: cur.1.clone(),
+            })?;
+            let new_idx = scan_layout.find(&ColumnRef {
+                qualifier: Some(new.0.clone()),
+                name: new.1.clone(),
+            })?;
+            left_keys.push(cur_idx);
+            right_keys.push(new_idx);
+        }
+        debug_assert!(!left_keys.is_empty());
+
+        // Build side: the smaller base table. Output = build ++ probe.
+        let new_rows = tables[&binding].num_rows();
+        let joined_max: usize = joined
+            .iter()
+            .map(|b| tables[b].num_rows())
+            .max()
+            .unwrap_or(0);
+        if new_rows <= joined_max {
+            plan = scan.join(plan, algo, JoinType::Inner, &right_keys, &left_keys);
+            let mut slots = scan_layout.slots;
+            slots.extend(layout.slots);
+            layout = Layout { slots };
+        } else {
+            plan = plan.join(scan, algo, JoinType::Inner, &left_keys, &right_keys);
+            layout.slots.extend(scan_layout.slots);
+        }
+        joined.push(binding);
+    }
+
+    // Residual predicates above the joins.
+    for r in &residual {
+        plan = plan.filter(lower(r, &layout)?);
+    }
+
+    // Projection / aggregation.
+    let has_agg = select
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Agg { .. }))
+        || !select.group_by.is_empty();
+
+    let mut out_names: Vec<String> = Vec::new();
+    if has_agg {
+        // Pre-projection: group keys, then agg inputs.
+        let mut exprs: Vec<Expr> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        for (i, g) in select.group_by.iter().enumerate() {
+            exprs.push(lower(g, &layout)?);
+            names.push(format!("@g{i}"));
+        }
+        let mut agg_specs: Vec<AggSpec> = Vec::new();
+        let mut agg_names: Vec<String> = Vec::new();
+        for (i, item) in select.items.iter().enumerate() {
+            if let SelectItem::Agg { func, arg, alias } = item {
+                let name = alias.clone().unwrap_or_else(|| format!("@a{i}"));
+                let input = match arg {
+                    Some(a) => {
+                        let idx = exprs.len();
+                        let dtype = expr_dtype(a, &layout)?;
+                        if *func == AggCall::Avg && dtype != DataType::Decimal {
+                            return Err("AVG is supported over DECIMAL columns".into());
+                        }
+                        exprs.push(lower(a, &layout)?);
+                        names.push(format!("@in{i}"));
+                        idx
+                    }
+                    None => 0,
+                };
+                let func = match func {
+                    AggCall::CountStar | AggCall::Count => AggFunc::CountStar,
+                    AggCall::CountDistinct => AggFunc::CountDistinct,
+                    AggCall::Sum => AggFunc::Sum,
+                    AggCall::Avg => AggFunc::Avg,
+                    AggCall::Min => AggFunc::Min,
+                    AggCall::Max => AggFunc::Max,
+                };
+                agg_specs.push(AggSpec::new(func, input, name.clone()));
+                agg_names.push(name);
+            }
+        }
+        // A bare `count(*)` has nothing to pre-project; a zero-column
+        // projection would lose the row count, so skip the map entirely.
+        if !exprs.is_empty() {
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            plan = plan.map(exprs, &name_refs);
+        }
+        let group_cols: Vec<usize> = (0..select.group_by.len()).collect();
+        plan = plan.aggregate(&group_cols, agg_specs);
+
+        // Final projection in SELECT order: group expressions must appear
+        // in GROUP BY; aggregates are read from the aggregate output.
+        let agg_schema = plan.schema();
+        let mut final_exprs: Vec<Expr> = Vec::new();
+        let mut agg_cursor = 0usize;
+        for item in &select.items {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    let pos = select
+                        .group_by
+                        .iter()
+                        .position(|g| g == expr)
+                        .ok_or("non-aggregate SELECT item must appear in GROUP BY")?;
+                    final_exprs.push(Expr::col(pos));
+                    out_names.push(alias.clone().unwrap_or_else(|| default_name(expr)));
+                }
+                SelectItem::Agg { alias, func, .. } => {
+                    let col = select.group_by.len() + agg_cursor;
+                    agg_cursor += 1;
+                    final_exprs.push(Expr::col(col));
+                    out_names.push(
+                        alias
+                            .clone()
+                            .unwrap_or_else(|| format!("{:?}", func).to_ascii_lowercase()),
+                    );
+                    let _ = &agg_schema;
+                }
+            }
+        }
+        let name_refs: Vec<&str> = out_names.iter().map(String::as_str).collect();
+        plan = plan.map(final_exprs, &name_refs);
+    } else {
+        let mut exprs = Vec::new();
+        for item in &select.items {
+            let SelectItem::Expr { expr, alias } = item else {
+                unreachable!()
+            };
+            exprs.push(lower(expr, &layout)?);
+            out_names.push(alias.clone().unwrap_or_else(|| default_name(expr)));
+        }
+        let name_refs: Vec<&str> = out_names.iter().map(String::as_str).collect();
+        plan = plan.map(exprs, &name_refs);
+    }
+
+    // ORDER BY / LIMIT.
+    if !select.order_by.is_empty() || select.limit.is_some() {
+        let mut keys = Vec::new();
+        for k in &select.order_by {
+            let col = match &k.target {
+                OrderTarget::Ordinal(n) => {
+                    if *n == 0 || *n > out_names.len() {
+                        return Err(format!("ORDER BY ordinal {n} out of range"));
+                    }
+                    n - 1
+                }
+                OrderTarget::Name(n) => out_names
+                    .iter()
+                    .position(|o| o == n)
+                    .ok_or_else(|| format!("ORDER BY references unknown column {n:?}"))?,
+            };
+            keys.push(if k.ascending {
+                SortKey::asc(col)
+            } else {
+                SortKey::desc(col)
+            });
+        }
+        plan = plan.sort(keys, select.limit);
+    }
+    Ok(plan)
+}
+
+fn default_name(e: &ExprAst) -> String {
+    match e {
+        ExprAst::Column(c) => c.name.clone(),
+        _ => "expr".to_string(),
+    }
+}
+
+fn collect_columns(
+    e: &ExprAst,
+    layouts: &HashMap<String, Layout>,
+    note: &mut dyn FnMut(&str, &str),
+) -> PResult<()> {
+    match e {
+        ExprAst::Column(c) => {
+            let b = resolve_binding(c, layouts)?;
+            note(&b, &c.name);
+            Ok(())
+        }
+        ExprAst::Literal(_) => Ok(()),
+        ExprAst::Cmp(_, a, b)
+        | ExprAst::Arith(_, a, b)
+        | ExprAst::And(a, b)
+        | ExprAst::Or(a, b) => {
+            collect_columns(a, layouts, note)?;
+            collect_columns(b, layouts, note)
+        }
+        ExprAst::Not(a) | ExprAst::ExtractYear(a) => collect_columns(a, layouts, note),
+        ExprAst::Between { expr, lo, hi, .. } => {
+            collect_columns(expr, layouts, note)?;
+            collect_columns(lo, layouts, note)?;
+            collect_columns(hi, layouts, note)
+        }
+        ExprAst::InList { expr, .. } | ExprAst::Like { expr, .. } => {
+            collect_columns(expr, layouts, note)
+        }
+        ExprAst::Case {
+            cond,
+            then,
+            otherwise,
+        } => {
+            collect_columns(cond, layouts, note)?;
+            collect_columns(then, layouts, note)?;
+            collect_columns(otherwise, layouts, note)
+        }
+        ExprAst::Substring { expr, .. } => collect_columns(expr, layouts, note),
+    }
+}

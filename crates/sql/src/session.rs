@@ -1,0 +1,151 @@
+//! The SQL session: a catalog of registered tables plus an engine.
+
+use crate::ast::{Literal, Statement};
+use crate::parser::parse;
+use crate::planner::plan_select;
+use joinstudy_core::{Engine, JoinAlgo};
+use joinstudy_storage::table::{Field, Schema, Table, TableBuilder};
+use joinstudy_storage::types::{DataType, Decimal, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Anything that can go wrong between SQL text and a result table.
+#[derive(Debug)]
+pub struct SqlError(pub String);
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<String> for SqlError {
+    fn from(s: String) -> SqlError {
+        SqlError(s)
+    }
+}
+
+/// A SQL session over the join-study engine.
+pub struct Session {
+    catalog: HashMap<String, Arc<Table>>,
+    engine: Engine,
+    algo: JoinAlgo,
+}
+
+impl Session {
+    pub fn new(threads: usize) -> Session {
+        Session {
+            catalog: HashMap::new(),
+            engine: Engine::new(threads),
+            algo: JoinAlgo::Bhj,
+        }
+    }
+
+    /// Select the join implementation every planned join uses (the paper's
+    /// drop-in replacement switch).
+    pub fn set_join_algo(&mut self, algo: JoinAlgo) {
+        self.algo = algo;
+    }
+
+    /// Replace the engine (thread count, radix configuration, ...).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// Register an existing table (e.g. a generated TPC-H relation).
+    pub fn register(&mut self, name: impl Into<String>, table: Arc<Table>) {
+        self.catalog.insert(name.into().to_ascii_lowercase(), table);
+    }
+
+    /// A registered table, if present.
+    pub fn table(&self, name: &str) -> Option<&Arc<Table>> {
+        self.catalog.get(&name.to_ascii_lowercase())
+    }
+
+    /// Parse and execute one statement. DDL/DML return an empty table.
+    pub fn execute(&mut self, sql: &str) -> Result<Table, SqlError> {
+        match parse(sql)? {
+            Statement::Select(select) => {
+                let plan = plan_select(&select, &self.catalog, self.algo)?;
+                Ok(self.engine.execute(&plan))
+            }
+            Statement::CreateTable { name, columns } => {
+                if self.catalog.contains_key(&name) {
+                    return Err(SqlError(format!("table {name:?} already exists")));
+                }
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| Field::new(c.name.clone(), c.dtype))
+                        .collect(),
+                );
+                self.catalog
+                    .insert(name, Arc::new(Table::empty(schema.clone())));
+                Ok(Table::empty(schema))
+            }
+            Statement::Insert { table, rows } => {
+                let existing = self
+                    .catalog
+                    .get(&table)
+                    .ok_or_else(|| SqlError(format!("unknown table {table:?}")))?;
+                let schema = existing.schema().clone();
+                let mut b =
+                    TableBuilder::with_capacity(schema.clone(), existing.num_rows() + rows.len());
+                for r in 0..existing.num_rows() {
+                    b.push_row(&existing.row(r));
+                }
+                for row in &rows {
+                    if row.len() != schema.len() {
+                        return Err(SqlError(format!(
+                            "INSERT arity {} does not match table {} ({} columns)",
+                            row.len(),
+                            table,
+                            schema.len()
+                        )));
+                    }
+                    let values: Vec<Value> = row
+                        .iter()
+                        .zip(&schema.fields)
+                        .map(|(lit, f)| coerce_insert(lit, f.dtype))
+                        .collect::<Result<_, String>>()?;
+                    b.push_row(&values);
+                }
+                self.catalog.insert(table, Arc::new(b.finish()));
+                Ok(Table::empty(schema))
+            }
+        }
+    }
+
+    /// Plan a SELECT and render its operator tree (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
+        match parse(sql)? {
+            Statement::Select(select) => {
+                let plan = plan_select(&select, &self.catalog, self.algo)?;
+                Ok(plan.explain())
+            }
+            _ => Err(SqlError("EXPLAIN supports SELECT statements".into())),
+        }
+    }
+}
+
+fn coerce_insert(lit: &Literal, dtype: DataType) -> Result<Value, String> {
+    Ok(match (lit, dtype) {
+        (Literal::Null, _) => Value::Null,
+        (Literal::Int(v), DataType::Int64) => Value::Int64(*v),
+        (Literal::Int(v), DataType::Int32) => {
+            Value::Int32(i32::try_from(*v).map_err(|_| format!("{v} out of INT range"))?)
+        }
+        (Literal::Int(v), DataType::Decimal) => Value::Decimal(Decimal::from_int(*v)),
+        (Literal::Int(v), DataType::Float64) => Value::Float64(*v as f64),
+        (Literal::Decimal(d), DataType::Decimal) => Value::Decimal(*d),
+        (Literal::Decimal(d), DataType::Float64) => Value::Float64(d.to_f64()),
+        (Literal::Str(s), DataType::Str) => Value::Str(s.clone()),
+        (Literal::Date(d), DataType::Date) => Value::Date(*d),
+        (Literal::Str(s), DataType::Date) => Value::Date(crate::parser::parse_date(s)?),
+        (Literal::Bool(b), DataType::Bool) => Value::Bool(*b),
+        (l, t) => return Err(format!("cannot insert {l:?} into {t} column")),
+    })
+}

@@ -1,0 +1,63 @@
+//! Robustness: the lexer and parser must never panic — arbitrary input
+//! yields `Ok` or `Err`, never an abort. (The engine behind them assumes
+//! planner-validated plans; the SQL boundary is where garbage stops.)
+
+use joinstudy_sql::Session;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC{0,120}") {
+        let _ = joinstudy_sql::lexer::tokenize(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[a-zA-Z0-9_ ,.*()<>=';%-]{0,120}") {
+        let _ = joinstudy_sql::parser::parse(&input);
+    }
+
+    #[test]
+    fn sql_fragments_fail_gracefully(
+        head in prop::sample::select(vec![
+            "SELECT", "SELECT *", "SELECT count(*)", "SELECT a, b",
+            "CREATE TABLE", "INSERT INTO",
+        ]),
+        tail in "[a-z0-9_ ,.()='\\*]{0,60}",
+    ) {
+        // Executing malformed statements on a session must error, not panic.
+        let mut session = Session::new(1);
+        session.execute("CREATE TABLE t (a BIGINT, b VARCHAR)").unwrap();
+        let _ = session.execute(&format!("{head} {tail}"));
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    let mut sql = String::from("SELECT a FROM t WHERE ");
+    for _ in 0..60 {
+        sql.push('(');
+    }
+    sql.push_str("a = 1");
+    for _ in 0..60 {
+        sql.push(')');
+    }
+    assert!(joinstudy_sql::parser::parse(&sql).is_ok());
+}
+
+#[test]
+fn statement_separator_and_whitespace_forms() {
+    for sql in [
+        "SELECT count(*) FROM t",
+        "SELECT count(*) FROM t;",
+        "  \n\tSELECT\ncount( * )\nFROM\n t ;",
+        "select COUNT(*) from T -- trailing comment",
+    ] {
+        let mut session = Session::new(1);
+        session.execute("CREATE TABLE t (a BIGINT)").unwrap();
+        session.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let t = session.execute(sql).unwrap();
+        assert_eq!(t.column(0).as_i64(), &[2], "{sql:?}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Columnar in-memory storage layer for the join study.
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`types`] — the SQL-ish type system ([`DataType`], [`Value`], [`Date`],
+//!   [`Decimal`]) used by tables, expressions and join keys,
+//! * [`column`] — typed columnar buffers ([`ColumnData`]) including a
+//!   compact offset/arena string column,
+//! * [`table`] — [`Schema`], [`Table`] and [`Morsel`] (the unit of
+//!   morsel-driven parallelism, cf. Leis et al., SIGMOD'14),
+//! * [`gen`] — deterministic pseudo-random data generation (SplitMix64,
+//!   uniform, Zipf via rejection-inversion, permutations) so that every
+//!   experiment is reproducible bit-for-bit across runs and platforms.
+//!
+//! The design mirrors what the paper's host system (Umbra) exposes to its
+//! join operators: relations are stored column-wise, scanned morsel-wise,
+//! and materialized into rows only at pipeline breakers.
+
+pub mod column;
+pub mod gen;
+pub mod table;
+pub mod types;
+
+pub use column::{ColumnData, StrColumn};
+pub use gen::{Rng, Zipf};
+pub use table::{Field, Morsel, Schema, Table, TableBuilder};
+pub use types::{DataType, Date, Decimal, Value};

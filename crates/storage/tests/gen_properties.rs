@@ -1,0 +1,64 @@
+//! Property tests for the deterministic generators: bounds, determinism
+//! and permutation-ness must hold for arbitrary seeds and sizes.
+
+use joinstudy_storage::gen::{Rng, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u64_below_always_in_bounds(seed: u64, bound in 1u64..u64::MAX) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.u64_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn i64_range_inclusive_bounds(seed: u64, lo in -1000i64..1000, span in 0i64..2000) {
+        let hi = lo + span;
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            let v = rng.i64_range(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream(seed: u64) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn permutation_property(seed: u64, n in 1usize..2000) {
+        let mut rng = Rng::new(seed);
+        let mut p = rng.permutation(n);
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_stays_in_domain(seed: u64, n in 1u64..100_000, z in 0.0f64..2.5) {
+        let mut rng = Rng::new(seed);
+        let zipf = Zipf::new(n, z);
+        for _ in 0..100 {
+            let k = zipf.sample(&mut rng);
+            prop_assert!(k >= 1 && k <= n, "z={} n={} k={}", z, n, k);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements(seed: u64, mut v in prop::collection::vec(any::<i32>(), 0..500)) {
+        let mut rng = Rng::new(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        original.sort_unstable();
+        prop_assert_eq!(v, original);
+    }
+}

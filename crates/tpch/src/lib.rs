@@ -1,0 +1,10 @@
+//! TPC-H for the join study: a deterministic data generator plus physical
+//! plans for every join-bearing TPC-H query, parameterized by join
+//! implementation — the paper's §5.3 evaluation harness.
+
+pub mod dbgen;
+pub mod queries;
+pub mod text;
+
+pub use dbgen::{generate, generate_skewed, TpchData};
+pub use queries::{all_queries, query, QueryConfig, TpchQuery};

@@ -1,0 +1,111 @@
+//! TPC-H Q2 — minimum-cost supplier. Small build sides throughout: the
+//! paper's example of a query where every hash table fits in cache and
+//! partitioning cannot pay off (§5.3.1 "Small Build Size").
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+
+/// region(EUROPE) ⋈ nation ⋈ supplier(+`extra` columns) ⋈ partsupp.
+fn cost_chain(data: &TpchData, extra_supplier_cols: &[&str]) -> Plan {
+    let region = scan_where(&data.region, &["r_regionkey", "r_name"], |s| {
+        cx(s, "r_name").eq(Expr::str("EUROPE"))
+    });
+    let nation = Plan::scan(
+        &data.nation,
+        &["n_nationkey", "n_name", "n_regionkey"],
+        None,
+    );
+    let rn = join_on(
+        region,
+        nation,
+        JoinType::Inner,
+        &["r_regionkey"],
+        &["n_regionkey"],
+    );
+
+    let mut sup_cols = vec!["s_suppkey", "s_nationkey"];
+    sup_cols.extend_from_slice(extra_supplier_cols);
+    let supplier = Plan::scan(&data.supplier, &sup_cols, None);
+    let rns = join_on(
+        rn,
+        supplier,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["s_nationkey"],
+    );
+
+    let partsupp = Plan::scan(
+        &data.partsupp,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+        None,
+    );
+    join_on(
+        rns,
+        partsupp,
+        JoinType::Inner,
+        &["s_suppkey"],
+        &["ps_suppkey"],
+    )
+}
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    // Subquery chain: per-part minimum supply cost within EUROPE (the spec
+    // repeats the region/nation/supplier joins — so do we).
+    let sub = cost_chain(data, &[]);
+    let ss = sub.schema();
+    let minc = sub.aggregate(
+        &[ss.index_of("ps_partkey")],
+        vec![AggSpec::new(
+            AggFunc::Min,
+            ss.index_of("ps_supplycost"),
+            "min_cost",
+        )],
+    );
+
+    let part = scan_where(
+        &data.part,
+        &["p_partkey", "p_mfgr", "p_size", "p_type"],
+        |s| {
+            Expr::and(vec![
+                cx(s, "p_size").eq(Expr::i32(15)),
+                cx(s, "p_type").like("%BRASS"),
+            ])
+        },
+    );
+    let main = cost_chain(
+        data,
+        &["s_acctbal", "s_name", "s_address", "s_phone", "s_comment"],
+    );
+    let pm = join_on(part, main, JoinType::Inner, &["p_partkey"], &["ps_partkey"]);
+    let joined = join_on(
+        minc,
+        pm,
+        JoinType::Inner,
+        &["ps_partkey", "min_cost"],
+        &["p_partkey", "ps_supplycost"],
+    );
+
+    let projected = map_where(joined, |s| {
+        vec![
+            (cx(s, "s_acctbal"), "s_acctbal"),
+            (cx(s, "s_name"), "s_name"),
+            (cx(s, "n_name"), "n_name"),
+            (cx(s, "p_partkey"), "p_partkey"),
+            (cx(s, "p_mfgr"), "p_mfgr"),
+            (cx(s, "s_address"), "s_address"),
+            (cx(s, "s_phone"), "s_phone"),
+            (cx(s, "s_comment"), "s_comment"),
+        ]
+    });
+    let mut plan = projected.sort(
+        vec![
+            SortKey::desc(0),
+            SortKey::asc(2),
+            SortKey::asc(1),
+            SortKey::asc(3),
+        ],
+        Some(100),
+    );
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

@@ -1,0 +1,88 @@
+//! TPC-H Q5 — local supplier volume (ASIA, 1994). Five joins; the
+//! lineitem join has a 1:117 build:probe size ratio, the paper's example of
+//! a size difference too large for partitioning to pay off (§5.3.2).
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::Date;
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let lo = Date::from_ymd(1994, 1, 1);
+    let hi = lo.add_years(1);
+
+    let region = scan_where(&data.region, &["r_regionkey", "r_name"], |s| {
+        cx(s, "r_name").eq(Expr::str("ASIA"))
+    });
+    let nation = Plan::scan(
+        &data.nation,
+        &["n_nationkey", "n_name", "n_regionkey"],
+        None,
+    );
+    let rn = join_on(
+        region,
+        nation,
+        JoinType::Inner,
+        &["r_regionkey"],
+        &["n_regionkey"],
+    );
+
+    let customer = Plan::scan(&data.customer, &["c_custkey", "c_nationkey"], None);
+    let c = join_on(
+        rn,
+        customer,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["c_nationkey"],
+    );
+
+    let orders = scan_where(
+        &data.orders,
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+        |s| {
+            Expr::and(vec![
+                cx(s, "o_orderdate").ge(Expr::date(lo)),
+                cx(s, "o_orderdate").lt(Expr::date(hi)),
+            ])
+        },
+    );
+    let co = join_on(c, orders, JoinType::Inner, &["c_custkey"], &["o_custkey"]);
+
+    let lineitem = if cfg.lm {
+        Plan::scan_tid(&data.lineitem, &["l_orderkey", "l_suppkey"], None)
+    } else {
+        Plan::scan(
+            &data.lineitem,
+            &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+            None,
+        )
+    };
+    let col = join_on(
+        co,
+        lineitem,
+        JoinType::Inner,
+        &["o_orderkey"],
+        &["l_orderkey"],
+    );
+
+    // Supplier must be in the customer's nation: a two-column join key.
+    let supplier = Plan::scan(&data.supplier, &["s_suppkey", "s_nationkey"], None);
+    let mut t = join_on(
+        supplier,
+        col,
+        JoinType::Inner,
+        &["s_suppkey", "s_nationkey"],
+        &["l_suppkey", "n_nationkey"],
+    );
+    if cfg.lm {
+        t = late_load_lineitem(t, data, &["l_extendedprice", "l_discount"]);
+    }
+
+    let projected = map_where(t, |s| {
+        vec![(cx(s, "n_name"), "n_name"), (revenue_expr(s), "revenue")]
+    });
+    let mut plan = projected
+        .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "revenue")])
+        .sort(vec![SortKey::desc(1)], None);
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

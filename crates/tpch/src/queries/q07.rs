@@ -1,0 +1,142 @@
+//! TPC-H Q7 — volume shipping between FRANCE and GERMANY. The topmost two
+//! joins have large build *and* probe sides (§5.3.2): partitioning is too
+//! expensive because build tuples exceed 48 B.
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::{Date, Value};
+
+fn nations_filter(s: &Schema) -> Expr {
+    cx(s, "n_name").in_list(vec![
+        Value::Str("FRANCE".into()),
+        Value::Str("GERMANY".into()),
+    ])
+}
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let lo = Date::from_ymd(1995, 1, 1);
+    let hi = Date::from_ymd(1996, 12, 31);
+
+    // Supplier side: nation(F/G) ⋈ supplier, renamed to supp_nation.
+    let n1 = scan_where(&data.nation, &["n_nationkey", "n_name"], nations_filter);
+    let supplier = Plan::scan(&data.supplier, &["s_suppkey", "s_nationkey"], None);
+    let n1s = join_on(
+        n1,
+        supplier,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["s_nationkey"],
+    );
+    let n1s = map_where(n1s, |s| {
+        vec![
+            (cx(s, "s_suppkey"), "s_suppkey"),
+            (cx(s, "n_name"), "supp_nation"),
+        ]
+    });
+
+    let date_filter = |s: &Schema| {
+        Expr::and(vec![
+            cx(s, "l_shipdate").ge(Expr::date(lo)),
+            cx(s, "l_shipdate").le(Expr::date(hi)),
+        ])
+    };
+    let lineitem = if cfg.lm {
+        let idx: Vec<usize> = ["l_suppkey", "l_orderkey", "l_shipdate"]
+            .iter()
+            .map(|n| data.lineitem.schema().index_of(n))
+            .collect();
+        let schema = joinstudy_storage::table::Schema::new(
+            idx.iter()
+                .map(|&i| data.lineitem.schema().fields[i].clone())
+                .collect(),
+        );
+        Plan::Scan {
+            table: std::sync::Arc::clone(&data.lineitem),
+            cols: idx,
+            filter: Some(date_filter(&schema)),
+            tid: true,
+        }
+    } else {
+        scan_where(
+            &data.lineitem,
+            &[
+                "l_suppkey",
+                "l_orderkey",
+                "l_shipdate",
+                "l_extendedprice",
+                "l_discount",
+            ],
+            date_filter,
+        )
+    };
+    let sl = join_on(
+        n1s,
+        lineitem,
+        JoinType::Inner,
+        &["s_suppkey"],
+        &["l_suppkey"],
+    );
+
+    // Large build ⋈ large probe: the filtered lineitem side against orders.
+    let orders = Plan::scan(&data.orders, &["o_orderkey", "o_custkey"], None);
+    let so = join_on(
+        sl,
+        orders,
+        JoinType::Inner,
+        &["l_orderkey"],
+        &["o_orderkey"],
+    );
+
+    // Customer side: nation(F/G) ⋈ customer, renamed to cust_nation.
+    let n2 = scan_where(&data.nation, &["n_nationkey", "n_name"], nations_filter);
+    let customer = Plan::scan(&data.customer, &["c_custkey", "c_nationkey"], None);
+    let n2c = join_on(
+        n2,
+        customer,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["c_nationkey"],
+    );
+    let n2c = map_where(n2c, |s| {
+        vec![
+            (cx(s, "c_custkey"), "c_custkey"),
+            (cx(s, "n_name"), "cust_nation"),
+        ]
+    });
+
+    let mut t = join_on(n2c, so, JoinType::Inner, &["c_custkey"], &["o_custkey"]);
+    if cfg.lm {
+        t = late_load_lineitem(t, data, &["l_extendedprice", "l_discount"]);
+    }
+
+    // Only (FRANCE → GERMANY) and (GERMANY → FRANCE) flows count.
+    let t = filter_where(t, |s| {
+        Expr::or(vec![
+            Expr::and(vec![
+                cx(s, "supp_nation").eq(Expr::str("FRANCE")),
+                cx(s, "cust_nation").eq(Expr::str("GERMANY")),
+            ]),
+            Expr::and(vec![
+                cx(s, "supp_nation").eq(Expr::str("GERMANY")),
+                cx(s, "cust_nation").eq(Expr::str("FRANCE")),
+            ]),
+        ])
+    });
+
+    let projected = map_where(t, |s| {
+        vec![
+            (cx(s, "supp_nation"), "supp_nation"),
+            (cx(s, "cust_nation"), "cust_nation"),
+            (cx(s, "l_shipdate").extract_year(), "l_year"),
+            (revenue_expr(s), "volume"),
+        ]
+    });
+    let mut plan = projected
+        .aggregate(&[0, 1, 2], vec![AggSpec::new(AggFunc::Sum, 3, "revenue")])
+        .sort(
+            vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
+            None,
+        );
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

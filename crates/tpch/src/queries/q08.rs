@@ -1,0 +1,146 @@
+//! TPC-H Q8 — national market share (AMERICA, ECONOMY ANODIZED STEEL).
+//! Seven joins; its differentiating join probes the unfiltered 20 GB
+//! lineitem side against a 1 MB build — the BHJ wins by 60% there
+//! (§5.3.2). Late materialization defers the two money columns of
+//! lineitem, shrinking four of the seven build sides (§5.3.1).
+
+use super::*;
+use joinstudy_exec::ops::scan::TID_COLUMN;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::{Date, Decimal};
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let lo = Date::from_ymd(1995, 1, 1);
+    let hi = Date::from_ymd(1996, 12, 31);
+
+    let part = scan_where(&data.part, &["p_partkey", "p_type"], |s| {
+        cx(s, "p_type").eq(Expr::str("ECONOMY ANODIZED STEEL"))
+    });
+    // Late materialization: carry only keys + tid; fetch the money columns
+    // after the last join.
+    let lineitem = if cfg.lm {
+        Plan::scan_tid(
+            &data.lineitem,
+            &["l_partkey", "l_suppkey", "l_orderkey"],
+            None,
+        )
+    } else {
+        Plan::scan(
+            &data.lineitem,
+            &[
+                "l_partkey",
+                "l_suppkey",
+                "l_orderkey",
+                "l_extendedprice",
+                "l_discount",
+            ],
+            None,
+        )
+    };
+    let pl = join_on(
+        part,
+        lineitem,
+        JoinType::Inner,
+        &["p_partkey"],
+        &["l_partkey"],
+    );
+
+    let orders = scan_where(
+        &data.orders,
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+        |s| {
+            Expr::and(vec![
+                cx(s, "o_orderdate").ge(Expr::date(lo)),
+                cx(s, "o_orderdate").le(Expr::date(hi)),
+            ])
+        },
+    );
+    let plo = join_on(
+        pl,
+        orders,
+        JoinType::Inner,
+        &["l_orderkey"],
+        &["o_orderkey"],
+    );
+
+    let region = scan_where(&data.region, &["r_regionkey", "r_name"], |s| {
+        cx(s, "r_name").eq(Expr::str("AMERICA"))
+    });
+    let nation = Plan::scan(&data.nation, &["n_nationkey", "n_regionkey"], None);
+    let rn = join_on(
+        region,
+        nation,
+        JoinType::Inner,
+        &["r_regionkey"],
+        &["n_regionkey"],
+    );
+    let customer = Plan::scan(&data.customer, &["c_custkey", "c_nationkey"], None);
+    let c = join_on(
+        rn,
+        customer,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["c_nationkey"],
+    );
+
+    let t = join_on(c, plo, JoinType::Inner, &["c_custkey"], &["o_custkey"]);
+
+    // Supplier's nation (renamed: the customer chain already has n_* names).
+    let n2 = map_where(
+        Plan::scan(&data.nation, &["n_nationkey", "n_name"], None),
+        |s| {
+            vec![
+                (cx(s, "n_nationkey"), "n2_key"),
+                (cx(s, "n_name"), "supp_nation"),
+            ]
+        },
+    );
+    let supplier = Plan::scan(&data.supplier, &["s_suppkey", "s_nationkey"], None);
+    let n2s = join_on(n2, supplier, JoinType::Inner, &["n2_key"], &["s_nationkey"]);
+
+    let mut t2 = join_on(n2s, t, JoinType::Inner, &["s_suppkey"], &["l_suppkey"]);
+    if cfg.lm {
+        let ts = t2.schema();
+        t2 = Plan::LateLoad {
+            input: Box::new(t2),
+            table: std::sync::Arc::clone(&data.lineitem),
+            tid_col: ts.index_of(TID_COLUMN),
+            cols: vec![
+                data.lineitem.schema().index_of("l_extendedprice"),
+                data.lineitem.schema().index_of("l_discount"),
+            ],
+        };
+    }
+
+    let projected = map_where(t2, |s| {
+        let volume = revenue_expr(s);
+        vec![
+            (cx(s, "o_orderdate").extract_year(), "o_year"),
+            (volume.clone(), "volume"),
+            (
+                Expr::case_when(
+                    cx(s, "supp_nation").eq(Expr::str("BRAZIL")),
+                    volume,
+                    Expr::dec(Decimal::from_int(0)),
+                ),
+                "brazil_volume",
+            ),
+        ]
+    });
+    let agg = projected.aggregate(
+        &[0],
+        vec![
+            AggSpec::new(AggFunc::Sum, 2, "num"),
+            AggSpec::new(AggFunc::Sum, 1, "den"),
+        ],
+    );
+    let share = map_where(agg, |s| {
+        vec![
+            (cx(s, "o_year"), "o_year"),
+            (cx(s, "num").div(cx(s, "den")), "mkt_share"),
+        ]
+    });
+    let mut plan = share.sort(vec![SortKey::asc(0)], None);
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

@@ -1,0 +1,91 @@
+//! TPC-H Q9 — product-type profit (parts named `%green%`). Like Q7, the
+//! topmost joins carry wide (> 48 B) build tuples, which makes
+//! partitioning too expensive (§5.3.2).
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let part = scan_where(&data.part, &["p_partkey", "p_name"], |s| {
+        cx(s, "p_name").like("%green%")
+    });
+    let lineitem = if cfg.lm {
+        Plan::scan_tid(
+            &data.lineitem,
+            &["l_partkey", "l_suppkey", "l_orderkey"],
+            None,
+        )
+    } else {
+        Plan::scan(
+            &data.lineitem,
+            &[
+                "l_partkey",
+                "l_suppkey",
+                "l_orderkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+            ],
+            None,
+        )
+    };
+    let pl = join_on(
+        part,
+        lineitem,
+        JoinType::Inner,
+        &["p_partkey"],
+        &["l_partkey"],
+    );
+
+    // partsupp joined on the composite (partkey, suppkey) key.
+    let partsupp = Plan::scan(
+        &data.partsupp,
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+        None,
+    );
+    let t = join_on(
+        partsupp,
+        pl,
+        JoinType::Inner,
+        &["ps_partkey", "ps_suppkey"],
+        &["l_partkey", "l_suppkey"],
+    );
+
+    let nation = Plan::scan(&data.nation, &["n_nationkey", "n_name"], None);
+    let supplier = Plan::scan(&data.supplier, &["s_suppkey", "s_nationkey"], None);
+    let ns = join_on(
+        nation,
+        supplier,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["s_nationkey"],
+    );
+    let t2 = join_on(ns, t, JoinType::Inner, &["s_suppkey"], &["l_suppkey"]);
+
+    // Wide build side against the orders probe.
+    let orders = Plan::scan(&data.orders, &["o_orderkey", "o_orderdate"], None);
+    let mut t3 = join_on(
+        t2,
+        orders,
+        JoinType::Inner,
+        &["l_orderkey"],
+        &["o_orderkey"],
+    );
+    if cfg.lm {
+        t3 = late_load_lineitem(t3, data, &["l_quantity", "l_extendedprice", "l_discount"]);
+    }
+
+    let projected = map_where(t3, |s| {
+        let amount = revenue_expr(s).sub(cx(s, "ps_supplycost").mul(cx(s, "l_quantity")));
+        vec![
+            (cx(s, "n_name"), "nation"),
+            (cx(s, "o_orderdate").extract_year(), "o_year"),
+            (amount, "amount"),
+        ]
+    });
+    let mut plan = projected
+        .aggregate(&[0, 1], vec![AggSpec::new(AggFunc::Sum, 2, "sum_profit")])
+        .sort(vec![SortKey::asc(0), SortKey::desc(1)], None);
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

@@ -1,0 +1,112 @@
+//! TPC-H Q10 — returned-item reporting. Dominated by scanning/selecting
+//! the base tables (§5.3.1 "Otherwise dominated"), so the join choice
+//! matters little at large scale factors.
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::Date;
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let lo = Date::from_ymd(1993, 10, 1);
+    let hi = lo.add_months(3);
+
+    let orders = scan_where(
+        &data.orders,
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+        |s| {
+            Expr::and(vec![
+                cx(s, "o_orderdate").ge(Expr::date(lo)),
+                cx(s, "o_orderdate").lt(Expr::date(hi)),
+            ])
+        },
+    );
+    let customer = Plan::scan(
+        &data.customer,
+        &[
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_address",
+            "c_phone",
+            "c_comment",
+            "c_nationkey",
+        ],
+        None,
+    );
+    let co = join_on(
+        orders,
+        customer,
+        JoinType::Inner,
+        &["o_custkey"],
+        &["c_custkey"],
+    );
+
+    let lineitem = if cfg.lm {
+        let idx: Vec<usize> = ["l_orderkey", "l_returnflag"]
+            .iter()
+            .map(|n| data.lineitem.schema().index_of(n))
+            .collect();
+        let schema = joinstudy_storage::table::Schema::new(
+            idx.iter()
+                .map(|&i| data.lineitem.schema().fields[i].clone())
+                .collect(),
+        );
+        Plan::Scan {
+            table: std::sync::Arc::clone(&data.lineitem),
+            cols: idx,
+            filter: Some(cx(&schema, "l_returnflag").eq(Expr::str("R"))),
+            tid: true,
+        }
+    } else {
+        scan_where(
+            &data.lineitem,
+            &[
+                "l_orderkey",
+                "l_extendedprice",
+                "l_discount",
+                "l_returnflag",
+            ],
+            |s| cx(s, "l_returnflag").eq(Expr::str("R")),
+        )
+    };
+    let t = join_on(
+        co,
+        lineitem,
+        JoinType::Inner,
+        &["o_orderkey"],
+        &["l_orderkey"],
+    );
+
+    let nation = Plan::scan(&data.nation, &["n_nationkey", "n_name"], None);
+    let mut t2 = join_on(
+        nation,
+        t,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["c_nationkey"],
+    );
+    if cfg.lm {
+        t2 = late_load_lineitem(t2, data, &["l_extendedprice", "l_discount"]);
+    }
+
+    let projected = map_where(t2, |s| {
+        vec![
+            (cx(s, "c_custkey"), "c_custkey"),
+            (cx(s, "c_name"), "c_name"),
+            (cx(s, "c_acctbal"), "c_acctbal"),
+            (cx(s, "n_name"), "n_name"),
+            (cx(s, "c_address"), "c_address"),
+            (cx(s, "c_phone"), "c_phone"),
+            (cx(s, "c_comment"), "c_comment"),
+            (revenue_expr(s), "revenue"),
+        ]
+    });
+    let mut plan = projected
+        .aggregate(
+            &[0, 1, 2, 3, 4, 5, 6],
+            vec![AggSpec::new(AggFunc::Sum, 7, "revenue")],
+        )
+        .sort(vec![SortKey::desc(7)], Some(20));
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

@@ -1,0 +1,59 @@
+//! TPC-H Q11 — important stock identification (GERMANY). The largest
+//! build side is ~480 KB, fitting L2 entirely: the paper's example of a
+//! query where partitioning is redundant by construction (§5.3.1).
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::Decimal;
+
+/// nation(GERMANY) ⋈ supplier ⋈ partsupp → (ps_partkey, value).
+fn germany_chain(data: &TpchData) -> Plan {
+    let nation = scan_where(&data.nation, &["n_nationkey", "n_name"], |s| {
+        cx(s, "n_name").eq(Expr::str("GERMANY"))
+    });
+    let supplier = Plan::scan(&data.supplier, &["s_suppkey", "s_nationkey"], None);
+    let ns = join_on(
+        nation,
+        supplier,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["s_nationkey"],
+    );
+    let partsupp = Plan::scan(
+        &data.partsupp,
+        &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
+        None,
+    );
+    let t = join_on(
+        ns,
+        partsupp,
+        JoinType::Inner,
+        &["s_suppkey"],
+        &["ps_suppkey"],
+    );
+    map_where(t, |s| {
+        vec![
+            (cx(s, "ps_partkey"), "ps_partkey"),
+            (
+                cx(s, "ps_supplycost").mul(cx(s, "ps_availqty").to_decimal()),
+                "value",
+            ),
+        ]
+    })
+}
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    // Scalar subquery: total German stock value (its own join chain).
+    let mut sub = germany_chain(data).aggregate(&[], vec![AggSpec::new(AggFunc::Sum, 1, "total")]);
+    cfg.apply_aux(&mut sub);
+    let total = engine.execute(&sub).column_by_name("total").as_i64()[0];
+    let fraction = 0.0001 / data.sf;
+    let threshold = Decimal((total as f64 * fraction) as i64);
+
+    let mut plan =
+        germany_chain(data).aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "value")]);
+    plan = filter_where(plan, |s| cx(s, "value").gt(Expr::dec(threshold)))
+        .sort(vec![SortKey::desc(1)], None);
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

@@ -1,0 +1,71 @@
+//! TPC-H Q12 — shipping modes and order priority. One join whose build
+//! side is the *filtered lineitem* (87 MB at SF 100 — 4× LLC); the BHJ
+//! stays flat thanks to ROF prefetching while the RJ pays full
+//! materialization (§5.3.1).
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::{Date, Value};
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let lo = Date::from_ymd(1994, 1, 1);
+    let hi = lo.add_years(1);
+
+    let lineitem = scan_where(
+        &data.lineitem,
+        &[
+            "l_orderkey",
+            "l_shipmode",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+        ],
+        |s| {
+            Expr::and(vec![
+                cx(s, "l_shipmode")
+                    .in_list(vec![Value::Str("MAIL".into()), Value::Str("SHIP".into())]),
+                cx(s, "l_commitdate").lt(cx(s, "l_receiptdate")),
+                cx(s, "l_shipdate").lt(cx(s, "l_commitdate")),
+                cx(s, "l_receiptdate").ge(Expr::date(lo)),
+                cx(s, "l_receiptdate").lt(Expr::date(hi)),
+            ])
+        },
+    );
+    let orders = Plan::scan(&data.orders, &["o_orderkey", "o_orderpriority"], None);
+    let t = join_on(
+        lineitem,
+        orders,
+        JoinType::Inner,
+        &["l_orderkey"],
+        &["o_orderkey"],
+    );
+
+    let projected = map_where(t, |s| {
+        let is_high = cx(s, "o_orderpriority").in_list(vec![
+            Value::Str("1-URGENT".into()),
+            Value::Str("2-HIGH".into()),
+        ]);
+        vec![
+            (cx(s, "l_shipmode"), "l_shipmode"),
+            (
+                Expr::case_when(is_high.clone(), Expr::i64(1), Expr::i64(0)),
+                "high_line",
+            ),
+            (
+                Expr::case_when(is_high, Expr::i64(0), Expr::i64(1)),
+                "low_line",
+            ),
+        ]
+    });
+    let mut plan = projected
+        .aggregate(
+            &[0],
+            vec![
+                AggSpec::new(AggFunc::Sum, 1, "high_line_count"),
+                AggSpec::new(AggFunc::Sum, 2, "low_line_count"),
+            ],
+        )
+        .sort(vec![SortKey::asc(0)], None);
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

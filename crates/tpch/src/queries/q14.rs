@@ -1,0 +1,99 @@
+//! TPC-H Q14 — promotion effect (1995-09). Build and probe sides are
+//! roughly equal in size, so both radix variants perform well at high SF
+//! (§5.3.1). The paper's LM example where late materialization *hurts*:
+//! it only removes 8 B from the build side but adds random access for all
+//! surviving tuples.
+
+use super::*;
+use joinstudy_exec::ops::scan::TID_COLUMN;
+use joinstudy_exec::ops::{AggFunc, AggSpec};
+use joinstudy_storage::types::{Date, Decimal};
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let lo = Date::from_ymd(1995, 9, 1);
+    let hi = lo.add_months(1);
+
+    let date_filter = |s: &Schema| {
+        Expr::and(vec![
+            cx(s, "l_shipdate").ge(Expr::date(lo)),
+            cx(s, "l_shipdate").lt(Expr::date(hi)),
+        ])
+    };
+    let lineitem = if cfg.lm {
+        // LM: defer the money columns past the join.
+        let idx = ["l_partkey", "l_shipdate"]
+            .iter()
+            .map(|n| data.lineitem.schema().index_of(n))
+            .collect::<Vec<_>>();
+        let schema = Schema::new(
+            idx.iter()
+                .map(|&i| data.lineitem.schema().fields[i].clone())
+                .collect(),
+        );
+        Plan::Scan {
+            table: std::sync::Arc::clone(&data.lineitem),
+            cols: idx,
+            filter: Some(date_filter(&schema)),
+            tid: true,
+        }
+    } else {
+        scan_where(
+            &data.lineitem,
+            &["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
+            date_filter,
+        )
+    };
+
+    let part = Plan::scan(&data.part, &["p_partkey", "p_type"], None);
+    let mut t = join_on(
+        lineitem,
+        part,
+        JoinType::Inner,
+        &["l_partkey"],
+        &["p_partkey"],
+    );
+    if cfg.lm {
+        let ts = t.schema();
+        t = Plan::LateLoad {
+            input: Box::new(t),
+            table: std::sync::Arc::clone(&data.lineitem),
+            tid_col: ts.index_of(TID_COLUMN),
+            cols: vec![
+                data.lineitem.schema().index_of("l_extendedprice"),
+                data.lineitem.schema().index_of("l_discount"),
+            ],
+        };
+    }
+
+    let projected = map_where(t, |s| {
+        let rev = revenue_expr(s);
+        vec![
+            (
+                Expr::case_when(
+                    cx(s, "p_type").like("PROMO%"),
+                    rev.clone(),
+                    Expr::dec(Decimal::from_int(0)),
+                ),
+                "promo",
+            ),
+            (rev, "total"),
+        ]
+    });
+    let agg = projected.aggregate(
+        &[],
+        vec![
+            AggSpec::new(AggFunc::Sum, 0, "promo"),
+            AggSpec::new(AggFunc::Sum, 1, "total"),
+        ],
+    );
+    let mut plan = map_where(agg, |s| {
+        vec![(
+            Expr::dec(Decimal::from_int(100))
+                .mul(cx(s, "promo"))
+                .div(cx(s, "total")),
+            "promo_revenue",
+        )]
+    });
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

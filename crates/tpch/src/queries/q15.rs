@@ -1,0 +1,67 @@
+//! TPC-H Q15 — top supplier. The revenue view and its maximum are
+//! evaluated as separate plans (uncorrelated subqueries); the single join
+//! matches suppliers against the best-revenue rows.
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::{Date, Decimal};
+use std::sync::Arc;
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let lo = Date::from_ymd(1996, 1, 1);
+    let hi = lo.add_months(3);
+
+    // revenue view: supplier → total revenue in the quarter.
+    let rev_plan = map_where(
+        scan_where(
+            &data.lineitem,
+            &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+            |s| {
+                Expr::and(vec![
+                    cx(s, "l_shipdate").ge(Expr::date(lo)),
+                    cx(s, "l_shipdate").lt(Expr::date(hi)),
+                ])
+            },
+        ),
+        |s| {
+            vec![
+                (cx(s, "l_suppkey"), "supplier_no"),
+                (revenue_expr(s), "rev"),
+            ]
+        },
+    )
+    .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "total_revenue")]);
+    let revenue = Arc::new(engine.execute(&rev_plan));
+
+    let max_plan = Plan::scan(&revenue, &["total_revenue"], None)
+        .aggregate(&[], vec![AggSpec::new(AggFunc::Max, 0, "m")]);
+    let max_rev = Decimal(engine.execute(&max_plan).column_by_name("m").as_i64()[0]);
+
+    let best = scan_where(&revenue, &["supplier_no", "total_revenue"], |s| {
+        cx(s, "total_revenue").eq(Expr::dec(max_rev))
+    });
+    let supplier = Plan::scan(
+        &data.supplier,
+        &["s_suppkey", "s_name", "s_address", "s_phone"],
+        None,
+    );
+    let joined = join_on(
+        best,
+        supplier,
+        JoinType::Inner,
+        &["supplier_no"],
+        &["s_suppkey"],
+    );
+    let projected = map_where(joined, |s| {
+        vec![
+            (cx(s, "s_suppkey"), "s_suppkey"),
+            (cx(s, "s_name"), "s_name"),
+            (cx(s, "s_address"), "s_address"),
+            (cx(s, "s_phone"), "s_phone"),
+            (cx(s, "total_revenue"), "total_revenue"),
+        ]
+    });
+    let mut plan = projected.sort(vec![SortKey::asc(0)], None);
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

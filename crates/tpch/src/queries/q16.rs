@@ -1,0 +1,65 @@
+//! TPC-H Q16 — parts/supplier relationship. Dominated by the distinct
+//! grouping (§5.3.1 "Otherwise dominated"); the anti join against the
+//! complaints suppliers preserves the probe (partsupp) side.
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy_storage::types::Value;
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    let sizes: Vec<Value> = [49, 14, 23, 45, 19, 3, 36, 9]
+        .iter()
+        .map(|&v| Value::Int32(v))
+        .collect();
+    let part = scan_where(
+        &data.part,
+        &["p_partkey", "p_brand", "p_type", "p_size"],
+        |s| {
+            Expr::and(vec![
+                cx(s, "p_brand").ne(Expr::str("Brand#45")),
+                cx(s, "p_type").like("MEDIUM POLISHED%").not(),
+                cx(s, "p_size").in_list(sizes),
+            ])
+        },
+    );
+    let partsupp = Plan::scan(&data.partsupp, &["ps_partkey", "ps_suppkey"], None);
+    let t = join_on(
+        part,
+        partsupp,
+        JoinType::Inner,
+        &["p_partkey"],
+        &["ps_partkey"],
+    );
+
+    // ps_suppkey NOT IN (complaints suppliers): anti join preserving partsupp.
+    let bad = scan_where(&data.supplier, &["s_suppkey", "s_comment"], |s| {
+        cx(s, "s_comment").like("%Customer%Complaints%")
+    });
+    let t2 = join_on(bad, t, JoinType::ProbeAnti, &["s_suppkey"], &["ps_suppkey"]);
+
+    let ts = t2.schema();
+    let mut plan = t2
+        .aggregate(
+            &[
+                ts.index_of("p_brand"),
+                ts.index_of("p_type"),
+                ts.index_of("p_size"),
+            ],
+            vec![AggSpec::new(
+                AggFunc::CountDistinct,
+                ts.index_of("ps_suppkey"),
+                "supplier_cnt",
+            )],
+        )
+        .sort(
+            vec![
+                SortKey::desc(3),
+                SortKey::asc(0),
+                SortKey::asc(1),
+                SortKey::asc(2),
+            ],
+            None,
+        );
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

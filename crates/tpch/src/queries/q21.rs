@@ -1,0 +1,87 @@
+//! TPC-H Q21 — suppliers who kept orders waiting (SAUDI ARABIA, status F).
+//! The paper's deep-dive query (Figure 13): a left-deep five-join tree
+//! whose joins span the full spectrum of build/probe characteristics.
+//!
+//! The correlated EXISTS / NOT EXISTS pair is decomposed into per-order
+//! supplier counts: another supplier exists on the order iff the order has
+//! ≥ 2 distinct suppliers; no *other* supplier was late iff the late
+//! lineitems of the order involve exactly 1 distinct supplier (l1's own).
+
+use super::*;
+use joinstudy_exec::ops::{AggFunc, AggSpec, SortKey};
+use std::sync::Arc;
+
+pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
+    // Per-order distinct supplier counts (all lineitems / late lineitems).
+    let all_counts = Plan::scan(&data.lineitem, &["l_orderkey", "l_suppkey"], None).aggregate(
+        &[0],
+        vec![AggSpec::new(AggFunc::CountDistinct, 1, "n_supp")],
+    );
+    let all_counts = Arc::new(engine.execute(&all_counts));
+
+    let late_counts = scan_where(
+        &data.lineitem,
+        &["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
+        |s| cx(s, "l_receiptdate").gt(cx(s, "l_commitdate")),
+    )
+    .aggregate(
+        &[0],
+        vec![AggSpec::new(AggFunc::CountDistinct, 1, "n_late")],
+    );
+    let late_counts = Arc::new(engine.execute(&late_counts));
+
+    // Join 1: nation(SAUDI ARABIA) ⋈ supplier — a 12 B build side.
+    let nation = scan_where(&data.nation, &["n_nationkey", "n_name"], |s| {
+        cx(s, "n_name").eq(Expr::str("SAUDI ARABIA"))
+    });
+    let supplier = Plan::scan(
+        &data.supplier,
+        &["s_suppkey", "s_name", "s_nationkey"],
+        None,
+    );
+    let ns = join_on(
+        nation,
+        supplier,
+        JoinType::Inner,
+        &["n_nationkey"],
+        &["s_nationkey"],
+    );
+
+    // Join 2: the supplier's own late lineitems (1 MB ⋈ 6 GB in Fig 13).
+    let l1 = scan_where(
+        &data.lineitem,
+        &["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
+        |s| cx(s, "l_receiptdate").gt(cx(s, "l_commitdate")),
+    );
+    let t = join_on(ns, l1, JoinType::Inner, &["s_suppkey"], &["l_suppkey"]);
+
+    // Join 3: only finalized orders.
+    let orders = scan_where(&data.orders, &["o_orderkey", "o_orderstatus"], |s| {
+        cx(s, "o_orderstatus").eq(Expr::str("F"))
+    });
+    let t = join_on(t, orders, JoinType::Inner, &["l_orderkey"], &["o_orderkey"]);
+
+    // Join 4: EXISTS other-supplier ⟺ order has ≥ 2 distinct suppliers.
+    let multi = scan_where(&all_counts, &["l_orderkey", "n_supp"], |s| {
+        cx(s, "n_supp").ge(Expr::i64(2))
+    });
+    let multi = map_where(multi, |s| vec![(cx(s, "l_orderkey"), "mo_orderkey")]);
+    let t = join_on(multi, t, JoinType::Inner, &["mo_orderkey"], &["o_orderkey"]);
+
+    // Join 5: NOT EXISTS other late supplier ⟺ exactly 1 late supplier.
+    let solo = scan_where(&late_counts, &["l_orderkey", "n_late"], |s| {
+        cx(s, "n_late").eq(Expr::i64(1))
+    });
+    let solo = map_where(solo, |s| vec![(cx(s, "l_orderkey"), "so_orderkey")]);
+    let t = join_on(solo, t, JoinType::Inner, &["so_orderkey"], &["o_orderkey"]);
+
+    let ts = t.schema();
+    let mut plan = t
+        .aggregate(
+            &[ts.index_of("s_name")],
+            vec![AggSpec::new(AggFunc::CountStar, 0, "numwait")],
+        )
+        .sort(vec![SortKey::desc(1), SortKey::asc(0)], Some(100));
+    cfg.apply(&mut plan);
+    engine.execute(&plan)
+}

@@ -1,0 +1,107 @@
+//! Dissect one radix join: phase-by-phase byte traffic and the Bloom
+//! filter's effect on a selective workload — Figures 10 and 14 in
+//! miniature, against the library's public instrumentation APIs.
+//!
+//! `cargo run --release --example join_anatomy`
+
+use joinstudy::core::{Engine, JoinAlgo, JoinType, Plan};
+use joinstudy::exec::metrics;
+use joinstudy::exec::ops::{AggFunc, AggSpec};
+use joinstudy::storage::column::ColumnData;
+use joinstudy::storage::gen::Rng;
+use joinstudy::storage::table::{Schema, TableBuilder};
+use joinstudy::storage::types::DataType;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn make_tables(
+    build_n: usize,
+    probe_n: usize,
+    selectivity: f64,
+) -> (
+    Arc<joinstudy::storage::table::Table>,
+    Arc<joinstudy::storage::table::Table>,
+) {
+    let mut rng = Rng::new(3);
+    let schema = Schema::of(&[("k", DataType::Int64), ("v", DataType::Int64)]);
+    let mut b = TableBuilder::with_capacity(schema.clone(), build_n);
+    let keys = rng.permutation(build_n);
+    *b.column_mut(0) = ColumnData::Int64(keys.iter().map(|&k| k as i64).collect());
+    *b.column_mut(1) = ColumnData::Int64(vec![0; build_n]);
+    let mut p = TableBuilder::with_capacity(schema, probe_n);
+    *p.column_mut(0) = ColumnData::Int64(
+        (0..probe_n)
+            .map(|_| {
+                if rng.bool(selectivity) {
+                    rng.u64_below(build_n as u64) as i64
+                } else {
+                    (build_n as u64 * 2 + rng.u64_below(build_n as u64)) as i64
+                }
+            })
+            .collect(),
+    );
+    *p.column_mut(1) = ColumnData::Int64(vec![0; probe_n]);
+    (Arc::new(b.finish()), Arc::new(p.finish()))
+}
+
+fn count_plan(
+    build: &Arc<joinstudy::storage::table::Table>,
+    probe: &Arc<joinstudy::storage::table::Table>,
+    algo: JoinAlgo,
+) -> Plan {
+    Plan::scan(build, &["k", "v"], None)
+        .join(
+            Plan::scan(probe, &["k", "v"], None),
+            algo,
+            JoinType::Inner,
+            &[0],
+            &[0],
+        )
+        .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")])
+}
+
+fn main() {
+    let (build, probe) = make_tables(100_000, 2_000_000, 0.05);
+    let engine = Engine::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+
+    println!("5% of the 2M probe tuples have a join partner.\n");
+    println!("--- plain radix join: where do the bytes go? ---");
+    metrics::set_enabled(true);
+    metrics::reset();
+    let t = Instant::now();
+    engine.execute(&count_plan(&build, &probe, JoinAlgo::Rj));
+    let rj_ms = t.elapsed().as_secs_f64() * 1e3;
+    metrics::set_enabled(false);
+    for (phase, read, write) in metrics::snapshot() {
+        if read + write > 0 {
+            println!(
+                "  {:<18} read {:>8.1} MiB   write {:>8.1} MiB",
+                phase.name(),
+                read as f64 / (1 << 20) as f64,
+                write as f64 / (1 << 20) as f64
+            );
+        }
+    }
+
+    println!("\n--- the same join, per algorithm ---");
+    for algo in [JoinAlgo::Rj, JoinAlgo::Brj, JoinAlgo::Bhj] {
+        let t = Instant::now();
+        let r = engine.execute(&count_plan(&build, &probe, algo));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {:<4} {:>8.1} ms   ({} matches)",
+            algo.name(),
+            ms,
+            r.column_by_name("cnt").as_i64()[0]
+        );
+    }
+    println!(
+        "\nThe BRJ drops ~95% of probe tuples before partitioning them — \
+         that's the paper's §4.7 semi-join reducer (plain RJ took {rj_ms:.1} ms \
+         and materialized every probe tuple twice)."
+    );
+}

@@ -1,0 +1,88 @@
+//! Join variants and skew tolerance: exercise semi/anti/mark/outer joins
+//! through the public API and show what Zipf skew does to each algorithm
+//! (Figure 17 in miniature).
+//!
+//! `cargo run --release --example skew_and_variants`
+
+use joinstudy::core::{Engine, JoinAlgo, JoinType, Plan};
+use joinstudy::exec::ops::{AggFunc, AggSpec};
+use joinstudy::storage::column::ColumnData;
+use joinstudy::storage::gen::{Rng, Zipf};
+use joinstudy::storage::table::{Schema, Table, TableBuilder};
+use joinstudy::storage::types::DataType;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn table(keys: Vec<i64>) -> Arc<Table> {
+    let schema = Schema::of(&[("k", DataType::Int64)]);
+    let mut b = TableBuilder::with_capacity(schema, keys.len());
+    *b.column_mut(0) = ColumnData::Int64(keys);
+    Arc::new(b.finish())
+}
+
+fn main() {
+    let engine = Engine::new(2);
+
+    // --- All equi-join variants over one small pair -----------------------
+    let customers = table((0..8).collect()); // customers 0..8
+    let orders = table(vec![1, 1, 3, 5, 5, 5, 11]); // orders referencing some
+
+    println!("customers = 0..8, orders reference {{1,1,3,5,5,5,11}}\n");
+    for (kind, desc) in [
+        (JoinType::Inner, "matching (customer, order) pairs"),
+        (JoinType::ProbeSemi, "orders with a known customer"),
+        (JoinType::ProbeAnti, "orders without a known customer"),
+        (JoinType::ProbeMark, "orders + 'customer exists' flag"),
+        (JoinType::ProbeOuter, "orders, customers padded with NULL"),
+        (JoinType::BuildSemi, "customers with at least one order"),
+        (JoinType::BuildAnti, "customers without orders (TPC-H Q22!)"),
+    ] {
+        let plan = Plan::scan(&customers, &["k"], None)
+            .join(
+                Plan::scan(&orders, &["k"], None),
+                JoinAlgo::Brj,
+                kind,
+                &[0],
+                &[0],
+            )
+            .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
+        let rows = engine.execute(&plan).column_by_name("cnt").as_i64()[0];
+        println!("  {kind:?}: {rows} rows  — {desc}");
+    }
+
+    // --- Skew: radix joins vs the non-partitioned join --------------------
+    println!("\nZipf skew over 64k build keys, 1M probes (ms, lower is better):");
+    println!("  {:>6} {:>10} {:>10}", "z", "BHJ[ms]", "RJ[ms]");
+    let build_n = 64 * 1024;
+    let probe_n = 1024 * 1024;
+    let mut rng = Rng::new(9);
+    let build = table(rng.permutation(build_n).iter().map(|&k| k as i64).collect());
+    for z in [0.0, 1.0, 2.0] {
+        let zipf = Zipf::new(build_n as u64, z);
+        let probe = table(
+            (0..probe_n)
+                .map(|_| (zipf.sample(&mut rng) - 1) as i64)
+                .collect(),
+        );
+        let mut row = Vec::new();
+        for algo in [JoinAlgo::Bhj, JoinAlgo::Rj] {
+            let plan = Plan::scan(&build, &["k"], None)
+                .join(
+                    Plan::scan(&probe, &["k"], None),
+                    algo,
+                    JoinType::Inner,
+                    &[0],
+                    &[0],
+                )
+                .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
+            let t = Instant::now();
+            engine.execute(&plan);
+            row.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        println!("  {:>6.1} {:>10.1} {:>10.1}", z, row[0], row[1]);
+    }
+    println!(
+        "\nSkew helps the BHJ (hot keys become cache-resident) and hurts the \
+         RJ (partition sizes unbalance) — the paper's Figure 17."
+    );
+}

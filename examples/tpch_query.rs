@@ -1,0 +1,64 @@
+//! Run a TPC-H query under all three join implementations and print the
+//! result plus the timing — the paper's §5.3 methodology in miniature.
+//!
+//! `cargo run --release --example tpch_query [-- <query-id> [<sf>]]`
+//! (defaults: Q5 at SF 0.05)
+
+use joinstudy::core::JoinAlgo;
+use joinstudy::tpch::queries::QueryConfig;
+use joinstudy::tpch::{generate, query};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let id: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let sf: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+
+    println!("generating TPC-H SF {sf} ...");
+    let start = Instant::now();
+    let data = generate(sf, 42);
+    println!(
+        "  {:.1} MiB in {:.1} s\n",
+        data.byte_size() as f64 / (1 << 20) as f64,
+        start.elapsed().as_secs_f64()
+    );
+
+    let q = query(id);
+    let engine = joinstudy::core::Engine::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+
+    let mut last = None;
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Brj, JoinAlgo::Rj] {
+        let cfg = QueryConfig::new(algo);
+        let start = Instant::now();
+        let result = (q.run)(&data, &cfg, &engine);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "Q{id} with every join as {:<4}: {:>8.1} ms, {} rows",
+            algo.name(),
+            ms,
+            result.num_rows()
+        );
+        last = Some(result);
+    }
+
+    let result = last.unwrap();
+    println!("\nresult ({} rows):", result.num_rows());
+    let header: Vec<&str> = result
+        .schema()
+        .fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    println!("  {}", header.join(" | "));
+    for r in 0..result.num_rows().min(10) {
+        let row: Vec<String> = result.row(r).iter().map(|v| v.to_string()).collect();
+        println!("  {}", row.join(" | "));
+    }
+    if result.num_rows() > 10 {
+        println!("  ... ({} more rows)", result.num_rows() - 10);
+    }
+}

@@ -1,0 +1,56 @@
+//! # joinstudy — to partition, or not to partition?
+//!
+//! A full Rust reproduction of *Bandle, Giceva, Neumann: "To Partition, or
+//! Not to Partition, That is the Join Question in a Real System"*
+//! (SIGMOD 2021): a vectorized, morsel-driven query engine hosting three
+//! drop-in-interchangeable hash joins — the buffered non-partitioned hash
+//! join (BHJ), the radix join (RJ), and the Bloom-filtered radix join
+//! (BRJ) — plus the TPC-H evaluation harness and every microbenchmark from
+//! the paper's §5.
+//!
+//! This facade crate re-exports the study's layers:
+//!
+//! * [`storage`] — columnar tables, morsels, deterministic data generation,
+//! * [`exec`] — batches, expressions, pipelines, the morsel scheduler,
+//! * [`core`] — the joins themselves and the physical-plan compiler,
+//! * [`baseline`] — stand-alone Balkesen-style PRJ/NPJ baselines,
+//! * [`tpch`] — data generator + all join-bearing TPC-H query plans,
+//! * [`sql`] — a small SQL frontend (the paper's microbenchmark statements
+//!   run verbatim).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use joinstudy::core::{Engine, JoinAlgo, JoinType, Plan};
+//! use joinstudy::exec::ops::{AggFunc, AggSpec};
+//! use joinstudy::storage::table::{Schema, TableBuilder};
+//! use joinstudy::storage::types::{DataType, Value};
+//! use std::sync::Arc;
+//!
+//! // Two tiny relations...
+//! let schema = Schema::of(&[("k", DataType::Int64)]);
+//! let mut b = TableBuilder::new(schema.clone());
+//! for k in 0..100 {
+//!     b.push_row(&[Value::Int64(k)]);
+//! }
+//! let build = Arc::new(b.finish());
+//! let mut p = TableBuilder::new(schema);
+//! for k in 0..1000 {
+//!     p.push_row(&[Value::Int64(k % 200)]);
+//! }
+//! let probe = Arc::new(p.finish());
+//!
+//! // ...joined with the radix join, counted.
+//! let plan = Plan::scan(&build, &["k"], None)
+//!     .join(Plan::scan(&probe, &["k"], None), JoinAlgo::Rj, JoinType::Inner, &[0], &[0])
+//!     .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
+//! let result = Engine::new(2).execute(&plan);
+//! assert_eq!(result.column_by_name("cnt").as_i64()[0], 500);
+//! ```
+
+pub use joinstudy_baseline as baseline;
+pub use joinstudy_core as core;
+pub use joinstudy_exec as exec;
+pub use joinstudy_sql as sql;
+pub use joinstudy_storage as storage;
+pub use joinstudy_tpch as tpch;

@@ -1,0 +1,192 @@
+//! Cross-crate integration: multi-operator pipelines combining scans,
+//! filters, projections, several joins, aggregation, sorting and late
+//! materialization — verified against hand-computed answers.
+
+use joinstudy::core::{Engine, JoinAlgo, JoinType, Plan};
+use joinstudy::exec::expr::Expr;
+use joinstudy::exec::ops::{AggFunc, AggSpec, SortKey};
+use joinstudy::storage::table::{Schema, Table, TableBuilder};
+use joinstudy::storage::types::{DataType, Decimal, Value};
+use std::sync::Arc;
+
+fn sales_tables() -> (Arc<Table>, Arc<Table>) {
+    // products: (pid, price), sales: (pid, qty)
+    let pschema = Schema::of(&[("pid", DataType::Int64), ("price", DataType::Decimal)]);
+    let mut p = TableBuilder::new(pschema);
+    for (pid, cents) in [(1i64, 1000i64), (2, 250), (3, 99), (4, 50000)] {
+        p.push_row(&[Value::Int64(pid), Value::Decimal(Decimal(cents))]);
+    }
+    let sschema = Schema::of(&[("pid", DataType::Int64), ("qty", DataType::Int64)]);
+    let mut s = TableBuilder::new(sschema);
+    for (pid, qty) in [(1i64, 2i64), (1, 3), (2, 10), (3, 1), (9, 100)] {
+        s.push_row(&[Value::Int64(pid), Value::Int64(qty)]);
+    }
+    (Arc::new(p.finish()), Arc::new(s.finish()))
+}
+
+#[test]
+fn filtered_join_group_sort_end_to_end() {
+    let (products, sales) = sales_tables();
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+        // Revenue per product, products costing > 1.00, sorted by revenue.
+        let plan = Plan::scan(
+            &products,
+            &["pid", "price"],
+            Some(Expr::col(1).gt(Expr::dec(Decimal::from_int(1)))),
+        )
+        .join(
+            Plan::scan(&sales, &["pid", "qty"], None),
+            algo,
+            JoinType::Inner,
+            &[0],
+            &[0],
+        )
+        // columns: [pid, price, pid, qty] → revenue = price * qty
+        .map(
+            vec![Expr::col(0), Expr::col(1).mul(Expr::col(3).to_decimal())],
+            &["pid", "revenue"],
+        )
+        .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "revenue")])
+        .sort(vec![SortKey::desc(1)], None);
+        let t = Engine::new(2).execute(&plan);
+        // pid 1: 10.00 * 5 = 50.00; pid 2: 2.50 * 10 = 25.00.
+        // pid 3 filtered out (0.99), pid 4 has no sales, pid 9 unknown.
+        assert_eq!(t.num_rows(), 2, "{algo:?}");
+        assert_eq!(t.column_by_name("pid").as_i64(), &[1, 2]);
+        assert_eq!(t.column_by_name("revenue").as_i64(), &[5000, 2500]);
+    }
+}
+
+#[test]
+fn anti_join_finds_products_without_sales() {
+    let (products, sales) = sales_tables();
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+        let plan = Plan::scan(&products, &["pid"], None)
+            .join(
+                Plan::scan(&sales, &["pid"], None),
+                algo,
+                JoinType::BuildAnti,
+                &[0],
+                &[0],
+            )
+            .sort(vec![SortKey::asc(0)], None);
+        let t = Engine::new(2).execute(&plan);
+        assert_eq!(t.column(0).as_i64(), &[4], "{algo:?}");
+    }
+}
+
+#[test]
+fn three_way_join_chain_with_mixed_algorithms() {
+    // region -> nation -> city chain with a different algorithm per join.
+    let mk = |pairs: &[(i64, i64)]| -> Arc<Table> {
+        let schema = Schema::of(&[("id", DataType::Int64), ("parent", DataType::Int64)]);
+        let mut b = TableBuilder::new(schema);
+        for &(id, parent) in pairs {
+            b.push_row(&[Value::Int64(id), Value::Int64(parent)]);
+        }
+        Arc::new(b.finish())
+    };
+    let regions = mk(&[(1, 0), (2, 0)]);
+    let nations = mk(&[(10, 1), (11, 1), (12, 2)]);
+    let cities = mk(&[(100, 10), (101, 10), (102, 11), (103, 12), (104, 99)]);
+
+    for (a1, a2) in [
+        (JoinAlgo::Bhj, JoinAlgo::Rj),
+        (JoinAlgo::Rj, JoinAlgo::Brj),
+        (JoinAlgo::Brj, JoinAlgo::Bhj),
+    ] {
+        let rn = Plan::scan(&regions, &["id"], None).join(
+            Plan::scan(&nations, &["id", "parent"], None),
+            a1,
+            JoinType::Inner,
+            &[0],
+            &[1],
+        );
+        // rn schema: [r.id, n.id, n.parent]
+        let rnc = rn.join(
+            Plan::scan(&cities, &["id", "parent"], None),
+            a2,
+            JoinType::Inner,
+            &[1],
+            &[1],
+        );
+        let plan = rnc.aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
+        let t = Engine::new(2).execute(&plan);
+        // Cities 100..103 resolve through the chain; 104 dangles.
+        assert_eq!(t.column_by_name("cnt").as_i64(), &[4], "{a1:?}+{a2:?}");
+    }
+}
+
+#[test]
+fn late_materialization_roundtrip_with_strings() {
+    let schema = Schema::of(&[("id", DataType::Int64), ("label", DataType::Str)]);
+    let mut b = TableBuilder::new(schema);
+    for i in 0..1000i64 {
+        b.push_row(&[Value::Int64(i), Value::Str(format!("label-{i}"))]);
+    }
+    let table = Arc::new(b.finish());
+
+    let plan = Plan::scan_tid(&table, &["id"], Some(Expr::col(0).ge(Expr::i64(995))))
+        .late_load(&table, 1, &["label"])
+        .sort(vec![SortKey::asc(0)], None);
+    let t = Engine::new(2).execute(&plan);
+    assert_eq!(t.num_rows(), 5);
+    assert_eq!(t.column(2).as_str().get(0), "label-995");
+    assert_eq!(t.column(2).as_str().get(4), "label-999");
+}
+
+#[test]
+fn string_keyed_join() {
+    let schema = Schema::of(&[("name", DataType::Str), ("v", DataType::Int64)]);
+    let mk = |rows: &[(&str, i64)]| -> Arc<Table> {
+        let mut b = TableBuilder::new(schema.clone());
+        for &(n, v) in rows {
+            b.push_row(&[Value::Str(n.into()), Value::Int64(v)]);
+        }
+        Arc::new(b.finish())
+    };
+    let left = mk(&[("alpha", 1), ("beta", 2), ("gamma", 3)]);
+    let right = mk(&[("beta", 20), ("beta", 21), ("delta", 40)]);
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+        let plan = Plan::scan(&left, &["name", "v"], None)
+            .join(
+                Plan::scan(&right, &["name", "v"], None),
+                algo,
+                JoinType::Inner,
+                &[0],
+                &[0],
+            )
+            .sort(vec![SortKey::asc(3)], None);
+        let t = Engine::new(2).execute(&plan);
+        assert_eq!(t.num_rows(), 2, "{algo:?}");
+        assert_eq!(t.column(0).as_str().get(0), "beta");
+        assert_eq!(t.column(3).as_i64(), &[20, 21]);
+    }
+}
+
+#[test]
+fn empty_inputs_through_full_pipelines() {
+    let schema = Schema::of(&[("k", DataType::Int64)]);
+    let empty = Arc::new(Table::empty(schema.clone()));
+    let mut b = TableBuilder::new(schema);
+    b.push_row(&[Value::Int64(1)]);
+    let one = Arc::new(b.finish());
+
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+        for (build, probe, expected) in
+            [(&empty, &one, 0i64), (&one, &empty, 0), (&empty, &empty, 0)]
+        {
+            let plan = Plan::scan(build, &["k"], None)
+                .join(
+                    Plan::scan(probe, &["k"], None),
+                    algo,
+                    JoinType::Inner,
+                    &[0],
+                    &[0],
+                )
+                .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
+            let t = Engine::new(2).execute(&plan);
+            assert_eq!(t.column_by_name("cnt").as_i64(), &[expected], "{algo:?}");
+        }
+    }
+}
