@@ -31,13 +31,13 @@ fn bench(c: &mut Criterion) {
         let engine = Engine::new(threads);
         let plan = count_plan(&m, algo);
         g.bench_with_input(BenchmarkId::new("fk100", algo.name()), &plan, |b, plan| {
-            b.iter(|| black_box(engine.execute(plan).num_rows()))
+            b.iter(|| black_box(engine.run(plan).num_rows()))
         });
         let plan_sel = count_plan(&m_sel, algo);
         g.bench_with_input(
             BenchmarkId::new("sel5", algo.name()),
             &plan_sel,
-            |b, plan| b.iter(|| black_box(engine.execute(plan).num_rows())),
+            |b, plan| b.iter(|| black_box(engine.run(plan).num_rows())),
         );
     }
 
@@ -80,7 +80,7 @@ fn bench(c: &mut Criterion) {
         engine.radix = cfg;
         let plan = count_plan(&m, JoinAlgo::Rj);
         g.bench_with_input(BenchmarkId::new("rj_ablation", name), &plan, |b, plan| {
-            b.iter(|| black_box(engine.execute(plan).num_rows()))
+            b.iter(|| black_box(engine.run(plan).num_rows()))
         });
     }
 
@@ -90,7 +90,7 @@ fn bench(c: &mut Criterion) {
         engine.bhj_prefetch = prefetch;
         let plan = count_plan(&m, JoinAlgo::Bhj);
         g.bench_with_input(BenchmarkId::new("bhj_ablation", name), &plan, |b, plan| {
-            b.iter(|| black_box(engine.execute(plan).num_rows()))
+            b.iter(|| black_box(engine.run(plan).num_rows()))
         });
     }
 
@@ -100,7 +100,7 @@ fn bench(c: &mut Criterion) {
         engine.adaptive_bloom = adaptive;
         let plan = count_plan(&m, JoinAlgo::Brj);
         g.bench_with_input(BenchmarkId::new("brj_fk100", name), &plan, |b, plan| {
-            b.iter(|| black_box(engine.execute(plan).num_rows()))
+            b.iter(|| black_box(engine.run(plan).num_rows()))
         });
     }
     g.finish();

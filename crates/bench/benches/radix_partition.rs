@@ -18,10 +18,10 @@ fn partition_all(cfg: RadixConfig, bits2: u32, batches: &[joinstudy_exec::Batch]
     let sink = PartitionSink::new(layout, vec![0], cfg, PhaseSet::build());
     let mut local = sink.create_local();
     for b in batches {
-        sink.consume(&mut local, b.clone());
+        sink.consume(&mut local, b.clone()).unwrap();
     }
-    sink.finish_local(local);
-    let (side, _) = sink.finalize(1, Some(bits2), false);
+    sink.finish_local(local).unwrap();
+    let (side, _) = sink.finalize(1, Some(bits2), false).unwrap();
     side.total_rows()
 }
 

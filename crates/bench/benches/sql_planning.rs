@@ -16,8 +16,10 @@ const Q3ISH_SQL: &str = "SELECT o_orderkey, sum(l_extendedprice * (1 - l_discoun
 
 fn session() -> Session {
     let mut s = Session::new(1);
-    s.execute("CREATE TABLE build (key BIGINT, pay BIGINT)").unwrap();
-    s.execute("CREATE TABLE probe (k BIGINT, p1 BIGINT)").unwrap();
+    s.execute("CREATE TABLE build (key BIGINT, pay BIGINT)")
+        .unwrap();
+    s.execute("CREATE TABLE probe (k BIGINT, p1 BIGINT)")
+        .unwrap();
     let data = joinstudy_tpch::generate(0.001, 3);
     for name in ["customer", "orders", "lineitem"] {
         s.register(name, std::sync::Arc::clone(data.table(name)));

@@ -46,12 +46,12 @@ fn main() {
     let plan = sum_plan(&m, JoinAlgo::Rj, 1, false);
 
     // Warm-up run (paper: "we warmed up the system").
-    e.execute(&plan);
+    e.run(&plan);
 
     metrics::set_enabled(true);
     metrics::reset();
     let start = Instant::now();
-    let result = e.execute(&plan);
+    let result = e.run(&plan);
     let total_secs = start.elapsed().as_secs_f64();
     metrics::set_enabled(false);
     std::hint::black_box(result);

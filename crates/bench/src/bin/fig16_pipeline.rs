@@ -40,7 +40,7 @@ fn main() {
         let mut row = Vec::new();
         for algo in [JoinAlgo::Bhj, JoinAlgo::Rj] {
             let plan = star_plan(&star, algo);
-            let (d, result) = measure(reps, || e.execute(&plan));
+            let (d, result) = measure(reps, || e.run(&plan));
             assert_eq!(result.column(0).as_i64()[0] as usize, fact_n, "lost tuples");
             // Per-join throughput: each of the `depth` joins processes all
             // fact tuples, so the pipeline does `fact_n × depth` join-tuple

@@ -10,7 +10,10 @@
 //!
 //! Dot-commands: `.algo bhj|rj|brj` picks the join implementation,
 //! `.explain <select>` prints the plan, `.tables` lists relations,
-//! `.timing on|off` toggles wall-clock reporting, `.quit` exits.
+//! `.timing on|off` toggles wall-clock reporting, `.timeout <ms>|off` sets
+//! a per-statement deadline, `.budget <mb>|off` caps per-statement
+//! materialization memory (joins degrade to BHJ before failing), and
+//! `.quit` exits.
 
 use joinstudy_bench::harness::Args;
 use joinstudy_core::JoinAlgo;
@@ -119,6 +122,34 @@ fn main() {
                     Some(a) if a == "brj" => session.set_join_algo(JoinAlgo::Brj),
                     _ => println!("usage: .algo bhj|rj|brj"),
                 },
+                ".timeout" => match parts.next().map(str::trim) {
+                    Some("off") => {
+                        session.set_timeout(None);
+                        println!("timeout off");
+                    }
+                    Some(ms) => match ms.parse::<u64>() {
+                        Ok(ms) if ms > 0 => {
+                            session.set_timeout(Some(std::time::Duration::from_millis(ms)));
+                            println!("timeout {ms} ms");
+                        }
+                        _ => println!("usage: .timeout <ms>|off"),
+                    },
+                    None => println!("usage: .timeout <ms>|off"),
+                },
+                ".budget" => match parts.next().map(str::trim) {
+                    Some("off") => {
+                        session.set_memory_budget(None);
+                        println!("budget off");
+                    }
+                    Some(mb) => match mb.parse::<usize>() {
+                        Ok(mb) if mb > 0 => {
+                            session.set_memory_budget(Some(mb * 1024 * 1024));
+                            println!("budget {mb} MiB");
+                        }
+                        _ => println!("usage: .budget <mb>|off"),
+                    },
+                    None => println!("usage: .budget <mb>|off"),
+                },
                 ".explain" => match parts.next() {
                     Some(sql) => match session.explain(sql) {
                         Ok(text) => print!("{text}"),
@@ -127,7 +158,10 @@ fn main() {
                     None => println!("usage: .explain SELECT ..."),
                 },
                 other => {
-                    println!("unknown command {other:?} (.tables .algo .explain .timing .quit)")
+                    println!(
+                        "unknown command {other:?} \
+                         (.tables .algo .explain .timing .timeout .budget .quit)"
+                    )
                 }
             }
             continue;

@@ -226,7 +226,7 @@ pub fn star_plan(star: &StarSchema, algo: JoinAlgo) -> Plan {
 
 /// Run a plan and return its single count/sum cell (sanity anchor).
 pub fn run_scalar(engine: &Engine, plan: &Plan) -> i64 {
-    let t = engine.execute(plan);
+    let t = engine.run(plan);
     t.column(0).as_i64()[0]
 }
 
@@ -238,7 +238,7 @@ pub fn bench_plan(
     total_tuples: usize,
     reps: usize,
 ) -> (f64, std::time::Duration) {
-    let (d, _) = crate::harness::measure(reps, || engine.execute(plan));
+    let (d, _) = crate::harness::measure(reps, || engine.run(plan));
     (crate::harness::throughput(total_tuples, d), d)
 }
 

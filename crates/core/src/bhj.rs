@@ -20,6 +20,8 @@ use crate::join_common::{default_column, JoinType};
 use crate::row::{RowLayout, StrHeap};
 use crate::swwcb::prefetch_read;
 use joinstudy_exec::batch::{Batch, BatchBuilder, BATCH_ROWS};
+use joinstudy_exec::context::{BudgetLease, QueryContext};
+use joinstudy_exec::error::ExecResult;
 use joinstudy_exec::metrics::{self, MemPhase};
 use joinstudy_exec::pipeline::{Emit, LocalState, Operator, Sink, Source};
 use joinstudy_storage::column::ColumnData;
@@ -37,6 +39,9 @@ pub struct BhjState {
     pub heaps: Vec<StrHeap>,
     pub table: ChainTable,
     pub rows: usize,
+    /// Budget reservation for the arenas + chaining table; released when the
+    /// state is dropped.
+    _lease: BudgetLease,
 }
 
 impl BhjState {
@@ -52,17 +57,22 @@ struct BuildLocal {
     heap: StrHeap,
     heap_id: usize,
     hashes: Vec<u64>,
+    /// Budget charged for this worker's arena; released if the local is
+    /// dropped without reaching `finish_local` (pipeline failure).
+    lease: BudgetLease,
 }
 
 struct BuildGlobal {
     arenas: Vec<RowArena>,
     heaps: Vec<(usize, StrHeap)>,
+    lease: BudgetLease,
 }
 
 /// Pipeline breaker materializing the build side into row arenas.
 pub struct BhjBuildSink {
     layout: RowLayout,
     key_cols: Vec<usize>,
+    ctx: Arc<QueryContext>,
     next_heap_id: AtomicUsize,
     global: Mutex<BuildGlobal>,
 }
@@ -71,6 +81,7 @@ impl BhjBuildSink {
     /// `types`: the build input schema's column types; `key_cols`: join-key
     /// columns within that schema.
     pub fn new(types: &[DataType], key_cols: Vec<usize>) -> BhjBuildSink {
+        let ctx = QueryContext::unbounded();
         BhjBuildSink {
             layout: RowLayout::new(types, true),
             key_cols,
@@ -78,17 +89,28 @@ impl BhjBuildSink {
             global: Mutex::new(BuildGlobal {
                 arenas: Vec::new(),
                 heaps: Vec::new(),
+                lease: BudgetLease::empty(&ctx),
             }),
+            ctx,
         }
+    }
+
+    /// Charge this sink's materialization against `ctx`'s memory budget.
+    pub fn with_context(mut self, ctx: Arc<QueryContext>) -> BhjBuildSink {
+        self.global.get_mut().lease = BudgetLease::empty(&ctx);
+        self.ctx = ctx;
+        self
     }
 
     /// Build the chaining hash table over all materialized rows and freeze
     /// the state. `threads` workers CAS-insert in parallel (one arena each;
-    /// arenas are per-build-worker so counts are balanced).
-    pub fn into_state(&self, threads: usize) -> Arc<BhjState> {
+    /// arenas are per-build-worker so counts are balanced). Fails if the
+    /// bucket array would exceed the memory budget.
+    pub fn into_state(&self, threads: usize) -> ExecResult<Arc<BhjState>> {
         let mut global = self.global.lock();
         let arenas = std::mem::take(&mut global.arenas);
         let mut heap_pairs = std::mem::take(&mut global.heaps);
+        let mut lease = std::mem::replace(&mut global.lease, BudgetLease::empty(&self.ctx));
         drop(global);
 
         let max_id = heap_pairs
@@ -103,6 +125,7 @@ impl BhjBuildSink {
 
         let rows: usize = arenas.iter().map(RowArena::rows).sum();
         let table = ChainTable::new(rows);
+        lease.grow(table.num_buckets() * 8)?;
         let hash_off = self.layout.hash_offset();
 
         let next = AtomicUsize::new(0);
@@ -135,14 +158,15 @@ impl BhjBuildSink {
             });
         }
 
-        Arc::new(BhjState {
+        Ok(Arc::new(BhjState {
             layout: self.layout.clone(),
             key_cols: self.key_cols.clone(),
             arenas,
             heaps,
             table,
             rows,
-        })
+            _lease: lease,
+        }))
     }
 }
 
@@ -153,12 +177,14 @@ impl Sink for BhjBuildSink {
             heap: StrHeap::new(),
             heap_id: self.next_heap_id.fetch_add(1, Ordering::Relaxed),
             hashes: Vec::new(),
+            lease: BudgetLease::empty(&self.ctx),
         })
     }
 
-    fn consume(&self, local: &mut LocalState, input: Batch) {
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
         let local = local.downcast_mut::<BuildLocal>().unwrap();
         let n = input.num_rows();
+        local.lease.grow(n * self.layout.stride())?;
         let key_cols: Vec<_> = self.key_cols.iter().map(|&c| input.column(c)).collect();
         let mut hashes = std::mem::take(&mut local.hashes);
         hash_columns(&key_cols, n, &mut hashes);
@@ -170,13 +196,16 @@ impl Sink for BhjBuildSink {
         }
         local.hashes = hashes;
         metrics::record_write(MemPhase::Build, (n * self.layout.stride()) as u64);
+        Ok(())
     }
 
-    fn finish_local(&self, local: LocalState) {
+    fn finish_local(&self, local: LocalState) -> ExecResult {
         let local = *local.downcast::<BuildLocal>().unwrap();
         let mut global = self.global.lock();
         global.arenas.push(local.arena);
         global.heaps.push((local.heap_id, local.heap));
+        global.lease.absorb(local.lease);
+        Ok(())
     }
 }
 
@@ -235,7 +264,7 @@ impl Operator for BhjProbeOp {
         Box::new(ProbeLocal { hashes: Vec::new() })
     }
 
-    fn process(&self, local: &mut LocalState, input: Batch, out: Emit) {
+    fn process(&self, local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
         let local = local.downcast_mut::<ProbeLocal>().unwrap();
         let n = input.num_rows();
         let key_cols: Vec<_> = self.probe_keys.iter().map(|&c| input.column(c)).collect();
@@ -390,6 +419,7 @@ impl Operator for BhjProbeOp {
             }
         }
         local.hashes = hashes;
+        Ok(())
     }
 }
 
@@ -420,7 +450,7 @@ impl Source for BhjUnmatchedSource {
         self.state.arenas.len()
     }
 
-    fn poll_task(&self, task: usize, out: Emit) {
+    fn poll_task(&self, task: usize, out: Emit) -> ExecResult {
         let layout = &self.state.layout;
         let arena = &self.state.arenas[task];
         let mut bb = BatchBuilder::new(layout.types().to_vec());
@@ -450,6 +480,7 @@ impl Source for BhjUnmatchedSource {
             }
         }
         flush(&mut bb, &mut selected, &mut *out);
+        Ok(())
     }
 }
 
@@ -465,14 +496,14 @@ mod tests {
         for (&k, &p) in keys.iter().zip(payloads) {
             bb.push_row(&[Value::Int64(k), Value::Int64(p)]);
             if bb.is_full() {
-                sink.consume(&mut local, bb.flush().unwrap());
+                sink.consume(&mut local, bb.flush().unwrap()).unwrap();
             }
         }
         if let Some(b) = bb.flush() {
-            sink.consume(&mut local, b);
+            sink.consume(&mut local, b).unwrap();
         }
-        sink.finish_local(local);
-        sink.into_state(threads)
+        sink.finish_local(local).unwrap();
+        sink.into_state(threads).unwrap()
     }
 
     fn probe(state: Arc<BhjState>, join_type: JoinType, probe_keys: &[i64]) -> Vec<Vec<Value>> {
@@ -480,7 +511,8 @@ mod tests {
         let mut local = op.create_local();
         let input = Batch::new(vec![ColumnData::Int64(probe_keys.to_vec())]);
         let mut outs = Vec::new();
-        op.process(&mut local, input, &mut |b| outs.push(b));
+        op.process(&mut local, input, &mut |b| outs.push(b))
+            .unwrap();
         let mut rows = Vec::new();
         for b in outs {
             for r in 0..b.num_rows() {
@@ -543,11 +575,13 @@ mod tests {
         let source = BhjUnmatchedSource::new(state, JoinType::BuildAnti);
         let mut rows = Vec::new();
         for t in 0..source.task_count() {
-            source.poll_task(t, &mut |b| {
-                for r in 0..b.num_rows() {
-                    rows.push((b.value(0, r).as_i64(), b.value(1, r).as_i64()));
-                }
-            });
+            source
+                .poll_task(t, &mut |b| {
+                    for r in 0..b.num_rows() {
+                        rows.push((b.value(0, r).as_i64(), b.value(1, r).as_i64()));
+                    }
+                })
+                .unwrap();
         }
         rows.sort_unstable();
         assert_eq!(rows, vec![(1, 10), (3, 30)]);
@@ -560,11 +594,13 @@ mod tests {
         let source = BhjUnmatchedSource::new(state, JoinType::BuildSemi);
         let mut rows = Vec::new();
         for t in 0..source.task_count() {
-            source.poll_task(t, &mut |b| {
-                for r in 0..b.num_rows() {
-                    rows.push(b.value(0, r).as_i64());
-                }
-            });
+            source
+                .poll_task(t, &mut |b| {
+                    for r in 0..b.num_rows() {
+                        rows.push(b.value(0, r).as_i64());
+                    }
+                })
+                .unwrap();
         }
         rows.sort_unstable();
         assert_eq!(rows, vec![1, 3]);
@@ -585,17 +621,17 @@ mod tests {
                     for (&k, &p) in chunk.0.iter().zip(chunk.1) {
                         bb.push_row(&[Value::Int64(k), Value::Int64(p)]);
                         if bb.is_full() {
-                            sink.consume(&mut local, bb.flush().unwrap());
+                            sink.consume(&mut local, bb.flush().unwrap()).unwrap();
                         }
                     }
                     if let Some(b) = bb.flush() {
-                        sink.consume(&mut local, b);
+                        sink.consume(&mut local, b).unwrap();
                     }
-                    sink.finish_local(local);
+                    sink.finish_local(local).unwrap();
                 });
             }
         });
-        let state = sink.into_state(4);
+        let state = sink.into_state(4).unwrap();
         assert_eq!(state.rows, 10_000);
         // Key 7 appears 10 times (i % 1000 == 7 for 10 values of i).
         let rows = probe(state, JoinType::Inner, &[7]);

@@ -17,6 +17,7 @@ use crate::hash::hash_columns;
 use crate::ht_rh::RobinHoodTable;
 use crate::row::{RowLayout, StrHeap};
 use joinstudy_exec::batch::{Batch, BatchBuilder, BATCH_ROWS};
+use joinstudy_exec::error::ExecResult;
 use joinstudy_exec::pipeline::{Emit, LocalState, Operator, Sink, Source};
 use joinstudy_storage::column::ColumnData;
 use joinstudy_storage::table::{Field, Schema};
@@ -163,7 +164,7 @@ impl Sink for GroupJoinBuildSink {
         })
     }
 
-    fn consume(&self, local: &mut LocalState, input: Batch) {
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
         let local = local.downcast_mut::<BuildLocal>().unwrap();
         let n = input.num_rows();
         let key_cols: Vec<_> = self.key_cols.iter().map(|&c| input.column(c)).collect();
@@ -185,13 +186,15 @@ impl Sink for GroupJoinBuildSink {
         }
         local.count += n;
         local.hashes = hashes;
+        Ok(())
     }
 
-    fn finish_local(&self, local: LocalState) {
+    fn finish_local(&self, local: LocalState) -> ExecResult {
         let local = *local.downcast::<BuildLocal>().unwrap();
         let mut global = self.global.lock();
         global.chunks.push((local.rows, local.count));
         global.heaps.push((local.heap_id, local.heap));
+        Ok(())
     }
 }
 
@@ -245,7 +248,7 @@ impl Operator for GroupJoinProbeOp {
         Box::new(ProbeLocal { hashes: Vec::new() })
     }
 
-    fn process(&self, local: &mut LocalState, input: Batch, _out: Emit) {
+    fn process(&self, local: &mut LocalState, input: Batch, _out: Emit) -> ExecResult {
         let local = local.downcast_mut::<ProbeLocal>().unwrap();
         let n = input.num_rows();
         let key_cols: Vec<_> = self.probe_keys.iter().map(|&c| input.column(c)).collect();
@@ -283,6 +286,7 @@ impl Operator for GroupJoinProbeOp {
             });
         }
         local.hashes = hashes;
+        Ok(())
     }
 }
 
@@ -305,7 +309,7 @@ impl Source for GroupJoinSource {
         self.state.rows.div_ceil(TASK_ROWS)
     }
 
-    fn poll_task(&self, task: usize, out: Emit) {
+    fn poll_task(&self, task: usize, out: Emit) -> ExecResult {
         let s = &self.state;
         let stride = s.layout.stride();
         let n_aggs = s.aggs.len().max(1);
@@ -342,6 +346,7 @@ impl Source for GroupJoinSource {
             }
             cursor = chunk_end;
         }
+        Ok(())
     }
 }
 
@@ -362,9 +367,9 @@ mod tests {
             bb.push_row(&[Value::Int64(k), Value::Int64(v)]);
         }
         if let Some(b) = bb.flush() {
-            sink.consume(&mut local, b);
+            sink.consume(&mut local, b).unwrap();
         }
-        sink.finish_local(local);
+        sink.finish_local(local).unwrap();
         let state = sink.into_state(aggs);
 
         let op = GroupJoinProbeOp::new(Arc::clone(&state), vec![0]);
@@ -376,17 +381,20 @@ mod tests {
         if let Some(b) = pb.flush() {
             op.process(&mut plocal, b, &mut |_| {
                 panic!("groupjoin probe must not emit")
-            });
+            })
+            .unwrap();
         }
 
         let source = GroupJoinSource::new(state);
         let mut rows = Vec::new();
         for t in 0..source.task_count() {
-            source.poll_task(t, &mut |b| {
-                for r in 0..b.num_rows() {
-                    rows.push((0..b.num_columns()).map(|c| b.value(c, r)).collect());
-                }
-            });
+            source
+                .poll_task(t, &mut |b| {
+                    for r in 0..b.num_rows() {
+                        rows.push((0..b.num_columns()).map(|c| b.value(c, r)).collect());
+                    }
+                })
+                .unwrap();
         }
         rows.sort_by_key(|r: &Vec<Value>| r[0].as_i64());
         rows

@@ -24,6 +24,8 @@ use crate::join_common::JoinType;
 use crate::radix::{PartitionSink, PhaseSet, RadixConfig};
 use crate::rj::{BloomProbeOp, RadixJoinSource};
 use crate::row::RowLayout;
+use joinstudy_exec::context::QueryContext;
+use joinstudy_exec::error::{ExecError, ExecResult};
 use joinstudy_exec::expr::Expr;
 use joinstudy_exec::metrics::{self, MemPhase};
 use joinstudy_exec::ops::{
@@ -537,7 +539,9 @@ pub mod joinlog {
 struct DiscardSink;
 
 impl Sink for DiscardSink {
-    fn consume(&self, _local: &mut LocalState, _input: Batch) {}
+    fn consume(&self, _local: &mut LocalState, _input: Batch) -> ExecResult {
+        Ok(())
+    }
 }
 
 /// The query engine: executes plans with a fixed thread count and join
@@ -550,6 +554,9 @@ pub struct Engine {
     pub adaptive_bloom: bool,
     /// Software prefetching in the BHJ probe (ablation switch).
     pub bhj_prefetch: bool,
+    /// Shared cancellation / deadline / memory-budget context. Cloning the
+    /// engine shares the context (same session semantics).
+    pub ctx: Arc<QueryContext>,
 }
 
 impl Engine {
@@ -559,25 +566,45 @@ impl Engine {
             radix: RadixConfig::default(),
             adaptive_bloom: false,
             bhj_prefetch: true,
+            ctx: QueryContext::unbounded(),
         }
+    }
+
+    /// Replace the engine's query context (cancellation handle, deadline,
+    /// memory budget). The context is re-armed at the start of every
+    /// [`Engine::execute`].
+    pub fn with_context(mut self, ctx: Arc<QueryContext>) -> Engine {
+        self.ctx = ctx;
+        self
     }
 
     fn executor(&self) -> Executor {
         Executor::new(self.threads)
     }
 
-    /// Execute a plan to a materialized result table.
-    pub fn execute(&self, plan: &Plan) -> Table {
-        let spec = self.stream(plan);
+    /// Execute a plan to a materialized result table, honouring the
+    /// engine's [`QueryContext`]: cooperative cancellation, wall-clock
+    /// deadline, and memory budget all surface as typed [`ExecError`]s. The
+    /// context is re-armed (cancel flag cleared, deadline timer restarted,
+    /// budget accounting zeroed) at the start of every call.
+    pub fn execute(&self, plan: &Plan) -> ExecResult<Table> {
+        self.ctx.arm();
+        let spec = self.stream(plan)?;
         let sink = CollectSink::new(spec.schema.clone());
         self.executor()
-            .run_pipeline(spec.source.as_ref(), &spec.ops, &sink);
-        sink.into_table()
+            .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
+        Ok(sink.into_table())
+    }
+
+    /// Infallible convenience for benchmarks and tests that run without
+    /// budgets or cancellation: panics on any execution error.
+    pub fn run(&self, plan: &Plan) -> Table {
+        self.execute(plan).expect("query execution failed")
     }
 
     /// Compile a plan into its topmost pipeline, running every pipeline
     /// below the last breaker.
-    fn stream(&self, plan: &Plan) -> StreamSpec {
+    fn stream(&self, plan: &Plan) -> ExecResult<StreamSpec> {
         match plan {
             Plan::Scan {
                 table,
@@ -590,49 +617,49 @@ impl Engine {
                     scan = scan.with_tid();
                 }
                 let schema = scan.output_schema();
-                StreamSpec::new(Arc::new(scan), schema)
+                Ok(StreamSpec::new(Arc::new(scan), schema))
             }
             Plan::Filter { input, pred } => {
-                let spec = self.stream(input);
+                let spec = self.stream(input)?;
                 let schema = spec.schema.clone();
-                spec.push_op(Arc::new(FilterOp::new(pred.clone())), schema)
+                Ok(spec.push_op(Arc::new(FilterOp::new(pred.clone())), schema))
             }
             Plan::Map {
                 input,
                 exprs,
                 names,
             } => {
-                let spec = self.stream(input);
+                let spec = self.stream(input)?;
                 let op = ProjectOp::new(exprs.clone());
                 let names: Vec<&str> = names.iter().map(String::as_str).collect();
                 let schema = op.output_schema(&spec.schema, &names);
-                spec.push_op(Arc::new(op), schema)
+                Ok(spec.push_op(Arc::new(op), schema))
             }
             Plan::Aggregate {
                 input,
                 group_cols,
                 aggs,
             } => {
-                let spec = self.stream(input);
+                let spec = self.stream(input)?;
                 let sink = AggSink::new(spec.schema.clone(), group_cols.clone(), aggs.clone());
                 let schema = sink.output_schema();
                 self.executor()
-                    .run_pipeline(spec.source.as_ref(), &spec.ops, &sink);
+                    .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
                 let result = Arc::new(sink.into_table());
                 let cols = (0..schema.len()).collect();
                 let scan = TableScan::new(result, cols, None);
-                StreamSpec::new(Arc::new(scan), schema)
+                Ok(StreamSpec::new(Arc::new(scan), schema))
             }
             Plan::Sort { input, keys, limit } => {
-                let spec = self.stream(input);
+                let spec = self.stream(input)?;
                 let sink = SortSink::new(spec.schema.clone(), keys.clone(), *limit);
                 self.executor()
-                    .run_pipeline(spec.source.as_ref(), &spec.ops, &sink);
+                    .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
                 let schema = sink.output_schema();
                 let result = Arc::new(sink.into_table());
                 let cols = (0..schema.len()).collect();
                 let scan = TableScan::new(result, cols, None);
-                StreamSpec::new(Arc::new(scan), schema)
+                Ok(StreamSpec::new(Arc::new(scan), schema))
             }
             Plan::LateLoad {
                 input,
@@ -640,10 +667,10 @@ impl Engine {
                 tid_col,
                 cols,
             } => {
-                let spec = self.stream(input);
+                let spec = self.stream(input)?;
                 let op = LateLoadOp::new(Arc::clone(table), *tid_col, cols.clone());
                 let schema = op.output_schema(&spec.schema);
-                spec.push_op(Arc::new(op), schema)
+                Ok(spec.push_op(Arc::new(op), schema))
             }
             Plan::GroupJoin {
                 build,
@@ -653,27 +680,38 @@ impl Engine {
                 aggs,
             } => {
                 // Pipeline 1: materialize + index the build side.
-                let build_spec = self.stream(build);
+                let build_spec = self.stream(build)?;
                 let build_types: Vec<_> =
                     build_spec.schema.fields.iter().map(|f| f.dtype).collect();
                 let sink = GroupJoinBuildSink::new(&build_types, build_keys.clone());
-                self.executor()
-                    .run_pipeline(build_spec.source.as_ref(), &build_spec.ops, &sink);
+                self.executor().run_pipeline(
+                    &self.ctx,
+                    build_spec.source.as_ref(),
+                    &build_spec.ops,
+                    &sink,
+                )?;
                 let state = sink.into_state(aggs.clone());
                 let out_schema = state.output_schema(&build_spec.schema);
 
                 // Pipeline 2: probe updates the aggregate cells, emits nothing.
-                let probe_spec = self.stream(probe);
+                let probe_spec = self.stream(probe)?;
                 let op = Arc::new(GroupJoinProbeOp::new(
                     Arc::clone(&state),
                     probe_keys.clone(),
                 ));
                 let spec = probe_spec.push_op(op, out_schema.clone());
-                self.executor()
-                    .run_pipeline(spec.source.as_ref(), &spec.ops, &DiscardSink);
+                self.executor().run_pipeline(
+                    &self.ctx,
+                    spec.source.as_ref(),
+                    &spec.ops,
+                    &DiscardSink,
+                )?;
 
                 // Pipeline 3: one row per group.
-                StreamSpec::new(Arc::new(GroupJoinSource::new(state)), out_schema)
+                Ok(StreamSpec::new(
+                    Arc::new(GroupJoinSource::new(state)),
+                    out_schema,
+                ))
             }
             Plan::Join {
                 algo,
@@ -701,15 +739,20 @@ impl Engine {
         probe: &Plan,
         build_keys: &[usize],
         probe_keys: &[usize],
-    ) -> StreamSpec {
+    ) -> ExecResult<StreamSpec> {
         // Pipeline 1: materialize the build side + parallel table build.
-        let build_spec = self.stream(build);
+        let build_spec = self.stream(build)?;
         let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
-        let sink = BhjBuildSink::new(&build_types, build_keys.to_vec());
+        let sink = BhjBuildSink::new(&build_types, build_keys.to_vec())
+            .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::Build);
-        self.executor()
-            .run_pipeline(build_spec.source.as_ref(), &build_spec.ops, &sink);
-        let state = sink.into_state(self.threads);
+        self.executor().run_pipeline(
+            &self.ctx,
+            build_spec.source.as_ref(),
+            &build_spec.ops,
+            &sink,
+        )?;
+        let state = sink.into_state(self.threads)?;
         joinlog::record(joinlog::JoinSizes {
             algo: "BHJ",
             build_rows: state.rows,
@@ -720,7 +763,7 @@ impl Engine {
         });
 
         // Pipeline 2: the probe side, with the probe fused in.
-        let probe_spec = self.stream(probe);
+        let probe_spec = self.stream(probe)?;
         let out_schema = kind.output_schema(&build_spec.schema, &probe_spec.schema);
         let probe_op = Arc::new(BhjProbeOp::new(
             Arc::clone(&state),
@@ -734,16 +777,25 @@ impl Engine {
             // hash table (how real systems start an anti-join's output).
             metrics::mark_phase(MemPhase::Other);
             let spec = probe_spec.push_op(probe_op, out_schema.clone());
-            self.executor()
-                .run_pipeline(spec.source.as_ref(), &spec.ops, &DiscardSink);
+            self.executor().run_pipeline(
+                &self.ctx,
+                spec.source.as_ref(),
+                &spec.ops,
+                &DiscardSink,
+            )?;
             let source = Arc::new(BhjUnmatchedSource::new(state, kind));
-            StreamSpec::new(source, out_schema)
+            Ok(StreamSpec::new(source, out_schema))
         } else {
             metrics::mark_phase(MemPhase::Other);
-            probe_spec.push_op(probe_op, out_schema)
+            Ok(probe_spec.push_op(probe_op, out_schema))
         }
     }
 
+    /// Compile a radix join, degrading to a BHJ when the memory budget
+    /// cannot hold both partitioned sides (the paper's core observation in
+    /// reverse: the BHJ only materializes the build side, so it is the
+    /// natural fallback when partitioning the probe side is what breaks the
+    /// budget). Degradations are counted in [`metrics::degradations`].
     fn compile_radix(
         &self,
         kind: JoinType,
@@ -752,14 +804,32 @@ impl Engine {
         build_keys: &[usize],
         probe_keys: &[usize],
         with_bloom: bool,
-    ) -> StreamSpec {
+    ) -> ExecResult<StreamSpec> {
+        match self.try_compile_radix(kind, build, probe, build_keys, probe_keys, with_bloom) {
+            Err(ExecError::BudgetExceeded { .. }) => {
+                metrics::record_degradation();
+                self.compile_bhj(kind, build, probe, build_keys, probe_keys)
+            }
+            other => other,
+        }
+    }
+
+    fn try_compile_radix(
+        &self,
+        kind: JoinType,
+        build: &Plan,
+        probe: &Plan,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+        with_bloom: bool,
+    ) -> ExecResult<StreamSpec> {
         // The Bloom reducer may only *drop* probe tuples when unmatched
         // probe tuples leave the join anyway; for anti/mark/outer variants
         // it must stay out of the way (the optimizer would pick RJ there).
         let use_bloom = with_bloom && !kind.probe_tuples_survive_unmatched();
 
         // Pipeline 1: build side → radix partitions (full breaker).
-        let build_spec = self.stream(build);
+        let build_spec = self.stream(build)?;
         let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
         let build_layout = RowLayout::new(&build_types, false);
         let build_sink = PartitionSink::new(
@@ -767,16 +837,21 @@ impl Engine {
             build_keys.to_vec(),
             self.radix,
             PhaseSet::build(),
-        );
+        )
+        .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::Build);
-        self.executor()
-            .run_pipeline(build_spec.source.as_ref(), &build_spec.ops, &build_sink);
-        let (build_side, bloom) = build_sink.finalize(self.threads, None, use_bloom);
+        self.executor().run_pipeline(
+            &self.ctx,
+            build_spec.source.as_ref(),
+            &build_spec.ops,
+            &build_sink,
+        )?;
+        let (build_side, bloom) = build_sink.finalize(self.threads, None, use_bloom)?;
         let bits2 = build_side.bits2();
         let build_side = Arc::new(build_side);
 
         // Pipeline 2: probe side (+ Bloom reducer) → radix partitions.
-        let mut probe_spec = self.stream(probe);
+        let mut probe_spec = self.stream(probe)?;
         if let Some(bloom) = bloom {
             let schema = probe_spec.schema.clone();
             probe_spec = probe_spec.push_op(
@@ -797,11 +872,16 @@ impl Engine {
             probe_keys.to_vec(),
             self.radix,
             PhaseSet::probe(),
-        );
+        )
+        .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::PartitionPass1);
-        self.executor()
-            .run_pipeline(probe_spec.source.as_ref(), &probe_spec.ops, &probe_sink);
-        let (probe_side, _) = probe_sink.finalize(self.threads, Some(bits2), false);
+        self.executor().run_pipeline(
+            &self.ctx,
+            probe_spec.source.as_ref(),
+            &probe_spec.ops,
+            &probe_sink,
+        )?;
+        let (probe_side, _) = probe_sink.finalize(self.threads, Some(bits2), false)?;
         let stats = Arc::new(crate::join_common::JoinStats::default());
         joinlog::record(joinlog::JoinSizes {
             algo: if with_bloom { "BRJ" } else { "RJ" },
@@ -825,7 +905,7 @@ impl Engine {
             )
             .with_stats(stats),
         );
-        StreamSpec::new(source, out_schema)
+        Ok(StreamSpec::new(source, out_schema))
     }
 }
 
@@ -860,7 +940,7 @@ mod tests {
             )
             .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
         let engine = Engine::new(threads);
-        let result = engine.execute(&plan);
+        let result = engine.run(&plan);
         result.column_by_name("cnt").as_i64()[0]
     }
 
@@ -905,7 +985,7 @@ mod tests {
                 AggSpec::new(AggFunc::Sum, 1, "s"),
             ],
         );
-        let t = Engine::new(2).execute(&plan);
+        let t = Engine::new(2).run(&plan);
         assert_eq!(t.column_by_name("cnt").as_i64()[0], 3);
         // d2.v: one row with 7 (fact key 1) + two rows with 8 (fact key 2).
         assert_eq!(t.column_by_name("s").as_i64()[0], 7 + 8 + 8);
@@ -921,7 +1001,7 @@ mod tests {
                 &["k", "v2"],
             )
             .sort(vec![SortKey::desc(1)], Some(2));
-        let result = Engine::new(1).execute(&plan);
+        let result = Engine::new(1).run(&plan);
         assert_eq!(result.column_by_name("v2").as_i64(), &[100, 80]);
     }
 
@@ -939,7 +1019,7 @@ mod tests {
                     &[0],
                 )
                 .sort(vec![SortKey::asc(0)], None);
-            let result = Engine::new(2).execute(&plan);
+            let result = Engine::new(2).run(&plan);
             assert_eq!(result.column(0).as_i64(), &[1, 3], "{}", algo.name());
         }
     }
@@ -990,7 +1070,7 @@ mod tests {
         let plan = Plan::scan_tid(&t, &["k"], Some(Expr::col(0).ge(Expr::i64(20))))
             .late_load(&t, 1, &["v"])
             .sort(vec![SortKey::asc(0)], None);
-        let result = Engine::new(1).execute(&plan);
+        let result = Engine::new(1).run(&plan);
         assert_eq!(result.num_rows(), 2);
         assert_eq!(result.column(2).as_i64(), &[200, 300]);
     }

@@ -35,10 +35,13 @@ use crate::hash::hash_columns;
 use crate::row::{read_u64, RowLayout, StrHeap};
 use crate::swwcb::{nt_copy, nt_fence, SwwcbSet};
 use joinstudy_exec::batch::Batch;
+use joinstudy_exec::context::{BudgetLease, QueryContext};
+use joinstudy_exec::error::{ExecError, ExecResult};
 use joinstudy_exec::metrics::{self, MemPhase};
 use joinstudy_exec::pipeline::{LocalState, Sink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Tuning knobs of the radix machinery. The ablation benches flip the
 /// boolean switches; everything else follows the paper's setup.
@@ -160,7 +163,11 @@ impl PageList {
         grown.max(at_least.next_multiple_of(8))
     }
 
-    fn ensure_room(&mut self, bytes: usize) {
+    /// The page the next write goes to, guaranteed to have room for
+    /// `bytes` more. This is the single place encoding the list's growth
+    /// invariant: a page with free space, if any, is always the last one,
+    /// so appends never have to search.
+    fn current_page(&mut self, bytes: usize) -> &mut Page {
         let need_new = match self.pages.last() {
             None => true,
             Some(p) => p.capacity() - p.len < bytes,
@@ -172,6 +179,9 @@ impl PageList {
                 len: 0,
             });
         }
+        self.pages
+            .last_mut()
+            .expect("current_page pushed a page when none had room")
     }
 
     /// Append a block of whole rows (e.g. a flushed SWWCB).
@@ -180,8 +190,7 @@ impl PageList {
         if bytes.is_empty() {
             return;
         }
-        self.ensure_room(bytes.len());
-        let page = self.pages.last_mut().unwrap();
+        let page = self.current_page(bytes.len());
         let off = page.len;
         let dst = unsafe {
             std::slice::from_raw_parts_mut(
@@ -200,16 +209,13 @@ impl PageList {
 
     /// Reserve one row slot for in-place encoding (the no-SWWCB path).
     pub fn alloc_row(&mut self) -> &mut [u8] {
-        self.ensure_room(self.stride);
-        let page = self.pages.last_mut().unwrap();
+        let stride = self.stride;
+        self.total_bytes += stride;
+        let page = self.current_page(stride);
         let off = page.len;
-        page.len += self.stride;
-        self.total_bytes += self.stride;
+        page.len += stride;
         unsafe {
-            std::slice::from_raw_parts_mut(
-                page.words.as_mut_ptr().cast::<u8>().add(off),
-                self.stride,
-            )
+            std::slice::from_raw_parts_mut(page.words.as_mut_ptr().cast::<u8>().add(off), stride)
         }
     }
 
@@ -229,6 +235,9 @@ struct Pass1Local {
     heap: StrHeap,
     heap_id: usize,
     hashes: Vec<u64>,
+    /// Budget charged for this worker's pages + SWWCBs. Dropping the local
+    /// (e.g. when a sibling worker fails) releases the reservation.
+    lease: BudgetLease,
 }
 
 struct Pass1Global {
@@ -236,6 +245,8 @@ struct Pass1Global {
     worker_lists: Vec<Vec<PageList>>,
     /// (heap_id, heap) pairs, placed into a dense vec at finalize.
     heaps: Vec<(usize, StrHeap)>,
+    /// Accumulated worker leases; released when pass-1 pages are freed.
+    lease: BudgetLease,
 }
 
 /// The radix join's pipeline breaker: materializes and pass-1-partitions an
@@ -247,6 +258,7 @@ pub struct PartitionSink {
     key_cols: Vec<usize>,
     cfg: RadixConfig,
     phases: PhaseSet,
+    ctx: Arc<QueryContext>,
     next_heap_id: AtomicUsize,
     global: Mutex<Pass1Global>,
 }
@@ -262,6 +274,7 @@ impl PartitionSink {
             !layout.has_header(),
             "partitioned rows carry no chain header"
         );
+        let ctx = QueryContext::unbounded();
         PartitionSink {
             layout,
             key_cols,
@@ -271,8 +284,18 @@ impl PartitionSink {
             global: Mutex::new(Pass1Global {
                 worker_lists: Vec::new(),
                 heaps: Vec::new(),
+                lease: BudgetLease::empty(&ctx),
             }),
+            ctx,
         }
+    }
+
+    /// Charge this sink's materialization against `ctx`'s memory budget
+    /// (and observe its cancellation in [`PartitionSink::finalize`]).
+    pub fn with_context(mut self, ctx: Arc<QueryContext>) -> PartitionSink {
+        self.global.get_mut().lease = BudgetLease::empty(&ctx);
+        self.ctx = ctx;
+        self
     }
 
     pub fn layout(&self) -> &RowLayout {
@@ -295,12 +318,20 @@ impl Sink for PartitionSink {
             heap: StrHeap::new(),
             heap_id,
             hashes: Vec::new(),
+            lease: BudgetLease::empty(&self.ctx),
         })
     }
 
-    fn consume(&self, local: &mut LocalState, input: Batch) {
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
         let local = local.downcast_mut::<Pass1Local>().unwrap();
         let n = input.num_rows();
+        // Charge the rows this batch materializes (plus, on the first batch,
+        // this worker's write-combine buffers) before writing anything.
+        let mut charge = n * self.layout.stride();
+        if local.lease.bytes() == 0 {
+            charge += local.swwcb.as_ref().map_or(0, SwwcbSet::byte_size);
+        }
+        local.lease.grow(charge)?;
         let key_cols: Vec<_> = self.key_cols.iter().map(|&c| input.column(c)).collect();
         let mut hashes = std::mem::take(&mut local.hashes);
         hash_columns(&key_cols, n, &mut hashes);
@@ -343,9 +374,10 @@ impl Sink for PartitionSink {
         }
         local.hashes = hashes;
         metrics::record_write(self.phases.pass1, (n * self.layout.stride()) as u64);
+        Ok(())
     }
 
-    fn finish_local(&self, local: LocalState) {
+    fn finish_local(&self, local: LocalState) -> ExecResult {
         let mut local = *local.downcast::<Pass1Local>().unwrap();
         if let Some(set) = &mut local.swwcb {
             for p in set.non_empty() {
@@ -357,6 +389,8 @@ impl Sink for PartitionSink {
         let mut global = self.global.lock();
         global.worker_lists.push(local.lists);
         global.heaps.push((local.heap_id, local.heap));
+        global.lease.absorb(local.lease);
+        Ok(())
     }
 }
 
@@ -374,6 +408,9 @@ pub struct PartitionedSide {
     bounds: Vec<usize>,
     bits1: u32,
     bits2: u32,
+    /// Budget reservation for `data` (and the Bloom filter); released when
+    /// the partitioned side is dropped.
+    _lease: BudgetLease,
 }
 
 impl PartitionedSide {
@@ -454,15 +491,23 @@ impl PartitionSink {
     /// side. `bits2_override` forces the pass-2 fanout (the probe side must
     /// reuse the build side's value); `bloom` requests construction of the
     /// Bloom-filter reducer during the scatter (build side of the BRJ).
+    ///
+    /// Fails if the query was cancelled / timed out (checked between
+    /// pre-partition tasks) or if the contiguous output buffer would exceed
+    /// the memory budget. On failure every reservation this sink made is
+    /// released before returning.
     pub fn finalize(
         &self,
         threads: usize,
         bits2_override: Option<u32>,
         build_bloom: bool,
-    ) -> (PartitionedSide, Option<BlockedBloom>) {
+    ) -> ExecResult<(PartitionedSide, Option<BlockedBloom>)> {
         let mut global = self.global.lock();
         let worker_lists = std::mem::take(&mut global.worker_lists);
         let mut heap_pairs = std::mem::take(&mut global.heaps);
+        // Pass-1 pages are freed when `worker_lists` drops at the end of this
+        // function (or on early return) — the lease must die with them.
+        let _pass1_lease = std::mem::replace(&mut global.lease, BudgetLease::empty(&self.ctx));
         drop(global);
 
         // Dense heap vector indexed by heap id.
@@ -501,15 +546,27 @@ impl PartitionSink {
         let mask2 = (fanout2 - 1) as u64;
         let bits1 = self.cfg.bits_pass1;
 
+        // The contiguous pass-2 output buffer is the second copy of every
+        // row: reserve it up front, so a budget breach surfaces before the
+        // allocation instead of as an OOM kill.
+        let mut out_lease = BudgetLease::reserve(&self.ctx, total_rows * stride)?;
+
         // Histogram scan: per pre-partition, count rows per sub-partition.
         metrics::mark_phase(self.phases.hist);
         let histograms: Vec<Mutex<Vec<usize>>> =
             (0..fanout1).map(|_| Mutex::new(Vec::new())).collect();
         let task = AtomicUsize::new(0);
         let hash_off = self.layout.hash_offset();
+        // First cancellation/timeout error observed by any histogram or
+        // scatter task; remaining tasks bail out as soon as it is set.
+        let phase_err: Mutex<Option<ExecError>> = Mutex::new(None);
         let run_hist = || loop {
             let p = task.fetch_add(1, Ordering::Relaxed);
             if p >= fanout1 {
+                break;
+            }
+            if let Err(e) = self.ctx.check() {
+                phase_err.lock().get_or_insert(e);
                 break;
             }
             let mut counts = vec![0usize; fanout2];
@@ -527,6 +584,9 @@ impl PartitionSink {
             *histograms[p].lock() = counts;
         };
         run_parallel(threads, fanout1, run_hist);
+        if let Some(e) = phase_err.lock().take() {
+            return Err(e);
+        }
 
         // Exchange (b): absolute row offsets per final partition.
         let mut bounds = vec![0usize; nparts + 1];
@@ -551,6 +611,9 @@ impl PartitionSink {
             len: total_rows * stride,
         };
         let bloom = build_bloom.then(|| BlockedBloom::new(nparts, total_rows.max(1)));
+        if let Some(b) = &bloom {
+            out_lease.grow(b.byte_size())?;
+        }
         let use_swwcb = self.cfg.use_swwcb && self.layout.swwcb_eligible();
         let nt = self.cfg.use_nt_stores;
 
@@ -560,6 +623,10 @@ impl PartitionSink {
             loop {
                 let p = task2.fetch_add(1, Ordering::Relaxed);
                 if p >= fanout1 {
+                    break;
+                }
+                if let Err(e) = self.ctx.check() {
+                    phase_err.lock().get_or_insert(e);
                     break;
                 }
                 // Row cursors per sub-partition, in absolute rows.
@@ -622,6 +689,9 @@ impl PartitionSink {
             nt_fence();
         };
         run_parallel(threads, fanout1, run_scatter);
+        if let Some(e) = phase_err.lock().take() {
+            return Err(e);
+        }
 
         let side = PartitionedSide {
             layout: self.layout.clone(),
@@ -631,8 +701,9 @@ impl PartitionSink {
             bounds,
             bits1,
             bits2,
+            _lease: out_lease,
         };
-        (side, bloom)
+        Ok((side, bloom))
     }
 }
 
@@ -664,20 +735,24 @@ mod tests {
     ) -> PartitionedSide {
         let layout = RowLayout::new(&[DataType::Int64], false);
         let sink = PartitionSink::new(layout, vec![0], cfg, PhaseSet::build());
+        feed_i64(&sink, values);
+        sink.finish();
+        sink.finalize(threads, bits2, false).unwrap().0
+    }
+
+    fn feed_i64(sink: &PartitionSink, values: &[i64]) {
         let mut local = sink.create_local();
         let mut bb = BatchBuilder::new(vec![DataType::Int64]);
         for &v in values {
             bb.push_row(&[Value::Int64(v)]);
             if bb.is_full() {
-                sink.consume(&mut local, bb.flush().unwrap());
+                sink.consume(&mut local, bb.flush().unwrap()).unwrap();
             }
         }
         if let Some(b) = bb.flush() {
-            sink.consume(&mut local, b);
+            sink.consume(&mut local, b).unwrap();
         }
-        sink.finish_local(local);
-        sink.finish();
-        sink.finalize(threads, bits2, false).0
+        sink.finish_local(local).unwrap();
     }
 
     fn collect_rows(side: &PartitionedSide) -> Vec<(usize, u64, i64)> {
@@ -729,23 +804,10 @@ mod tests {
         std::thread::scope(|scope| {
             for half in values.chunks(values.len() / 2 + 1) {
                 let sink = &sink;
-                scope.spawn(move || {
-                    let mut local = sink.create_local();
-                    let mut bb = BatchBuilder::new(vec![DataType::Int64]);
-                    for &v in half {
-                        bb.push_row(&[Value::Int64(v)]);
-                        if bb.is_full() {
-                            sink.consume(&mut local, bb.flush().unwrap());
-                        }
-                    }
-                    if let Some(b) = bb.flush() {
-                        sink.consume(&mut local, b);
-                    }
-                    sink.finish_local(local);
-                });
+                scope.spawn(move || feed_i64(sink, half));
             }
         });
-        let parallel = sink.finalize(4, Some(4), false).0;
+        let parallel = sink.finalize(4, Some(4), false).unwrap().0;
 
         assert_eq!(parallel.total_rows(), serial.total_rows());
         assert_eq!(parallel.num_partitions(), serial.num_partitions());
@@ -820,19 +882,8 @@ mod tests {
     fn bloom_filter_built_during_pass2() {
         let layout = RowLayout::new(&[DataType::Int64], false);
         let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build());
-        let mut local = sink.create_local();
-        let mut bb = BatchBuilder::new(vec![DataType::Int64]);
-        for v in 0..5000i64 {
-            bb.push_row(&[Value::Int64(v)]);
-            if bb.is_full() {
-                sink.consume(&mut local, bb.flush().unwrap());
-            }
-        }
-        if let Some(b) = bb.flush() {
-            sink.consume(&mut local, b);
-        }
-        sink.finish_local(local);
-        let (side, bloom) = sink.finalize(1, Some(2), true);
+        feed_i64(&sink, &(0..5000i64).collect::<Vec<_>>());
+        let (side, bloom) = sink.finalize(1, Some(2), true).unwrap();
         let bloom = bloom.expect("bloom requested");
         // Every inserted key must pass its partition's filter.
         for v in 0..5000u64 {
@@ -881,14 +932,14 @@ mod tests {
         for i in 0..3000i64 {
             bb.push_row(&[Value::Int64(i), Value::Str(format!("name-{i}"))]);
             if bb.is_full() {
-                sink.consume(&mut local, bb.flush().unwrap());
+                sink.consume(&mut local, bb.flush().unwrap()).unwrap();
             }
         }
         if let Some(b) = bb.flush() {
-            sink.consume(&mut local, b);
+            sink.consume(&mut local, b).unwrap();
         }
-        sink.finish_local(local);
-        let (side, _) = sink.finalize(1, Some(1), false);
+        sink.finish_local(local).unwrap();
+        let (side, _) = sink.finalize(1, Some(1), false).unwrap();
         let stride = side.layout().stride();
         let data = side.data_bytes();
         let mut checked = 0;
@@ -905,5 +956,82 @@ mod tests {
             }
         }
         assert_eq!(checked, 3000);
+    }
+
+    #[test]
+    fn budget_breach_in_pass1_releases_everything() {
+        let ctx = QueryContext::unbounded();
+        ctx.set_memory_budget(Some(4 * 1024));
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build())
+            .with_context(Arc::clone(&ctx));
+        let mut local = sink.create_local();
+        let mut bb = BatchBuilder::new(vec![DataType::Int64]);
+        let mut err = None;
+        for v in 0..100_000i64 {
+            bb.push_row(&[Value::Int64(v)]);
+            if bb.is_full() {
+                if let Err(e) = sink.consume(&mut local, bb.flush().unwrap()) {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(
+            matches!(err, Some(ExecError::BudgetExceeded { .. })),
+            "{err:?}"
+        );
+        // Dropping the worker local (as the executor does on failure) must
+        // return every reserved byte.
+        drop(local);
+        drop(sink);
+        assert_eq!(ctx.used(), 0);
+    }
+
+    #[test]
+    fn budget_breach_in_finalize_releases_everything() {
+        // Budget fits pass-1 pages but not the second, contiguous copy.
+        let values: Vec<i64> = (0..20_000).collect();
+        let rows_bytes = values.len() * 16;
+        let ctx = QueryContext::unbounded();
+        ctx.set_memory_budget(Some(rows_bytes + rows_bytes / 2));
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build())
+            .with_context(Arc::clone(&ctx));
+        feed_i64(&sink, &values);
+        assert!(ctx.used() >= rows_bytes, "pass 1 must be charged");
+        let err = sink.finalize(1, Some(2), false).err().unwrap();
+        assert!(matches!(err, ExecError::BudgetExceeded { .. }), "{err}");
+        drop(sink);
+        assert_eq!(ctx.used(), 0);
+    }
+
+    #[test]
+    fn finalize_observes_cancellation() {
+        let ctx = QueryContext::unbounded();
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build())
+            .with_context(Arc::clone(&ctx));
+        feed_i64(&sink, &(0..10_000i64).collect::<Vec<_>>());
+        ctx.cancel();
+        let err = sink.finalize(2, Some(2), false).err().unwrap();
+        assert_eq!(err, ExecError::Cancelled);
+        drop(sink);
+        assert_eq!(ctx.used(), 0);
+    }
+
+    #[test]
+    fn partitioned_side_releases_budget_on_drop() {
+        let ctx = QueryContext::unbounded();
+        ctx.set_memory_budget(Some(64 * 1024 * 1024));
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], RadixConfig::default(), PhaseSet::build())
+            .with_context(Arc::clone(&ctx));
+        feed_i64(&sink, &(0..5000i64).collect::<Vec<_>>());
+        let (side, _) = sink.finalize(1, Some(2), false).unwrap();
+        drop(sink); // pass-1 pages + their lease
+        assert_eq!(ctx.used(), side.total_rows() * side.layout().stride());
+        drop(side);
+        assert_eq!(ctx.used(), 0);
     }
 }

@@ -23,6 +23,7 @@ use crate::ht_rh::RobinHoodTable;
 use crate::join_common::{default_column, JoinStats, JoinType};
 use crate::radix::{partition_of, PartitionedSide};
 use joinstudy_exec::batch::{Batch, BATCH_ROWS};
+use joinstudy_exec::error::ExecResult;
 use joinstudy_exec::metrics::{self, MemPhase};
 use joinstudy_exec::pipeline::{Emit, LocalState, Operator, Source};
 use joinstudy_storage::column::ColumnData;
@@ -183,7 +184,7 @@ impl Source for RadixJoinSource {
         self.build.num_partitions()
     }
 
-    fn poll_task(&self, p: usize, out: Emit) {
+    fn poll_task(&self, p: usize, out: Emit) -> ExecResult {
         let bl = self.build.layout();
         let pl = self.probe.layout();
         let bstride = bl.stride();
@@ -225,7 +226,7 @@ impl Source for RadixJoinSource {
                 }
                 _ => {}
             }
-            return;
+            return Ok(());
         }
 
         WORKER_TABLE.with(|cell| {
@@ -325,6 +326,7 @@ impl Source for RadixJoinSource {
                 }
             }
         });
+        Ok(())
     }
 }
 
@@ -378,11 +380,11 @@ impl Operator for BloomProbeOp {
         })
     }
 
-    fn process(&self, local: &mut LocalState, input: Batch, out: Emit) {
+    fn process(&self, local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
         let local = local.downcast_mut::<BloomLocal>().unwrap();
         if local.disabled {
             out(input);
-            return;
+            return Ok(());
         }
         let n = input.num_rows();
         let key_cols: Vec<_> = self.key_cols.iter().map(|&c| input.column(c)).collect();
@@ -412,6 +414,7 @@ impl Operator for BloomProbeOp {
         } else if !sel.is_empty() {
             out(input.take(&sel));
         }
+        Ok(())
     }
 }
 
@@ -435,14 +438,14 @@ mod tests {
         for &(k, v) in rows {
             bb.push_row(&[Value::Int64(k), Value::Int64(v)]);
             if bb.is_full() {
-                sink.consume(&mut local, bb.flush().unwrap());
+                sink.consume(&mut local, bb.flush().unwrap()).unwrap();
             }
         }
         if let Some(b) = bb.flush() {
-            sink.consume(&mut local, b);
+            sink.consume(&mut local, b).unwrap();
         }
-        sink.finish_local(local);
-        let (side, bf) = sink.finalize(1, bits2, bloom);
+        sink.finish_local(local).unwrap();
+        let (side, bf) = sink.finalize(1, bits2, bloom).unwrap();
         let bits2 = side.bits2();
         (Arc::new(side), bf.map(Arc::new), bits2)
     }
@@ -465,7 +468,8 @@ mod tests {
                             .collect::<Vec<_>>(),
                     );
                 }
-            });
+            })
+            .unwrap();
         }
         rows.sort_by_key(|r| format!("{r:?}"));
         rows
@@ -572,7 +576,8 @@ mod tests {
         let probe_keys: Vec<i64> = (0..10_000).collect();
         let input = Batch::new(vec![ColumnData::Int64(probe_keys)]);
         let mut passed = 0usize;
-        op.process(&mut local, input, &mut |b| passed += b.num_rows());
+        op.process(&mut local, input, &mut |b| passed += b.num_rows())
+            .unwrap();
         // All 1000 true hits must pass; false positives stay low.
         assert!(passed >= 1000, "dropped true matches: {passed}");
         assert!(passed < 2000, "bloom too weak: {passed}/10000 passed");
@@ -587,7 +592,8 @@ mod tests {
                 &mut local,
                 Batch::new(vec![ColumnData::Int64(keys)]),
                 &mut |b| got += b.num_rows(),
-            );
+            )
+            .unwrap();
             assert_eq!(got, 1000);
         }
         let l = local.downcast_ref::<BloomLocal>().unwrap();

@@ -98,6 +98,11 @@ impl SwwcbSet {
         self.stride
     }
 
+    /// Bytes this buffer set occupies (memory-budget accounting).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * 8 + self.fill.len() * 4
+    }
+
     /// Whether partition `p`'s buffer has no room for another row.
     #[inline]
     pub fn is_full(&self, p: usize) -> bool {

@@ -28,7 +28,7 @@ fn count_join(engine: &Engine, bt: &Arc<Table>, pt: &Arc<Table>, algo: JoinAlgo)
             &[0],
         )
         .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
-    engine.execute(&plan).column_by_name("cnt").as_i64()[0]
+    engine.run(&plan).column_by_name("cnt").as_i64()[0]
 }
 
 #[test]
@@ -129,7 +129,7 @@ fn near_limit_strings_flow_through_joins() {
             &[0],
             &[0],
         );
-        let t = Engine::new(2).execute(&plan);
+        let t = Engine::new(2).run(&plan);
         assert_eq!(t.num_rows(), 40, "{algo:?}");
         for r in 0..t.num_rows() {
             let s = t.column(1).as_str().get(r);
@@ -208,7 +208,7 @@ fn multi_column_composite_keys_all_algorithms() {
                 &[0, 1],
             )
             .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
-        let t = Engine::new(2).execute(&plan);
+        let t = Engine::new(2).run(&plan);
         assert_eq!(
             t.column_by_name("cnt").as_i64()[0] as usize,
             expected,

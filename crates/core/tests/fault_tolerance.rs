@@ -1,0 +1,141 @@
+//! Fault-tolerance integration tests: cancellation, timeouts, and the
+//! memory-budget degradation path (RJ → BHJ) through the full engine.
+
+use joinstudy_core::{Engine, JoinAlgo, JoinType, Plan};
+use joinstudy_exec::error::ExecError;
+use joinstudy_exec::metrics;
+use joinstudy_exec::ops::{AggFunc, AggSpec};
+use joinstudy_storage::table::{Schema, Table, TableBuilder};
+use joinstudy_storage::types::{DataType, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn table_kv(rows: usize, key_mod: usize) -> Arc<Table> {
+    let schema = Schema::of(&[("k", DataType::Int64), ("v", DataType::Int64)]);
+    let mut b = TableBuilder::with_capacity(schema, rows);
+    for i in 0..rows {
+        b.push_row(&[Value::Int64((i % key_mod) as i64), Value::Int64(i as i64)]);
+    }
+    Arc::new(b.finish())
+}
+
+fn count_join_plan(build: &Arc<Table>, probe: &Arc<Table>, algo: JoinAlgo) -> Plan {
+    Plan::scan(build, &["k", "v"], None)
+        .join(
+            Plan::scan(probe, &["k", "v"], None),
+            algo,
+            JoinType::Inner,
+            &[0],
+            &[0],
+        )
+        .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")])
+}
+
+#[test]
+fn cross_thread_cancellation_stops_the_query() {
+    let build = table_kv(60_000, 60_000);
+    let probe = table_kv(400_000, 60_000);
+    let plan = count_join_plan(&build, &probe, JoinAlgo::Rj);
+    let engine = Engine::new(2);
+    let ctx = Arc::clone(&engine.ctx);
+
+    // `execute` re-arms the context, so the cancel must land mid-flight.
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(5));
+        ctx.cancel();
+    });
+    let err = engine.execute(&plan).err();
+    canceller.join().unwrap();
+    assert_eq!(err, Some(ExecError::Cancelled));
+
+    // All workers joined, all budget released, engine stays usable.
+    assert_eq!(engine.ctx.used(), 0);
+    let t = engine.run(&count_join_plan(&build, &probe, JoinAlgo::Bhj));
+    assert_eq!(t.column_by_name("cnt").as_i64()[0], 400_000);
+}
+
+#[test]
+fn deadline_surfaces_as_timeout() {
+    let build = table_kv(60_000, 60_000);
+    let probe = table_kv(400_000, 60_000);
+    let plan = count_join_plan(&build, &probe, JoinAlgo::Bhj);
+    let engine = Engine::new(2);
+    engine.ctx.set_timeout(Some(Duration::from_millis(1)));
+    match engine.execute(&plan) {
+        Err(ExecError::Timeout { budget_ms: 1 }) => {}
+        other => panic!("expected 1 ms timeout, got {:?}", other.err()),
+    }
+    assert_eq!(engine.ctx.used(), 0);
+
+    // Clearing the deadline makes the same engine succeed again.
+    engine.ctx.set_timeout(None);
+    let t = engine.run(&plan);
+    assert_eq!(t.column_by_name("cnt").as_i64()[0], 400_000);
+}
+
+#[test]
+fn radix_join_degrades_to_bhj_under_memory_budget() {
+    // The paper's trade-off, exercised as a fallback: the radix join
+    // materializes BOTH sides, the BHJ only the build side. A budget that
+    // holds the build side but not the partitioned probe side must degrade
+    // RJ → BHJ and still produce the exact result.
+    let build = table_kv(1_000, 1_000); // 16 KiB of build rows
+    let probe = table_kv(200_000, 1_000); // 3.2 MiB of probe rows
+    let plan = count_join_plan(&build, &probe, JoinAlgo::Rj);
+
+    let unbudgeted = Engine::new(2).run(&plan);
+    let expected = unbudgeted.column_by_name("cnt").as_i64()[0];
+    assert_eq!(expected, 200_000);
+
+    let engine = Engine::new(2);
+    engine.ctx.set_memory_budget(Some(512 * 1024));
+    let before = metrics::degradations();
+    let t = engine.run(&plan);
+    assert_eq!(t.column_by_name("cnt").as_i64()[0], expected);
+    assert_eq!(
+        metrics::degradations(),
+        before + 1,
+        "budgeted RJ should have fallen back to BHJ exactly once"
+    );
+    assert_eq!(engine.ctx.used(), 0, "all leases released after the query");
+
+    // An impossible budget still fails — but with the typed error.
+    engine.ctx.set_memory_budget(Some(1024));
+    match engine.execute(&plan) {
+        Err(ExecError::BudgetExceeded { budget, .. }) => assert_eq!(budget, 1024),
+        other => panic!("expected budget breach, got {:?}", other.err()),
+    }
+    assert_eq!(engine.ctx.used(), 0);
+}
+
+#[test]
+fn brj_also_degrades_and_bloom_budget_is_charged() {
+    let build = table_kv(1_000, 1_000);
+    let probe = table_kv(200_000, 1_000);
+    let plan = count_join_plan(&build, &probe, JoinAlgo::Brj);
+    let engine = Engine::new(2);
+    engine.ctx.set_memory_budget(Some(512 * 1024));
+    let before = metrics::degradations();
+    let t = engine.run(&plan);
+    assert_eq!(t.column_by_name("cnt").as_i64()[0], 200_000);
+    assert_eq!(metrics::degradations(), before + 1);
+    assert_eq!(engine.ctx.used(), 0);
+}
+
+#[test]
+fn budget_high_water_tracks_peak_reservation() {
+    let build = table_kv(5_000, 5_000);
+    let probe = table_kv(20_000, 5_000);
+    let plan = count_join_plan(&build, &probe, JoinAlgo::Rj);
+    let engine = Engine::new(2);
+    engine.ctx.set_memory_budget(Some(64 * 1024 * 1024));
+    engine.run(&plan);
+    // Both sides were materialized at some point: the peak must cover at
+    // least the contiguous copies of build + probe rows (16 B stride).
+    assert!(
+        engine.ctx.high_water() >= (5_000 + 20_000) * 16,
+        "high water {} too low",
+        engine.ctx.high_water()
+    );
+    assert_eq!(engine.ctx.used(), 0);
+}

@@ -46,7 +46,7 @@ proptest! {
                 ],
             )
             .sort(vec![SortKey::asc(0), SortKey::asc(1)], None);
-        let t = Engine::new(threads).execute(&plan);
+        let t = Engine::new(threads).run(&plan);
 
         // Reference: per-key match count and sum over the probe side.
         let mut per_key: HashMap<i64, (i64, i64)> = HashMap::new();

@@ -26,10 +26,10 @@ fn partition(
         let mut bb = BatchBuilder::new(vec![DataType::Int64]);
         *bb.column_mut(0) = ColumnData::Int64(chunk.to_vec());
         bb.advance(chunk.len());
-        sink.consume(&mut local, bb.flush().unwrap());
+        sink.consume(&mut local, bb.flush().unwrap()).unwrap();
     }
-    sink.finish_local(local);
-    sink.finalize(1, Some(bits2), false).0
+    sink.finish_local(local).unwrap();
+    sink.finalize(1, Some(bits2), false).unwrap().0
 }
 
 proptest! {
@@ -161,7 +161,7 @@ proptest! {
             let plan = Plan::scan(&bt, &["k"], None)
                 .join(Plan::scan(&pt, &["k"], None), algo, JoinType::Inner, &[0], &[0])
                 .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
-            let t = Engine::new(1).execute(&plan);
+            let t = Engine::new(1).run(&plan);
             prop_assert_eq!(t.column_by_name("cnt").as_i64()[0] as usize, expected, "{:?}", algo);
         }
     }

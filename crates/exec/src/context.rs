@@ -1,0 +1,298 @@
+//! Shared per-query execution context: cooperative cancellation, wall-clock
+//! deadline, and an atomic memory budget.
+//!
+//! One [`QueryContext`] is shared (via `Arc`) between the session that issued
+//! a query, the executor's workers, and every materializing primitive:
+//!
+//! * Workers call [`QueryContext::check`] once per claimed morsel, so a
+//!   cancellation or deadline breach stops the pipeline within one morsel of
+//!   work per worker.
+//! * Materializing primitives (radix partition pages, hash-table build,
+//!   SWWCB buffers) call [`QueryContext::try_reserve`] before allocating and
+//!   [`QueryContext::release`] when the memory is dropped, so a query-wide
+//!   budget can be enforced no matter which operator allocates.
+//!
+//! The context is deliberately reusable: a session arms the same context for
+//! each query with [`QueryContext::arm`], which clears the cancel flag and
+//! usage counter while keeping the configured budget and timeout.
+
+use crate::error::{ExecError, ExecResult};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sentinel for "no deadline armed".
+const NO_DEADLINE: u64 = u64::MAX;
+
+/// Shared cancellation token, deadline, and memory budget for one query.
+///
+/// All operations are lock-free; `check` is two relaxed loads on the fast
+/// path and is cheap enough to call per morsel.
+#[derive(Debug)]
+pub struct QueryContext {
+    cancelled: AtomicBool,
+    /// Deadline in nanoseconds since `epoch`; `NO_DEADLINE` when unarmed.
+    deadline_ns: AtomicU64,
+    /// Configured time budget (for error reporting), in milliseconds.
+    budget_ms: AtomicU64,
+    epoch: Instant,
+    /// Memory budget in bytes; `usize::MAX` means unlimited.
+    budget: AtomicUsize,
+    /// Bytes currently reserved against the budget.
+    used: AtomicUsize,
+    /// High-water mark of `used` since the last [`QueryContext::arm`].
+    high_water: AtomicUsize,
+}
+
+impl Default for QueryContext {
+    fn default() -> Self {
+        QueryContext {
+            cancelled: AtomicBool::new(false),
+            deadline_ns: AtomicU64::new(NO_DEADLINE),
+            budget_ms: AtomicU64::new(0),
+            epoch: Instant::now(),
+            budget: AtomicUsize::new(usize::MAX),
+            used: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl QueryContext {
+    /// A context with no cancellation armed, no deadline, and no budget.
+    pub fn unbounded() -> Arc<QueryContext> {
+        Arc::new(QueryContext::default())
+    }
+
+    /// Request cooperative cancellation. Safe to call from any thread; the
+    /// running query observes it at its next per-morsel check and returns
+    /// [`ExecError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Arm (or clear, with `None`) a wall-clock deadline `timeout` from now.
+    pub fn set_timeout(&self, timeout: Option<Duration>) {
+        match timeout {
+            Some(t) => {
+                let now = self.epoch.elapsed();
+                let deadline = now
+                    .saturating_add(t)
+                    .as_nanos()
+                    .min(NO_DEADLINE as u128 - 1);
+                self.budget_ms
+                    .store(t.as_millis() as u64, Ordering::Relaxed);
+                self.deadline_ns.store(deadline as u64, Ordering::Relaxed);
+            }
+            None => self.deadline_ns.store(NO_DEADLINE, Ordering::Relaxed),
+        }
+    }
+
+    /// Set (or clear, with `None`) the memory budget in bytes.
+    pub fn set_memory_budget(&self, bytes: Option<usize>) {
+        self.budget
+            .store(bytes.unwrap_or(usize::MAX), Ordering::Relaxed);
+    }
+
+    /// The configured memory budget, if any.
+    pub fn memory_budget(&self) -> Option<usize> {
+        match self.budget.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// Re-arm the context for a fresh query: clears the cancel flag, the
+    /// usage counter, and the high-water mark; re-starts the timeout clock if
+    /// a timeout is configured. Budget and timeout settings persist.
+    pub fn arm(&self) {
+        self.cancelled.store(false, Ordering::Release);
+        self.used.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
+        if self.deadline_ns.load(Ordering::Relaxed) != NO_DEADLINE {
+            let ms = self.budget_ms.load(Ordering::Relaxed);
+            self.set_timeout(Some(Duration::from_millis(ms)));
+        }
+    }
+
+    /// Cancellation + deadline check; called by workers once per morsel.
+    #[inline]
+    pub fn check(&self) -> ExecResult {
+        if self.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        let deadline = self.deadline_ns.load(Ordering::Relaxed);
+        if deadline != NO_DEADLINE && self.epoch.elapsed().as_nanos() as u64 > deadline {
+            return Err(ExecError::Timeout {
+                budget_ms: self.budget_ms.load(Ordering::Relaxed),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reserve `bytes` against the memory budget. On success the caller owns
+    /// the reservation and must `release` it (or transfer that obligation to
+    /// the structure holding the memory). Fails with
+    /// [`ExecError::BudgetExceeded`] without changing the accounted usage.
+    pub fn try_reserve(&self, bytes: usize) -> ExecResult {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let budget = self.budget.load(Ordering::Relaxed);
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > budget {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(ExecError::BudgetExceeded {
+                requested: bytes,
+                in_use: prev,
+                budget,
+            });
+        }
+        self.high_water.fetch_max(prev + bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Return `bytes` previously obtained via [`QueryContext::try_reserve`].
+    pub fn release(&self, bytes: usize) {
+        if bytes > 0 {
+            let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+            debug_assert!(prev >= bytes, "released more budget than reserved");
+        }
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Peak reservation since the last [`QueryContext::arm`].
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII lease over a budget reservation: releases on drop unless the
+/// reservation is [`BudgetLease::transfer`]red to a longer-lived owner.
+#[derive(Debug)]
+pub struct BudgetLease {
+    ctx: Arc<QueryContext>,
+    bytes: usize,
+}
+
+impl BudgetLease {
+    /// Reserve `bytes` from `ctx`, returning a lease that auto-releases.
+    pub fn reserve(ctx: &Arc<QueryContext>, bytes: usize) -> ExecResult<BudgetLease> {
+        ctx.try_reserve(bytes)?;
+        Ok(BudgetLease {
+            ctx: Arc::clone(ctx),
+            bytes,
+        })
+    }
+
+    /// An empty lease on `ctx` that can grow via [`BudgetLease::grow`].
+    pub fn empty(ctx: &Arc<QueryContext>) -> BudgetLease {
+        BudgetLease {
+            ctx: Arc::clone(ctx),
+            bytes: 0,
+        }
+    }
+
+    /// Extend this lease by `bytes`.
+    pub fn grow(&mut self, bytes: usize) -> ExecResult {
+        self.ctx.try_reserve(bytes)?;
+        self.bytes += bytes;
+        Ok(())
+    }
+
+    /// Bytes held by this lease.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Give up ownership without releasing: the reservation now belongs to
+    /// whoever tracks the returned byte count (typically the materialized
+    /// structure the memory was charged for).
+    pub fn transfer(mut self) -> usize {
+        std::mem::replace(&mut self.bytes, 0)
+    }
+
+    /// Merge another lease (on the same context) into this one.
+    pub fn absorb(&mut self, other: BudgetLease) {
+        debug_assert!(Arc::ptr_eq(&self.ctx, &other.ctx));
+        self.bytes += other.transfer();
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        self.ctx.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_and_rearm() {
+        let ctx = QueryContext::unbounded();
+        assert!(ctx.check().is_ok());
+        ctx.cancel();
+        assert_eq!(ctx.check(), Err(ExecError::Cancelled));
+        ctx.arm();
+        assert!(ctx.check().is_ok());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let ctx = QueryContext::unbounded();
+        ctx.set_timeout(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(ctx.check(), Err(ExecError::Timeout { .. })));
+        ctx.set_timeout(None);
+        assert!(ctx.check().is_ok());
+    }
+
+    #[test]
+    fn budget_reserve_release() {
+        let ctx = QueryContext::unbounded();
+        ctx.set_memory_budget(Some(100));
+        assert!(ctx.try_reserve(60).is_ok());
+        let err = ctx.try_reserve(50).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { in_use: 60, .. }));
+        // Failed reservation must not leak usage.
+        assert_eq!(ctx.used(), 60);
+        ctx.release(60);
+        assert_eq!(ctx.used(), 0);
+        assert_eq!(ctx.high_water(), 60);
+    }
+
+    #[test]
+    fn lease_releases_on_drop_but_not_after_transfer() {
+        let ctx = QueryContext::unbounded();
+        ctx.set_memory_budget(Some(100));
+        {
+            let lease = BudgetLease::reserve(&ctx, 80).unwrap();
+            assert_eq!(lease.bytes(), 80);
+        }
+        assert_eq!(ctx.used(), 0);
+
+        let lease = BudgetLease::reserve(&ctx, 80).unwrap();
+        let owned = lease.transfer();
+        assert_eq!(owned, 80);
+        assert_eq!(ctx.used(), 80, "transferred lease must not auto-release");
+        ctx.release(owned);
+
+        let mut a = BudgetLease::empty(&ctx);
+        a.grow(30).unwrap();
+        let b = BudgetLease::reserve(&ctx, 20).unwrap();
+        a.absorb(b);
+        assert_eq!(a.bytes(), 50);
+        drop(a);
+        assert_eq!(ctx.used(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Typed execution errors.
+//!
+//! Every fallible step of a pipeline — source polling, operator processing,
+//! sink materialization — returns [`ExecResult`] so failures propagate to
+//! [`crate::sched::Executor::run_pipeline`] instead of panicking the process.
+//! Panics that do happen inside a worker are caught there and surfaced as
+//! [`ExecError::WorkerPanic`].
+
+/// Result alias used throughout the execution layer.
+pub type ExecResult<T = ()> = Result<T, ExecError>;
+
+/// A typed execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The query's cooperative cancellation token was triggered.
+    Cancelled,
+    /// The query ran past its wall-clock deadline.
+    Timeout {
+        /// The configured time budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A memory reservation would have pushed usage past the query's budget.
+    BudgetExceeded {
+        /// Bytes the failed reservation asked for.
+        requested: usize,
+        /// Bytes already reserved when the request was made.
+        in_use: usize,
+        /// The configured budget, in bytes.
+        budget: usize,
+    },
+    /// A worker thread panicked; the panic was caught at the pipeline
+    /// boundary and the remaining workers shut down cleanly.
+    WorkerPanic {
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
+    /// An operator, source, or sink failed in a recoverable way.
+    Operator {
+        /// Short operator name, e.g. `"scan"` or `"hash-build"`.
+        op: &'static str,
+        message: String,
+    },
+}
+
+impl ExecError {
+    /// Convenience constructor for operator-level failures.
+    pub fn operator(op: &'static str, message: impl Into<String>) -> ExecError {
+        ExecError::Operator {
+            op,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::Timeout { budget_ms } => {
+                write!(f, "query exceeded its {budget_ms} ms time budget")
+            }
+            ExecError::BudgetExceeded {
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested} B with {in_use} B in use \
+                 against a {budget} B budget"
+            ),
+            ExecError::WorkerPanic { message } => {
+                write!(f, "worker thread panicked: {message}")
+            }
+            ExecError::Operator { op, message } => write!(f, "operator '{op}' failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(ExecError::Cancelled.to_string(), "query cancelled");
+        assert!(ExecError::Timeout { budget_ms: 5 }
+            .to_string()
+            .contains("5 ms"));
+        let e = ExecError::BudgetExceeded {
+            requested: 64,
+            in_use: 100,
+            budget: 128,
+        };
+        for part in ["64 B", "100 B", "128 B"] {
+            assert!(e.to_string().contains(part), "missing {part} in {e}");
+        }
+        assert!(ExecError::operator("scan", "boom")
+            .to_string()
+            .contains("scan"));
+    }
+}

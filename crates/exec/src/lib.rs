@@ -27,6 +27,8 @@
 //! this engine through the same [`pipeline`] traits as every other operator.
 
 pub mod batch;
+pub mod context;
+pub mod error;
 pub mod expr;
 pub mod metrics;
 pub mod ops;
@@ -34,5 +36,7 @@ pub mod pipeline;
 pub mod sched;
 
 pub use batch::{Batch, BATCH_ROWS};
+pub use context::{BudgetLease, QueryContext};
+pub use error::{ExecError, ExecResult};
 pub use pipeline::{Operator, Sink, Source, StreamSpec};
 pub use sched::Executor;

@@ -125,6 +125,7 @@ pub fn reset() {
         c.read.store(0, Ordering::Relaxed);
         c.write.store(0, Ordering::Relaxed);
     }
+    DEGRADATIONS.store(0, Ordering::Relaxed);
     let mut t = TIMELINE.lock().unwrap();
     t.origin = Some(Instant::now());
     t.events.clear();
@@ -179,6 +180,23 @@ pub fn snapshot() -> Vec<(MemPhase, u64, u64)> {
 /// The recorded phase-transition timeline since the last [`reset`].
 pub fn timeline() -> Vec<TimelineEvent> {
     TIMELINE.lock().unwrap().events.clone()
+}
+
+/// Number of joins that abandoned radix partitioning and re-ran as BHJ
+/// because the partition phase blew the query's memory budget. Always
+/// counted (not gated on [`enabled`]) so the harness can report degradation
+/// frequency without turning on byte accounting.
+static DEGRADATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one RJ→BHJ degradation event.
+#[inline]
+pub fn record_degradation() {
+    DEGRADATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Degradations recorded since the last [`reset`].
+pub fn degradations() -> u64 {
+    DEGRADATIONS.load(Ordering::Relaxed)
 }
 
 /// Rows scanned at pipeline sources (the paper's throughput denominator,

@@ -7,6 +7,7 @@
 //! `SELECT count(*)` / `SELECT sum(p1)` without touching a hash table.
 
 use crate::batch::Batch;
+use crate::error::ExecResult;
 use crate::pipeline::{LocalState, Sink};
 use joinstudy_storage::column::ColumnData;
 use joinstudy_storage::table::{Field, Schema, Table, TableBuilder};
@@ -312,7 +313,7 @@ impl Sink for AggSink {
         Box::new(AggTable::new())
     }
 
-    fn consume(&self, local: &mut LocalState, input: Batch) {
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
         let table = local.downcast_mut::<AggTable>().unwrap();
         let n = input.num_rows();
 
@@ -329,7 +330,7 @@ impl Sink for AggSink {
                     state.update(col, row);
                 }
             }
-            return;
+            return Ok(());
         }
 
         let mut keybuf = Vec::new();
@@ -355,9 +356,10 @@ impl Sink for AggSink {
                 state.update(col, row);
             }
         }
+        Ok(())
     }
 
-    fn finish_local(&self, local: LocalState) {
+    fn finish_local(&self, local: LocalState) -> ExecResult {
         let local = *local.downcast::<AggTable>().unwrap();
         let mut global = self.global.lock();
         if self.group_cols.is_empty() {
@@ -371,7 +373,7 @@ impl Sink for AggSink {
                     }
                 }
             }
-            return;
+            return Ok(());
         }
         for (key_bytes, &local_slot) in &local.map {
             match global.map.get(key_bytes) {
@@ -391,6 +393,7 @@ impl Sink for AggSink {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -414,9 +417,9 @@ mod tests {
     fn run(sink: &AggSink, batches: Vec<Batch>) -> Table {
         let mut local = sink.create_local();
         for b in batches {
-            sink.consume(&mut local, b);
+            sink.consume(&mut local, b).unwrap();
         }
-        sink.finish_local(local);
+        sink.finish_local(local).unwrap();
         sink.finish();
         sink.into_table()
     }
@@ -533,10 +536,10 @@ mod tests {
         // Two workers each with a local table.
         let mut l1 = sink.create_local();
         let mut l2 = sink.create_local();
-        sink.consume(&mut l1, sample_batch());
-        sink.consume(&mut l2, sample_batch());
-        sink.finish_local(l1);
-        sink.finish_local(l2);
+        sink.consume(&mut l1, sample_batch()).unwrap();
+        sink.consume(&mut l2, sample_batch()).unwrap();
+        sink.finish_local(l1).unwrap();
+        sink.finish_local(l2).unwrap();
         let t = sink.into_table();
         let mut rows: Vec<(String, i64)> = (0..t.num_rows())
             .map(|i| {

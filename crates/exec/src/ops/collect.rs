@@ -1,6 +1,7 @@
 //! Result collection sink: materializes a pipeline into a [`Table`].
 
 use crate::batch::Batch;
+use crate::error::ExecResult;
 use crate::pipeline::{LocalState, Sink};
 use joinstudy_storage::table::{Schema, Table, TableBuilder};
 use parking_lot::Mutex;
@@ -44,13 +45,15 @@ impl Sink for CollectSink {
         Box::new(Vec::<Batch>::new())
     }
 
-    fn consume(&self, local: &mut LocalState, input: Batch) {
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
         local.downcast_mut::<Vec<Batch>>().unwrap().push(input);
+        Ok(())
     }
 
-    fn finish_local(&self, local: LocalState) {
+    fn finish_local(&self, local: LocalState) -> ExecResult {
         let local = *local.downcast::<Vec<Batch>>().unwrap();
         self.batches.lock().extend(local);
+        Ok(())
     }
 }
 
@@ -65,10 +68,12 @@ mod tests {
         let sink = CollectSink::new(Schema::of(&[("x", DataType::Int64)]));
         let mut l1 = sink.create_local();
         let mut l2 = sink.create_local();
-        sink.consume(&mut l1, Batch::new(vec![ColumnData::Int64(vec![1, 2])]));
-        sink.consume(&mut l2, Batch::new(vec![ColumnData::Int64(vec![3])]));
-        sink.finish_local(l1);
-        sink.finish_local(l2);
+        sink.consume(&mut l1, Batch::new(vec![ColumnData::Int64(vec![1, 2])]))
+            .unwrap();
+        sink.consume(&mut l2, Batch::new(vec![ColumnData::Int64(vec![3])]))
+            .unwrap();
+        sink.finish_local(l1).unwrap();
+        sink.finish_local(l2).unwrap();
         let t = sink.into_table();
         assert_eq!(t.num_rows(), 3);
         let mut v = t.column(0).as_i64().to_vec();

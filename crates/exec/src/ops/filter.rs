@@ -1,6 +1,7 @@
 //! Fused filter and projection operators.
 
 use crate::batch::Batch;
+use crate::error::ExecResult;
 use crate::expr::Expr;
 use crate::pipeline::{Emit, LocalState, Operator};
 use joinstudy_storage::table::{Field, Schema};
@@ -17,13 +18,14 @@ impl FilterOp {
 }
 
 impl Operator for FilterOp {
-    fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) {
+    fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
         let sel = self.pred.eval_sel(&input);
         if sel.len() == input.num_rows() {
             out(input);
         } else if !sel.is_empty() {
             out(input.take(&sel));
         }
+        Ok(())
     }
 }
 
@@ -51,9 +53,10 @@ impl ProjectOp {
 }
 
 impl Operator for ProjectOp {
-    fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) {
+    fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
         let columns = self.exprs.iter().map(|e| e.eval(&input)).collect();
         out(Batch::new(columns));
+        Ok(())
     }
 }
 
@@ -66,7 +69,7 @@ mod tests {
     fn run_op(op: &dyn Operator, input: Batch) -> Vec<Batch> {
         let mut local = op.create_local();
         let mut out = Vec::new();
-        op.process(&mut local, input, &mut |b| out.push(b));
+        op.process(&mut local, input, &mut |b| out.push(b)).unwrap();
         out
     }
 

@@ -8,6 +8,7 @@
 //! measured in Figure 15 and Table 3).
 
 use crate::batch::Batch;
+use crate::error::ExecResult;
 use crate::metrics::{self, MemPhase};
 use crate::pipeline::{Emit, LocalState, Operator};
 use joinstudy_storage::column::{ColumnData, StrColumn};
@@ -47,7 +48,7 @@ impl LateLoadOp {
 }
 
 impl Operator for LateLoadOp {
-    fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) {
+    fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
         let tids = input.column(self.tid_col).as_i64();
         let mut batch = input.clone();
         let mut gathered_bytes = 0usize;
@@ -60,6 +61,7 @@ impl Operator for LateLoadOp {
             metrics::record_read(MemPhase::Other, gathered_bytes as u64);
         }
         out(batch);
+        Ok(())
     }
 }
 
@@ -108,7 +110,7 @@ mod tests {
         let input = Batch::new(vec![ColumnData::Int64(vec![5, 99, 0])]);
         let mut local = op.create_local();
         let mut out = Vec::new();
-        op.process(&mut local, input, &mut |b| out.push(b));
+        op.process(&mut local, input, &mut |b| out.push(b)).unwrap();
         let b = &out[0];
         assert_eq!(b.num_columns(), 3);
         assert_eq!(b.column(1).as_i64(), &[50, 990, 0]);

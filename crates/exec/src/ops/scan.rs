@@ -7,6 +7,7 @@
 //! materialization (§4.2) uses to re-fetch columns after selective joins.
 
 use crate::batch::{slice_column, Batch};
+use crate::error::ExecResult;
 use crate::expr::Expr;
 use crate::metrics::{self, MemPhase};
 use crate::pipeline::{Emit, Source};
@@ -83,7 +84,7 @@ impl Source for TableScan {
         self.morsels.len()
     }
 
-    fn poll_task(&self, task: usize, out: Emit) {
+    fn poll_task(&self, task: usize, out: Emit) -> ExecResult {
         let morsel = self.morsels[task];
         metrics::add_source_rows(morsel.len() as u64);
         let mut start = morsel.start;
@@ -124,6 +125,7 @@ impl Source for TableScan {
             }
             start = end;
         }
+        Ok(())
     }
 }
 
@@ -145,7 +147,7 @@ mod tests {
     fn drain(scan: &TableScan) -> Vec<Batch> {
         let mut out = Vec::new();
         for t in 0..scan.task_count() {
-            scan.poll_task(t, &mut |b| out.push(b));
+            scan.poll_task(t, &mut |b| out.push(b)).unwrap();
         }
         out
     }

@@ -1,6 +1,7 @@
 //! Sort / Top-K pipeline breaker (ORDER BY ... LIMIT ...).
 
 use crate::batch::Batch;
+use crate::error::ExecResult;
 use crate::ops::aggregate::value_cmp;
 use crate::pipeline::{LocalState, Sink};
 use joinstudy_storage::table::{Schema, Table, TableBuilder};
@@ -94,13 +95,15 @@ impl Sink for SortSink {
         Box::new(Vec::<Batch>::new())
     }
 
-    fn consume(&self, local: &mut LocalState, input: Batch) {
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
         local.downcast_mut::<Vec<Batch>>().unwrap().push(input);
+        Ok(())
     }
 
-    fn finish_local(&self, local: LocalState) {
+    fn finish_local(&self, local: LocalState) -> ExecResult {
         let local = *local.downcast::<Vec<Batch>>().unwrap();
         self.batches.lock().extend(local);
+        Ok(())
     }
 }
 
@@ -115,9 +118,9 @@ mod tests {
         let sink = SortSink::new(schema, keys, limit);
         let mut local = sink.create_local();
         for b in batches {
-            sink.consume(&mut local, b);
+            sink.consume(&mut local, b).unwrap();
         }
-        sink.finish_local(local);
+        sink.finish_local(local).unwrap();
         sink.into_table()
     }
 

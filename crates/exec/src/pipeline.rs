@@ -14,6 +14,7 @@
 //! be driven by any number of morsel-stealing workers without locks.
 
 use crate::batch::Batch;
+use crate::error::ExecResult;
 use joinstudy_storage::table::Schema;
 use std::any::Any;
 use std::sync::Arc;
@@ -33,8 +34,9 @@ pub trait Source: Send + Sync {
     /// Number of independent tasks. Task ids are `0..task_count()`.
     fn task_count(&self) -> usize;
 
-    /// Produce all batches of one task.
-    fn poll_task(&self, task: usize, out: Emit);
+    /// Produce all batches of one task. Batches already emitted before an
+    /// `Err` are discarded by the executor.
+    fn poll_task(&self, task: usize, out: Emit) -> ExecResult;
 }
 
 /// A fused in-pipeline operator: consumes one batch, emits zero or more.
@@ -45,11 +47,13 @@ pub trait Operator: Send + Sync {
     }
 
     /// Process one input batch, pushing outputs through `out`.
-    fn process(&self, local: &mut LocalState, input: Batch, out: Emit);
+    fn process(&self, local: &mut LocalState, input: Batch, out: Emit) -> ExecResult;
 
     /// Flush any buffered rows at end-of-input (per worker). Operators with
     /// ROF staging buffers override this.
-    fn flush(&self, _local: &mut LocalState, _out: Emit) {}
+    fn flush(&self, _local: &mut LocalState, _out: Emit) -> ExecResult {
+        Ok(())
+    }
 }
 
 /// A pipeline breaker: consumes all batches of a pipeline and materializes
@@ -60,13 +64,17 @@ pub trait Sink: Send + Sync {
         Box::new(())
     }
 
-    /// Consume one batch.
-    fn consume(&self, local: &mut LocalState, input: Batch);
+    /// Consume one batch. Materializing sinks charge their allocations
+    /// against the query's memory budget here and fail with
+    /// [`crate::error::ExecError::BudgetExceeded`] when it is exhausted.
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult;
 
     /// Merge one worker's local state into the sink's global state. Called
     /// once per worker after all tasks are drained; may run concurrently
     /// across workers, so implementations synchronize internally.
-    fn finish_local(&self, _local: LocalState) {}
+    fn finish_local(&self, _local: LocalState) -> ExecResult {
+        Ok(())
+    }
 
     /// Finalize the sink after every worker finished. Runs single-threaded.
     fn finish(&self) {}

@@ -6,11 +6,26 @@
 //! doesn't block the others; they drain the remaining tasks). This mirrors
 //! the morsel-driven scheduler of Leis et al. that the paper's host system
 //! uses for all pipelines, including both radix-partitioning passes.
+//!
+//! # Failure handling
+//!
+//! Every worker checks the shared [`QueryContext`] (cancellation flag and
+//! deadline) before claiming each morsel, and every `poll_task` / `process` /
+//! `consume` call returns [`ExecResult`]. The first error is stored in a
+//! shared slot; the remaining workers observe the raised failure flag, stop
+//! claiming tasks, and join cleanly. A panicking worker is additionally
+//! isolated with `catch_unwind` and converted into
+//! [`ExecError::WorkerPanic`], so a bug in one operator cannot abort the
+//! whole process. On failure the sink's `finish` is skipped and
+//! [`Executor::run_pipeline`] returns the error.
 
 use crate::batch::Batch;
+use crate::context::QueryContext;
+use crate::error::{ExecError, ExecResult};
 use crate::pipeline::{LocalState, Operator, Sink, Source};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A pipeline executor with a fixed worker count.
 ///
@@ -19,6 +34,39 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy)]
 pub struct Executor {
     threads: usize,
+}
+
+/// First-error-wins failure slot shared by all workers of one pipeline.
+struct Failure {
+    raised: AtomicBool,
+    first: Mutex<Option<ExecError>>,
+}
+
+impl Failure {
+    fn new() -> Failure {
+        Failure {
+            raised: AtomicBool::new(false),
+            first: Mutex::new(None),
+        }
+    }
+
+    /// Whether any worker has failed; checked per morsel by the others.
+    #[inline]
+    fn raised(&self) -> bool {
+        self.raised.load(Ordering::Acquire)
+    }
+
+    fn set(&self, err: ExecError) {
+        let mut slot = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.raised.store(true, Ordering::Release);
+    }
+
+    fn take(self) -> Option<ExecError> {
+        self.first.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
 }
 
 impl Executor {
@@ -42,56 +90,130 @@ impl Executor {
     /// Run one pipeline to completion: drain every source task through the
     /// operator chain into the sink, then merge worker-local sink state and
     /// finalize the sink.
-    pub fn run_pipeline(&self, source: &dyn Source, ops: &[Arc<dyn Operator>], sink: &dyn Sink) {
+    ///
+    /// Returns the first error any worker hit (cancellation, timeout, budget
+    /// breach, operator failure, or a caught panic). On error the sink is
+    /// left un-finalized but every worker thread has joined.
+    pub fn run_pipeline(
+        &self,
+        ctx: &Arc<QueryContext>,
+        source: &dyn Source,
+        ops: &[Arc<dyn Operator>],
+        sink: &dyn Sink,
+    ) -> ExecResult {
         let next_task = AtomicUsize::new(0);
         let task_count = source.task_count();
+        let failure = Failure::new();
 
         if self.threads == 1 || task_count <= 1 {
-            run_worker(source, ops, sink, &next_task, task_count);
+            run_worker(ctx, source, ops, sink, &next_task, task_count, &failure);
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..self.threads {
-                    scope.spawn(|| run_worker(source, ops, sink, &next_task, task_count));
+                    scope.spawn(|| {
+                        run_worker(ctx, source, ops, sink, &next_task, task_count, &failure)
+                    });
                 }
             });
         }
-        sink.finish();
+
+        match failure.take() {
+            Some(err) => Err(err),
+            None => {
+                sink.finish();
+                Ok(())
+            }
+        }
     }
 }
 
-/// One worker: claim tasks until exhausted, then flush operators and merge
-/// local sink state.
+/// One worker: claim tasks until exhausted (or a failure is raised), then
+/// flush operators and merge local sink state. Panics anywhere inside are
+/// caught and recorded as [`ExecError::WorkerPanic`].
 fn run_worker(
+    ctx: &QueryContext,
     source: &dyn Source,
     ops: &[Arc<dyn Operator>],
     sink: &dyn Sink,
     next_task: &AtomicUsize,
     task_count: usize,
+    failure: &Failure,
 ) {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        worker_body(ctx, source, ops, sink, next_task, task_count, failure)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(err)) => failure.set(err),
+        Err(payload) => failure.set(ExecError::WorkerPanic {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn worker_body(
+    ctx: &QueryContext,
+    source: &dyn Source,
+    ops: &[Arc<dyn Operator>],
+    sink: &dyn Sink,
+    next_task: &AtomicUsize,
+    task_count: usize,
+    failure: &Failure,
+) -> ExecResult {
     let mut op_locals: Vec<LocalState> = ops.iter().map(|o| o.create_local()).collect();
     let mut sink_local = sink.create_local();
 
     loop {
+        // Stop claiming work as soon as any sibling worker failed; per-morsel
+        // cancellation/deadline check bounds reaction latency to one morsel.
+        if failure.raised() {
+            return Ok(());
+        }
+        ctx.check()?;
         let task = next_task.fetch_add(1, Ordering::Relaxed);
         if task >= task_count {
             break;
         }
-        source.poll_task(task, &mut |batch| {
-            feed_chain(ops, &mut op_locals, sink, &mut sink_local, batch, 0);
+        // Emit callbacks are infallible, so a downstream error is parked in
+        // `chain_err` and later batches of the task are dropped.
+        let mut chain_err: Option<ExecError> = None;
+        let polled = source.poll_task(task, &mut |batch| {
+            if chain_err.is_none() {
+                if let Err(e) = feed_chain(ops, &mut op_locals, sink, &mut sink_local, batch, 0) {
+                    chain_err = Some(e);
+                }
+            }
         });
+        if let Some(e) = chain_err {
+            return Err(e);
+        }
+        polled?;
     }
 
     // End of input: flush ROF staging buffers front-to-back so that a flush
     // from operator i still traverses operators i+1.. and the sink.
     for i in 0..ops.len() {
+        if failure.raised() {
+            return Ok(());
+        }
         let mut pending: Vec<Batch> = Vec::new();
-        ops[i].flush(&mut op_locals[i], &mut |b| pending.push(b));
+        ops[i].flush(&mut op_locals[i], &mut |b| pending.push(b))?;
         for b in pending {
-            feed_chain(ops, &mut op_locals, sink, &mut sink_local, b, i + 1);
+            feed_chain(ops, &mut op_locals, sink, &mut sink_local, b, i + 1)?;
         }
     }
 
-    sink.finish_local(sink_local);
+    sink.finish_local(sink_local)
 }
 
 /// Push a batch through operators `from..` and finally into the sink.
@@ -104,12 +226,12 @@ fn feed_chain(
     sink_local: &mut LocalState,
     batch: Batch,
     from: usize,
-) {
+) -> ExecResult {
     let mut stack: Vec<(usize, Batch)> = vec![(from, batch)];
     while let Some((i, b)) = stack.pop() {
         if i == ops.len() {
             if b.num_rows() > 0 {
-                sink.consume(sink_local, b);
+                sink.consume(sink_local, b)?;
             }
             continue;
         }
@@ -118,9 +240,10 @@ fn feed_chain(
         }
         let (op, local) = (&ops[i], &mut op_locals[i]);
         let mut produced: Vec<(usize, Batch)> = Vec::new();
-        op.process(local, b, &mut |nb| produced.push((i + 1, nb)));
+        op.process(local, b, &mut |nb| produced.push((i + 1, nb)))?;
         stack.extend(produced);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -141,9 +264,10 @@ mod tests {
             self.tasks
         }
 
-        fn poll_task(&self, task: usize, out: Emit) {
+        fn poll_task(&self, task: usize, out: Emit) -> ExecResult {
             let base = task as i64 * 10;
             out(Batch::new(vec![ColumnData::Int64(vec![base, base + 1])]));
+            Ok(())
         }
     }
 
@@ -151,9 +275,10 @@ mod tests {
     struct DupOp;
 
     impl Operator for DupOp {
-        fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) {
+        fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
             out(input.clone());
             out(input);
+            Ok(())
         }
     }
 
@@ -165,14 +290,47 @@ mod tests {
             Box::new(Vec::<Batch>::new())
         }
 
-        fn process(&self, local: &mut LocalState, input: Batch, _out: Emit) {
+        fn process(&self, local: &mut LocalState, input: Batch, _out: Emit) -> ExecResult {
             local.downcast_mut::<Vec<Batch>>().unwrap().push(input);
+            Ok(())
         }
 
-        fn flush(&self, local: &mut LocalState, out: Emit) {
+        fn flush(&self, local: &mut LocalState, out: Emit) -> ExecResult {
             for b in local.downcast_mut::<Vec<Batch>>().unwrap().drain(..) {
                 out(b);
             }
+            Ok(())
+        }
+    }
+
+    /// Operator that fails once a batch containing `trigger` passes through.
+    struct FailOnValueOp {
+        trigger: i64,
+    }
+
+    impl Operator for FailOnValueOp {
+        fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
+            if input.column(0).as_i64().contains(&self.trigger) {
+                return Err(ExecError::operator("fail-on-value", "injected failure"));
+            }
+            out(input);
+            Ok(())
+        }
+    }
+
+    /// Operator that panics on a specific value (tests catch_unwind).
+    struct PanicOnValueOp {
+        trigger: i64,
+    }
+
+    impl Operator for PanicOnValueOp {
+        fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
+            assert!(
+                !input.column(0).as_i64().contains(&self.trigger),
+                "injected panic"
+            );
+            out(input);
+            Ok(())
         }
     }
 
@@ -188,13 +346,15 @@ mod tests {
             Box::new(0i64)
         }
 
-        fn consume(&self, local: &mut LocalState, input: Batch) {
+        fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
             let acc = local.downcast_mut::<i64>().unwrap();
             *acc += input.column(0).as_i64().iter().sum::<i64>();
+            Ok(())
         }
 
-        fn finish_local(&self, local: LocalState) {
+        fn finish_local(&self, local: LocalState) -> ExecResult {
             *self.total.lock() += *local.downcast::<i64>().unwrap();
+            Ok(())
         }
 
         fn finish(&self) {
@@ -206,10 +366,16 @@ mod tests {
         (0..tasks as i64).map(|t| t * 10 + t * 10 + 1).sum()
     }
 
+    fn ctx() -> Arc<QueryContext> {
+        QueryContext::unbounded()
+    }
+
     #[test]
     fn single_threaded_pipeline() {
         let sink = SumSink::default();
-        Executor::new(1).run_pipeline(&NumberSource { tasks: 5 }, &[], &sink);
+        Executor::new(1)
+            .run_pipeline(&ctx(), &NumberSource { tasks: 5 }, &[], &sink)
+            .unwrap();
         assert_eq!(*sink.total.lock(), expected_sum(5));
         assert!(*sink.finished.lock());
     }
@@ -218,7 +384,9 @@ mod tests {
     fn multi_threaded_pipeline_same_result() {
         for threads in [2, 4, 8] {
             let sink = SumSink::default();
-            Executor::new(threads).run_pipeline(&NumberSource { tasks: 40 }, &[], &sink);
+            Executor::new(threads)
+                .run_pipeline(&ctx(), &NumberSource { tasks: 40 }, &[], &sink)
+                .unwrap();
             assert_eq!(*sink.total.lock(), expected_sum(40), "threads={threads}");
         }
     }
@@ -227,7 +395,9 @@ mod tests {
     fn operators_chain_and_multiply() {
         let sink = SumSink::default();
         let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(DupOp), Arc::new(DupOp)];
-        Executor::new(3).run_pipeline(&NumberSource { tasks: 10 }, &ops, &sink);
+        Executor::new(3)
+            .run_pipeline(&ctx(), &NumberSource { tasks: 10 }, &ops, &sink)
+            .unwrap();
         assert_eq!(*sink.total.lock(), 4 * expected_sum(10));
     }
 
@@ -236,15 +406,84 @@ mod tests {
         // BufferAllOp followed by DupOp: flushed batches must still pass DupOp.
         let sink = SumSink::default();
         let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(BufferAllOp), Arc::new(DupOp)];
-        Executor::new(2).run_pipeline(&NumberSource { tasks: 7 }, &ops, &sink);
+        Executor::new(2)
+            .run_pipeline(&ctx(), &NumberSource { tasks: 7 }, &ops, &sink)
+            .unwrap();
         assert_eq!(*sink.total.lock(), 2 * expected_sum(7));
     }
 
     #[test]
     fn empty_source_still_finishes() {
         let sink = SumSink::default();
-        Executor::new(4).run_pipeline(&NumberSource { tasks: 0 }, &[], &sink);
+        Executor::new(4)
+            .run_pipeline(&ctx(), &NumberSource { tasks: 0 }, &[], &sink)
+            .unwrap();
         assert_eq!(*sink.total.lock(), 0);
         assert!(*sink.finished.lock());
+    }
+
+    #[test]
+    fn operator_error_propagates_and_skips_finish() {
+        for threads in [1, 4] {
+            let sink = SumSink::default();
+            let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(FailOnValueOp { trigger: 200 })];
+            let err = Executor::new(threads)
+                .run_pipeline(&ctx(), &NumberSource { tasks: 40 }, &ops, &sink)
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ExecError::Operator {
+                        op: "fail-on-value",
+                        ..
+                    }
+                ),
+                "threads={threads}: {err}"
+            );
+            assert!(!*sink.finished.lock(), "finish must be skipped on error");
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_isolated() {
+        for threads in [1, 4] {
+            let sink = SumSink::default();
+            let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(PanicOnValueOp { trigger: 130 })];
+            let err = Executor::new(threads)
+                .run_pipeline(&ctx(), &NumberSource { tasks: 30 }, &ops, &sink)
+                .unwrap_err();
+            match err {
+                ExecError::WorkerPanic { message } => {
+                    assert!(message.contains("injected panic"), "got: {message}")
+                }
+                other => panic!("threads={threads}: expected WorkerPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_context_stops_before_any_work() {
+        let ctx = ctx();
+        ctx.cancel();
+        let sink = SumSink::default();
+        let err = Executor::new(2)
+            .run_pipeline(&ctx, &NumberSource { tasks: 40 }, &[], &sink)
+            .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+        assert_eq!(*sink.total.lock(), 0);
+    }
+
+    #[test]
+    fn executor_is_reusable_after_failure() {
+        let exec = Executor::new(4);
+        let bad: Vec<Arc<dyn Operator>> = vec![Arc::new(FailOnValueOp { trigger: 0 })];
+        let sink = SumSink::default();
+        exec.run_pipeline(&ctx(), &NumberSource { tasks: 10 }, &bad, &sink)
+            .unwrap_err();
+
+        let sink = SumSink::default();
+        exec.run_pipeline(&ctx(), &NumberSource { tasks: 10 }, &[], &sink)
+            .unwrap();
+        assert_eq!(*sink.total.lock(), expected_sum(10));
     }
 }

@@ -43,12 +43,12 @@ proptest! {
         let chunk = rows.len().div_ceil(workers).max(1);
         for part in rows.chunks(chunk) {
             let mut local = sink.create_local();
-            sink.consume(&mut local, batch(part));
-            sink.finish_local(local);
+            sink.consume(&mut local, batch(part)).unwrap();
+            sink.finish_local(local).unwrap();
         }
         if rows.is_empty() {
             // No worker consumed anything; still merge one empty local.
-            sink.finish_local(sink.create_local());
+            sink.finish_local(sink.create_local()).unwrap();
         }
         let t = sink.into_table();
 
@@ -82,9 +82,9 @@ proptest! {
         );
         let mut local = sink.create_local();
         if !rows.is_empty() {
-            sink.consume(&mut local, batch(&rows));
+            sink.consume(&mut local, batch(&rows)).unwrap();
         }
-        sink.finish_local(local);
+        sink.finish_local(local).unwrap();
         let t = sink.into_table();
         let mut want: HashMap<i64, std::collections::HashSet<i64>> = HashMap::new();
         for &(g, v) in &rows {
@@ -111,9 +111,9 @@ proptest! {
         let sink = SortSink::new(schema(), keys, limit);
         let mut local = sink.create_local();
         if !rows.is_empty() {
-            sink.consume(&mut local, batch(&rows));
+            sink.consume(&mut local, batch(&rows)).unwrap();
         }
-        sink.finish_local(local);
+        sink.finish_local(local).unwrap();
         let t = sink.into_table();
 
         let mut want = rows.clone();

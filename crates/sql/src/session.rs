@@ -4,27 +4,102 @@ use crate::ast::{Literal, Statement};
 use crate::parser::parse;
 use crate::planner::plan_select;
 use joinstudy_core::{Engine, JoinAlgo};
+use joinstudy_exec::context::QueryContext;
+use joinstudy_exec::error::ExecError;
 use joinstudy_storage::table::{Field, Schema, Table, TableBuilder};
 use joinstudy_storage::types::{DataType, Decimal, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Anything that can go wrong between SQL text and a result table.
-#[derive(Debug)]
-pub struct SqlError(pub String);
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The statement did not lex or parse.
+    Parse(String),
+    /// The statement parsed but could not be planned or applied to the
+    /// catalog (unknown tables or columns, arity mismatches, ...).
+    Plan(String),
+    /// The engine failed mid-execution (worker panic, operator failure).
+    Exec(ExecError),
+    /// The query was cancelled via the session's [`QueryContext`].
+    Cancelled,
+    /// The session's statement timeout elapsed.
+    Timeout {
+        /// The configured time budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The session's memory budget could not hold a materialization and no
+    /// degraded execution strategy applied.
+    BudgetExceeded {
+        requested: usize,
+        in_use: usize,
+        budget: usize,
+    },
+}
 
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL error: {}", self.0)
+        match self {
+            SqlError::Parse(m) | SqlError::Plan(m) => write!(f, "SQL error: {m}"),
+            SqlError::Exec(e) => write!(f, "SQL error: {e}"),
+            SqlError::Cancelled => write!(f, "SQL error: {}", ExecError::Cancelled),
+            SqlError::Timeout { budget_ms } => {
+                write!(
+                    f,
+                    "SQL error: {}",
+                    ExecError::Timeout {
+                        budget_ms: *budget_ms
+                    }
+                )
+            }
+            SqlError::BudgetExceeded {
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "SQL error: {}",
+                ExecError::BudgetExceeded {
+                    requested: *requested,
+                    in_use: *in_use,
+                    budget: *budget
+                }
+            ),
+        }
     }
 }
 
 impl std::error::Error for SqlError {}
 
+/// Parser and planner report plain strings; both surface as planning-stage
+/// failures unless mapped explicitly (parse errors are tagged in
+/// [`Session::execute`]).
 impl From<String> for SqlError {
     fn from(s: String) -> SqlError {
-        SqlError(s)
+        SqlError::Plan(s)
+    }
+}
+
+/// Resource-limit failures keep their own variants so callers can react
+/// (retry with a bigger budget, report a timeout) without string matching.
+impl From<ExecError> for SqlError {
+    fn from(e: ExecError) -> SqlError {
+        match e {
+            ExecError::Cancelled => SqlError::Cancelled,
+            ExecError::Timeout { budget_ms } => SqlError::Timeout { budget_ms },
+            ExecError::BudgetExceeded {
+                requested,
+                in_use,
+                budget,
+            } => SqlError::BudgetExceeded {
+                requested,
+                in_use,
+                budget,
+            },
+            other => SqlError::Exec(other),
+        }
     }
 }
 
@@ -50,9 +125,29 @@ impl Session {
         self.algo = algo;
     }
 
-    /// Replace the engine (thread count, radix configuration, ...).
+    /// Replace the engine (thread count, radix configuration, ...). The new
+    /// engine brings its own [`QueryContext`]; any timeout or budget set on
+    /// the old one no longer applies.
     pub fn set_engine(&mut self, engine: Engine) {
         self.engine = engine;
+    }
+
+    /// The session's query context: share it with another thread to cancel
+    /// a running statement.
+    pub fn context(&self) -> Arc<QueryContext> {
+        Arc::clone(&self.engine.ctx)
+    }
+
+    /// Per-statement wall-clock timeout (`None` disables).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.engine.ctx.set_timeout(timeout);
+    }
+
+    /// Per-statement memory budget in bytes (`None` disables). Joins that
+    /// cannot partition within the budget degrade to the non-partitioned
+    /// hash join before this surfaces as [`SqlError::BudgetExceeded`].
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.engine.ctx.set_memory_budget(bytes);
     }
 
     /// Register an existing table (e.g. a generated TPC-H relation).
@@ -67,14 +162,14 @@ impl Session {
 
     /// Parse and execute one statement. DDL/DML return an empty table.
     pub fn execute(&mut self, sql: &str) -> Result<Table, SqlError> {
-        match parse(sql)? {
+        match parse(sql).map_err(SqlError::Parse)? {
             Statement::Select(select) => {
                 let plan = plan_select(&select, &self.catalog, self.algo)?;
-                Ok(self.engine.execute(&plan))
+                Ok(self.engine.execute(&plan)?)
             }
             Statement::CreateTable { name, columns } => {
                 if self.catalog.contains_key(&name) {
-                    return Err(SqlError(format!("table {name:?} already exists")));
+                    return Err(SqlError::Plan(format!("table {name:?} already exists")));
                 }
                 let schema = Schema::new(
                     columns
@@ -90,7 +185,7 @@ impl Session {
                 let existing = self
                     .catalog
                     .get(&table)
-                    .ok_or_else(|| SqlError(format!("unknown table {table:?}")))?;
+                    .ok_or_else(|| SqlError::Plan(format!("unknown table {table:?}")))?;
                 let schema = existing.schema().clone();
                 let mut b =
                     TableBuilder::with_capacity(schema.clone(), existing.num_rows() + rows.len());
@@ -99,7 +194,7 @@ impl Session {
                 }
                 for row in &rows {
                     if row.len() != schema.len() {
-                        return Err(SqlError(format!(
+                        return Err(SqlError::Plan(format!(
                             "INSERT arity {} does not match table {} ({} columns)",
                             row.len(),
                             table,
@@ -121,12 +216,12 @@ impl Session {
 
     /// Plan a SELECT and render its operator tree (EXPLAIN).
     pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
-        match parse(sql)? {
+        match parse(sql).map_err(SqlError::Parse)? {
             Statement::Select(select) => {
                 let plan = plan_select(&select, &self.catalog, self.algo)?;
                 Ok(plan.explain())
             }
-            _ => Err(SqlError("EXPLAIN supports SELECT statements".into())),
+            _ => Err(SqlError::Plan("EXPLAIN supports SELECT statements".into())),
         }
     }
 }

@@ -107,5 +107,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         Some(100),
     );
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

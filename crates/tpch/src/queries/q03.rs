@@ -72,5 +72,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         .aggregate(&[0, 1, 2], vec![AggSpec::new(AggFunc::Sum, 3, "revenue")])
         .sort(vec![SortKey::desc(3), SortKey::asc(1)], Some(10));
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

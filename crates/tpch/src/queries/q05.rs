@@ -84,5 +84,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "revenue")])
         .sort(vec![SortKey::desc(1)], None);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

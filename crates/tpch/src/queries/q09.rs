@@ -87,5 +87,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         .aggregate(&[0, 1], vec![AggSpec::new(AggFunc::Sum, 2, "sum_profit")])
         .sort(vec![SortKey::asc(0), SortKey::desc(1)], None);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

@@ -108,5 +108,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         )
         .sort(vec![SortKey::desc(7)], Some(20));
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

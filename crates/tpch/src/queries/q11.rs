@@ -46,7 +46,7 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
     // Scalar subquery: total German stock value (its own join chain).
     let mut sub = germany_chain(data).aggregate(&[], vec![AggSpec::new(AggFunc::Sum, 1, "total")]);
     cfg.apply_aux(&mut sub);
-    let total = engine.execute(&sub).column_by_name("total").as_i64()[0];
+    let total = engine.run(&sub).column_by_name("total").as_i64()[0];
     let fraction = 0.0001 / data.sf;
     let threshold = Decimal((total as f64 * fraction) as i64);
 
@@ -55,5 +55,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
     plan = filter_where(plan, |s| cx(s, "value").gt(Expr::dec(threshold)))
         .sort(vec![SortKey::desc(1)], None);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

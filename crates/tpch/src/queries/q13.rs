@@ -25,5 +25,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         )
         .sort(vec![SortKey::desc(1), SortKey::desc(0)], None);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

@@ -95,5 +95,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         )]
     });
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

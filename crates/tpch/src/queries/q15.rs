@@ -31,11 +31,11 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         },
     )
     .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "total_revenue")]);
-    let revenue = Arc::new(engine.execute(&rev_plan));
+    let revenue = Arc::new(engine.run(&rev_plan));
 
     let max_plan = Plan::scan(&revenue, &["total_revenue"], None)
         .aggregate(&[], vec![AggSpec::new(AggFunc::Max, 0, "m")]);
-    let max_rev = Decimal(engine.execute(&max_plan).column_by_name("m").as_i64()[0]);
+    let max_rev = Decimal(engine.run(&max_plan).column_by_name("m").as_i64()[0]);
 
     let best = scan_where(&revenue, &["supplier_no", "total_revenue"], |s| {
         cx(s, "total_revenue").eq(Expr::dec(max_rev))
@@ -63,5 +63,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
     });
     let mut plan = projected.sort(vec![SortKey::asc(0)], None);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

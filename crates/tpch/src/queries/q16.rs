@@ -61,5 +61,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
             None,
         );
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

@@ -28,12 +28,12 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         &["l_partkey"],
     );
     cfg.apply(&mut pl_plan);
-    let pl = Arc::new(engine.execute(&pl_plan));
+    let pl = Arc::new(engine.run(&pl_plan));
 
     // Per-part threshold: 0.2 × avg(l_quantity).
     let avg_plan = Plan::scan(&pl, &["p_partkey", "l_quantity"], None)
         .aggregate(&[0], vec![AggSpec::new(AggFunc::Avg, 1, "avg_qty")]);
-    let avg = Arc::new(engine.execute(&avg_plan));
+    let avg = Arc::new(engine.run(&avg_plan));
 
     let thresholds = map_where(Plan::scan(&avg, &["p_partkey", "avg_qty"], None), |s| {
         vec![
@@ -64,5 +64,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         &["avg_yearly"],
     );
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

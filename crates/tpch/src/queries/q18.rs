@@ -14,7 +14,7 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
             .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "sum_qty")]),
         |s| cx(s, "sum_qty").gt(Expr::dec(Decimal::from_int(300))),
     );
-    let big = Arc::new(engine.execute(&big_plan));
+    let big = Arc::new(engine.run(&big_plan));
 
     let orders = Plan::scan(
         &data.orders,
@@ -57,5 +57,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         )
         .sort(vec![SortKey::desc(4), SortKey::asc(3)], Some(100));
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

@@ -100,5 +100,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
     let projected = map_where(t, |s| vec![(revenue_expr(s), "revenue")]);
     let mut plan = projected.aggregate(&[], vec![AggSpec::new(AggFunc::Sum, 0, "revenue")]);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

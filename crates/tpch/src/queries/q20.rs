@@ -35,7 +35,7 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
             ),
         ]
     });
-    let half = Arc::new(engine.execute(&half_plan));
+    let half = Arc::new(engine.run(&half_plan));
 
     // partsupp rows whose part is a forest% part (semi preserving partsupp).
     let forest = scan_where(&data.part, &["p_partkey", "p_name"], |s| {
@@ -120,5 +120,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
     });
     let mut plan = projected.sort(vec![SortKey::asc(0)], None);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

@@ -17,7 +17,7 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         &[0],
         vec![AggSpec::new(AggFunc::CountDistinct, 1, "n_supp")],
     );
-    let all_counts = Arc::new(engine.execute(&all_counts));
+    let all_counts = Arc::new(engine.run(&all_counts));
 
     let late_counts = scan_where(
         &data.lineitem,
@@ -28,7 +28,7 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         &[0],
         vec![AggSpec::new(AggFunc::CountDistinct, 1, "n_late")],
     );
-    let late_counts = Arc::new(engine.execute(&late_counts));
+    let late_counts = Arc::new(engine.run(&late_counts));
 
     // Join 1: nation(SAUDI ARABIA) ⋈ supplier — a 12 B build side.
     let nation = scan_where(&data.nation, &["n_nationkey", "n_name"], |s| {
@@ -83,5 +83,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         )
         .sort(vec![SortKey::desc(1), SortKey::asc(0)], Some(100));
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

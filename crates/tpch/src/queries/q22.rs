@@ -23,7 +23,7 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
     })
     .aggregate(&[], vec![AggSpec::new(AggFunc::Avg, 1, "avg_bal")]);
     cfg.apply_aux(&mut avg_plan);
-    let avg_bal = Decimal(engine.execute(&avg_plan).column_by_name("avg_bal").as_i64()[0]);
+    let avg_bal = Decimal(engine.run(&avg_plan).column_by_name("avg_bal").as_i64()[0]);
 
     // Main plan: rich, idle customers with NO orders (build-side anti join).
     let customer = scan_where(
@@ -61,5 +61,5 @@ pub fn run(data: &TpchData, cfg: &QueryConfig, engine: &Engine) -> Table {
         )
         .sort(vec![SortKey::asc(0)], None);
     cfg.apply(&mut plan);
-    engine.execute(&plan)
+    engine.run(&plan)
 }

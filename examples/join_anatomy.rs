@@ -73,7 +73,7 @@ fn main() {
     metrics::set_enabled(true);
     metrics::reset();
     let t = Instant::now();
-    engine.execute(&count_plan(&build, &probe, JoinAlgo::Rj));
+    engine.run(&count_plan(&build, &probe, JoinAlgo::Rj));
     let rj_ms = t.elapsed().as_secs_f64() * 1e3;
     metrics::set_enabled(false);
     for (phase, read, write) in metrics::snapshot() {
@@ -90,7 +90,7 @@ fn main() {
     println!("\n--- the same join, per algorithm ---");
     for algo in [JoinAlgo::Rj, JoinAlgo::Brj, JoinAlgo::Bhj] {
         let t = Instant::now();
-        let r = engine.execute(&count_plan(&build, &probe, algo));
+        let r = engine.run(&count_plan(&build, &probe, algo));
         let ms = t.elapsed().as_secs_f64() * 1e3;
         println!(
             "  {:<4} {:>8.1} ms   ({} matches)",

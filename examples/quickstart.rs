@@ -55,7 +55,7 @@ fn main() {
             )
             .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
         let start = Instant::now();
-        let result = engine.execute(&plan);
+        let result = engine.run(&plan);
         let secs = start.elapsed().as_secs_f64();
         let count = result.column_by_name("cnt").as_i64()[0];
         assert_eq!(count as usize, probe_n);

@@ -46,7 +46,7 @@ fn main() {
                 &[0],
             )
             .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
-        let rows = engine.execute(&plan).column_by_name("cnt").as_i64()[0];
+        let rows = engine.run(&plan).column_by_name("cnt").as_i64()[0];
         println!("  {kind:?}: {rows} rows  — {desc}");
     }
 
@@ -76,7 +76,7 @@ fn main() {
                 )
                 .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
             let t = Instant::now();
-            engine.execute(&plan);
+            engine.run(&plan);
             row.push(t.elapsed().as_secs_f64() * 1e3);
         }
         println!("  {:>6.1} {:>10.1} {:>10.1}", z, row[0], row[1]);

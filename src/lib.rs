@@ -44,7 +44,7 @@
 //! let plan = Plan::scan(&build, &["k"], None)
 //!     .join(Plan::scan(&probe, &["k"], None), JoinAlgo::Rj, JoinType::Inner, &[0], &[0])
 //!     .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
-//! let result = Engine::new(2).execute(&plan);
+//! let result = Engine::new(2).run(&plan);
 //! assert_eq!(result.column_by_name("cnt").as_i64()[0], 500);
 //! ```
 

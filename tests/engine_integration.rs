@@ -48,7 +48,7 @@ fn filtered_join_group_sort_end_to_end() {
         )
         .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "revenue")])
         .sort(vec![SortKey::desc(1)], None);
-        let t = Engine::new(2).execute(&plan);
+        let t = Engine::new(2).run(&plan);
         // pid 1: 10.00 * 5 = 50.00; pid 2: 2.50 * 10 = 25.00.
         // pid 3 filtered out (0.99), pid 4 has no sales, pid 9 unknown.
         assert_eq!(t.num_rows(), 2, "{algo:?}");
@@ -70,7 +70,7 @@ fn anti_join_finds_products_without_sales() {
                 &[0],
             )
             .sort(vec![SortKey::asc(0)], None);
-        let t = Engine::new(2).execute(&plan);
+        let t = Engine::new(2).run(&plan);
         assert_eq!(t.column(0).as_i64(), &[4], "{algo:?}");
     }
 }
@@ -111,7 +111,7 @@ fn three_way_join_chain_with_mixed_algorithms() {
             &[1],
         );
         let plan = rnc.aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
-        let t = Engine::new(2).execute(&plan);
+        let t = Engine::new(2).run(&plan);
         // Cities 100..103 resolve through the chain; 104 dangles.
         assert_eq!(t.column_by_name("cnt").as_i64(), &[4], "{a1:?}+{a2:?}");
     }
@@ -129,7 +129,7 @@ fn late_materialization_roundtrip_with_strings() {
     let plan = Plan::scan_tid(&table, &["id"], Some(Expr::col(0).ge(Expr::i64(995))))
         .late_load(&table, 1, &["label"])
         .sort(vec![SortKey::asc(0)], None);
-    let t = Engine::new(2).execute(&plan);
+    let t = Engine::new(2).run(&plan);
     assert_eq!(t.num_rows(), 5);
     assert_eq!(t.column(2).as_str().get(0), "label-995");
     assert_eq!(t.column(2).as_str().get(4), "label-999");
@@ -157,7 +157,7 @@ fn string_keyed_join() {
                 &[0],
             )
             .sort(vec![SortKey::asc(3)], None);
-        let t = Engine::new(2).execute(&plan);
+        let t = Engine::new(2).run(&plan);
         assert_eq!(t.num_rows(), 2, "{algo:?}");
         assert_eq!(t.column(0).as_str().get(0), "beta");
         assert_eq!(t.column(3).as_i64(), &[20, 21]);
@@ -185,7 +185,7 @@ fn empty_inputs_through_full_pipelines() {
                     &[0],
                 )
                 .aggregate(&[], vec![AggSpec::new(AggFunc::CountStar, 0, "cnt")]);
-            let t = Engine::new(2).execute(&plan);
+            let t = Engine::new(2).run(&plan);
             assert_eq!(t.column_by_name("cnt").as_i64(), &[expected], "{algo:?}");
         }
     }

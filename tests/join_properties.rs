@@ -85,7 +85,7 @@ fn run_join(
         &[0],
         &[0],
     );
-    let t = Engine::new(threads).execute(&plan);
+    let t = Engine::new(threads).run(&plan);
     let mut rows: Vec<String> = (0..t.num_rows())
         .map(|r| {
             (0..t.num_columns())

@@ -1,0 +1,683 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach the crates.io registry, so the workspace
+//! vendors the API subset its property tests actually use:
+//!
+//! - the `proptest! { #![proptest_config(..)] #[test] fn name(x in strategy, y: type) {..} }`
+//!   macro (including `mut` bindings and typed `Arbitrary` parameters),
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! - integer/float range strategies, tuple strategies, `any::<T>()`,
+//!   `.prop_map(..)`, `prop::collection::vec`, `prop::option::of`,
+//!   `prop::sample::select`, and regex-literal string strategies limited to
+//!   the subset `[class]{m,n}` / `\PC{m,n}` / literals that the tests use.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports the
+//! case index and the assertion message, not a minimised input), and the RNG
+//! is a fixed-seed splitmix64 stream per test (deterministic across runs;
+//! override with `PROPTEST_RNG_SEED`). `PROPTEST_CASES` caps the case count.
+
+pub mod test_runner {
+    /// Error produced by `prop_assert*` inside a generated test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+
+        pub fn reject<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Subset of proptest's `Config`: only `cases` matters here.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        #[doc(hidden)]
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases).min(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 stream. One instance per generated test fn,
+    /// seeded from the test's full module path so different tests explore
+    /// different inputs while each test is reproducible run-to-run.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            let seed = match std::env::var("PROPTEST_RNG_SEED") {
+                Ok(v) => v.parse().unwrap_or(0xcafe_f00d_d15e_a5e5),
+                // FNV-1a over the test path gives a stable per-test seed.
+                Err(_) => name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+                }),
+            };
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift rejection-free mapping (Lemire); bias is
+            // negligible for test-data generation.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Self::Value`. Unlike real proptest there is no
+    /// value-tree/shrinking machinery — `generate` draws a sample directly.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, map }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, filter: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                filter,
+            }
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        filter: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.generate(rng);
+                if (self.filter)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive samples");
+        }
+    }
+
+    /// `Just(v)`: always yields a clone of `v`.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Full-width inclusive range: every bit pattern valid.
+                        rng.next_u64() as $t
+                    } else {
+                        (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `&str` literals act as regex-subset string strategies (see crate docs).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only; sufficient for numeric test data.
+            rng.unit_f64() * 2e9 - 1e9
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Printable characters used for `\PC` (roughly: any non-control char).
+    /// ASCII printable plus a few multi-byte code points so UTF-8 handling in
+    /// lexers gets exercised.
+    fn printable_chars() -> Vec<(char, char)> {
+        vec![(' ', '~'), ('¡', '¿'), ('λ', 'λ'), ('é', 'é')]
+    }
+
+    enum Piece {
+        /// Inclusive char ranges to draw from uniformly (by range, then char).
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    struct Element {
+        piece: Piece,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+        let mut set = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated [class] in pattern");
+            match c {
+                ']' => break,
+                '\\' => {
+                    if let Some(p) = pending.take() {
+                        set.push((p, p));
+                    }
+                    let esc = chars.next().expect("dangling escape in class");
+                    pending = Some(esc);
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                    set.push((lo, hi));
+                }
+                _ => {
+                    if let Some(p) = pending.take() {
+                        set.push((p, p));
+                    }
+                    pending = Some(c);
+                }
+            }
+        }
+        if let Some(p) = pending {
+            set.push((p, p));
+        }
+        assert!(!set.is_empty(), "empty [class] in pattern");
+        set
+    }
+
+    /// Parse `{m,n}` / `{m}` if present; defaults to exactly one occurrence.
+    fn parse_counts(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            spec.push(c);
+        }
+        match spec.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("bad {m,n} bound"),
+                n.trim().parse().expect("bad {m,n} bound"),
+            ),
+            None => {
+                let m = spec.trim().parse().expect("bad {m} bound");
+                (m, m)
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => Piece::Class(parse_class(&mut chars)),
+                '\\' => match chars.next().expect("dangling escape in pattern") {
+                    'P' => {
+                        // Only `\PC` (non-control) is supported.
+                        let class = chars.next();
+                        assert_eq!(class, Some('C'), "unsupported \\P class {class:?}");
+                        Piece::Class(printable_chars())
+                    }
+                    'd' => Piece::Class(vec![('0', '9')]),
+                    'w' => Piece::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Piece::Literal(other),
+                },
+                other => Piece::Literal(other),
+            };
+            let (min, max) = parse_counts(&mut chars);
+            elements.push(Element { piece, min, max });
+        }
+        elements
+    }
+
+    fn draw(set: &[(char, char)], rng: &mut TestRng) -> char {
+        let (lo, hi) = set[rng.below(set.len() as u64) as usize];
+        char::from_u32(lo as u32 + rng.below((hi as u32 - lo as u32 + 1) as u64) as u32)
+            .expect("class range produced an invalid code point")
+    }
+
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for el in parse(pattern) {
+            let count = el.min + rng.below((el.max - el.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &el.piece {
+                    Piece::Class(set) => out.push(draw(set, rng)),
+                    Piece::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Binds one `proptest!` parameter per step:
+/// `x in strategy`, `mut x in strategy`, or `x: Type` (via [`arbitrary::Arbitrary`]).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $var:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $var:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, mut $var:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $var: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $var:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $var: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ({$cfg:expr}) => {};
+    ({$cfg:expr} $(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.effective_cases() {
+                $crate::__proptest_bind!(__rng, $($params)*);
+                let __outcome = (move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(__err) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.effective_cases(),
+                        __err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!({$cfg} $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!({$cfg} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!({$crate::test_runner::Config::default()} $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = crate::test_runner::TestRng::for_test("string_pattern_subset");
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z0-9_ ,.()='\\*]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_ ,.()='*".contains(c)));
+            let t = crate::string::generate_from_pattern("\\PC{0,120}", &mut rng);
+            assert!(t.chars().count() <= 120);
+            assert!(t.chars().all(|c| !c.is_control()));
+            let u = crate::string::generate_from_pattern("[ab%_]{0,6}", &mut rng);
+            assert!(u.chars().all(|c| "ab%_".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in -8i64..24,
+            b in 1u64..u64::MAX,
+            c in 0.0f64..2.5,
+            mut v in prop::collection::vec((-10i64..10, any::<i16>().prop_map(i64::from)), 0..120),
+            opt in prop::option::of(0usize..50),
+            pick in prop::sample::select(vec!["x", "y"]),
+            seed: u64,
+            flag: bool,
+        ) {
+            prop_assert!((-8..24).contains(&a));
+            prop_assert!(b >= 1);
+            prop_assert!((0.0..2.5).contains(&c));
+            prop_assert!(v.len() < 120);
+            v.push((0, 0));
+            for (k, val) in &v {
+                prop_assert!((-10..=10).contains(k), "key {} out of range", k);
+                prop_assert!(*val >= i64::from(i16::MIN) && *val <= i64::from(i16::MAX));
+            }
+            if let Some(l) = opt {
+                prop_assert!(l < 50);
+            }
+            prop_assert!(pick == "x" || pick == "y");
+            let _ = seed.wrapping_add(flag as u64);
+        }
+    }
+}
