@@ -9,11 +9,13 @@
 //! ```
 //!
 //! Dot-commands: `.algo bhj|rj|brj` picks the join implementation,
-//! `.explain <select>` prints the plan, `.tables` lists relations,
-//! `.timing on|off` toggles wall-clock reporting, `.timeout <ms>|off` sets
-//! a per-statement deadline, `.budget <mb>|off` caps per-statement
-//! materialization memory (joins degrade to BHJ before failing), and
-//! `.quit` exits.
+//! `.explain <select>` prints the plan, `.profile on|off` records a
+//! per-operator [`QueryProfile`] for every statement (printed after the
+//! result; `EXPLAIN ANALYZE <select>` does the same for a single query),
+//! `.tables` lists relations, `.timing on|off` toggles wall-clock
+//! reporting, `.timeout <ms>|off` sets a per-statement deadline,
+//! `.budget <mb>|off` caps per-statement materialization memory (joins
+//! degrade to BHJ before failing), and `.quit` exits.
 
 use joinstudy_bench::harness::Args;
 use joinstudy_core::JoinAlgo;
@@ -157,10 +159,21 @@ fn main() {
                     },
                     None => println!("usage: .explain SELECT ..."),
                 },
+                ".profile" => match parts.next().map(str::trim) {
+                    Some("on") => {
+                        session.set_profiling(true);
+                        println!("profiling on");
+                    }
+                    Some("off") => {
+                        session.set_profiling(false);
+                        println!("profiling off");
+                    }
+                    _ => println!("usage: .profile on|off"),
+                },
                 other => {
                     println!(
                         "unknown command {other:?} \
-                         (.tables .algo .explain .timing .timeout .budget .quit)"
+                         (.tables .algo .explain .profile .timing .timeout .budget .quit)"
                     )
                 }
             }
@@ -179,6 +192,9 @@ fn main() {
         match session.execute(&sql) {
             Ok(t) => {
                 print_table(&t, 40);
+                if let Some(profile) = session.take_profile() {
+                    print!("{}", profile.render());
+                }
                 if timing {
                     println!("time: {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
                 }

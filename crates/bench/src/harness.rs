@@ -156,6 +156,39 @@ macro_rules! csv_row {
     };
 }
 
+/// JSONL sidecar for [`QueryProfile`](joinstudy_exec::profile::QueryProfile)
+/// exports, targeting `results/<name>.profiles.jsonl`. One line per profiled
+/// run: `{"tag":"...","profile":{...}}`.
+pub struct ProfileLog {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl ProfileLog {
+    pub fn create(name: &str) -> ProfileLog {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{name}.profiles.jsonl"));
+        let file = std::fs::File::create(&path).expect("create profile log");
+        ProfileLog { file, path }
+    }
+
+    /// Append one profile under a caller-chosen tag. `profile_json` must be
+    /// the output of `QueryProfile::to_json` (already valid JSON).
+    pub fn row(&mut self, tag: &str, profile_json: &str) {
+        writeln!(
+            self.file,
+            "{{\"tag\":\"{}\",\"profile\":{profile_json}}}",
+            tag.replace('\\', "\\\\").replace('"', "\\\"")
+        )
+        .unwrap();
+    }
+
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
 /// Print a standard experiment banner.
 pub fn banner(what: &str, detail: &str) {
     println!("================================================================");

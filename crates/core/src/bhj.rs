@@ -50,6 +50,13 @@ impl BhjState {
         self.arenas.iter().map(RowArena::byte_size).sum::<usize>()
             + self.heaps.iter().map(StrHeap::byte_len).sum::<usize>()
     }
+
+    /// Bucket-occupancy summary of the chaining table (EXPLAIN ANALYZE).
+    /// Safe here because the state owns the arenas every chained row lives
+    /// in, and the build phase finished when the state was constructed.
+    pub fn chain_stats(&self) -> crate::ht_chain::ChainStats {
+        unsafe { self.table.chain_stats() }
+    }
 }
 
 struct BuildLocal {

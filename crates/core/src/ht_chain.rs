@@ -217,6 +217,68 @@ impl ChainTable {
     pub unsafe fn is_matched(row: *const u8) -> bool {
         std::ptr::read(row.cast::<u64>()) & MATCH_FLAG != 0
     }
+
+    /// Walk every bucket chain and summarize occupancy (profiler support).
+    ///
+    /// # Safety
+    /// Every row ever inserted into this table must still be live (the
+    /// arenas backing them not dropped), and no concurrent inserts may run.
+    pub unsafe fn chain_stats(&self) -> ChainStats {
+        let mut stats = ChainStats {
+            buckets: self.buckets.len(),
+            occupied: 0,
+            total_rows: 0,
+            max_chain: 0,
+        };
+        for bucket in &self.buckets {
+            let head = bucket.load(Ordering::Acquire);
+            let mut row = ChainTable::first_row(head);
+            if row.is_null() {
+                continue;
+            }
+            stats.occupied += 1;
+            let mut len = 0usize;
+            while !row.is_null() {
+                len += 1;
+                row = ChainTable::next_row(row);
+            }
+            stats.total_rows += len;
+            stats.max_chain = stats.max_chain.max(len);
+        }
+        stats
+    }
+}
+
+/// Bucket-occupancy summary of a [`ChainTable`] (hash-table load factor and
+/// chain lengths reported by EXPLAIN ANALYZE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainStats {
+    pub buckets: usize,
+    /// Buckets with at least one row.
+    pub occupied: usize,
+    pub total_rows: usize,
+    /// Longest chain.
+    pub max_chain: usize,
+}
+
+impl ChainStats {
+    /// Rows per bucket (the classic load factor).
+    pub fn load_factor(&self) -> f64 {
+        if self.buckets == 0 {
+            0.0
+        } else {
+            self.total_rows as f64 / self.buckets as f64
+        }
+    }
+
+    /// Average chain length over non-empty buckets.
+    pub fn avg_chain(&self) -> f64 {
+        if self.occupied == 0 {
+            0.0
+        } else {
+            self.total_rows as f64 / self.occupied as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +404,22 @@ mod tests {
         for k in 0..threads as u64 * keys_per_thread {
             assert_eq!(chain_keys(&table, hash_u64(k)), vec![k], "lost key {k}");
         }
+    }
+
+    #[test]
+    fn chain_stats_counts_rows_and_chains() {
+        let mut arena = RowArena::new(24);
+        let rows = make_rows(&mut arena, &[1, 2, 3, 2, 2]);
+        let table = ChainTable::new(rows.len());
+        for &(ptr, h) in &rows {
+            unsafe { table.insert(ptr, h) };
+        }
+        let stats = unsafe { table.chain_stats() };
+        assert_eq!(stats.total_rows, 5);
+        assert!(stats.occupied >= 1 && stats.occupied <= 3);
+        assert!(stats.max_chain >= 3, "three dup keys share one chain");
+        assert!(stats.load_factor() > 0.0);
+        assert!(stats.avg_chain() >= 1.0);
     }
 
     #[test]

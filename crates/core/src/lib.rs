@@ -36,6 +36,7 @@ pub mod ht_chain;
 pub mod ht_rh;
 pub mod join_common;
 pub mod plan;
+pub(crate) mod qprof;
 pub mod radix;
 pub mod rj;
 pub mod row;

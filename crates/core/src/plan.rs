@@ -21,7 +21,8 @@
 use crate::bhj::{BhjBuildSink, BhjProbeOp, BhjUnmatchedSource};
 use crate::groupjoin::{GroupAggSpec, GroupJoinBuildSink, GroupJoinProbeOp, GroupJoinSource};
 use crate::join_common::JoinType;
-use crate::radix::{PartitionSink, PhaseSet, RadixConfig};
+use crate::qprof::{ProfCtx, Slot};
+use crate::radix::{PartitionSink, PartitionedSide, PhaseSet, RadixConfig};
 use crate::rj::{BloomProbeOp, RadixJoinSource};
 use crate::row::RowLayout;
 use joinstudy_exec::context::QueryContext;
@@ -32,9 +33,12 @@ use joinstudy_exec::ops::{
     AggSink, AggSpec, CollectSink, FilterOp, LateLoadOp, ProjectOp, SortKey, SortSink, TableScan,
 };
 use joinstudy_exec::pipeline::{LocalState, Sink, StreamSpec};
+use joinstudy_exec::profile::{DetailValue, PipelineObs, QueryProfile};
 use joinstudy_exec::{Batch, Executor};
 use joinstudy_storage::table::{Field, Schema, Table};
+use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which join implementation a join node uses (the paper's §5.1.1 contenders).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -557,6 +561,10 @@ pub struct Engine {
     /// Shared cancellation / deadline / memory-budget context. Cloning the
     /// engine shares the context (same session semantics).
     pub ctx: Arc<QueryContext>,
+    /// Profile of the most recent profiled [`Engine::execute`], stashed so
+    /// callers that only see result tables (TPC-H query closures, the SQL
+    /// session) can retrieve it afterwards. Shared across clones like `ctx`.
+    profile: Arc<Mutex<Option<QueryProfile>>>,
 }
 
 impl Engine {
@@ -567,6 +575,7 @@ impl Engine {
             adaptive_bloom: false,
             bhj_prefetch: true,
             ctx: QueryContext::unbounded(),
+            profile: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -588,12 +597,56 @@ impl Engine {
     /// context is re-armed (cancel flag cleared, deadline timer restarted,
     /// budget accounting zeroed) at the start of every call.
     pub fn execute(&self, plan: &Plan) -> ExecResult<Table> {
+        if self.ctx.profiling() {
+            let (table, profile) = self.execute_profiled(plan)?;
+            *self.profile.lock() = Some(profile);
+            return Ok(table);
+        }
         self.ctx.arm();
-        let spec = self.stream(plan)?;
+        let (spec, _) = self.stream(plan, None)?;
         let sink = CollectSink::new(spec.schema.clone());
         self.executor()
             .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
         Ok(sink.into_table())
+    }
+
+    /// Execute a plan with per-operator profiling, returning the result and
+    /// its [`QueryProfile`] tree (the engine half of EXPLAIN ANALYZE).
+    /// Profiles regardless of [`QueryContext::profiling`].
+    pub fn execute_profiled(&self, plan: &Plan) -> ExecResult<(Table, QueryProfile)> {
+        self.ctx.arm();
+        let deg0 = metrics::degradations();
+        let t0 = Instant::now();
+        let mut pc = ProfCtx::new();
+        let (spec, root) = self.stream(plan, Some(&mut pc))?;
+        let root = root.expect("profiled stream always returns a trace node");
+        let sink = CollectSink::new(spec.schema.clone());
+        let obs = Arc::new(PipelineObs::new(spec.ops.len()));
+        let run = self.executor().run_pipeline_obs(
+            &self.ctx,
+            spec.source.as_ref(),
+            &spec.ops,
+            &sink,
+            Some(&obs),
+        );
+        pc.bind_pending(&obs);
+        run?;
+        let out = pc.node("Output", vec![root]);
+        pc.bind(out, &obs, Slot::Sink);
+        let profile = QueryProfile {
+            root: pc.build(out),
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            threads: self.threads,
+            degradations: metrics::degradations().saturating_sub(deg0),
+            peak_bytes: self.ctx.high_water(),
+        };
+        Ok((sink.into_table(), profile))
+    }
+
+    /// Take the profile stashed by the most recent profiled
+    /// [`Engine::execute`] (enabled via [`QueryContext::set_profiling`]).
+    pub fn take_profile(&self) -> Option<QueryProfile> {
+        self.profile.lock().take()
     }
 
     /// Infallible convenience for benchmarks and tests that run without
@@ -602,9 +655,47 @@ impl Engine {
         self.execute(plan).expect("query execution failed")
     }
 
+    /// Run a pipeline breaker, observing it when profiling. The observation
+    /// is bound to all pending trace slots *before* the error check so a
+    /// failed pipeline still leaves the trace arena consistent (the
+    /// degradation fallback relies on this).
+    fn run_breaker(
+        &self,
+        spec: &StreamSpec,
+        sink: &dyn Sink,
+        pc: Option<&mut ProfCtx>,
+    ) -> ExecResult<Option<Arc<PipelineObs>>> {
+        match pc {
+            None => {
+                self.executor()
+                    .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, sink)?;
+                Ok(None)
+            }
+            Some(pc) => {
+                let obs = Arc::new(PipelineObs::new(spec.ops.len()));
+                let run = self.executor().run_pipeline_obs(
+                    &self.ctx,
+                    spec.source.as_ref(),
+                    &spec.ops,
+                    sink,
+                    Some(&obs),
+                );
+                pc.bind_pending(&obs);
+                run?;
+                Ok(Some(obs))
+            }
+        }
+    }
+
     /// Compile a plan into its topmost pipeline, running every pipeline
-    /// below the last breaker.
-    fn stream(&self, plan: &Plan) -> ExecResult<StreamSpec> {
+    /// below the last breaker. When `prof` is given, every plan node gets a
+    /// trace node; the returned id refers to the topmost one (its pipeline
+    /// stages are left pending for the caller's breaker).
+    fn stream(
+        &self,
+        plan: &Plan,
+        mut prof: Option<&mut ProfCtx>,
+    ) -> ExecResult<(StreamSpec, Option<usize>)> {
         match plan {
             Plan::Scan {
                 table,
@@ -617,49 +708,119 @@ impl Engine {
                     scan = scan.with_tid();
                 }
                 let schema = scan.output_schema();
-                Ok(StreamSpec::new(Arc::new(scan), schema))
+                let node = prof.map(|pc| {
+                    let label = format!(
+                        "Scan [{}]{}{} ({} rows)",
+                        fmt_col_names(table.schema(), cols),
+                        if filter.is_some() { " filtered" } else { "" },
+                        if *tid { " +tid" } else { "" },
+                        table.num_rows()
+                    );
+                    let id = pc.node(label, vec![]);
+                    pc.pend(id, Slot::Source);
+                    id
+                });
+                Ok((StreamSpec::new(Arc::new(scan), schema), node))
             }
             Plan::Filter { input, pred } => {
-                let spec = self.stream(input)?;
+                let (spec, child) = self.stream(input, prof.as_deref_mut())?;
                 let schema = spec.schema.clone();
-                Ok(spec.push_op(Arc::new(FilterOp::new(pred.clone())), schema))
+                let op_idx = spec.ops.len();
+                let node = prof.map(|pc| {
+                    let id = pc.node("Filter", child.into_iter().collect());
+                    pc.pend(id, Slot::Op(op_idx));
+                    id
+                });
+                Ok((
+                    spec.push_op(Arc::new(FilterOp::new(pred.clone())), schema),
+                    node,
+                ))
             }
             Plan::Map {
                 input,
                 exprs,
                 names,
             } => {
-                let spec = self.stream(input)?;
+                let (spec, child) = self.stream(input, prof.as_deref_mut())?;
                 let op = ProjectOp::new(exprs.clone());
-                let names: Vec<&str> = names.iter().map(String::as_str).collect();
-                let schema = op.output_schema(&spec.schema, &names);
-                Ok(spec.push_op(Arc::new(op), schema))
+                let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let schema = op.output_schema(&spec.schema, &name_refs);
+                let op_idx = spec.ops.len();
+                let node = prof.map(|pc| {
+                    let id = pc.node(
+                        format!("Project [{}]", names.join(", ")),
+                        child.into_iter().collect(),
+                    );
+                    pc.pend(id, Slot::Op(op_idx));
+                    id
+                });
+                Ok((spec.push_op(Arc::new(op), schema), node))
             }
             Plan::Aggregate {
                 input,
                 group_cols,
                 aggs,
             } => {
-                let spec = self.stream(input)?;
+                let (spec, child) = self.stream(input, prof.as_deref_mut())?;
                 let sink = AggSink::new(spec.schema.clone(), group_cols.clone(), aggs.clone());
                 let schema = sink.output_schema();
-                self.executor()
-                    .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
+                let obs = self.run_breaker(&spec, &sink, prof.as_deref_mut())?;
                 let result = Arc::new(sink.into_table());
+                let node = prof.map(|pc| {
+                    let label = format!(
+                        "Aggregate by[{}] aggs[{}]",
+                        fmt_col_names(&spec.schema, group_cols),
+                        aggs.iter()
+                            .map(|a| a.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    let id = pc.node(label, child.into_iter().collect());
+                    if let Some(obs) = &obs {
+                        pc.bind(id, obs, Slot::Sink);
+                    }
+                    pc.detail(id, "groups", DetailValue::Int(result.num_rows() as i64));
+                    // The rescan of the materialized groups feeds the next
+                    // pipeline: its source slot is this node's output.
+                    pc.pend(id, Slot::Source);
+                    id
+                });
                 let cols = (0..schema.len()).collect();
                 let scan = TableScan::new(result, cols, None);
-                Ok(StreamSpec::new(Arc::new(scan), schema))
+                Ok((StreamSpec::new(Arc::new(scan), schema), node))
             }
             Plan::Sort { input, keys, limit } => {
-                let spec = self.stream(input)?;
+                let (spec, child) = self.stream(input, prof.as_deref_mut())?;
                 let sink = SortSink::new(spec.schema.clone(), keys.clone(), *limit);
-                self.executor()
-                    .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
+                let obs = self.run_breaker(&spec, &sink, prof.as_deref_mut())?;
                 let schema = sink.output_schema();
                 let result = Arc::new(sink.into_table());
+                let node = prof.map(|pc| {
+                    let key_names: Vec<String> = keys
+                        .iter()
+                        .map(|k| {
+                            format!(
+                                "{}{}",
+                                spec.schema.fields[k.col].name,
+                                if k.ascending { "" } else { " desc" }
+                            )
+                        })
+                        .collect();
+                    let label = format!(
+                        "Sort [{}]{}",
+                        key_names.join(", "),
+                        limit.map(|l| format!(" limit {l}")).unwrap_or_default()
+                    );
+                    let id = pc.node(label, child.into_iter().collect());
+                    if let Some(obs) = &obs {
+                        pc.bind(id, obs, Slot::Sink);
+                    }
+                    pc.pend(id, Slot::Source);
+                    id
+                });
                 let cols = (0..schema.len()).collect();
                 let scan = TableScan::new(result, cols, None);
-                Ok(StreamSpec::new(Arc::new(scan), schema))
+                Ok((StreamSpec::new(Arc::new(scan), schema), node))
             }
             Plan::LateLoad {
                 input,
@@ -667,10 +828,19 @@ impl Engine {
                 tid_col,
                 cols,
             } => {
-                let spec = self.stream(input)?;
+                let (spec, child) = self.stream(input, prof.as_deref_mut())?;
                 let op = LateLoadOp::new(Arc::clone(table), *tid_col, cols.clone());
                 let schema = op.output_schema(&spec.schema);
-                Ok(spec.push_op(Arc::new(op), schema))
+                let op_idx = spec.ops.len();
+                let node = prof.map(|pc| {
+                    let id = pc.node(
+                        format!("LateLoad [{}]", fmt_col_names(table.schema(), cols)),
+                        child.into_iter().collect(),
+                    );
+                    pc.pend(id, Slot::Op(op_idx));
+                    id
+                });
+                Ok((spec.push_op(Arc::new(op), schema), node))
             }
             Plan::GroupJoin {
                 build,
@@ -680,37 +850,49 @@ impl Engine {
                 aggs,
             } => {
                 // Pipeline 1: materialize + index the build side.
-                let build_spec = self.stream(build)?;
+                let (build_spec, bchild) = self.stream(build, prof.as_deref_mut())?;
                 let build_types: Vec<_> =
                     build_spec.schema.fields.iter().map(|f| f.dtype).collect();
                 let sink = GroupJoinBuildSink::new(&build_types, build_keys.clone());
-                self.executor().run_pipeline(
-                    &self.ctx,
-                    build_spec.source.as_ref(),
-                    &build_spec.ops,
-                    &sink,
-                )?;
+                let build_obs = self.run_breaker(&build_spec, &sink, prof.as_deref_mut())?;
                 let state = sink.into_state(aggs.clone());
                 let out_schema = state.output_schema(&build_spec.schema);
 
                 // Pipeline 2: probe updates the aggregate cells, emits nothing.
-                let probe_spec = self.stream(probe)?;
+                let (probe_spec, pchild) = self.stream(probe, prof.as_deref_mut())?;
+                let probe_schema = probe_spec.schema.clone();
+                let op_idx = probe_spec.ops.len();
                 let op = Arc::new(GroupJoinProbeOp::new(
                     Arc::clone(&state),
                     probe_keys.clone(),
                 ));
                 let spec = probe_spec.push_op(op, out_schema.clone());
-                self.executor().run_pipeline(
-                    &self.ctx,
-                    spec.source.as_ref(),
-                    &spec.ops,
-                    &DiscardSink,
-                )?;
+                let node = prof.as_deref_mut().map(|pc| {
+                    let label = format!(
+                        "GroupJoin on build[{}] = probe[{}]",
+                        fmt_col_names(&build_spec.schema, build_keys),
+                        fmt_col_names(&probe_schema, probe_keys),
+                    );
+                    let id = pc.node(label, bchild.into_iter().chain(pchild).collect());
+                    if let Some(obs) = &build_obs {
+                        pc.bind(id, obs, Slot::Sink);
+                    }
+                    pc.detail(id, "groups", DetailValue::Int(state.rows() as i64));
+                    // The probe op updates aggregate cells in place; its
+                    // slot (bound when the probe pipeline drains) carries
+                    // the probe-side tuple counts.
+                    pc.pend(id, Slot::Op(op_idx));
+                    id
+                });
+                self.run_breaker(&spec, &DiscardSink, prof.as_deref_mut())?;
 
                 // Pipeline 3: one row per group.
-                Ok(StreamSpec::new(
-                    Arc::new(GroupJoinSource::new(state)),
-                    out_schema,
+                if let (Some(pc), Some(id)) = (prof.as_deref_mut(), node) {
+                    pc.pend(id, Slot::Source);
+                }
+                Ok((
+                    StreamSpec::new(Arc::new(GroupJoinSource::new(state)), out_schema),
+                    node,
                 ))
             }
             Plan::Join {
@@ -721,17 +903,20 @@ impl Engine {
                 build_keys,
                 probe_keys,
             } => match algo {
-                JoinAlgo::Bhj => self.compile_bhj(*kind, build, probe, build_keys, probe_keys),
+                JoinAlgo::Bhj => {
+                    self.compile_bhj(*kind, build, probe, build_keys, probe_keys, prof)
+                }
                 JoinAlgo::Rj => {
-                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, false)
+                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, false, prof)
                 }
                 JoinAlgo::Brj => {
-                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, true)
+                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, true, prof)
                 }
             },
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compile_bhj(
         &self,
         kind: JoinType,
@@ -739,19 +924,15 @@ impl Engine {
         probe: &Plan,
         build_keys: &[usize],
         probe_keys: &[usize],
-    ) -> ExecResult<StreamSpec> {
+        mut prof: Option<&mut ProfCtx>,
+    ) -> ExecResult<(StreamSpec, Option<usize>)> {
         // Pipeline 1: materialize the build side + parallel table build.
-        let build_spec = self.stream(build)?;
+        let (build_spec, bchild) = self.stream(build, prof.as_deref_mut())?;
         let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
         let sink = BhjBuildSink::new(&build_types, build_keys.to_vec())
             .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::Build);
-        self.executor().run_pipeline(
-            &self.ctx,
-            build_spec.source.as_ref(),
-            &build_spec.ops,
-            &sink,
-        )?;
+        let build_obs = self.run_breaker(&build_spec, &sink, prof.as_deref_mut())?;
         let state = sink.into_state(self.threads)?;
         joinlog::record(joinlog::JoinSizes {
             algo: "BHJ",
@@ -763,8 +944,9 @@ impl Engine {
         });
 
         // Pipeline 2: the probe side, with the probe fused in.
-        let probe_spec = self.stream(probe)?;
+        let (probe_spec, pchild) = self.stream(probe, prof.as_deref_mut())?;
         let out_schema = kind.output_schema(&build_spec.schema, &probe_spec.schema);
+        let op_idx = probe_spec.ops.len();
         let probe_op = Arc::new(BhjProbeOp::new(
             Arc::clone(&state),
             probe_keys.to_vec(),
@@ -772,22 +954,50 @@ impl Engine {
             self.bhj_prefetch,
         ));
 
+        let node = prof.as_deref_mut().map(|pc| {
+            let label = format!(
+                "Join BHJ {:?} on build[{}] = probe[{}]",
+                kind,
+                fmt_col_names(&build_spec.schema, build_keys),
+                fmt_col_names(&probe_spec.schema, probe_keys),
+            );
+            let id = pc.node(label, bchild.into_iter().chain(pchild).collect());
+            if let Some(obs) = &build_obs {
+                pc.bind(id, obs, Slot::Sink);
+            }
+            pc.detail(id, "build_rows", DetailValue::Int(state.rows as i64));
+            pc.detail(
+                id,
+                "build_bytes",
+                DetailValue::Int(state.byte_size() as i64),
+            );
+            let chain = state.chain_stats();
+            pc.detail(id, "ht_buckets", DetailValue::Int(chain.buckets as i64));
+            pc.detail(
+                id,
+                "ht_load_factor",
+                DetailValue::Float(chain.load_factor()),
+            );
+            pc.detail(id, "ht_max_chain", DetailValue::Int(chain.max_chain as i64));
+            pc.detail(id, "ht_avg_chain", DetailValue::Float(chain.avg_chain()));
+            pc.pend(id, Slot::Op(op_idx));
+            id
+        });
+
         if kind.preserves_build() {
             // The probe pipeline only marks; the result pipeline scans the
             // hash table (how real systems start an anti-join's output).
             metrics::mark_phase(MemPhase::Other);
             let spec = probe_spec.push_op(probe_op, out_schema.clone());
-            self.executor().run_pipeline(
-                &self.ctx,
-                spec.source.as_ref(),
-                &spec.ops,
-                &DiscardSink,
-            )?;
+            self.run_breaker(&spec, &DiscardSink, prof.as_deref_mut())?;
+            if let (Some(pc), Some(id)) = (prof, node) {
+                pc.pend(id, Slot::Source);
+            }
             let source = Arc::new(BhjUnmatchedSource::new(state, kind));
-            Ok(StreamSpec::new(source, out_schema))
+            Ok((StreamSpec::new(source, out_schema), node))
         } else {
             metrics::mark_phase(MemPhase::Other);
-            Ok(probe_spec.push_op(probe_op, out_schema))
+            Ok((probe_spec.push_op(probe_op, out_schema), node))
         }
     }
 
@@ -796,6 +1006,7 @@ impl Engine {
     /// reverse: the BHJ only materializes the build side, so it is the
     /// natural fallback when partitioning the probe side is what breaks the
     /// budget). Degradations are counted in [`metrics::degradations`].
+    #[allow(clippy::too_many_arguments)]
     fn compile_radix(
         &self,
         kind: JoinType,
@@ -804,16 +1015,44 @@ impl Engine {
         build_keys: &[usize],
         probe_keys: &[usize],
         with_bloom: bool,
-    ) -> ExecResult<StreamSpec> {
-        match self.try_compile_radix(kind, build, probe, build_keys, probe_keys, with_bloom) {
+        mut prof: Option<&mut ProfCtx>,
+    ) -> ExecResult<(StreamSpec, Option<usize>)> {
+        // The trace arena is rolled back on degradation so the BHJ fallback
+        // re-traces the whole join subtree (its pipelines re-run anyway).
+        let mark = prof.as_deref_mut().map(|pc| pc.save());
+        match self.try_compile_radix(
+            kind,
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            with_bloom,
+            prof.as_deref_mut(),
+        ) {
             Err(ExecError::BudgetExceeded { .. }) => {
+                if let (Some(pc), Some(mark)) = (prof.as_deref_mut(), mark) {
+                    pc.restore(mark);
+                }
                 metrics::record_degradation();
-                self.compile_bhj(kind, build, probe, build_keys, probe_keys)
+                let (spec, node) = self.compile_bhj(
+                    kind,
+                    build,
+                    probe,
+                    build_keys,
+                    probe_keys,
+                    prof.as_deref_mut(),
+                )?;
+                if let (Some(pc), Some(id)) = (prof, node) {
+                    let from = if with_bloom { "BRJ" } else { "RJ" };
+                    pc.detail(id, "degraded", DetailValue::Str(format!("{from} -> BHJ")));
+                }
+                Ok((spec, node))
             }
             other => other,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_compile_radix(
         &self,
         kind: JoinType,
@@ -822,14 +1061,15 @@ impl Engine {
         build_keys: &[usize],
         probe_keys: &[usize],
         with_bloom: bool,
-    ) -> ExecResult<StreamSpec> {
+        mut prof: Option<&mut ProfCtx>,
+    ) -> ExecResult<(StreamSpec, Option<usize>)> {
         // The Bloom reducer may only *drop* probe tuples when unmatched
         // probe tuples leave the join anyway; for anti/mark/outer variants
         // it must stay out of the way (the optimizer would pick RJ there).
         let use_bloom = with_bloom && !kind.probe_tuples_survive_unmatched();
 
         // Pipeline 1: build side → radix partitions (full breaker).
-        let build_spec = self.stream(build)?;
+        let (build_spec, bchild) = self.stream(build, prof.as_deref_mut())?;
         let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
         let build_layout = RowLayout::new(&build_types, false);
         let build_sink = PartitionSink::new(
@@ -840,30 +1080,26 @@ impl Engine {
         )
         .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::Build);
-        self.executor().run_pipeline(
-            &self.ctx,
-            build_spec.source.as_ref(),
-            &build_spec.ops,
-            &build_sink,
-        )?;
+        let build_obs = self.run_breaker(&build_spec, &build_sink, prof.as_deref_mut())?;
         let (build_side, bloom) = build_sink.finalize(self.threads, None, use_bloom)?;
         let bits2 = build_side.bits2();
         let build_side = Arc::new(build_side);
 
         // Pipeline 2: probe side (+ Bloom reducer) → radix partitions.
-        let mut probe_spec = self.stream(probe)?;
+        let (mut probe_spec, pchild) = self.stream(probe, prof.as_deref_mut())?;
+        let mut bloom_op: Option<(usize, Arc<BloomProbeOp>, usize)> = None;
         if let Some(bloom) = bloom {
+            let bloom_bytes = bloom.byte_size();
             let schema = probe_spec.schema.clone();
-            probe_spec = probe_spec.push_op(
-                Arc::new(BloomProbeOp::new(
-                    Arc::new(bloom),
-                    probe_keys.to_vec(),
-                    build_side.bits1(),
-                    bits2,
-                    self.adaptive_bloom,
-                )),
-                schema,
-            );
+            let op = Arc::new(BloomProbeOp::new(
+                Arc::new(bloom),
+                probe_keys.to_vec(),
+                build_side.bits1(),
+                bits2,
+                self.adaptive_bloom,
+            ));
+            bloom_op = Some((probe_spec.ops.len(), Arc::clone(&op), bloom_bytes));
+            probe_spec = probe_spec.push_op(op, schema);
         }
         let probe_types: Vec<_> = probe_spec.schema.fields.iter().map(|f| f.dtype).collect();
         let probe_layout = RowLayout::new(&probe_types, false);
@@ -875,12 +1111,7 @@ impl Engine {
         )
         .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::PartitionPass1);
-        self.executor().run_pipeline(
-            &self.ctx,
-            probe_spec.source.as_ref(),
-            &probe_spec.ops,
-            &probe_sink,
-        )?;
+        let probe_obs = self.run_breaker(&probe_spec, &probe_sink, prof.as_deref_mut())?;
         let (probe_side, _) = probe_sink.finalize(self.threads, Some(bits2), false)?;
         let stats = Arc::new(crate::join_common::JoinStats::default());
         joinlog::record(joinlog::JoinSizes {
@@ -895,6 +1126,47 @@ impl Engine {
         // Pipeline 3 starts here: the partition-wise join.
         metrics::mark_phase(MemPhase::Join);
         let out_schema = kind.output_schema(&build_spec.schema, &probe_spec.schema);
+        let node = prof.map(|pc| {
+            let label = format!(
+                "Join {} {:?} on build[{}] = probe[{}]",
+                if with_bloom { "BRJ" } else { "RJ" },
+                kind,
+                fmt_col_names(&build_spec.schema, build_keys),
+                fmt_col_names(&probe_spec.schema, probe_keys),
+            );
+            let id = pc.node(label, bchild.into_iter().chain(pchild).collect());
+            if let Some(obs) = &build_obs {
+                pc.bind(id, obs, Slot::Sink);
+            }
+            if let Some(obs) = &probe_obs {
+                pc.bind(id, obs, Slot::Sink);
+            }
+            pc.detail(id, "bits1", DetailValue::Int(build_side.bits1() as i64));
+            pc.detail(id, "bits2", DetailValue::Int(bits2 as i64));
+            partition_details(pc, id, "build", &build_side);
+            partition_details(pc, id, "probe", &probe_side);
+            if let Some((idx, op, bytes)) = &bloom_op {
+                pc.detail(id, "bloom_bytes", DetailValue::Int(*bytes as i64));
+                if let Some(obs) = &probe_obs {
+                    let probed = obs.ops[*idx].rows_in();
+                    let passed = obs.ops[*idx].rows_out();
+                    pc.detail(id, "bloom_probed", DetailValue::Int(probed as i64));
+                    pc.detail(id, "bloom_passed", DetailValue::Int(passed as i64));
+                    if probed > 0 {
+                        pc.detail(
+                            id,
+                            "bloom_selectivity",
+                            DetailValue::Float(passed as f64 / probed as f64),
+                        );
+                    }
+                }
+                if op.was_disabled() {
+                    pc.detail(id, "bloom_disabled", DetailValue::Str("adaptive".into()));
+                }
+            }
+            pc.pend(id, Slot::Source);
+            id
+        });
         let source = Arc::new(
             RadixJoinSource::new(
                 build_side,
@@ -905,7 +1177,70 @@ impl Engine {
             )
             .with_stats(stats),
         );
-        Ok(StreamSpec::new(source, out_schema))
+        Ok((StreamSpec::new(source, out_schema), node))
+    }
+}
+
+/// Comma-joined field names of `cols` in `schema` (plan-node labels).
+fn fmt_col_names(schema: &Schema, cols: &[usize]) -> String {
+    cols.iter()
+        .map(|&c| schema.fields[c].name.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Attach one radix-partitioned side's size distribution to a trace node:
+/// partition count, total rows, max/avg partition size, skew (max/avg), and
+/// a min/p25/p50/p75/max quantile sketch of the per-partition histogram.
+fn partition_details(pc: &mut ProfCtx, node: usize, prefix: &str, side: &PartitionedSide) {
+    let n = side.num_partitions();
+    let mut sizes: Vec<usize> = (0..n).map(|p| side.partition_row_range(p).len()).collect();
+    sizes.sort_unstable();
+    let total: usize = sizes.iter().sum();
+    let max = sizes.last().copied().unwrap_or(0);
+    let avg = if n == 0 { 0.0 } else { total as f64 / n as f64 };
+    pc.detail(
+        node,
+        &format!("{prefix}_partitions"),
+        DetailValue::Int(n as i64),
+    );
+    pc.detail(
+        node,
+        &format!("{prefix}_rows"),
+        DetailValue::Int(total as i64),
+    );
+    pc.detail(
+        node,
+        &format!("{prefix}_bytes"),
+        DetailValue::Int(side.byte_size() as i64),
+    );
+    pc.detail(
+        node,
+        &format!("{prefix}_max_part"),
+        DetailValue::Int(max as i64),
+    );
+    pc.detail(node, &format!("{prefix}_avg_part"), DetailValue::Float(avg));
+    if avg > 0.0 {
+        pc.detail(
+            node,
+            &format!("{prefix}_skew"),
+            DetailValue::Float(max as f64 / avg),
+        );
+    }
+    if !sizes.is_empty() {
+        let q = |f: f64| sizes[((sizes.len() - 1) as f64 * f) as usize];
+        pc.detail(
+            node,
+            &format!("{prefix}_part_sizes"),
+            DetailValue::Str(format!(
+                "{}/{}/{}/{}/{}",
+                sizes[0],
+                q(0.25),
+                q(0.5),
+                q(0.75),
+                max
+            )),
+        );
     }
 }
 
@@ -1073,6 +1408,199 @@ mod tests {
         let result = Engine::new(1).run(&plan);
         assert_eq!(result.num_rows(), 2);
         assert_eq!(result.column(2).as_i64(), &[200, 300]);
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use joinstudy_exec::ops::AggFunc;
+    use joinstudy_storage::table::TableBuilder;
+    use joinstudy_storage::types::{DataType, Value};
+
+    fn table_kv(rows: &[(i64, i64)]) -> Arc<Table> {
+        let schema = Schema::of(&[("k", DataType::Int64), ("v", DataType::Int64)]);
+        let mut b = TableBuilder::new(schema);
+        for &(k, v) in rows {
+            b.push_row(&[Value::Int64(k), Value::Int64(v)]);
+        }
+        Arc::new(b.finish())
+    }
+
+    fn join_plan(algo: JoinAlgo) -> (Arc<Table>, Arc<Table>, Plan) {
+        let build: Vec<(i64, i64)> = (0..2000).map(|i| (i, i)).collect();
+        let probe: Vec<(i64, i64)> = (0..6000).map(|i| (i % 3000, i)).collect();
+        let bt = table_kv(&build);
+        let pt = table_kv(&probe);
+        let plan = Plan::scan(&bt, &["k", "v"], None).join(
+            Plan::scan(&pt, &["k", "v"], None),
+            algo,
+            JoinType::Inner,
+            &[0],
+            &[0],
+        );
+        (bt, pt, plan)
+    }
+
+    fn find<'a>(
+        node: &'a joinstudy_exec::profile::ProfileNode,
+        needle: &str,
+    ) -> Option<&'a joinstudy_exec::profile::ProfileNode> {
+        node.iter().into_iter().find(|n| n.label.contains(needle))
+    }
+
+    #[test]
+    fn profiled_join_counts_match_result_all_algos() {
+        for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+            for threads in [1, 4] {
+                let (_, _, plan) = join_plan(algo);
+                let engine = Engine::new(threads);
+                let (table, profile) = engine.execute_profiled(&plan).unwrap();
+                assert_eq!(table.num_rows(), 4000, "{} t={threads}", algo.name());
+                assert_eq!(profile.threads, threads);
+                assert!(profile.wall_ns > 0);
+                let join = find(&profile.root, "Join").unwrap();
+                assert_eq!(
+                    join.rows_out,
+                    4000,
+                    "{} t={threads}: join rows_out\n{}",
+                    algo.name(),
+                    profile.render()
+                );
+                // Output node consumes exactly the join's output.
+                assert_eq!(profile.root.rows_in, 4000);
+                // Both scans report their emitted rows.
+                let scans: Vec<_> = profile
+                    .root
+                    .iter()
+                    .into_iter()
+                    .filter(|n| n.label.starts_with("Scan"))
+                    .map(|n| n.rows_out)
+                    .collect();
+                let mut sorted = scans.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![2000, 6000], "{}", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bhj_profile_reports_hash_table_stats() {
+        let (_, _, plan) = join_plan(JoinAlgo::Bhj);
+        let (_, profile) = Engine::new(2).execute_profiled(&plan).unwrap();
+        let join = find(&profile.root, "Join BHJ").unwrap();
+        let keys: Vec<&str> = join.details.iter().map(|(k, _)| k.as_str()).collect();
+        for expected in ["build_rows", "ht_buckets", "ht_load_factor", "ht_max_chain"] {
+            assert!(keys.contains(&expected), "missing {expected}: {keys:?}");
+        }
+    }
+
+    #[test]
+    fn rj_profile_reports_partition_histograms() {
+        let (_, _, plan) = join_plan(JoinAlgo::Rj);
+        let (_, profile) = Engine::new(2).execute_profiled(&plan).unwrap();
+        let join = find(&profile.root, "Join RJ").unwrap();
+        let detail = |k: &str| join.details.iter().find(|(key, _)| key == k);
+        assert!(detail("build_partitions").is_some());
+        assert!(detail("probe_part_sizes").is_some());
+        match detail("build_rows").map(|(_, v)| v) {
+            Some(DetailValue::Int(n)) => assert_eq!(*n, 2000),
+            other => panic!("build_rows: {other:?}"),
+        }
+        match detail("probe_skew").map(|(_, v)| v) {
+            Some(DetailValue::Float(s)) => assert!(*s >= 1.0),
+            other => panic!("probe_skew: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brj_profile_reports_bloom_selectivity() {
+        let (_, _, plan) = join_plan(JoinAlgo::Brj);
+        let (_, profile) = Engine::new(2).execute_profiled(&plan).unwrap();
+        let join = find(&profile.root, "Join BRJ").unwrap();
+        let detail = |k: &str| {
+            join.details
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+        };
+        match detail("bloom_probed") {
+            Some(DetailValue::Int(n)) => assert_eq!(*n, 6000),
+            other => panic!("bloom_probed: {other:?}"),
+        }
+        match detail("bloom_selectivity") {
+            Some(DetailValue::Float(s)) => {
+                // 4000 of 6000 probe tuples have a build partner; the Bloom
+                // filter passes those plus some false positives.
+                assert!(*s >= 4000.0 / 6000.0 && *s <= 1.0, "selectivity {s}");
+            }
+            other => panic!("bloom_selectivity: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profiling_flag_stashes_profile_on_engine() {
+        let (_, _, plan) = join_plan(JoinAlgo::Bhj);
+        let engine = Engine::new(2);
+        assert!(engine.take_profile().is_none());
+        engine.run(&plan);
+        assert!(
+            engine.take_profile().is_none(),
+            "unprofiled run must not record"
+        );
+        engine.ctx.set_profiling(true);
+        engine.run(&plan);
+        let profile = engine.take_profile().expect("profile recorded");
+        assert!(engine.take_profile().is_none(), "take drains the slot");
+        assert_eq!(profile.root.rows_in, 4000);
+        // JSON export round-trips the tree shape.
+        let json = profile.to_json();
+        assert!(json.contains("\"label\":\"Output\""));
+        assert!(json.contains("Join BHJ"));
+    }
+
+    #[test]
+    fn degradation_rolls_back_trace_and_reports_fallback() {
+        let (_, _, plan) = join_plan(JoinAlgo::Rj);
+        let engine = Engine::new(2);
+        // Budget fits the BHJ build side but not both partitioned sides.
+        engine.ctx.set_memory_budget(Some(100 * 1024));
+        let (table, profile) = match engine.execute_profiled(&plan) {
+            Ok(ok) => ok,
+            Err(e) => panic!("expected degradation, got {e}"),
+        };
+        assert_eq!(table.num_rows(), 4000);
+        assert_eq!(profile.degradations, 1, "{}", profile.render());
+        let join = find(&profile.root, "Join BHJ").expect("fallback BHJ node");
+        assert!(
+            join.details
+                .iter()
+                .any(|(k, v)| k == "degraded"
+                    && matches!(v, DetailValue::Str(s) if s == "RJ -> BHJ")),
+            "{}",
+            profile.render()
+        );
+        assert!(find(&profile.root, "Join RJ").is_none(), "rolled back");
+    }
+
+    #[test]
+    fn aggregate_and_sort_nodes_compose() {
+        let t = table_kv(&[(1, 10), (2, 20), (1, 30), (2, 40), (3, 50)]);
+        let plan = Plan::scan(&t, &["k", "v"], None)
+            .aggregate(&[0], vec![AggSpec::new(AggFunc::Sum, 1, "s")])
+            .sort(vec![SortKey::desc(1)], Some(2));
+        let (table, profile) = Engine::new(1).execute_profiled(&plan).unwrap();
+        assert_eq!(table.num_rows(), 2);
+        let agg = find(&profile.root, "Aggregate").unwrap();
+        assert_eq!(agg.rows_in, 5);
+        assert_eq!(agg.rows_out, 3, "three groups rescanned");
+        assert!(agg
+            .details
+            .iter()
+            .any(|(k, v)| k == "groups" && matches!(v, DetailValue::Int(3))));
+        let sort = find(&profile.root, "Sort").unwrap();
+        assert_eq!(sort.rows_in, 3);
+        assert_eq!(sort.rows_out, 2, "limit 2 rescan");
     }
 }
 

@@ -1,0 +1,194 @@
+//! Engine-side assembly of [`QueryProfile`] trees.
+//!
+//! The pipeline compiler ([`crate::plan::Engine`]) walks the plan and runs
+//! pipeline breakers as it goes, so the mapping from *plan nodes* to
+//! *pipeline observation slots* is built incrementally:
+//!
+//! * every compiled plan node allocates a [`TraceNode`] in a flat arena;
+//! * stages of the pipeline **currently being composed** are parked in
+//!   `pending` — when the pipeline's breaker finally runs, the breaker's
+//!   [`PipelineObs`] is bound to all pending entries at once
+//!   ([`ProfCtx::bind_pending`]);
+//! * breakers that run *inside* compilation (build sides, partitioning,
+//!   aggregation) bind their own observation directly.
+//!
+//! A node may end up bound to several slots (a join aggregates its build
+//! sink, probe operator, and result source), and [`ProfCtx::build`] sums
+//! them into one [`ProfileNode`] per plan node.
+//!
+//! [`ProfCtx::save`]/[`ProfCtx::restore`] give the RJ→BHJ degradation path
+//! transactional semantics: the aborted radix compile's subtree is rolled
+//! back and the BHJ fallback re-traces it. This is sound because `pending`
+//! is always empty when a join compile starts (parents pend their own ops
+//! only after recursing, and every breaker drains `pending` completely).
+
+use joinstudy_exec::profile::{DetailValue, PipelineObs, ProfileNode};
+use std::sync::Arc;
+
+/// Which observation slot of a pipeline a trace node reads.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    Source,
+    Op(usize),
+    Sink,
+}
+
+/// One plan node under construction.
+struct TraceNode {
+    label: String,
+    children: Vec<usize>,
+    bound: Vec<(Arc<PipelineObs>, Slot)>,
+    details: Vec<(String, DetailValue)>,
+}
+
+/// Trace arena built while the engine compiles and runs pipelines.
+#[derive(Default)]
+pub(crate) struct ProfCtx {
+    nodes: Vec<TraceNode>,
+    /// Stages of the pipeline currently being composed, waiting for their
+    /// breaker: `(node id, slot)` pairs.
+    pending: Vec<(usize, Slot)>,
+}
+
+impl ProfCtx {
+    pub fn new() -> ProfCtx {
+        ProfCtx::default()
+    }
+
+    /// Allocate a trace node with the given children (already allocated).
+    pub fn node(&mut self, label: impl Into<String>, children: Vec<usize>) -> usize {
+        self.nodes.push(TraceNode {
+            label: label.into(),
+            children,
+            bound: Vec::new(),
+            details: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Park `(node, slot)` until the current pipeline's breaker runs.
+    pub fn pend(&mut self, node: usize, slot: Slot) {
+        self.pending.push((node, slot));
+    }
+
+    /// Bind one slot of a finished (or running) pipeline to a node.
+    pub fn bind(&mut self, node: usize, obs: &Arc<PipelineObs>, slot: Slot) {
+        self.nodes[node].bound.push((Arc::clone(obs), slot));
+    }
+
+    /// The breaker ran: bind every pending stage to its observation.
+    pub fn bind_pending(&mut self, obs: &Arc<PipelineObs>) {
+        for (node, slot) in std::mem::take(&mut self.pending) {
+            self.bind(node, obs, slot);
+        }
+    }
+
+    /// Attach an algorithm-specific statistic to a node.
+    pub fn detail(&mut self, node: usize, key: &str, value: DetailValue) {
+        self.nodes[node].details.push((key.to_string(), value));
+    }
+
+    /// Transaction mark for [`ProfCtx::restore`].
+    pub fn save(&self) -> (usize, usize) {
+        (self.nodes.len(), self.pending.len())
+    }
+
+    /// Roll back to a [`ProfCtx::save`] mark (degradation fallback). Only
+    /// valid when no node allocated before the mark references a node
+    /// allocated after it — true for the join-compile transaction because
+    /// children are allocated before their parent.
+    pub fn restore(&mut self, mark: (usize, usize)) {
+        self.nodes.truncate(mark.0);
+        self.pending.truncate(mark.1);
+        debug_assert!(
+            self.pending.iter().all(|&(n, _)| n < mark.0),
+            "pending entry references a rolled-back node"
+        );
+    }
+
+    /// Assemble the finished profile tree rooted at `root`, summing every
+    /// bound observation slot into its node.
+    pub fn build(&self, root: usize) -> ProfileNode {
+        let t = &self.nodes[root];
+        let mut node = ProfileNode::new(t.label.clone());
+        for (obs, slot) in &t.bound {
+            let stats = match slot {
+                Slot::Source => &obs.source,
+                Slot::Op(i) => &obs.ops[*i],
+                Slot::Sink => &obs.sink,
+            };
+            node.add_stats(stats);
+        }
+        node.details = t.details.clone();
+        node.children = t.children.iter().map(|&c| self.build(c)).collect();
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_binds_and_builds_tree() {
+        let mut pc = ProfCtx::new();
+        let scan = pc.node("Scan", vec![]);
+        pc.pend(scan, Slot::Source);
+        let filter = pc.node("Filter", vec![scan]);
+        pc.pend(filter, Slot::Op(0));
+
+        let obs = Arc::new(PipelineObs::new(1));
+        obs.source.add(2, 2, 0, 100, 10);
+        obs.ops[0].add(0, 2, 100, 40, 5);
+        obs.sink.add(0, 2, 40, 0, 1);
+        pc.bind_pending(&obs);
+        assert!(pc.save().1 == 0, "pending drained");
+
+        let root = pc.node("Output", vec![filter]);
+        pc.bind(root, &obs, Slot::Sink);
+        pc.detail(root, "note", DetailValue::Int(7));
+
+        let tree = pc.build(root);
+        assert_eq!(tree.label, "Output");
+        assert_eq!(tree.rows_in, 40);
+        assert_eq!(tree.details[0].0, "note");
+        assert_eq!(tree.children.len(), 1);
+        let filter = &tree.children[0];
+        assert_eq!(filter.rows_in, 100);
+        assert_eq!(filter.rows_out, 40);
+        assert_eq!(filter.children[0].rows_out, 100);
+        assert_eq!(filter.children[0].morsels, 2);
+    }
+
+    #[test]
+    fn restore_rolls_back_nodes_and_pending() {
+        let mut pc = ProfCtx::new();
+        let keep = pc.node("keep", vec![]);
+        let mark = pc.save();
+        let gone = pc.node("gone", vec![]);
+        pc.pend(gone, Slot::Source);
+        pc.restore(mark);
+        // Re-traced subtree reuses the freed arena slots.
+        let redo = pc.node("redo", vec![]);
+        assert_eq!(redo, gone);
+        let root = pc.node("root", vec![keep, redo]);
+        let tree = pc.build(root);
+        assert_eq!(tree.children[1].label, "redo");
+    }
+
+    #[test]
+    fn multiple_slots_sum_into_one_node() {
+        let mut pc = ProfCtx::new();
+        let join = pc.node("Join", vec![]);
+        let build_obs = Arc::new(PipelineObs::new(0));
+        build_obs.sink.add(0, 1, 300, 0, 7);
+        let probe_obs = Arc::new(PipelineObs::new(1));
+        probe_obs.ops[0].add(0, 4, 900, 500, 9);
+        pc.bind(join, &build_obs, Slot::Sink);
+        pc.bind(join, &probe_obs, Slot::Op(0));
+        let tree = pc.build(join);
+        assert_eq!(tree.rows_in, 1200);
+        assert_eq!(tree.rows_out, 500);
+        assert_eq!(tree.busy_ns, 16);
+    }
+}

@@ -338,6 +338,9 @@ pub struct BloomProbeOp {
     bits2: u32,
     /// Sample the pass rate and switch off when it stops paying (§5.4.1).
     adaptive: bool,
+    /// Whether any worker's adaptive sampling switched the filter off
+    /// (reported by EXPLAIN ANALYZE).
+    disabled_flag: std::sync::atomic::AtomicBool,
 }
 
 /// Adaptive switch-off: after this many sampled tuples ...
@@ -366,7 +369,14 @@ impl BloomProbeOp {
             bits1,
             bits2,
             adaptive,
+            disabled_flag: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Whether the adaptive sampling disabled the filter on any worker.
+    pub fn was_disabled(&self) -> bool {
+        self.disabled_flag
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -407,6 +417,8 @@ impl Operator for BloomProbeOp {
             && local.passed as f64 / local.seen as f64 > ADAPTIVE_THRESHOLD
         {
             local.disabled = true;
+            self.disabled_flag
+                .store(true, std::sync::atomic::Ordering::Relaxed);
         }
         local.hashes = hashes;
         if sel.len() == n {

@@ -42,6 +42,8 @@ pub struct QueryContext {
     used: AtomicUsize,
     /// High-water mark of `used` since the last [`QueryContext::arm`].
     high_water: AtomicUsize,
+    /// Whether the executor should collect per-operator profiles.
+    profiling: AtomicBool,
 }
 
 impl Default for QueryContext {
@@ -54,6 +56,7 @@ impl Default for QueryContext {
             budget: AtomicUsize::new(usize::MAX),
             used: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
+            profiling: AtomicBool::new(false),
         }
     }
 }
@@ -104,6 +107,18 @@ impl QueryContext {
             usize::MAX => None,
             b => Some(b),
         }
+    }
+
+    /// Enable or disable per-operator profiling for queries run under this
+    /// context. Off by default; persists across [`QueryContext::arm`] like
+    /// the budget and timeout settings.
+    pub fn set_profiling(&self, on: bool) {
+        self.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether per-operator profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
     }
 
     /// Re-arm the context for a fresh query: clears the cancel flag, the

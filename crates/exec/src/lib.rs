@@ -22,6 +22,9 @@
 //!   filters, projections, hash aggregation, sorting, late materialization.
 //! * **Byte-accounting instrumentation** ([`metrics`]): the software
 //!   substitute for PCM hardware counters used to regenerate Figure 10.
+//! * **Per-operator profiling** ([`profile`]): opt-in per-pipeline
+//!   observation slots (morsels, tuples, busy time) aggregated at worker
+//!   drain — the data behind `EXPLAIN ANALYZE`.
 //!
 //! The join operators themselves live in `joinstudy-core`; they plug into
 //! this engine through the same [`pipeline`] traits as every other operator.
@@ -33,10 +36,12 @@ pub mod expr;
 pub mod metrics;
 pub mod ops;
 pub mod pipeline;
+pub mod profile;
 pub mod sched;
 
 pub use batch::{Batch, BATCH_ROWS};
 pub use context::{BudgetLease, QueryContext};
 pub use error::{ExecError, ExecResult};
 pub use pipeline::{Operator, Sink, Source, StreamSpec};
+pub use profile::{DetailValue, OpStats, PipelineObs, ProfileNode, QueryProfile, WorkerProf};
 pub use sched::Executor;

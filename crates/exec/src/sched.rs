@@ -23,9 +23,11 @@ use crate::batch::Batch;
 use crate::context::QueryContext;
 use crate::error::{ExecError, ExecResult};
 use crate::pipeline::{LocalState, Operator, Sink, Source};
+use crate::profile::{PipelineObs, WorkerProf};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A pipeline executor with a fixed worker count.
 ///
@@ -101,20 +103,50 @@ impl Executor {
         ops: &[Arc<dyn Operator>],
         sink: &dyn Sink,
     ) -> ExecResult {
+        self.run_pipeline_obs(ctx, source, ops, sink, None)
+    }
+
+    /// [`Executor::run_pipeline`] with optional per-operator observation.
+    ///
+    /// With `obs == None` this is byte-for-byte the unprofiled executor (the
+    /// workers run the exact same body as before). With `Some(obs)`, each
+    /// worker accumulates into a private [`WorkerProf`] (plain integers, one
+    /// `Instant` pair per morsel / per batch) and flushes it into `obs` once
+    /// when it drains; the pipeline's wall time and worker count are recorded
+    /// on `obs` as well.
+    pub fn run_pipeline_obs(
+        &self,
+        ctx: &Arc<QueryContext>,
+        source: &dyn Source,
+        ops: &[Arc<dyn Operator>],
+        sink: &dyn Sink,
+        obs: Option<&PipelineObs>,
+    ) -> ExecResult {
         let next_task = AtomicUsize::new(0);
         let task_count = source.task_count();
         let failure = Failure::new();
+        let started = obs.map(|_| Instant::now());
 
-        if self.threads == 1 || task_count <= 1 {
-            run_worker(ctx, source, ops, sink, &next_task, task_count, &failure);
+        let inline = self.threads == 1 || task_count <= 1;
+        if inline {
+            run_worker(
+                ctx, source, ops, sink, &next_task, task_count, &failure, obs,
+            );
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..self.threads {
                     scope.spawn(|| {
-                        run_worker(ctx, source, ops, sink, &next_task, task_count, &failure)
+                        run_worker(
+                            ctx, source, ops, sink, &next_task, task_count, &failure, obs,
+                        )
                     });
                 }
             });
+        }
+
+        if let (Some(obs), Some(t0)) = (obs, started) {
+            let workers = if inline { 1 } else { self.threads as u64 };
+            obs.record_run(t0.elapsed().as_nanos() as u64, workers);
         }
 
         match failure.take() {
@@ -130,6 +162,7 @@ impl Executor {
 /// One worker: claim tasks until exhausted (or a failure is raised), then
 /// flush operators and merge local sink state. Panics anywhere inside are
 /// caught and recorded as [`ExecError::WorkerPanic`].
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     ctx: &QueryContext,
     source: &dyn Source,
@@ -138,9 +171,21 @@ fn run_worker(
     next_task: &AtomicUsize,
     task_count: usize,
     failure: &Failure,
+    obs: Option<&PipelineObs>,
 ) {
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        worker_body(ctx, source, ops, sink, next_task, task_count, failure)
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match obs {
+        None => worker_body(ctx, source, ops, sink, next_task, task_count, failure),
+        Some(obs) => {
+            let mut prof = WorkerProf::new(ops.len());
+            let result = worker_body_prof(
+                ctx, source, ops, sink, next_task, task_count, failure, &mut prof,
+            );
+            // Flush on success *and* on error so partial counts of a failed
+            // query are still visible; only a panic loses this worker's
+            // counts (the profile is advisory, the error is not).
+            prof.flush(obs);
+            result
+        }
     }));
     match outcome {
         Ok(Ok(())) => {}
@@ -241,6 +286,119 @@ fn feed_chain(
         let (op, local) = (&ops[i], &mut op_locals[i]);
         let mut produced: Vec<(usize, Batch)> = Vec::new();
         op.process(local, b, &mut |nb| produced.push((i + 1, nb)))?;
+        stack.extend(produced);
+    }
+    Ok(())
+}
+
+/// Profiled twin of [`worker_body`]: identical control flow, plus per-morsel
+/// and per-batch accounting into the worker-private [`WorkerProf`]. Source
+/// busy time is *inclusive* of downstream work (pipeline time); operator and
+/// sink busy times are exclusive because batches produced by an operator are
+/// staged on the explicit stack and processed after its `process` returns.
+#[allow(clippy::too_many_arguments)]
+fn worker_body_prof(
+    ctx: &QueryContext,
+    source: &dyn Source,
+    ops: &[Arc<dyn Operator>],
+    sink: &dyn Sink,
+    next_task: &AtomicUsize,
+    task_count: usize,
+    failure: &Failure,
+    p: &mut WorkerProf,
+) -> ExecResult {
+    let mut op_locals: Vec<LocalState> = ops.iter().map(|o| o.create_local()).collect();
+    let mut sink_local = sink.create_local();
+
+    loop {
+        if failure.raised() {
+            return Ok(());
+        }
+        ctx.check()?;
+        let task = next_task.fetch_add(1, Ordering::Relaxed);
+        if task >= task_count {
+            break;
+        }
+        let mut chain_err: Option<ExecError> = None;
+        let morsel_start = Instant::now();
+        let polled = source.poll_task(task, &mut |batch| {
+            if chain_err.is_none() {
+                p.src_batches += 1;
+                p.src_rows += batch.num_rows() as u64;
+                if let Err(e) =
+                    feed_chain_prof(ops, &mut op_locals, sink, &mut sink_local, batch, 0, p)
+                {
+                    chain_err = Some(e);
+                }
+            }
+        });
+        p.morsels += 1;
+        p.src_busy_ns += morsel_start.elapsed().as_nanos() as u64;
+        if let Some(e) = chain_err {
+            return Err(e);
+        }
+        polled?;
+    }
+
+    for i in 0..ops.len() {
+        if failure.raised() {
+            return Ok(());
+        }
+        let mut pending: Vec<Batch> = Vec::new();
+        let flush_start = Instant::now();
+        ops[i].flush(&mut op_locals[i], &mut |b| pending.push(b))?;
+        p.ops[i].busy_ns += flush_start.elapsed().as_nanos() as u64;
+        for b in pending {
+            p.ops[i].batches += 1;
+            p.ops[i].rows_out += b.num_rows() as u64;
+            feed_chain_prof(ops, &mut op_locals, sink, &mut sink_local, b, i + 1, p)?;
+        }
+    }
+
+    let finish_start = Instant::now();
+    let finished = sink.finish_local(sink_local);
+    p.sink_busy_ns += finish_start.elapsed().as_nanos() as u64;
+    finished
+}
+
+/// Profiled twin of [`feed_chain`]: counts batches/rows in and out of every
+/// operator and the sink, and times each `process`/`consume` call.
+fn feed_chain_prof(
+    ops: &[Arc<dyn Operator>],
+    op_locals: &mut [LocalState],
+    sink: &dyn Sink,
+    sink_local: &mut LocalState,
+    batch: Batch,
+    from: usize,
+    p: &mut WorkerProf,
+) -> ExecResult {
+    let mut stack: Vec<(usize, Batch)> = vec![(from, batch)];
+    while let Some((i, b)) = stack.pop() {
+        if i == ops.len() {
+            if b.num_rows() > 0 {
+                p.sink_batches += 1;
+                p.sink_rows += b.num_rows() as u64;
+                let t0 = Instant::now();
+                sink.consume(sink_local, b)?;
+                p.sink_busy_ns += t0.elapsed().as_nanos() as u64;
+            }
+            continue;
+        }
+        if b.num_rows() == 0 {
+            continue;
+        }
+        p.ops[i].batches += 1;
+        p.ops[i].rows_in += b.num_rows() as u64;
+        let (op, local) = (&ops[i], &mut op_locals[i]);
+        let mut produced: Vec<(usize, Batch)> = Vec::new();
+        let mut rows_out = 0u64;
+        let t0 = Instant::now();
+        op.process(local, b, &mut |nb| {
+            rows_out += nb.num_rows() as u64;
+            produced.push((i + 1, nb));
+        })?;
+        p.ops[i].busy_ns += t0.elapsed().as_nanos() as u64;
+        p.ops[i].rows_out += rows_out;
         stack.extend(produced);
     }
     Ok(())
@@ -471,6 +629,57 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, ExecError::Cancelled);
         assert_eq!(*sink.total.lock(), 0);
+    }
+
+    #[test]
+    fn profiled_run_counts_rows_and_morsels() {
+        for threads in [1, 4] {
+            let sink = SumSink::default();
+            let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(DupOp)];
+            let obs = PipelineObs::new(ops.len());
+            Executor::new(threads)
+                .run_pipeline_obs(&ctx(), &NumberSource { tasks: 20 }, &ops, &sink, Some(&obs))
+                .unwrap();
+            assert_eq!(*sink.total.lock(), 2 * expected_sum(20));
+            assert_eq!(obs.source.morsels(), 20, "threads={threads}");
+            assert_eq!(obs.source.rows_out(), 40);
+            assert_eq!(obs.ops[0].rows_in(), 40);
+            assert_eq!(obs.ops[0].rows_out(), 80);
+            assert_eq!(obs.sink.rows_in(), 80);
+            assert!(obs.wall_ns() > 0);
+            let workers = if threads == 1 { 1 } else { threads as u64 };
+            assert_eq!(obs.workers(), workers);
+        }
+    }
+
+    #[test]
+    fn profiled_flush_attributes_rows_to_buffering_op() {
+        let sink = SumSink::default();
+        let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(BufferAllOp), Arc::new(DupOp)];
+        let obs = PipelineObs::new(ops.len());
+        Executor::new(2)
+            .run_pipeline_obs(&ctx(), &NumberSource { tasks: 7 }, &ops, &sink, Some(&obs))
+            .unwrap();
+        assert_eq!(*sink.total.lock(), 2 * expected_sum(7));
+        // BufferAllOp eats 14 rows during process, re-emits them at flush.
+        assert_eq!(obs.ops[0].rows_in(), 14);
+        assert_eq!(obs.ops[0].rows_out(), 14);
+        assert_eq!(obs.ops[1].rows_in(), 14);
+        assert_eq!(obs.ops[1].rows_out(), 28);
+        assert_eq!(obs.sink.rows_in(), 28);
+    }
+
+    #[test]
+    fn profiled_failure_still_flushes_partial_counts() {
+        let sink = SumSink::default();
+        let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(FailOnValueOp { trigger: 0 })];
+        let obs = PipelineObs::new(ops.len());
+        let err = Executor::new(1)
+            .run_pipeline_obs(&ctx(), &NumberSource { tasks: 5 }, &ops, &sink, Some(&obs))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Operator { .. }));
+        // Task 0 triggers the failure, but its source emission was counted.
+        assert!(obs.source.rows_out() >= 2);
     }
 
     #[test]

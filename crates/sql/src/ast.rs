@@ -156,6 +156,12 @@ pub struct ColumnDef {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(Select),
+    /// `EXPLAIN [ANALYZE] <select>`: render the plan tree, with `ANALYZE`
+    /// additionally executing the query and annotating per-operator stats.
+    Explain {
+        analyze: bool,
+        select: Select,
+    },
     CreateTable {
         name: String,
         columns: Vec<ColumnDef>,

@@ -109,6 +109,8 @@ const KEYWORDS: &[&str] = &[
     "DESC",
     "TRUE",
     "FALSE",
+    "EXPLAIN",
+    "ANALYZE",
 ];
 
 /// Tokenize a statement. Errors carry a byte position.

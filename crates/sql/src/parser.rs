@@ -3,7 +3,8 @@
 //! Grammar (informal):
 //!
 //! ```text
-//! stmt      := select | create | insert
+//! stmt      := select | explain | create | insert
+//! explain   := EXPLAIN ['ANALYZE'] select
 //! select    := SELECT item (',' item)* FROM table (',' table)*
 //!              [WHERE expr] [GROUP BY expr (',' expr)*]
 //!              [ORDER BY key (',' key)*] [LIMIT int] [';']
@@ -34,6 +35,21 @@ pub fn parse(sql: &str) -> PResult<Statement> {
     let mut p = Parser { tokens, pos: 0 };
     let stmt = if p.peek_keyword("SELECT") {
         Statement::Select(p.parse_select()?)
+    } else if p.peek_keyword("EXPLAIN") {
+        // Unified EXPLAIN handling: both EXPLAIN and EXPLAIN ANALYZE reject
+        // non-SELECT statements here, at parse time, with one message.
+        p.pos += 1;
+        let analyze = p.eat_keyword("ANALYZE");
+        if !p.peek_keyword("SELECT") {
+            return Err(format!(
+                "EXPLAIN supports SELECT statements, got {:?}",
+                p.peek()
+            ));
+        }
+        Statement::Explain {
+            analyze,
+            select: p.parse_select()?,
+        }
     } else if p.peek_keyword("CREATE") {
         p.parse_create()?
     } else if p.peek_keyword("INSERT") {

@@ -6,6 +6,7 @@ use crate::planner::plan_select;
 use joinstudy_core::{Engine, JoinAlgo};
 use joinstudy_exec::context::QueryContext;
 use joinstudy_exec::error::ExecError;
+use joinstudy_exec::profile::QueryProfile;
 use joinstudy_storage::table::{Field, Schema, Table, TableBuilder};
 use joinstudy_storage::types::{DataType, Decimal, Value};
 use std::collections::HashMap;
@@ -150,6 +151,19 @@ impl Session {
         self.engine.ctx.set_memory_budget(bytes);
     }
 
+    /// Enable or disable per-operator profiling for subsequent statements.
+    /// While enabled, every executed SELECT records a [`QueryProfile`]
+    /// retrievable with [`Session::take_profile`].
+    pub fn set_profiling(&mut self, on: bool) {
+        self.engine.ctx.set_profiling(on);
+    }
+
+    /// The profile of the most recent profiled statement, if any. Draining:
+    /// a second call returns `None` until another profiled statement runs.
+    pub fn take_profile(&self) -> Option<QueryProfile> {
+        self.engine.take_profile()
+    }
+
     /// Register an existing table (e.g. a generated TPC-H relation).
     pub fn register(&mut self, name: impl Into<String>, table: Arc<Table>) {
         self.catalog.insert(name.into().to_ascii_lowercase(), table);
@@ -166,6 +180,16 @@ impl Session {
             Statement::Select(select) => {
                 let plan = plan_select(&select, &self.catalog, self.algo)?;
                 Ok(self.engine.execute(&plan)?)
+            }
+            Statement::Explain { analyze, select } => {
+                let plan = plan_select(&select, &self.catalog, self.algo)?;
+                let text = if analyze {
+                    let (_, profile) = self.engine.execute_profiled(&plan)?;
+                    profile.render()
+                } else {
+                    plan.explain()
+                };
+                Ok(text_table(&text))
             }
             Statement::CreateTable { name, columns } => {
                 if self.catalog.contains_key(&name) {
@@ -214,16 +238,45 @@ impl Session {
         }
     }
 
-    /// Plan a SELECT and render its operator tree (EXPLAIN).
+    /// Plan a SELECT and render its operator tree (EXPLAIN). Accepts both a
+    /// bare SELECT and an `EXPLAIN`-prefixed statement.
     pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
         match parse(sql).map_err(SqlError::Parse)? {
-            Statement::Select(select) => {
+            Statement::Select(select)
+            | Statement::Explain {
+                analyze: false,
+                select,
+            } => {
                 let plan = plan_select(&select, &self.catalog, self.algo)?;
                 Ok(plan.explain())
             }
+            Statement::Explain { analyze: true, .. } => self.explain_analyze(sql),
             _ => Err(SqlError::Plan("EXPLAIN supports SELECT statements".into())),
         }
     }
+
+    /// Execute a SELECT with per-operator profiling and render the annotated
+    /// plan tree (EXPLAIN ANALYZE). Accepts both a bare SELECT and an
+    /// `EXPLAIN [ANALYZE]`-prefixed statement.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, SqlError> {
+        let select = match parse(sql).map_err(SqlError::Parse)? {
+            Statement::Select(select) | Statement::Explain { select, .. } => select,
+            _ => return Err(SqlError::Plan("EXPLAIN supports SELECT statements".into())),
+        };
+        let plan = plan_select(&select, &self.catalog, self.algo)?;
+        let (_, profile) = self.engine.execute_profiled(&plan)?;
+        Ok(profile.render())
+    }
+}
+
+/// Wrap rendered text into a one-column table (EXPLAIN result shape).
+fn text_table(text: &str) -> Table {
+    let schema = Schema::new(vec![Field::new("plan", DataType::Str)]);
+    let mut b = TableBuilder::new(schema);
+    for line in text.lines() {
+        b.push_row(&[Value::Str(line.to_string())]);
+    }
+    b.finish()
 }
 
 fn coerce_insert(lit: &Literal, dtype: DataType) -> Result<Value, String> {

@@ -23,6 +23,7 @@ proptest! {
         head in prop::sample::select(vec![
             "SELECT", "SELECT *", "SELECT count(*)", "SELECT a, b",
             "CREATE TABLE", "INSERT INTO",
+            "EXPLAIN", "EXPLAIN ANALYZE", "EXPLAIN SELECT", "EXPLAIN ANALYZE SELECT",
         ]),
         tail in "[a-z0-9_ ,.()='\\*]{0,60}",
     ) {
@@ -30,6 +31,40 @@ proptest! {
         let mut session = Session::new(1);
         session.execute("CREATE TABLE t (a BIGINT, b VARCHAR)").unwrap();
         let _ = session.execute(&format!("{head} {tail}"));
+    }
+}
+
+#[test]
+fn explain_accepts_only_select_statements() {
+    use joinstudy_sql::ast::Statement;
+
+    // Both EXPLAIN variants parse a trailing SELECT through the same path.
+    match joinstudy_sql::parser::parse("EXPLAIN SELECT a FROM t").unwrap() {
+        Statement::Explain { analyze, .. } => assert!(!analyze),
+        other => panic!("expected Explain, got {other:?}"),
+    }
+    match joinstudy_sql::parser::parse("EXPLAIN ANALYZE SELECT a FROM t;").unwrap() {
+        Statement::Explain { analyze, .. } => assert!(analyze),
+        other => panic!("expected Explain, got {other:?}"),
+    }
+
+    // Non-SELECT statements are rejected with the same message on both
+    // paths — including EXPLAIN ANALYZE, which executes and must never
+    // reach the engine with DDL/DML.
+    for sql in [
+        "EXPLAIN INSERT INTO t VALUES (1)",
+        "EXPLAIN ANALYZE INSERT INTO t VALUES (1)",
+        "EXPLAIN CREATE TABLE t (a BIGINT)",
+        "EXPLAIN ANALYZE CREATE TABLE t (a BIGINT)",
+        "EXPLAIN EXPLAIN SELECT a FROM t",
+        "EXPLAIN",
+        "EXPLAIN ANALYZE",
+    ] {
+        let err = joinstudy_sql::parser::parse(sql).unwrap_err();
+        assert!(
+            err.contains("EXPLAIN supports SELECT statements"),
+            "{sql:?} -> {err:?}"
+        );
     }
 }
 

@@ -1,0 +1,154 @@
+//! Join-equivalence harness with the execution profiler in the loop: every
+//! TPC-H join query must return the same result under BHJ / RJ / BRJ with
+//! profiling on or off (6 configurations), and the profiler's tuple counts
+//! must themselves be algorithm-invariant — a scan emits the same number of
+//! rows and a join produces the same number of output tuples no matter
+//! which implementation ran it. Any divergence means either an algorithm
+//! bug or a profiler accounting bug.
+
+use joinstudy_core::{Engine, JoinAlgo};
+use joinstudy_exec::profile::QueryProfile;
+use joinstudy_storage::table::Table;
+use joinstudy_tpch::queries::{all_queries, QueryConfig};
+use joinstudy_tpch::{generate, TpchData};
+use std::sync::OnceLock;
+
+fn data() -> &'static TpchData {
+    static DATA: OnceLock<TpchData> = OnceLock::new();
+    DATA.get_or_init(|| generate(0.01, 20260706))
+}
+
+/// Canonical form: the multiset of row renderings, sorted (row order from
+/// parallel execution is nondeterministic for tied sort keys).
+fn canonical(t: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = (0..t.num_rows())
+        .map(|r| {
+            t.row(r)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The algorithm-invariant part of a profile: pre-order `(kind, rows_out)`
+/// over scans and joins. Labels embed the algorithm name and `rows_in` on a
+/// BRJ probe is post-Bloom, so only output tuple counts are compared.
+fn tuple_signature(p: &QueryProfile) -> Vec<(&'static str, u64)> {
+    p.nodes()
+        .iter()
+        .filter_map(|n| {
+            if n.label.starts_with("Scan") {
+                Some(("scan", n.rows_out))
+            } else if n.label.starts_with("Join") || n.label.starts_with("GroupJoin") {
+                Some(("join", n.rows_out))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn results_and_tuple_counts_agree_across_algorithms_and_profiling() {
+    let data = data();
+    let engine = Engine::new(2);
+    for q in all_queries() {
+        let mut reference: Option<Vec<String>> = None;
+        let mut ref_sig: Option<Vec<(&'static str, u64)>> = None;
+        for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+            for profiled in [false, true] {
+                engine.ctx.set_profiling(profiled);
+                let result = (q.run)(data, &QueryConfig::new(algo), &engine);
+                let rows = canonical(&result);
+                match &reference {
+                    None => reference = Some(rows),
+                    Some(r) => assert_eq!(
+                        &rows, r,
+                        "Q{} result differs under {algo:?} profiled={profiled}",
+                        q.id
+                    ),
+                }
+
+                let profile = engine.take_profile();
+                if !profiled {
+                    assert!(
+                        profile.is_none(),
+                        "Q{} recorded a profile with profiling off",
+                        q.id
+                    );
+                    continue;
+                }
+                let profile = profile
+                    .unwrap_or_else(|| panic!("Q{} produced no profile with profiling on", q.id));
+                assert_eq!(
+                    profile.root.rows_in,
+                    result.num_rows() as u64,
+                    "Q{} under {algo:?}: Output rows_in must equal the result size",
+                    q.id
+                );
+                let sig = tuple_signature(&profile);
+                assert!(
+                    sig.iter().any(|(kind, _)| *kind == "join"),
+                    "Q{} profile has no join node",
+                    q.id
+                );
+                match &ref_sig {
+                    None => ref_sig = Some(sig),
+                    Some(s) => assert_eq!(
+                        &sig, s,
+                        "Q{} profiler tuple counts differ under {algo:?}",
+                        q.id
+                    ),
+                }
+            }
+        }
+        engine.ctx.set_profiling(false);
+    }
+}
+
+#[test]
+fn profile_json_export_is_well_formed_for_every_query() {
+    let data = data();
+    let engine = Engine::new(2);
+    engine.ctx.set_profiling(true);
+    for q in all_queries() {
+        let _ = (q.run)(data, &QueryConfig::new(JoinAlgo::Brj), &engine);
+        let json = engine.take_profile().expect("profile recorded").to_json();
+        // Structural sanity without a JSON parser dependency: balanced
+        // braces/brackets outside strings and the required top-level keys.
+        for key in [
+            "\"wall_ns\"",
+            "\"threads\"",
+            "\"root\"",
+            "\"label\"",
+            "\"children\"",
+        ] {
+            assert!(json.contains(key), "Q{} JSON missing {key}: {json}", q.id);
+        }
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in json.chars() {
+            if in_str {
+                match (esc, c) {
+                    (true, _) => esc = false,
+                    (false, '\\') => esc = true,
+                    (false, '"') => in_str = false,
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "Q{} JSON underflows nesting", q.id);
+            }
+        }
+        assert_eq!(depth, 0, "Q{} JSON has unbalanced nesting", q.id);
+        assert!(!in_str, "Q{} JSON has an unterminated string", q.id);
+    }
+}
