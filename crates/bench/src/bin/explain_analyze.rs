@@ -8,7 +8,11 @@
 //! Bloom-filter selectivity.
 //!
 //! `cargo run --release -p joinstudy-bench --bin explain_analyze --
-//!  [--sf 0.01] [--query 3] [--threads T]`
+//!  [--sf 0.01] [--query 3] [--threads T] [--trace]`
+//!
+//! With `--trace`, each run additionally records a per-worker timeline and
+//! exports it as Chrome/Perfetto `trace_event` JSON
+//! (`results/q<id>_<algo>.trace.json`, loadable in ui.perfetto.dev).
 
 use joinstudy_bench::harness::{banner, Args, ProfileLog};
 use joinstudy_core::JoinAlgo;
@@ -21,6 +25,7 @@ fn main() {
     let sf = args.f64("sf", 0.01);
     let query_id = args.usize("query", 3) as u32;
     let threads = args.threads();
+    let with_trace = args.flag("trace");
 
     banner(
         "EXPLAIN ANALYZE: per-operator profiles across join implementations",
@@ -35,6 +40,7 @@ fn main() {
 
     let engine = joinstudy_bench::workloads::engine(threads, false);
     engine.ctx.set_profiling(true);
+    engine.ctx.set_tracing(with_trace);
 
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
@@ -63,6 +69,18 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("create profile json");
         writeln!(f, "{json}").unwrap();
         println!("JSON: {}", path.display());
+
+        if with_trace {
+            let trace = engine
+                .take_trace()
+                .expect("tracing enabled but no trace recorded");
+            let tpath = dir.join(format!(
+                "q{query_id:02}_{}.trace.json",
+                algo.name().to_ascii_lowercase()
+            ));
+            std::fs::write(&tpath, trace.to_chrome_json()).expect("write trace json");
+            println!("trace: {} -> {}", trace.summary(), tpath.display());
+        }
     }
     println!("\nJSONL: {}", log.path().display());
 }

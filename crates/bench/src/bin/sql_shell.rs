@@ -11,7 +11,11 @@
 //! Dot-commands: `.algo bhj|rj|brj` picks the join implementation,
 //! `.explain <select>` prints the plan, `.profile on|off` records a
 //! per-operator [`QueryProfile`] for every statement (printed after the
-//! result; `EXPLAIN ANALYZE <select>` does the same for a single query),
+//! result; `EXPLAIN ANALYZE <select>` does the same for a single query;
+//! after a failed statement the partial profile of the pipelines that
+//! completed is printed under a `-- partial profile --` header),
+//! `.trace on|off` records a per-worker timeline for every statement and
+//! writes it as Chrome/Perfetto `trace_event` JSON under `results/`,
 //! `.tables` lists relations, `.timing on|off` toggles wall-clock
 //! reporting, `.timeout <ms>|off` sets a per-statement deadline,
 //! `.budget <mb>|off` caps per-statement materialization memory (joins
@@ -53,6 +57,25 @@ fn print_table(t: &Table, max_rows: usize) {
     println!("({} rows)", t.num_rows());
 }
 
+/// Drain the session's trace (if a traced statement just ran) and write it
+/// as Chrome/Perfetto JSON. Traces survive statement failure, so this runs
+/// on both the success and the error path.
+fn write_trace(session: &Session, seq: &mut usize) {
+    if let Some(trace) = session.take_trace() {
+        let path = format!("results/shell_{seq:03}.trace.json");
+        *seq += 1;
+        match std::fs::create_dir_all("results")
+            .and_then(|_| std::fs::write(&path, trace.to_chrome_json()))
+        {
+            Ok(()) => println!(
+                "trace: {} -> {path} (open in ui.perfetto.dev)",
+                trace.summary()
+            ),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let sf = args.f64("sf", 0.05);
@@ -84,6 +107,7 @@ fn main() {
 
     let stdin = std::io::stdin();
     let mut timing = true;
+    let mut trace_seq = 0usize;
     let mut buffer = String::new();
     loop {
         if buffer.is_empty() {
@@ -170,10 +194,21 @@ fn main() {
                     }
                     _ => println!("usage: .profile on|off"),
                 },
+                ".trace" => match parts.next().map(str::trim) {
+                    Some("on") => {
+                        session.set_tracing(true);
+                        println!("tracing on (Perfetto JSON written to results/ per statement)");
+                    }
+                    Some("off") => {
+                        session.set_tracing(false);
+                        println!("tracing off");
+                    }
+                    _ => println!("usage: .trace on|off"),
+                },
                 other => {
                     println!(
                         "unknown command {other:?} \
-                         (.tables .algo .explain .profile .timing .timeout .budget .quit)"
+                         (.tables .algo .explain .profile .trace .timing .timeout .budget .quit)"
                     )
                 }
             }
@@ -195,11 +230,21 @@ fn main() {
                 if let Some(profile) = session.take_profile() {
                     print!("{}", profile.render());
                 }
+                write_trace(&session, &mut trace_seq);
                 if timing {
                     println!("time: {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
                 }
             }
-            Err(e) => println!("{e}"),
+            Err(e) => {
+                println!("{e}");
+                // The engine flushes whatever profiling data it gathered
+                // before the failure; show it instead of dropping it.
+                if let Some(profile) = session.take_profile() {
+                    println!("-- partial profile --");
+                    print!("{}", profile.render());
+                }
+                write_trace(&session, &mut trace_seq);
+            }
         }
     }
 }

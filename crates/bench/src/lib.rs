@@ -11,11 +11,15 @@
 //!   (Table 2),
 //! * [`workloads`] — SQL-level microbenchmark relations modeled on
 //!   Balkesen et al.'s Workloads A/B with the paper's selectivity, payload,
-//!   skew and pipeline-depth variations (§5.4).
+//!   skew and pipeline-depth variations (§5.4),
+//! * [`regress`] — the `bench_check` regression gate: baseline schema,
+//!   minimal JSON reader, and tolerance-aware comparison against
+//!   `results/baseline.json`.
 //!
 //! Defaults are sized for a small container; `--scale`/`--threads`/`--reps`
 //! flags scale every experiment up to real hardware.
 
 pub mod harness;
 pub mod hw;
+pub mod regress;
 pub mod workloads;

@@ -1,0 +1,543 @@
+//! Benchmark regression gating against a committed baseline.
+//!
+//! `bench_check` (the `cargo run -p joinstudy-bench --bin bench_check`
+//! entrypoint) runs a small fixed workload, snapshots the engine's metrics
+//! registry, and compares the result against `results/baseline.json`. This
+//! module holds the pieces that need tests: a minimal JSON reader (the repo
+//! has no serde; every exporter hand-builds JSON strings, so the gate
+//! hand-*parses* them), the baseline schema, and the tolerance-aware
+//! comparison.
+//!
+//! # Baseline schema
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "workload": {"sf": 0.01, "threads": 4, "query": 3, "seed": 20260706},
+//!   "metrics": {
+//!     "q03.bhj.rows":     {"value": 1216, "tol": 0},
+//!     "q03.bhj.wall_ms":  {"value": 5.1,  "tol": null},
+//!     "q03.rj.mem.partition_pass1.write_bytes": {"value": 123456, "tol": 0.05}
+//!   }
+//! }
+//! ```
+//!
+//! `tol` is a *relative* tolerance: the check fails when
+//! `|current - value| > tol * max(|value|, 1)`. `tol: 0` demands an exact
+//! match (row counts, deterministic byte counters); `tol: null` marks the
+//! entry informational — reported but never failing (wall-clock times,
+//! which vary across CI machines). A metric present in the baseline but
+//! absent from the current run is always a failure: losing a counter is a
+//! regression in the observability surface itself.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value — just enough of the grammar for baseline and
+/// metrics files (no unicode escapes beyond `\uXXXX`, no exponent edge
+/// cases beyond what `f64::from_str` accepts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered; baselines are small so lookup is linear.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset and a short reason.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// One gated metric in a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    pub value: f64,
+    /// Relative tolerance; `None` means informational (never fails).
+    pub tol: Option<f64>,
+}
+
+/// The committed regression baseline: a workload fingerprint plus expected
+/// metric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Workload parameters the current run must reproduce exactly
+    /// (sf, threads, query, seed, ...). Mismatched parameters make every
+    /// comparison meaningless, so they fail the run up front.
+    pub workload: BTreeMap<String, f64>,
+    pub metrics: BTreeMap<String, BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parse `results/baseline.json` content.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = parse_json(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_f64)
+            .ok_or("baseline missing \"schema\"")?;
+        if schema != 1.0 {
+            return Err(format!("unsupported baseline schema {schema}"));
+        }
+        let mut workload = BTreeMap::new();
+        if let Some(Json::Obj(members)) = doc.get("workload") {
+            for (k, v) in members {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("workload.{k} is not a number"))?;
+                workload.insert(k.clone(), v);
+            }
+        }
+        let mut metrics = BTreeMap::new();
+        match doc.get("metrics") {
+            Some(Json::Obj(members)) => {
+                for (name, entry) in members {
+                    let value = entry
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("metrics.{name} missing \"value\""))?;
+                    let tol = match entry.get("tol") {
+                        Some(Json::Null) | None => None,
+                        Some(Json::Num(t)) if *t >= 0.0 => Some(*t),
+                        _ => return Err(format!("metrics.{name} has a bad \"tol\"")),
+                    };
+                    metrics.insert(name.clone(), BaselineEntry { value, tol });
+                }
+            }
+            _ => return Err("baseline missing \"metrics\" object".into()),
+        }
+        Ok(Baseline { workload, metrics })
+    }
+
+    /// Serialize (the `--write-baseline` path). Row counts and byte
+    /// counters get the given default tolerance; `wall_ms` entries are
+    /// written informational because CI wall-clock is not reproducible.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"workload\": {");
+        let mut first = true;
+        for (k, v) in &self.workload {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{k}\": {}", fmt_num(*v));
+        }
+        out.push_str("},\n  \"metrics\": {\n");
+        let mut first = true;
+        for (name, e) in &self.metrics {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let tol = match e.tol {
+                Some(t) => fmt_num(t),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "    \"{name}\": {{\"value\": {}, \"tol\": {tol}}}",
+                fmt_num(e.value)
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Outcome of one baseline-vs-current comparison.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard failures: exceeded tolerance, missing metric, or workload
+    /// mismatch. Non-empty means exit nonzero.
+    pub failures: Vec<String>,
+    /// Informational lines (within tolerance, `tol: null` drift, new
+    /// metrics absent from the baseline).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare a current run against the baseline.
+pub fn compare(
+    baseline: &Baseline,
+    workload: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> Report {
+    let mut report = Report::default();
+    for (k, expected) in &baseline.workload {
+        match workload.get(k) {
+            Some(got) if got == expected => {}
+            Some(got) => report.failures.push(format!(
+                "workload mismatch: {k} = {got} but baseline was recorded at {expected}"
+            )),
+            None => report
+                .failures
+                .push(format!("workload parameter {k} missing from current run")),
+        }
+    }
+    for (name, entry) in &baseline.metrics {
+        let Some(&got) = current.get(name) else {
+            report
+                .failures
+                .push(format!("{name}: missing from current run"));
+            continue;
+        };
+        let delta = got - entry.value;
+        let rel = delta / entry.value.abs().max(1.0);
+        match entry.tol {
+            None => {
+                report.notes.push(format!(
+                    "{name}: {got} vs {} (informational, {:+.1}%)",
+                    entry.value,
+                    rel * 100.0
+                ));
+            }
+            Some(tol) if delta.abs() <= tol * entry.value.abs().max(1.0) => {
+                report
+                    .notes
+                    .push(format!("{name}: {got} ok (tol {:.1}%)", tol * 100.0));
+            }
+            Some(tol) => {
+                report.failures.push(format!(
+                    "{name}: {got} vs baseline {} exceeds tol {:.1}% ({:+.2}%)",
+                    entry.value,
+                    tol * 100.0,
+                    rel * 100.0
+                ));
+            }
+        }
+    }
+    for name in current.keys() {
+        if !baseline.metrics.contains_key(name) {
+            report
+                .notes
+                .push(format!("{name}: not in baseline (new metric)"));
+        }
+    }
+    report
+}
+
+/// Render a current-run metrics map as a flat JSON object (the artifact
+/// uploaded next to the baseline for debugging failed gates).
+pub fn metrics_json(workload: &BTreeMap<String, f64>, current: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n  \"workload\": {");
+    let mut first = true;
+    for (k, v) in workload {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{k}\": {}", fmt_num(*v));
+    }
+    out.push_str("},\n  \"metrics\": {\n");
+    let mut first = true;
+    for (k, v) in current {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "    \"{k}\": {}", fmt_num(*v));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_nested_json() {
+        let doc =
+            parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny A"}, "d": null, "e": true}"#)
+                .unwrap();
+        assert_eq!(
+            doc.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-300.0)
+            ]))
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c"),
+            Some(&Json::Str("x\ny A".into()))
+        );
+        assert_eq!(doc.get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("\"open").is_err());
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let b = Baseline {
+            workload: wl(&[("sf", 0.01), ("threads", 4.0)]),
+            metrics: [
+                (
+                    "q03.bhj.rows".to_string(),
+                    BaselineEntry {
+                        value: 1216.0,
+                        tol: Some(0.0),
+                    },
+                ),
+                (
+                    "q03.bhj.wall_ms".to_string(),
+                    BaselineEntry {
+                        value: 5.25,
+                        tol: None,
+                    },
+                ),
+            ]
+            .into(),
+        };
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn compare_passes_on_identical_run() {
+        let b = Baseline::parse(
+            r#"{"schema": 1, "workload": {"sf": 0.01},
+                "metrics": {"rows": {"value": 100, "tol": 0},
+                            "wall_ms": {"value": 9, "tol": null}}}"#,
+        )
+        .unwrap();
+        let report = compare(
+            &b,
+            &wl(&[("sf", 0.01)]),
+            &wl(&[("rows", 100.0), ("wall_ms", 42.0), ("extra", 1.0)]),
+        );
+        assert!(report.passed(), "{:?}", report.failures);
+        // wall_ms drift and the unknown metric are notes, not failures.
+        assert!(report.notes.iter().any(|n| n.contains("informational")));
+        assert!(report.notes.iter().any(|n| n.contains("new metric")));
+    }
+
+    #[test]
+    fn compare_fails_on_doctored_baseline() {
+        let b = Baseline::parse(
+            r#"{"schema": 1, "workload": {},
+                "metrics": {"rows": {"value": 99, "tol": 0}}}"#,
+        )
+        .unwrap();
+        let report = compare(&b, &wl(&[]), &wl(&[("rows", 100.0)]));
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("rows"));
+    }
+
+    #[test]
+    fn compare_fails_on_missing_metric_and_workload_mismatch() {
+        let b = Baseline::parse(
+            r#"{"schema": 1, "workload": {"threads": 4},
+                "metrics": {"gone": {"value": 1, "tol": 0.1}}}"#,
+        )
+        .unwrap();
+        let report = compare(&b, &wl(&[("threads", 2.0)]), &wl(&[]));
+        assert_eq!(report.failures.len(), 2);
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_value() {
+        let b = Baseline::parse(
+            r#"{"schema": 1, "workload": {},
+                "metrics": {"bytes": {"value": 1000, "tol": 0.05}}}"#,
+        )
+        .unwrap();
+        assert!(compare(&b, &wl(&[]), &wl(&[("bytes", 1049.0)])).passed());
+        assert!(!compare(&b, &wl(&[]), &wl(&[("bytes", 1051.0)])).passed());
+    }
+}

@@ -34,6 +34,7 @@ use joinstudy_exec::ops::{
 };
 use joinstudy_exec::pipeline::{LocalState, Sink, StreamSpec};
 use joinstudy_exec::profile::{DetailValue, PipelineObs, QueryProfile};
+use joinstudy_exec::trace::{self, QueryTrace};
 use joinstudy_exec::{Batch, Executor};
 use joinstudy_storage::table::{Field, Schema, Table};
 use parking_lot::Mutex;
@@ -565,6 +566,9 @@ pub struct Engine {
     /// callers that only see result tables (TPC-H query closures, the SQL
     /// session) can retrieve it afterwards. Shared across clones like `ctx`.
     profile: Arc<Mutex<Option<QueryProfile>>>,
+    /// Worker-timeline trace of the most recent traced [`Engine::execute`]
+    /// (enabled via [`QueryContext::set_tracing`]). Shared across clones.
+    trace_out: Arc<Mutex<Option<QueryTrace>>>,
 }
 
 impl Engine {
@@ -576,6 +580,7 @@ impl Engine {
             bhj_prefetch: true,
             ctx: QueryContext::unbounded(),
             profile: Arc::new(Mutex::new(None)),
+            trace_out: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -602,51 +607,101 @@ impl Engine {
             *self.profile.lock() = Some(profile);
             return Ok(table);
         }
-        self.ctx.arm();
-        let (spec, _) = self.stream(plan, None)?;
-        let sink = CollectSink::new(spec.schema.clone());
-        self.executor()
-            .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
-        Ok(sink.into_table())
+        self.traced(|| {
+            self.ctx.arm();
+            let (spec, _) = self.stream(plan, None)?;
+            let sink = CollectSink::new(spec.schema.clone());
+            trace::label_next_pipeline("output");
+            self.executor()
+                .run_pipeline(&self.ctx, spec.source.as_ref(), &spec.ops, &sink)?;
+            Ok(sink.into_table())
+        })
+    }
+
+    /// Record a worker-timeline trace around `f` when the context asks for
+    /// one ([`QueryContext::set_tracing`]); the finished trace is stashed
+    /// for [`Engine::take_trace`]. The tracer records one query at a time:
+    /// if another trace is already active, `f` runs untraced.
+    fn traced<R>(&self, f: impl FnOnce() -> R) -> R {
+        let tracing = self.ctx.tracing() && trace::begin("query");
+        let result = f();
+        if tracing {
+            *self.trace_out.lock() = trace::end();
+        }
+        result
     }
 
     /// Execute a plan with per-operator profiling, returning the result and
     /// its [`QueryProfile`] tree (the engine half of EXPLAIN ANALYZE).
     /// Profiles regardless of [`QueryContext::profiling`].
+    ///
+    /// On error the partial profile — every pipeline that drained before
+    /// the failure flushed its counts — is stashed for
+    /// [`Engine::take_profile`], so interactive callers can show where a
+    /// failed query spent its time.
     pub fn execute_profiled(&self, plan: &Plan) -> ExecResult<(Table, QueryProfile)> {
-        self.ctx.arm();
-        let deg0 = metrics::degradations();
-        let t0 = Instant::now();
-        let mut pc = ProfCtx::new();
-        let (spec, root) = self.stream(plan, Some(&mut pc))?;
-        let root = root.expect("profiled stream always returns a trace node");
-        let sink = CollectSink::new(spec.schema.clone());
-        let obs = Arc::new(PipelineObs::new(spec.ops.len()));
-        let run = self.executor().run_pipeline_obs(
-            &self.ctx,
-            spec.source.as_ref(),
-            &spec.ops,
-            &sink,
-            Some(&obs),
-        );
-        pc.bind_pending(&obs);
-        run?;
-        let out = pc.node("Output", vec![root]);
-        pc.bind(out, &obs, Slot::Sink);
-        let profile = QueryProfile {
-            root: pc.build(out),
-            wall_ns: t0.elapsed().as_nanos() as u64,
-            threads: self.threads,
-            degradations: metrics::degradations().saturating_sub(deg0),
-            peak_bytes: self.ctx.high_water(),
-        };
-        Ok((sink.into_table(), profile))
+        self.traced(|| {
+            self.ctx.arm();
+            let deg0 = metrics::degradations();
+            let t0 = Instant::now();
+            let mut pc = ProfCtx::new();
+            let finish =
+                |pc: &mut ProfCtx, out: usize, t0: Instant, deg0: u64, ctx: &QueryContext| {
+                    QueryProfile {
+                        root: pc.build(out),
+                        wall_ns: t0.elapsed().as_nanos() as u64,
+                        threads: self.threads,
+                        degradations: metrics::degradations().saturating_sub(deg0),
+                        peak_bytes: ctx.high_water(),
+                    }
+                };
+            let stash_partial = |mut pc: ProfCtx, t0: Instant, deg0: u64| {
+                let roots = pc.roots();
+                let out = pc.node("Output -- partial --", roots);
+                *self.profile.lock() = Some(finish(&mut pc, out, t0, deg0, &self.ctx));
+            };
+            let (spec, root) = match self.stream(plan, Some(&mut pc)) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    stash_partial(pc, t0, deg0);
+                    return Err(e);
+                }
+            };
+            let root = root.expect("profiled stream always returns a trace node");
+            let sink = CollectSink::new(spec.schema.clone());
+            let obs = Arc::new(PipelineObs::new(spec.ops.len()));
+            trace::label_next_pipeline("output");
+            let run = self.executor().run_pipeline_obs(
+                &self.ctx,
+                spec.source.as_ref(),
+                &spec.ops,
+                &sink,
+                Some(&obs),
+            );
+            pc.bind_pending(&obs);
+            if let Err(e) = run {
+                stash_partial(pc, t0, deg0);
+                return Err(e);
+            }
+            let out = pc.node("Output", vec![root]);
+            pc.bind(out, &obs, Slot::Sink);
+            let profile = finish(&mut pc, out, t0, deg0, &self.ctx);
+            Ok((sink.into_table(), profile))
+        })
     }
 
     /// Take the profile stashed by the most recent profiled
     /// [`Engine::execute`] (enabled via [`QueryContext::set_profiling`]).
+    /// After a *failed* profiled execution this returns the partial profile
+    /// of the pipelines that ran before the error.
     pub fn take_profile(&self) -> Option<QueryProfile> {
         self.profile.lock().take()
+    }
+
+    /// Take the worker-timeline trace stashed by the most recent traced
+    /// [`Engine::execute`] (enabled via [`QueryContext::set_tracing`]).
+    pub fn take_trace(&self) -> Option<QueryTrace> {
+        self.trace_out.lock().take()
     }
 
     /// Infallible convenience for benchmarks and tests that run without
@@ -764,6 +819,7 @@ impl Engine {
                 let (spec, child) = self.stream(input, prof.as_deref_mut())?;
                 let sink = AggSink::new(spec.schema.clone(), group_cols.clone(), aggs.clone());
                 let schema = sink.output_schema();
+                trace::label_next_pipeline("aggregate");
                 let obs = self.run_breaker(&spec, &sink, prof.as_deref_mut())?;
                 let result = Arc::new(sink.into_table());
                 let node = prof.map(|pc| {
@@ -792,6 +848,7 @@ impl Engine {
             Plan::Sort { input, keys, limit } => {
                 let (spec, child) = self.stream(input, prof.as_deref_mut())?;
                 let sink = SortSink::new(spec.schema.clone(), keys.clone(), *limit);
+                trace::label_next_pipeline("sort");
                 let obs = self.run_breaker(&spec, &sink, prof.as_deref_mut())?;
                 let schema = sink.output_schema();
                 let result = Arc::new(sink.into_table());
@@ -854,6 +911,7 @@ impl Engine {
                 let build_types: Vec<_> =
                     build_spec.schema.fields.iter().map(|f| f.dtype).collect();
                 let sink = GroupJoinBuildSink::new(&build_types, build_keys.clone());
+                trace::label_next_pipeline("groupjoin build");
                 let build_obs = self.run_breaker(&build_spec, &sink, prof.as_deref_mut())?;
                 let state = sink.into_state(aggs.clone());
                 let out_schema = state.output_schema(&build_spec.schema);
@@ -884,6 +942,7 @@ impl Engine {
                     pc.pend(id, Slot::Op(op_idx));
                     id
                 });
+                trace::label_next_pipeline("groupjoin probe");
                 self.run_breaker(&spec, &DiscardSink, prof.as_deref_mut())?;
 
                 // Pipeline 3: one row per group.
@@ -932,8 +991,12 @@ impl Engine {
         let sink = BhjBuildSink::new(&build_types, build_keys.to_vec())
             .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::Build);
+        trace::label_next_pipeline("BHJ build");
         let build_obs = self.run_breaker(&build_spec, &sink, prof.as_deref_mut())?;
-        let state = sink.into_state(self.threads)?;
+        let state = {
+            let _span = trace::phase_scope("BHJ build finalize (hash table)");
+            sink.into_state(self.threads)?
+        };
         joinlog::record(joinlog::JoinSizes {
             algo: "BHJ",
             build_rows: state.rows,
@@ -989,6 +1052,7 @@ impl Engine {
             // hash table (how real systems start an anti-join's output).
             metrics::mark_phase(MemPhase::Other);
             let spec = probe_spec.push_op(probe_op, out_schema.clone());
+            trace::label_next_pipeline("BHJ probe (mark)");
             self.run_breaker(&spec, &DiscardSink, prof.as_deref_mut())?;
             if let (Some(pc), Some(id)) = (prof, node) {
                 pc.pend(id, Slot::Source);
@@ -1034,6 +1098,11 @@ impl Engine {
                     pc.restore(mark);
                 }
                 metrics::record_degradation();
+                trace::instant(if with_bloom {
+                    "degradation: BRJ -> BHJ (memory budget)"
+                } else {
+                    "degradation: RJ -> BHJ (memory budget)"
+                });
                 let (spec, node) = self.compile_bhj(
                     kind,
                     build,
@@ -1079,7 +1148,9 @@ impl Engine {
             PhaseSet::build(),
         )
         .with_context(Arc::clone(&self.ctx));
+        let tag = if with_bloom { "BRJ" } else { "RJ" };
         metrics::mark_phase(MemPhase::Build);
+        trace::label_next_pipeline(format!("{tag} partition (build)"));
         let build_obs = self.run_breaker(&build_spec, &build_sink, prof.as_deref_mut())?;
         let (build_side, bloom) = build_sink.finalize(self.threads, None, use_bloom)?;
         let bits2 = build_side.bits2();
@@ -1111,6 +1182,11 @@ impl Engine {
         )
         .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::PartitionPass1);
+        trace::label_next_pipeline(if bloom_op.is_some() {
+            format!("{tag} partition (probe) + bloom probe")
+        } else {
+            format!("{tag} partition (probe)")
+        });
         let probe_obs = self.run_breaker(&probe_spec, &probe_sink, prof.as_deref_mut())?;
         let (probe_side, _) = probe_sink.finalize(self.threads, Some(bits2), false)?;
         let stats = Arc::new(crate::join_common::JoinStats::default());

@@ -106,6 +106,20 @@ impl ProfCtx {
         );
     }
 
+    /// Node ids not referenced as anyone's child — the forest tops of a
+    /// partially compiled plan. Used to assemble a partial profile when
+    /// compilation or execution fails mid-way: the surviving subtrees hang
+    /// off a synthetic "partial" root in allocation order.
+    pub fn roots(&self) -> Vec<usize> {
+        let mut referenced = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for &c in &n.children {
+                referenced[c] = true;
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| !referenced[i]).collect()
+    }
+
     /// Assemble the finished profile tree rooted at `root`, summing every
     /// bound observation slot into its node.
     pub fn build(&self, root: usize) -> ProfileNode {
@@ -174,6 +188,21 @@ mod tests {
         let root = pc.node("root", vec![keep, redo]);
         let tree = pc.build(root);
         assert_eq!(tree.children[1].label, "redo");
+    }
+
+    #[test]
+    fn roots_finds_unreferenced_forest_tops() {
+        let mut pc = ProfCtx::new();
+        let scan = pc.node("Scan", vec![]);
+        let filter = pc.node("Filter", vec![scan]);
+        let orphan = pc.node("Scan2", vec![]);
+        assert_eq!(pc.roots(), vec![filter, orphan]);
+        // A synthetic partial root over the forest builds cleanly.
+        let tops = pc.roots();
+        let out = pc.node("Output -- partial --", tops);
+        let tree = pc.build(out);
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].label, "Filter");
     }
 
     #[test]

@@ -39,6 +39,7 @@ use joinstudy_exec::context::{BudgetLease, QueryContext};
 use joinstudy_exec::error::{ExecError, ExecResult};
 use joinstudy_exec::metrics::{self, MemPhase};
 use joinstudy_exec::pipeline::{LocalState, Sink};
+use joinstudy_exec::trace;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -551,8 +552,17 @@ impl PartitionSink {
         // allocation instead of as an OOM kill.
         let mut out_lease = BudgetLease::reserve(&self.ctx, total_rows * stride)?;
 
+        // Which side this sink partitioned, for trace span labels (the
+        // build PhaseSet folds every phase into `Build`).
+        let side_label = if self.phases.hist == MemPhase::Build {
+            "build"
+        } else {
+            "probe"
+        };
+
         // Histogram scan: per pre-partition, count rows per sub-partition.
         metrics::mark_phase(self.phases.hist);
+        let hist_span = trace::phase_scope(format!("radix histogram scan ({side_label})"));
         let histograms: Vec<Mutex<Vec<usize>>> =
             (0..fanout1).map(|_| Mutex::new(Vec::new())).collect();
         let task = AtomicUsize::new(0);
@@ -584,6 +594,7 @@ impl PartitionSink {
             *histograms[p].lock() = counts;
         };
         run_parallel(threads, fanout1, run_hist);
+        drop(hist_span);
         if let Some(e) = phase_err.lock().take() {
             return Err(e);
         }
@@ -605,6 +616,11 @@ impl PartitionSink {
 
         // Pass 2: scatter every pre-partition into its contiguous region.
         metrics::mark_phase(self.phases.pass2);
+        let pass2_span = trace::phase_scope(if build_bloom {
+            format!("radix partition pass 2 + bloom build ({side_label})")
+        } else {
+            format!("radix partition pass 2 ({side_label})")
+        });
         let mut data = vec![0u64; (total_rows * stride).div_ceil(8)];
         let shared = SharedBuf {
             ptr: data.as_mut_ptr().cast::<u8>(),
@@ -689,6 +705,7 @@ impl PartitionSink {
             nt_fence();
         };
         run_parallel(threads, fanout1, run_scatter);
+        drop(pass2_span);
         if let Some(e) = phase_err.lock().take() {
             return Err(e);
         }

@@ -419,6 +419,7 @@ impl Operator for BloomProbeOp {
             local.disabled = true;
             self.disabled_flag
                 .store(true, std::sync::atomic::Ordering::Relaxed);
+            joinstudy_exec::trace::instant("bloom filter adaptively disabled");
         }
         local.hashes = hashes;
         if sel.len() == n {

@@ -44,6 +44,8 @@ pub struct QueryContext {
     high_water: AtomicUsize,
     /// Whether the executor should collect per-operator profiles.
     profiling: AtomicBool,
+    /// Whether the engine should record a worker-timeline trace.
+    tracing: AtomicBool,
 }
 
 impl Default for QueryContext {
@@ -57,6 +59,7 @@ impl Default for QueryContext {
             used: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
             profiling: AtomicBool::new(false),
+            tracing: AtomicBool::new(false),
         }
     }
 }
@@ -119,6 +122,18 @@ impl QueryContext {
     /// Whether per-operator profiling is enabled.
     pub fn profiling(&self) -> bool {
         self.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable worker-timeline tracing ([`crate::trace`]) for
+    /// queries run under this context. Off by default; persists across
+    /// [`QueryContext::arm`] like the profiling flag.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether worker-timeline tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
     }
 
     /// Re-arm the context for a fresh query: clears the cancel flag, the

@@ -21,10 +21,14 @@
 //! * **Relational operators** ([`ops`]): scans with predicate pushdown,
 //!   filters, projections, hash aggregation, sorting, late materialization.
 //! * **Byte-accounting instrumentation** ([`metrics`]): the software
-//!   substitute for PCM hardware counters used to regenerate Figure 10.
+//!   substitute for PCM hardware counters used to regenerate Figure 10,
+//!   backed by the named-metric [`registry`].
 //! * **Per-operator profiling** ([`profile`]): opt-in per-pipeline
 //!   observation slots (morsels, tuples, busy time) aggregated at worker
 //!   drain — the data behind `EXPLAIN ANALYZE`.
+//! * **Worker-timeline tracing** ([`trace`]): opt-in per-worker span
+//!   buffers (morsels, phases, synthesized idle intervals) exported as
+//!   Chrome/Perfetto `trace_event` JSON.
 //!
 //! The join operators themselves live in `joinstudy-core`; they plug into
 //! this engine through the same [`pipeline`] traits as every other operator.
@@ -37,11 +41,15 @@ pub mod metrics;
 pub mod ops;
 pub mod pipeline;
 pub mod profile;
+pub mod registry;
 pub mod sched;
+pub mod trace;
 
 pub use batch::{Batch, BATCH_ROWS};
 pub use context::{BudgetLease, QueryContext};
 pub use error::{ExecError, ExecResult};
 pub use pipeline::{Operator, Sink, Source, StreamSpec};
 pub use profile::{DetailValue, OpStats, PipelineObs, ProfileNode, QueryProfile, WorkerProf};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use sched::Executor;
+pub use trace::{QueryTrace, SpanKind, TraceSpan};

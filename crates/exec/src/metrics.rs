@@ -11,9 +11,28 @@
 //! Accounting is global and lock-free (relaxed atomics), off by default, and
 //! recorded at page/batch granularity so enabling it does not distort the
 //! measured run.
+//!
+//! Since PR 3 the storage lives in the named-metric
+//! [`registry`](crate::registry) (`mem.<phase>.read_bytes` /
+//! `.write_bytes`, `exec.degradations`, `exec.source_rows`); this module
+//! keeps the original byte-accounting API as a thin facade over resolved
+//! counter handles, so callers and the registry's JSON exporter see the
+//! same numbers.
+//!
+//! # Ordering contract
+//!
+//! All counters are updated and read with `Ordering::Relaxed`. Relaxed
+//! reads are only *exact* once every thread that recorded into the counter
+//! has been joined: thread join (and `std::thread::scope` exit) establishes
+//! the happens-before edge that makes the final `fetch_add`s visible. The
+//! executor joins all workers before a pipeline returns, so post-drain
+//! reads — [`snapshot`], [`degradations`], [`take_source_rows`] after
+//! `Engine::execute` returns — are exact. A read taken *while* a query is
+//! running may lag in-flight increments and is advisory only.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use crate::registry::{self, Counter};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Execution phases matching the legend of the paper's Figure 10.
@@ -54,6 +73,18 @@ impl MemPhase {
         }
     }
 
+    /// Registry-name segment (no spaces, stable across renames of `name`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            MemPhase::Build => "build",
+            MemPhase::PartitionPass1 => "partition_pass1",
+            MemPhase::HistogramScan => "histogram_scan",
+            MemPhase::PartitionPass2 => "partition_pass2",
+            MemPhase::Join => "join",
+            MemPhase::Other => "other",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             MemPhase::Build => 0,
@@ -66,29 +97,35 @@ impl MemPhase {
     }
 }
 
-struct PhaseCounters {
-    read: AtomicU64,
-    write: AtomicU64,
+/// Registry-backed counter handles, resolved once per process.
+struct Handles {
+    phases: Vec<(Arc<Counter>, Arc<Counter>)>, // (read, write) by phase index
+    degradations: Arc<Counter>,
+    source_rows: Arc<Counter>,
 }
 
-impl PhaseCounters {
-    const fn new() -> PhaseCounters {
-        PhaseCounters {
-            read: AtomicU64::new(0),
-            write: AtomicU64::new(0),
+static HANDLES: OnceLock<Handles> = OnceLock::new();
+
+fn handles() -> &'static Handles {
+    HANDLES.get_or_init(|| {
+        let reg = registry::global();
+        Handles {
+            phases: MemPhase::ALL
+                .iter()
+                .map(|p| {
+                    (
+                        reg.counter(&format!("mem.{}.read_bytes", p.slug())),
+                        reg.counter(&format!("mem.{}.write_bytes", p.slug())),
+                    )
+                })
+                .collect(),
+            degradations: reg.counter("exec.degradations"),
+            source_rows: reg.counter("exec.source_rows"),
         }
-    }
+    })
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static COUNTERS: [PhaseCounters; 6] = [
-    PhaseCounters::new(),
-    PhaseCounters::new(),
-    PhaseCounters::new(),
-    PhaseCounters::new(),
-    PhaseCounters::new(),
-    PhaseCounters::new(),
-];
 
 /// One entry of the phase-transition timeline.
 #[derive(Debug, Clone)]
@@ -119,25 +156,36 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Zero all counters and restart the timeline clock.
+/// Zero the byte counters and degradation count and restart the timeline
+/// clock. Source rows and unrelated registry metrics are untouched (see
+/// [`reset_all`]).
 pub fn reset() {
-    for c in &COUNTERS {
-        c.read.store(0, Ordering::Relaxed);
-        c.write.store(0, Ordering::Relaxed);
+    let h = handles();
+    for (r, w) in &h.phases {
+        r.reset();
+        w.reset();
     }
-    DEGRADATIONS.store(0, Ordering::Relaxed);
+    h.degradations.reset();
     let mut t = TIMELINE.lock().unwrap();
     t.origin = Some(Instant::now());
     t.events.clear();
+}
+
+/// Full reset for test isolation: [`reset`] plus the source-row counter and
+/// *every* other metric in the global registry (scheduler histograms
+/// included). Tests sharing a process — in particular the single-threaded
+/// CI job, where test order is deterministic and bleed is reproducible —
+/// call this instead of [`reset`] so no counter carries over between tests.
+pub fn reset_all() {
+    registry::global().reset_all();
+    reset();
 }
 
 /// Record `bytes` read during `phase`. No-op when accounting is off.
 #[inline]
 pub fn record_read(phase: MemPhase, bytes: u64) {
     if enabled() {
-        COUNTERS[phase.index()]
-            .read
-            .fetch_add(bytes, Ordering::Relaxed);
+        handles().phases[phase.index()].0.add(bytes);
     }
 }
 
@@ -145,9 +193,7 @@ pub fn record_read(phase: MemPhase, bytes: u64) {
 #[inline]
 pub fn record_write(phase: MemPhase, bytes: u64) {
     if enabled() {
-        COUNTERS[phase.index()]
-            .write
-            .fetch_add(bytes, Ordering::Relaxed);
+        handles().phases[phase.index()].1.add(bytes);
     }
 }
 
@@ -162,17 +208,15 @@ pub fn mark_phase(phase: MemPhase) {
     t.events.push(TimelineEvent { phase, at_secs });
 }
 
-/// Per-phase read/write byte totals since the last [`reset`].
+/// Per-phase read/write byte totals since the last [`reset`]. Exact only
+/// post-drain (see the module-level ordering contract).
 pub fn snapshot() -> Vec<(MemPhase, u64, u64)> {
+    let h = handles();
     MemPhase::ALL
         .iter()
         .map(|&p| {
-            let c = &COUNTERS[p.index()];
-            (
-                p,
-                c.read.load(Ordering::Relaxed),
-                c.write.load(Ordering::Relaxed),
-            )
+            let (r, w) = &h.phases[p.index()];
+            (p, r.get(), w.get())
         })
         .collect()
 }
@@ -182,37 +226,34 @@ pub fn timeline() -> Vec<TimelineEvent> {
     TIMELINE.lock().unwrap().events.clone()
 }
 
-/// Number of joins that abandoned radix partitioning and re-ran as BHJ
-/// because the partition phase blew the query's memory budget. Always
-/// counted (not gated on [`enabled`]) so the harness can report degradation
-/// frequency without turning on byte accounting.
-static DEGRADATIONS: AtomicU64 = AtomicU64::new(0);
-
-/// Record one RJ→BHJ degradation event.
+/// Record one RJ→BHJ degradation event. Always counted (not gated on
+/// [`enabled`]) so the harness can report degradation frequency without
+/// turning on byte accounting.
 #[inline]
 pub fn record_degradation() {
-    DEGRADATIONS.fetch_add(1, Ordering::Relaxed);
+    handles().degradations.inc();
 }
 
-/// Degradations recorded since the last [`reset`].
+/// Degradations recorded since the last [`reset`]. Exact only after the
+/// degrading query has returned (see the module-level ordering contract);
+/// in practice degradations are recorded on the coordinating thread during
+/// plan compilation, so any read from that same thread is already exact.
 pub fn degradations() -> u64 {
-    DEGRADATIONS.load(Ordering::Relaxed)
+    handles().degradations.get()
 }
 
-/// Rows scanned at pipeline sources (the paper's throughput denominator,
-/// footnote 5: "the sum of all tuples counted at the pipeline sources").
-/// Always counted — a single relaxed atomic add per morsel.
-static SOURCE_ROWS: AtomicU64 = AtomicU64::new(0);
-
-/// Count `rows` scanned by a pipeline source.
+/// Count `rows` scanned by a pipeline source (the paper's throughput
+/// denominator, footnote 5: "the sum of all tuples counted at the pipeline
+/// sources"). Always counted — a single relaxed atomic add per morsel.
 #[inline]
 pub fn add_source_rows(rows: u64) {
-    SOURCE_ROWS.fetch_add(rows, Ordering::Relaxed);
+    handles().source_rows.add(rows);
 }
 
-/// Read and reset the source-row counter.
+/// Read and reset the source-row counter. Exact only post-drain (see the
+/// module-level ordering contract).
 pub fn take_source_rows() -> u64 {
-    SOURCE_ROWS.swap(0, Ordering::Relaxed)
+    handles().source_rows.take()
 }
 
 #[cfg(test)]
@@ -224,7 +265,7 @@ mod tests {
     #[test]
     fn lifecycle_record_snapshot_reset() {
         set_enabled(true);
-        reset();
+        reset_all();
         record_read(MemPhase::Build, 100);
         record_write(MemPhase::Build, 50);
         record_write(MemPhase::PartitionPass1, 7);
@@ -245,6 +286,11 @@ mod tests {
         assert!(tl[0].at_secs <= tl[1].at_secs);
         assert_eq!(tl[0].phase, MemPhase::Build);
 
+        // The registry sees the same counters under their flat names.
+        let reg = crate::registry::global();
+        assert_eq!(reg.counter("mem.build.read_bytes").get(), 100);
+        assert_eq!(reg.counter("mem.partition_pass1.write_bytes").get(), 7);
+
         // Disabled recording is a no-op.
         set_enabled(false);
         record_read(MemPhase::Build, 999);
@@ -260,6 +306,20 @@ mod tests {
         let snap3 = snapshot();
         assert!(snap3.iter().all(|(_, r, w)| *r == 0 && *w == 0));
         assert!(timeline().is_empty());
+
+        // reset_all additionally clears source rows (reset does not).
+        // Parallel tests may scan concurrently, so compare against a large
+        // sentinel instead of exact values.
+        const SENTINEL: u64 = 1 << 40;
+        add_source_rows(SENTINEL);
+        reset();
+        assert!(take_source_rows() >= SENTINEL, "reset leaves source rows");
+        add_source_rows(SENTINEL);
+        reset_all();
+        assert!(
+            take_source_rows() < SENTINEL,
+            "reset_all clears source rows"
+        );
         set_enabled(false);
     }
 
@@ -274,6 +334,19 @@ mod tests {
             "join",
         ] {
             assert!(names.contains(&expected), "missing phase {expected}");
+        }
+    }
+
+    #[test]
+    fn slugs_are_registry_safe() {
+        for p in MemPhase::ALL {
+            assert!(
+                p.slug()
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "slug {:?} has unsafe chars",
+                p.slug()
+            );
         }
     }
 }

@@ -24,9 +24,12 @@ use crate::context::QueryContext;
 use crate::error::{ExecError, ExecResult};
 use crate::pipeline::{LocalState, Operator, Sink, Source};
 use crate::profile::{PipelineObs, WorkerProf};
+use crate::registry::Histogram;
+use crate::trace::{self, SpanKind, TraceSpan};
+use std::borrow::Cow;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// A pipeline executor with a fixed worker count.
@@ -122,6 +125,12 @@ impl Executor {
         sink: &dyn Sink,
         obs: Option<&PipelineObs>,
     ) -> ExecResult {
+        // Twin-path dispatch, same discipline as the profiler: one relaxed
+        // load, then either the traced twin or the original body — the
+        // untraced hot path below is unchanged code.
+        if trace::enabled() {
+            return self.run_pipeline_traced(ctx, source, ops, sink, obs);
+        }
         let next_task = AtomicUsize::new(0);
         let task_count = source.task_count();
         let failure = Failure::new();
@@ -156,6 +165,239 @@ impl Executor {
                 Ok(())
             }
         }
+    }
+
+    /// Traced twin of [`Executor::run_pipeline_obs`]: registers the
+    /// pipeline with the global tracer, gives every worker a stable track
+    /// index, records per-morsel spans and scheduler histograms, and closes
+    /// the pipeline span (synthesizing idle intervals) after the join.
+    /// Handles the profiled case too, so tracing and `EXPLAIN ANALYZE`
+    /// compose.
+    fn run_pipeline_traced(
+        &self,
+        ctx: &Arc<QueryContext>,
+        source: &dyn Source,
+        ops: &[Arc<dyn Operator>],
+        sink: &dyn Sink,
+        obs: Option<&PipelineObs>,
+    ) -> ExecResult {
+        let next_task = AtomicUsize::new(0);
+        let task_count = source.task_count();
+        let failure = Failure::new();
+        let started = obs.map(|_| Instant::now());
+
+        let (pipe, _pipe_start) = trace::pipeline_begin();
+        let inline = self.threads == 1 || task_count <= 1;
+        if inline {
+            run_worker_traced(
+                ctx, source, ops, sink, &next_task, task_count, &failure, obs, pipe, 0,
+            );
+        } else {
+            std::thread::scope(|scope| {
+                let next_task = &next_task;
+                let failure = &failure;
+                for w in 0..self.threads {
+                    scope.spawn(move || {
+                        run_worker_traced(
+                            ctx, source, ops, sink, next_task, task_count, failure, obs, pipe,
+                            w as u32,
+                        )
+                    });
+                }
+            });
+        }
+        let workers = if inline { 1 } else { self.threads as u64 };
+        trace::pipeline_end(pipe, trace::now_ns(), workers as u32);
+
+        if let (Some(obs), Some(t0)) = (obs, started) {
+            obs.record_run(t0.elapsed().as_nanos() as u64, workers);
+        }
+
+        match failure.take() {
+            Some(err) => Err(err),
+            None => {
+                sink.finish();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Scheduler histograms recorded only on the traced path (so the untraced
+/// scheduler never touches them): morsel latency, queue depth at claim
+/// time, and source batch fill.
+struct SchedHists {
+    morsel_ns: Arc<Histogram>,
+    queue_depth: Arc<Histogram>,
+    batch_rows: Arc<Histogram>,
+}
+
+static SCHED_HISTS: OnceLock<SchedHists> = OnceLock::new();
+
+fn sched_hists() -> &'static SchedHists {
+    SCHED_HISTS.get_or_init(|| {
+        let reg = crate::registry::global();
+        SchedHists {
+            morsel_ns: reg.histogram("sched.morsel_ns"),
+            queue_depth: reg.histogram("sched.queue_depth"),
+            batch_rows: reg.histogram("sched.batch_rows"),
+        }
+    })
+}
+
+/// Traced twin of [`run_worker`]: same panic isolation and flush-on-error
+/// behavior, plus span buffering. The span buffer is flushed into the
+/// global collector exactly once, when this worker drains (the epoch
+/// flush) — errors included, so a failed query still yields a timeline.
+#[allow(clippy::too_many_arguments)]
+fn run_worker_traced(
+    ctx: &QueryContext,
+    source: &dyn Source,
+    ops: &[Arc<dyn Operator>],
+    sink: &dyn Sink,
+    next_task: &AtomicUsize,
+    task_count: usize,
+    failure: &Failure,
+    obs: Option<&PipelineObs>,
+    pipe: u32,
+    track: u32,
+) {
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut spans = trace::take_worker_buffer();
+        let mut prof = obs.map(|_| WorkerProf::new(ops.len()));
+        let result = worker_body_traced(
+            ctx,
+            source,
+            ops,
+            sink,
+            next_task,
+            task_count,
+            failure,
+            prof.as_mut(),
+            &mut spans,
+            pipe,
+            track,
+        );
+        if let (Some(p), Some(obs)) = (&prof, obs) {
+            p.flush(obs);
+        }
+        trace::flush_worker(pipe, track, spans, trace::now_ns());
+        result
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(err)) => failure.set(err),
+        Err(payload) => failure.set(ExecError::WorkerPanic {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Traced twin of [`worker_body`] / [`worker_body_prof`]: identical control
+/// flow, plus one [`TraceSpan`] per morsel (pushed to the worker-local
+/// buffer — no locks) and histogram samples. Profiling accounting is
+/// folded in behind `prof` so the traced path serves both modes.
+#[allow(clippy::too_many_arguments)]
+fn worker_body_traced(
+    ctx: &QueryContext,
+    source: &dyn Source,
+    ops: &[Arc<dyn Operator>],
+    sink: &dyn Sink,
+    next_task: &AtomicUsize,
+    task_count: usize,
+    failure: &Failure,
+    mut prof: Option<&mut WorkerProf>,
+    spans: &mut Vec<TraceSpan>,
+    pipe: u32,
+    track: u32,
+) -> ExecResult {
+    let hists = sched_hists();
+    let mut op_locals: Vec<LocalState> = ops.iter().map(|o| o.create_local()).collect();
+    let mut sink_local = sink.create_local();
+
+    loop {
+        if failure.raised() {
+            return Ok(());
+        }
+        ctx.check()?;
+        let task = next_task.fetch_add(1, Ordering::Relaxed);
+        if task >= task_count {
+            break;
+        }
+        hists
+            .queue_depth
+            .record(task_count.saturating_sub(task + 1) as u64);
+        let mut chain_err: Option<ExecError> = None;
+        let mut rows = 0u64;
+        let t0 = trace::now_ns();
+        let polled = source.poll_task(task, &mut |batch| {
+            if chain_err.is_none() {
+                let n = batch.num_rows() as u64;
+                rows += n;
+                hists.batch_rows.record(n);
+                let fed = match prof.as_deref_mut() {
+                    Some(p) => {
+                        p.src_batches += 1;
+                        p.src_rows += n;
+                        feed_chain_prof(ops, &mut op_locals, sink, &mut sink_local, batch, 0, p)
+                    }
+                    None => feed_chain(ops, &mut op_locals, sink, &mut sink_local, batch, 0),
+                };
+                if let Err(e) = fed {
+                    chain_err = Some(e);
+                }
+            }
+        });
+        let dur = trace::now_ns().saturating_sub(t0);
+        hists.morsel_ns.record(dur);
+        spans.push(TraceSpan {
+            name: Cow::Borrowed("morsel"),
+            kind: SpanKind::Morsel,
+            track,
+            pipeline: pipe,
+            start_ns: t0,
+            dur_ns: dur,
+            arg: rows,
+        });
+        if let Some(p) = prof.as_deref_mut() {
+            p.morsels += 1;
+            p.src_busy_ns += dur;
+        }
+        if let Some(e) = chain_err {
+            return Err(e);
+        }
+        polled?;
+    }
+
+    for i in 0..ops.len() {
+        if failure.raised() {
+            return Ok(());
+        }
+        let mut pending: Vec<Batch> = Vec::new();
+        let flush_start = Instant::now();
+        ops[i].flush(&mut op_locals[i], &mut |b| pending.push(b))?;
+        if let Some(p) = prof.as_deref_mut() {
+            p.ops[i].busy_ns += flush_start.elapsed().as_nanos() as u64;
+        }
+        for b in pending {
+            if let Some(p) = prof.as_deref_mut() {
+                p.ops[i].batches += 1;
+                p.ops[i].rows_out += b.num_rows() as u64;
+                feed_chain_prof(ops, &mut op_locals, sink, &mut sink_local, b, i + 1, p)?;
+            } else {
+                feed_chain(ops, &mut op_locals, sink, &mut sink_local, b, i + 1)?;
+            }
+        }
+    }
+
+    match prof {
+        Some(p) => {
+            let finish_start = Instant::now();
+            let finished = sink.finish_local(sink_local);
+            p.sink_busy_ns += finish_start.elapsed().as_nanos() as u64;
+            finished
+        }
+        None => sink.finish_local(sink_local),
     }
 }
 
@@ -680,6 +922,55 @@ mod tests {
         assert!(matches!(err, ExecError::Operator { .. }));
         // Task 0 triggers the failure, but its source emission was counted.
         assert!(obs.source.rows_out() >= 2);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_spans() {
+        // The tracer is process-global; keep all traced-scheduler checks in
+        // one test and serialize with the tracer's own lifecycle test.
+        let _serial = trace::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(trace::begin("sched-test"), "no other trace may be active");
+        let sink = SumSink::default();
+        let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(DupOp)];
+        let obs = PipelineObs::new(ops.len());
+        trace::label_next_pipeline("test pipeline");
+        Executor::new(4)
+            .run_pipeline_obs(&ctx(), &NumberSource { tasks: 20 }, &ops, &sink, Some(&obs))
+            .unwrap();
+        let t = trace::end().expect("trace recorded");
+
+        // Same result and same profile counts as the untraced path.
+        assert_eq!(*sink.total.lock(), 2 * expected_sum(20));
+        assert_eq!(obs.source.morsels(), 20);
+        assert_eq!(obs.ops[0].rows_in(), 40);
+        assert_eq!(obs.sink.rows_in(), 80);
+
+        // One morsel span per task, rows attributed, pipeline labeled.
+        let morsels: Vec<_> = t
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Morsel)
+            .collect();
+        assert_eq!(morsels.len(), 20);
+        assert_eq!(morsels.iter().map(|s| s.arg).sum::<u64>(), 40);
+        assert_eq!(t.pipelines.len(), 1);
+        assert_eq!(t.pipelines[0].label, "test pipeline");
+        assert_eq!(t.pipelines[0].workers, 4);
+        t.validate().expect("trace invariants");
+
+        // Errors still flush the partial timeline at drain.
+        assert!(trace::begin("sched-err"));
+        let bad: Vec<Arc<dyn Operator>> = vec![Arc::new(FailOnValueOp { trigger: 200 })];
+        let sink = SumSink::default();
+        Executor::new(4)
+            .run_pipeline(&ctx(), &NumberSource { tasks: 40 }, &bad, &sink)
+            .unwrap_err();
+        let t = trace::end().unwrap();
+        assert!(
+            t.spans.iter().any(|s| s.kind == SpanKind::Morsel),
+            "failed run still produced morsel spans"
+        );
+        t.validate().expect("trace invariants after failure");
     }
 
     #[test]

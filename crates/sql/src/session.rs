@@ -7,6 +7,7 @@ use joinstudy_core::{Engine, JoinAlgo};
 use joinstudy_exec::context::QueryContext;
 use joinstudy_exec::error::ExecError;
 use joinstudy_exec::profile::QueryProfile;
+use joinstudy_exec::trace::QueryTrace;
 use joinstudy_storage::table::{Field, Schema, Table, TableBuilder};
 use joinstudy_storage::types::{DataType, Decimal, Value};
 use std::collections::HashMap;
@@ -160,8 +161,24 @@ impl Session {
 
     /// The profile of the most recent profiled statement, if any. Draining:
     /// a second call returns `None` until another profiled statement runs.
+    /// After a failed profiled statement this yields the *partial* profile
+    /// of the pipelines that completed before the error.
     pub fn take_profile(&self) -> Option<QueryProfile> {
         self.engine.take_profile()
+    }
+
+    /// Enable or disable worker-timeline tracing for subsequent statements.
+    /// While enabled, every executed SELECT records a [`QueryTrace`]
+    /// retrievable with [`Session::take_trace`] and exportable as
+    /// Chrome/Perfetto `trace_event` JSON.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.engine.ctx.set_tracing(on);
+    }
+
+    /// The worker-timeline trace of the most recent traced statement, if
+    /// any. Draining, like [`Session::take_profile`].
+    pub fn take_trace(&self) -> Option<QueryTrace> {
+        self.engine.take_trace()
     }
 
     /// Register an existing table (e.g. a generated TPC-H relation).

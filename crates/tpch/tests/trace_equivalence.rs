@@ -1,0 +1,134 @@
+//! TPC-H Q3 smoke test for the worker-timeline tracer: every join
+//! implementation must return identical results with tracing on or off,
+//! every recorded trace must satisfy the structural invariants (spans
+//! nest, fit in the wall clock, busy + idle <= wall per worker), and the
+//! traces must tell the paper's story — the RJ/BRJ timelines contain the
+//! radix partition phases and partition-barrier idle spans that the
+//! non-partitioned BHJ timeline does not have.
+
+use joinstudy_core::{Engine, JoinAlgo};
+use joinstudy_exec::trace::{QueryTrace, SpanKind};
+use joinstudy_storage::table::Table;
+use joinstudy_tpch::queries::{all_queries, QueryConfig, TpchQuery};
+use joinstudy_tpch::{generate, TpchData};
+use std::sync::{Mutex, OnceLock};
+
+/// The tracer is process-global (one trace at a time), so tests that
+/// enable it serialize here.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn data() -> &'static TpchData {
+    static DATA: OnceLock<TpchData> = OnceLock::new();
+    DATA.get_or_init(|| generate(0.01, 20260706))
+}
+
+fn q3() -> TpchQuery {
+    all_queries()
+        .into_iter()
+        .find(|q| q.id == 3)
+        .expect("Q3 is registered")
+}
+
+/// Canonical form: the multiset of row renderings, sorted.
+fn canonical(t: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = (0..t.num_rows())
+        .map(|r| {
+            t.row(r)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn run_traced(engine: &Engine, algo: JoinAlgo) -> (Vec<String>, QueryTrace) {
+    engine.ctx.set_tracing(true);
+    let result = (q3().run)(data(), &QueryConfig::new(algo), engine);
+    engine.ctx.set_tracing(false);
+    let trace = engine
+        .take_trace()
+        .unwrap_or_else(|| panic!("no trace recorded under {algo:?}"));
+    (canonical(&result), trace)
+}
+
+#[test]
+fn q3_results_identical_with_tracing_on_and_off() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Engine::new(4);
+    let mut reference: Option<Vec<String>> = None;
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+        let untraced = canonical(&(q3().run)(data(), &QueryConfig::new(algo), &engine));
+        assert!(
+            engine.take_trace().is_none(),
+            "{algo:?} recorded a trace with tracing off"
+        );
+        let (traced, trace) = run_traced(&engine, algo);
+        assert_eq!(traced, untraced, "{algo:?} result changed under tracing");
+        match &reference {
+            None => reference = Some(untraced),
+            Some(r) => assert_eq!(&traced, r, "{algo:?} result differs from BHJ"),
+        }
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("{algo:?} trace invalid: {e}"));
+        assert!(
+            trace.spans.iter().any(|s| s.kind == SpanKind::Morsel),
+            "{algo:?} trace has no morsel spans"
+        );
+        assert!(
+            !trace.pipelines.is_empty(),
+            "{algo:?} trace has no pipelines"
+        );
+    }
+}
+
+#[test]
+fn rj_trace_shows_partition_work_absent_from_bhj() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Engine::new(4);
+    let (_, bhj) = run_traced(&engine, JoinAlgo::Bhj);
+    let (_, rj) = run_traced(&engine, JoinAlgo::Rj);
+    let (_, brj) = run_traced(&engine, JoinAlgo::Brj);
+
+    let has = |t: &QueryTrace, needle: &str| t.spans.iter().any(|s| s.name.contains(needle));
+
+    // The partitioned joins do radix work the non-partitioned join never
+    // does: histogram scans, scatter passes, and workers parked at the
+    // partition barrier (idle spans of the partition pipelines).
+    for (tag, t) in [("RJ", &rj), ("BRJ", &brj)] {
+        assert!(
+            has(t, "radix histogram scan"),
+            "{tag} trace lacks histogram-scan phase spans"
+        );
+        assert!(
+            has(t, "radix partition pass 2"),
+            "{tag} trace lacks scatter phase spans"
+        );
+        assert!(
+            t.spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Idle && s.name.contains("partition")),
+            "{tag} trace lacks partition-pipeline idle spans"
+        );
+    }
+    assert!(has(&brj, "bloom build"), "BRJ trace lacks bloom-build span");
+    for needle in ["radix", "partition", "bloom"] {
+        assert!(
+            !bhj.spans
+                .iter()
+                .any(|s| s.name.to_ascii_lowercase().contains(needle)),
+            "BHJ trace unexpectedly mentions {needle:?}"
+        );
+    }
+    assert!(has(&bhj, "BHJ build finalize"), "BHJ finalize span missing");
+
+    // The Chrome export carries per-worker tracks for each trace.
+    for t in [&bhj, &rj, &brj] {
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"thread_name\""));
+    }
+}
