@@ -24,6 +24,8 @@
 use joinstudy_bench::harness::{banner, Args};
 use joinstudy_bench::regress::{compare, Baseline, BaselineEntry};
 use joinstudy_core::JoinAlgo;
+use joinstudy_exec::metrics::MemPhase;
+use joinstudy_exec::pmu::{self, CounterKind};
 use joinstudy_exec::{metrics, registry};
 use joinstudy_tpch::queries::{all_queries, QueryConfig};
 use std::collections::BTreeMap;
@@ -56,6 +58,11 @@ fn main() {
         .expect("Q3 is registered");
     let engine = joinstudy_bench::workloads::engine(THREADS, false);
     engine.ctx.set_tracing(with_trace);
+    // Hardware counters ride along informationally: where the PMU is
+    // unavailable every pmu.* metric reads 0 and the gate is unaffected
+    // (they are recorded with `tol: null`).
+    engine.ctx.set_counters(true);
+    pmu::set_enabled(true);
 
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
@@ -72,11 +79,40 @@ fn main() {
         let t0 = Instant::now();
         let result = (query.run)(&data, &cfg, &engine);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Flush the control thread's tail counter delta into a phase so
+        // per-algo pmu totals are complete before the snapshot.
+        metrics::mark_phase(MemPhase::Other);
 
         let prefix = format!("q{QUERY_ID:02}.{tag}");
         current.insert(format!("{prefix}.rows"), result.num_rows() as f64);
         current.insert(format!("{prefix}.wall_ms"), wall_ms);
         informational.push(format!("{prefix}.wall_ms"));
+        // Hardware-counter totals, emitted *unconditionally* (0 where the
+        // PMU is unavailable): a baseline metric missing from a run is a
+        // gate failure, so these must exist on every host.
+        for kind in [
+            CounterKind::Cycles,
+            CounterKind::LlcMisses,
+            CounterKind::DtlbMisses,
+        ] {
+            let total: u64 = MemPhase::ALL
+                .iter()
+                .map(|p| {
+                    registry::global()
+                        .counter(&format!("pmu.{}.{}", p.slug(), kind.slug()))
+                        .get()
+                })
+                .sum();
+            let name = format!("{prefix}.pmu.{}", kind.slug());
+            current.insert(name.clone(), total as f64);
+            informational.push(name);
+        }
+        let samples = format!("{prefix}.pmu.worker_samples");
+        current.insert(
+            samples.clone(),
+            registry::global().counter("pmu.worker_samples").get() as f64,
+        );
+        informational.push(samples);
         for (name, value) in registry::global().snapshot() {
             // Byte counters and degradations are gate-worthy; scheduler
             // histograms only populate on the traced path and stay out of
@@ -102,6 +138,7 @@ fn main() {
         );
     }
     metrics::set_enabled(false);
+    pmu::set_enabled(false);
 
     let workload: BTreeMap<String, f64> = [
         ("sf".to_string(), SF),

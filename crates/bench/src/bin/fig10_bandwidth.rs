@@ -1,20 +1,26 @@
 //! Figure 10 — memory traffic of the radix join's phases for 24 B-wide
 //! tuples (§5.2.3).
 //!
-//! SUBSTITUTION (DESIGN.md §1): the paper samples hardware counters with
-//! Intel PCM. We account bytes in software at every materializing
+//! The paper samples hardware counters with Intel PCM. The portable
+//! default here accounts bytes in software at every materializing
 //! primitive, attributed to the same phases as the paper's plot (build /
-//! partition pass 1 / scan / partition pass 2 / join), and combine them
-//! with the recorded phase-transition timeline. Per-phase volumes are
-//! exact; rates are averages per phase rather than 100 ms samples.
+//! partition pass 1 / scan / partition pass 2 / join), and combines them
+//! with the recorded phase-transition timeline: per-phase volumes are
+//! exact; rates are averages per phase rather than 100 ms samples. With
+//! `--hw` the run *additionally* samples real PMU counters per phase via
+//! [`joinstudy_exec::pmu`] (`perf_event_open`) — cycles, LLC misses and
+//! dTLB misses next to the software byte counts — degrading to a note
+//! when the syscall is unavailable (see DESIGN.md §9).
 //!
 //! `cargo run --release -p joinstudy-bench --bin fig10_bandwidth --
-//!  [--build N] [--probe N] [--threads T]`
+//!  [--build N] [--probe N] [--threads T] [--hw]`
 
-use joinstudy_bench::harness::{banner, fmt_bytes, Args, Csv};
+use joinstudy_bench::harness::{banner, fmt_bytes, fmt_si, Args, Csv};
 use joinstudy_bench::workloads::{engine, sum_plan, tables, ProbeKeys};
 use joinstudy_core::JoinAlgo;
-use joinstudy_exec::metrics;
+use joinstudy_exec::metrics::{self, MemPhase};
+use joinstudy_exec::pmu::{self, CounterKind};
+use joinstudy_exec::registry;
 use joinstudy_storage::types::DataType;
 use std::time::Instant;
 
@@ -25,12 +31,18 @@ fn main() {
     let build_n = args.usize("build", 64 * 1024);
     let probe_n = args.usize("probe", 30 * build_n);
     let threads = args.threads();
+    let hw = args.flag("hw");
 
     banner(
         "Figure 10: memory bandwidth per radix-join phase (24 B tuples)",
         &format!(
             "{build_n} build ⋈ {probe_n} probe, sum(p1) query, {threads} thread(s); \
-             software byte accounting replaces PCM (DESIGN.md §1)"
+             software byte accounting{} (DESIGN.md §1, §9)",
+            if hw {
+                " + hardware counters (--hw)"
+            } else {
+                "; pass --hw for measured PMU counters"
+            }
         ),
     );
 
@@ -48,12 +60,29 @@ fn main() {
     // Warm-up run (paper: "we warmed up the system").
     e.run(&plan);
 
+    if hw {
+        if pmu::probe() {
+            pmu::set_enabled(true);
+        } else {
+            println!(
+                "--hw requested but perf_event_open is unavailable \
+                 (perf_event_paranoid {}); falling back to software \
+                 accounting only",
+                pmu::paranoid_level()
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "unknown".into())
+            );
+        }
+    }
+    metrics::reset_all();
     metrics::set_enabled(true);
-    metrics::reset();
     let start = Instant::now();
     let result = e.run(&plan);
     let total_secs = start.elapsed().as_secs_f64();
+    // Flush the control thread's tail counter delta into the final phase.
+    metrics::mark_phase(MemPhase::Other);
     metrics::set_enabled(false);
+    pmu::set_enabled(false);
     std::hint::black_box(result);
 
     let snapshot = metrics::snapshot();
@@ -106,6 +135,47 @@ fn main() {
             format!("{rgb:.3}"),
             format!("{wgb:.3}"),
         ]);
+    }
+
+    // Measured counters per phase (the paper's actual methodology), next
+    // to the software accounting above.
+    if hw && pmu::probe() {
+        let reg = registry::global();
+        println!(
+            "\n{:<18} {:>12} {:>12} {:>12} {:>12}",
+            "phase (hw)", "cycles", "instr", "llc_miss", "dtlb_miss"
+        );
+        let mut hw_csv = Csv::create(
+            "fig10_bandwidth_hw",
+            "phase,cycles,instructions,llc_misses,dtlb_misses",
+        );
+        for phase in MemPhase::ALL {
+            let get = |k: CounterKind| {
+                reg.counter(&format!("pmu.{}.{}", phase.slug(), k.slug()))
+                    .get()
+            };
+            let (cyc, ins) = (get(CounterKind::Cycles), get(CounterKind::Instructions));
+            let (llc, tlb) = (get(CounterKind::LlcMisses), get(CounterKind::DtlbMisses));
+            if cyc == 0 && ins == 0 && llc == 0 && tlb == 0 {
+                continue;
+            }
+            println!(
+                "{:<18} {:>12} {:>12} {:>12} {:>12}",
+                phase.name(),
+                fmt_si(cyc as f64),
+                fmt_si(ins as f64),
+                fmt_si(llc as f64),
+                fmt_si(tlb as f64)
+            );
+            hw_csv.row(&[
+                phase.slug().to_string(),
+                cyc.to_string(),
+                ins.to_string(),
+                llc.to_string(),
+                tlb.to_string(),
+            ]);
+        }
+        println!("hw CSV: {}", hw_csv.path().display());
     }
 
     println!("\nPhase timeline:");

@@ -16,6 +16,9 @@
 //! completed is printed under a `-- partial profile --` header),
 //! `.trace on|off` records a per-worker timeline for every statement and
 //! writes it as Chrome/Perfetto `trace_event` JSON under `results/`,
+//! `.counters on|off` samples hardware PMU counters (cycles, LLC/dTLB
+//! misses) per worker where `perf_event_open` is permitted — EXPLAIN
+//! ANALYZE then shows per-join counter deltas and misses/tuple,
 //! `.tables` lists relations, `.timing on|off` toggles wall-clock
 //! reporting, `.timeout <ms>|off` sets a per-statement deadline,
 //! `.budget <mb>|off` caps per-statement materialization memory (joins
@@ -205,10 +208,36 @@ fn main() {
                     }
                     _ => println!("usage: .trace on|off"),
                 },
+                ".counters" => match parts.next().map(str::trim) {
+                    Some("on") => {
+                        session.set_counters(true);
+                        if joinstudy_exec::pmu::probe() {
+                            println!(
+                                "hardware counters on (cycles/cache/TLB deltas in \
+                                 EXPLAIN ANALYZE, profiles, and traces)"
+                            );
+                        } else {
+                            println!(
+                                "hardware counters on, but the PMU is unavailable here \
+                                 (perf_event_paranoid {}); results are unaffected and \
+                                 no counter data will appear",
+                                joinstudy_exec::pmu::paranoid_level()
+                                    .map(|l| l.to_string())
+                                    .unwrap_or_else(|| "unknown".into())
+                            );
+                        }
+                    }
+                    Some("off") => {
+                        session.set_counters(false);
+                        println!("hardware counters off");
+                    }
+                    _ => println!("usage: .counters on|off"),
+                },
                 other => {
                     println!(
                         "unknown command {other:?} \
-                         (.tables .algo .explain .profile .trace .timing .timeout .budget .quit)"
+                         (.tables .algo .explain .profile .trace .counters .timing .timeout \
+                          .budget .quit)"
                     )
                 }
             }

@@ -60,6 +60,27 @@ fn main() {
             "47.8",
             "59.9",
         ),
+        ("NUMA nodes", h.numa_nodes.to_string(), "1", "1", "2"),
+        (
+            "PMU counters",
+            if h.pmu_available {
+                "available".into()
+            } else {
+                "unavailable".into()
+            },
+            "yes",
+            "yes",
+            "yes",
+        ),
+        (
+            "perf_event_paranoid",
+            h.perf_event_paranoid
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "?".into()),
+            "-",
+            "-",
+            "-",
+        ),
     ];
     let mut csv = Csv::create("table2_hardware", "property,this_host");
     for (k, v, sk, ry, sb) in rows {

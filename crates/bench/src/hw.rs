@@ -16,6 +16,15 @@ pub struct Hardware {
     pub llc_kib: Option<usize>,
     /// Measured copy bandwidth in GiB/s (single-threaded memcpy stream).
     pub dram_gib_s: f64,
+    /// Whether `perf_event_open` hardware counters work from this process
+    /// (probed by actually opening a counter group, see [`joinstudy_exec::pmu`]).
+    pub pmu_available: bool,
+    /// Kernel `perf_event_paranoid` level, when readable. Levels above 2
+    /// forbid unprivileged per-thread counters on most distributions.
+    pub perf_event_paranoid: Option<i64>,
+    /// Number of NUMA nodes exposed in sysfs (1 when undetectable — the
+    /// paper's single-socket assumption).
+    pub numa_nodes: usize,
 }
 
 fn cpuinfo_field(content: &str, key: &str) -> Option<String> {
@@ -68,6 +77,25 @@ pub fn measure_copy_bandwidth() -> f64 {
     (2 * reps * BYTES) as f64 / secs / (1u64 << 30) as f64
 }
 
+/// Count NUMA nodes via `/sys/devices/system/node/node<N>` entries,
+/// defaulting to 1 where the hierarchy is absent (non-Linux, or kernels
+/// built without NUMA).
+fn numa_node_count() -> usize {
+    let Ok(entries) = std::fs::read_dir("/sys/devices/system/node") else {
+        return 1;
+    };
+    let n = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.strip_prefix("node")
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        })
+        .count();
+    n.max(1)
+}
+
 /// Detect the host.
 pub fn detect() -> Hardware {
     let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
@@ -116,6 +144,9 @@ pub fn detect() -> Hardware {
         l2_kib: l2,
         llc_kib: llc,
         dram_gib_s: measure_copy_bandwidth(),
+        pmu_available: joinstudy_exec::pmu::probe(),
+        perf_event_paranoid: joinstudy_exec::pmu::paranoid_level(),
+        numa_nodes: numa_node_count(),
     }
 }
 

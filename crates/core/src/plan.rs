@@ -685,6 +685,7 @@ impl Engine {
             }
             let out = pc.node("Output", vec![root]);
             pc.bind(out, &obs, Slot::Sink);
+            hw_details(&mut pc, out, "hw_", &obs);
             let profile = finish(&mut pc, out, t0, deg0, &self.ctx);
             Ok((sink.into_table(), profile))
         })
@@ -834,6 +835,7 @@ impl Engine {
                     let id = pc.node(label, child.into_iter().collect());
                     if let Some(obs) = &obs {
                         pc.bind(id, obs, Slot::Sink);
+                        hw_details(pc, id, "hw_", obs);
                     }
                     pc.detail(id, "groups", DetailValue::Int(result.num_rows() as i64));
                     // The rescan of the materialized groups feeds the next
@@ -871,6 +873,7 @@ impl Engine {
                     let id = pc.node(label, child.into_iter().collect());
                     if let Some(obs) = &obs {
                         pc.bind(id, obs, Slot::Sink);
+                        hw_details(pc, id, "hw_", obs);
                     }
                     pc.pend(id, Slot::Source);
                     id
@@ -1027,6 +1030,7 @@ impl Engine {
             let id = pc.node(label, bchild.into_iter().chain(pchild).collect());
             if let Some(obs) = &build_obs {
                 pc.bind(id, obs, Slot::Sink);
+                hw_details(pc, id, "hw_build_", obs);
             }
             pc.detail(id, "build_rows", DetailValue::Int(state.rows as i64));
             pc.detail(
@@ -1213,9 +1217,11 @@ impl Engine {
             let id = pc.node(label, bchild.into_iter().chain(pchild).collect());
             if let Some(obs) = &build_obs {
                 pc.bind(id, obs, Slot::Sink);
+                hw_details(pc, id, "hw_build_", obs);
             }
             if let Some(obs) = &probe_obs {
                 pc.bind(id, obs, Slot::Sink);
+                hw_details(pc, id, "hw_probe_", obs);
             }
             pc.detail(id, "bits1", DetailValue::Int(build_side.bits1() as i64));
             pc.detail(id, "bits2", DetailValue::Int(bits2 as i64));
@@ -1263,6 +1269,35 @@ fn fmt_col_names(schema: &Schema, cols: &[usize]) -> String {
         .map(|&c| schema.fields[c].name.clone())
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// Attach the hardware counter deltas sampled by a pipeline's workers to a
+/// trace node, one detail per counter kind (`<prefix><kind>`), plus an
+/// LLC-misses-per-tuple figure when the tuple count is known. A no-op when
+/// the PMU was unavailable or counters were off for this query (the slot's
+/// snapshot is `None`), so EXPLAIN ANALYZE output is byte-identical then.
+fn hw_details(pc: &mut ProfCtx, node: usize, prefix: &str, obs: &PipelineObs) {
+    use joinstudy_exec::pmu::CounterKind;
+    let Some(hw) = obs.hw.snapshot() else { return };
+    for kind in CounterKind::ALL {
+        if let Some(v) = hw.get(kind) {
+            pc.detail(
+                node,
+                &format!("{prefix}{}", kind.slug()),
+                DetailValue::Int(v as i64),
+            );
+        }
+    }
+    let tuples = obs.sink.rows_in().max(obs.source.rows_out());
+    if tuples > 0 {
+        if let Some(misses) = hw.get(CounterKind::LlcMisses) {
+            pc.detail(
+                node,
+                &format!("{prefix}llc_miss_per_tuple"),
+                DetailValue::Float(misses as f64 / tuples as f64),
+            );
+        }
+    }
 }
 
 /// Attach one radix-partitioned side's size distribution to a trace node:

@@ -46,6 +46,8 @@ pub struct QueryContext {
     profiling: AtomicBool,
     /// Whether the engine should record a worker-timeline trace.
     tracing: AtomicBool,
+    /// Whether workers should sample hardware PMU counters.
+    counters: AtomicBool,
 }
 
 impl Default for QueryContext {
@@ -60,6 +62,7 @@ impl Default for QueryContext {
             high_water: AtomicUsize::new(0),
             profiling: AtomicBool::new(false),
             tracing: AtomicBool::new(false),
+            counters: AtomicBool::new(false),
         }
     }
 }
@@ -134,6 +137,20 @@ impl QueryContext {
     /// Whether worker-timeline tracing is enabled.
     pub fn tracing(&self) -> bool {
         self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable hardware-counter sampling ([`crate::pmu`]) for
+    /// queries run under this context. Off by default; persists across
+    /// [`QueryContext::arm`] like the profiling and tracing flags. A no-op
+    /// where `perf_event_open` is unavailable (the degraded path reports
+    /// no counters but changes no results).
+    pub fn set_counters(&self, on: bool) {
+        self.counters.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether hardware-counter sampling is enabled.
+    pub fn counters(&self) -> bool {
+        self.counters.load(Ordering::Relaxed)
     }
 
     /// Re-arm the context for a fresh query: clears the cancel flag, the

@@ -20,9 +20,14 @@
 //!   machinery TPC-H queries need (arithmetic, dates, `LIKE`, `CASE`, ...).
 //! * **Relational operators** ([`ops`]): scans with predicate pushdown,
 //!   filters, projections, hash aggregation, sorting, late materialization.
-//! * **Byte-accounting instrumentation** ([`metrics`]): the software
-//!   substitute for PCM hardware counters used to regenerate Figure 10,
-//!   backed by the named-metric [`registry`].
+//! * **Byte-accounting instrumentation** ([`metrics`]): per-phase memory
+//!   traffic for Figure 10, backed by the named-metric [`registry`]. It is
+//!   the portable fallback for — and since PR 4 runs alongside — the real
+//!   hardware counters in [`pmu`].
+//! * **Hardware PMU counters** ([`pmu`]): raw `perf_event_open` counter
+//!   groups (cycles, instructions, LLC/dTLB loads+misses, branch misses)
+//!   sampled per worker and per phase, replacing the paper's Intel PCM;
+//!   degrades to a no-op where the syscall is denied.
 //! * **Per-operator profiling** ([`profile`]): opt-in per-pipeline
 //!   observation slots (morsels, tuples, busy time) aggregated at worker
 //!   drain — the data behind `EXPLAIN ANALYZE`.
@@ -40,6 +45,7 @@ pub mod expr;
 pub mod metrics;
 pub mod ops;
 pub mod pipeline;
+pub mod pmu;
 pub mod profile;
 pub mod registry;
 pub mod sched;
@@ -49,6 +55,7 @@ pub use batch::{Batch, BATCH_ROWS};
 pub use context::{BudgetLease, QueryContext};
 pub use error::{ExecError, ExecResult};
 pub use pipeline::{Operator, Sink, Source, StreamSpec};
+pub use pmu::{CounterGroup, CounterKind, CounterValues, HwSlot};
 pub use profile::{DetailValue, OpStats, PipelineObs, ProfileNode, QueryProfile, WorkerProf};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use sched::Executor;

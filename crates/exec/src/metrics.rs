@@ -1,5 +1,11 @@
-//! Byte-accounting instrumentation — the software substitute for the PCM
-//! hardware counters the paper uses for Figure 10.
+//! Byte-accounting instrumentation — the portable software fallback for
+//! the PCM hardware counters the paper uses for Figure 10. Since PR 4 the
+//! *measured* path exists too: [`crate::pmu`] samples real cycle/cache/TLB
+//! counters via `perf_event_open` (`fig10_bandwidth --hw`,
+//! `fig07_counters`), and [`mark_phase`] feeds it phase boundaries so both
+//! accountings attribute to the same [`MemPhase`] taxonomy. Byte
+//! accounting stays the default because it works everywhere — containers
+//! and locked-down hosts routinely deny `perf_event_open`.
 //!
 //! Every materializing primitive (partition scatter, page writes, hash-table
 //! build, scans) reports the bytes it read and wrote, attributed to a
@@ -85,7 +91,7 @@ impl MemPhase {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             MemPhase::Build => 0,
             MemPhase::PartitionPass1 => 1,
@@ -198,7 +204,12 @@ pub fn record_write(phase: MemPhase, bytes: u64) {
 }
 
 /// Record a phase transition for the Figure-10 timeline.
+///
+/// Also notifies [`crate::pmu`] *unconditionally* (one relaxed store when
+/// counter sampling is off) so hardware-counter deltas attribute to the
+/// same phase taxonomy as the byte accounting.
 pub fn mark_phase(phase: MemPhase) {
+    crate::pmu::phase_boundary(phase);
     if !enabled() {
         return;
     }

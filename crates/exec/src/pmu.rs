@@ -1,0 +1,868 @@
+//! Hardware PMU counters via raw `perf_event_open` — the measured
+//! counterpart to the software byte accounting in [`metrics`](crate::metrics).
+//!
+//! The paper explains its Table-4 partitioning regimes with hardware
+//! counters sampled by Intel PCM (LLC misses, TLB misses, cycles per
+//! phase). This module reproduces that evidence path with **zero new
+//! dependencies**: the `perf_event_open(2)` syscall, `ioctl(2)` and
+//! `read(2)` are declared directly via `extern "C"` against the libc that
+//! `std` already links.
+//!
+//! # Counter taxonomy
+//!
+//! One [`CounterGroup`] holds up to [`NUM_COUNTERS`] events
+//! ([`CounterKind`]): cycles (group leader), instructions, LLC
+//! loads/misses, dTLB loads/misses and branch misses. All siblings are
+//! attached to the leader so the kernel schedules them as one unit and a
+//! single `read` returns a consistent snapshot
+//! (`PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING`).
+//! When the PMU has fewer physical slots than requested events the kernel
+//! time-multiplexes the group; [`CounterGroup::read`] rescales each value
+//! by `time_enabled / time_running` (the standard estimate) and the raw
+//! ratio is preserved in [`CounterValues`] so callers can report
+//! multiplexing.
+//!
+//! # Graceful degradation
+//!
+//! `perf_event_open` is frequently unavailable: containers seccomp-filter
+//! it (ENOSYS), `/proc/sys/kernel/perf_event_paranoid >= 2` forbids
+//! unprivileged use (EACCES/EPERM), and non-Linux or non-{x86_64,aarch64}
+//! targets have no syscall number compiled in at all. Every entry point
+//! degrades to a no-op: [`CounterGroup::open`] returns a group with
+//! [`CounterGroup::available`]` == false`, reads return empty
+//! [`CounterValues`], and the per-phase/worker sampling hooks cost one
+//! relaxed atomic load when disabled. Setting `JOINSTUDY_NO_PMU=1` forces
+//! the unavailable path (used by CI to pin down the degraded behaviour).
+//!
+//! # Ordering contract
+//!
+//! Aggregation slots ([`HwSlot`], the `pmu.*` registry counters) use
+//! `Ordering::Relaxed`, same contract as [`metrics`](crate::metrics):
+//! reads are exact only after every sampling thread has been joined.
+//! Workers flush exactly once at drain inside `std::thread::scope`, so
+//! post-drain reads — profile snapshots, registry snapshots after
+//! `Engine::execute` returns — are exact.
+
+use crate::metrics::MemPhase;
+use crate::registry::{self, Counter};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of distinct hardware events a [`CounterGroup`] requests.
+pub const NUM_COUNTERS: usize = 7;
+
+/// The hardware events sampled per thread, in sibling-attach order
+/// ([`CounterKind::Cycles`] is the group leader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterKind {
+    /// CPU cycles (`PERF_COUNT_HW_CPU_CYCLES`) — the group leader.
+    Cycles,
+    /// Retired instructions (`PERF_COUNT_HW_INSTRUCTIONS`).
+    Instructions,
+    /// Last-level-cache load accesses (`PERF_COUNT_HW_CACHE_LL`, read).
+    LlcLoads,
+    /// Last-level-cache load misses — the paper's Figure 7 y-axis.
+    LlcMisses,
+    /// Data-TLB load accesses (`PERF_COUNT_HW_CACHE_DTLB`, read).
+    DtlbLoads,
+    /// Data-TLB load misses — what radix partitioning is meant to avoid.
+    DtlbMisses,
+    /// Mispredicted branches (`PERF_COUNT_HW_BRANCH_MISSES`).
+    BranchMisses,
+}
+
+impl CounterKind {
+    /// All kinds in sibling-attach order.
+    pub const ALL: [CounterKind; NUM_COUNTERS] = [
+        CounterKind::Cycles,
+        CounterKind::Instructions,
+        CounterKind::LlcLoads,
+        CounterKind::LlcMisses,
+        CounterKind::DtlbLoads,
+        CounterKind::DtlbMisses,
+        CounterKind::BranchMisses,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::Cycles => "cycles",
+            CounterKind::Instructions => "instructions",
+            CounterKind::LlcLoads => "LLC loads",
+            CounterKind::LlcMisses => "LLC misses",
+            CounterKind::DtlbLoads => "dTLB loads",
+            CounterKind::DtlbMisses => "dTLB misses",
+            CounterKind::BranchMisses => "branch misses",
+        }
+    }
+
+    /// Registry-name segment (no spaces, stable).
+    pub fn slug(self) -> &'static str {
+        match self {
+            CounterKind::Cycles => "cycles",
+            CounterKind::Instructions => "instructions",
+            CounterKind::LlcLoads => "llc_loads",
+            CounterKind::LlcMisses => "llc_misses",
+            CounterKind::DtlbLoads => "dtlb_loads",
+            CounterKind::DtlbMisses => "dtlb_misses",
+            CounterKind::BranchMisses => "branch_misses",
+        }
+    }
+
+    /// Dense index into [`CounterValues::values`] / [`CounterKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            CounterKind::Cycles => 0,
+            CounterKind::Instructions => 1,
+            CounterKind::LlcLoads => 2,
+            CounterKind::LlcMisses => 3,
+            CounterKind::DtlbLoads => 4,
+            CounterKind::DtlbMisses => 5,
+            CounterKind::BranchMisses => 6,
+        }
+    }
+
+    /// `perf_event_attr` `(type, config)` pair for this event.
+    ///
+    /// Cache events encode `id | (op << 8) | (result << 16)` with
+    /// `op = READ (0)` and `result = ACCESS (0) | MISS (1)`.
+    fn event(self) -> (u32, u64) {
+        const TYPE_HARDWARE: u32 = 0;
+        const TYPE_HW_CACHE: u32 = 3;
+        const CACHE_LL: u64 = 2;
+        const CACHE_DTLB: u64 = 3;
+        const RESULT_MISS: u64 = 1 << 16;
+        match self {
+            CounterKind::Cycles => (TYPE_HARDWARE, 0),
+            CounterKind::Instructions => (TYPE_HARDWARE, 1),
+            CounterKind::BranchMisses => (TYPE_HARDWARE, 5),
+            CounterKind::LlcLoads => (TYPE_HW_CACHE, CACHE_LL),
+            CounterKind::LlcMisses => (TYPE_HW_CACHE, CACHE_LL | RESULT_MISS),
+            CounterKind::DtlbLoads => (TYPE_HW_CACHE, CACHE_DTLB),
+            CounterKind::DtlbMisses => (TYPE_HW_CACHE, CACHE_DTLB | RESULT_MISS),
+        }
+    }
+}
+
+/// A snapshot (or delta) of the counters in one group.
+///
+/// `values[k]` is meaningful only where `present[k]` is set: hardware may
+/// reject individual siblings (e.g. no dTLB event on some cores) while the
+/// rest of the group still counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterValues {
+    /// Counter readings indexed by [`CounterKind::index`], already rescaled
+    /// for multiplexing.
+    pub values: [u64; NUM_COUNTERS],
+    /// Which slots actually carry a live counter.
+    pub present: [bool; NUM_COUNTERS],
+    /// Nanoseconds the group was scheduled-or-pending (from the kernel).
+    pub time_enabled_ns: u64,
+    /// Nanoseconds the group was actually counting; `< time_enabled_ns`
+    /// means the kernel multiplexed it.
+    pub time_running_ns: u64,
+}
+
+impl CounterValues {
+    /// The reading for `kind`, if that event is live.
+    pub fn get(self, kind: CounterKind) -> Option<u64> {
+        self.present[kind.index()].then_some(self.values[kind.index()])
+    }
+
+    /// True when no event in this snapshot is live.
+    pub fn is_empty(self) -> bool {
+        !self.present.iter().any(|&p| p)
+    }
+
+    /// True when the kernel time-multiplexed the group (readings are
+    /// rescaled estimates rather than exact counts).
+    pub fn multiplexed(self) -> bool {
+        self.time_running_ns > 0 && self.time_running_ns < self.time_enabled_ns
+    }
+
+    /// `self - earlier`, per counter. A slot is present in the delta only
+    /// if it is present in both snapshots; subtraction wraps so a reopened
+    /// group cannot panic in release-style arithmetic.
+    pub fn delta_since(self, earlier: &CounterValues) -> CounterValues {
+        let mut out = CounterValues::default();
+        for i in 0..NUM_COUNTERS {
+            out.present[i] = self.present[i] && earlier.present[i];
+            if out.present[i] {
+                out.values[i] = self.values[i].wrapping_sub(earlier.values[i]);
+            }
+        }
+        out.time_enabled_ns = self.time_enabled_ns.wrapping_sub(earlier.time_enabled_ns);
+        out.time_running_ns = self.time_running_ns.wrapping_sub(earlier.time_running_ns);
+        out
+    }
+
+    /// Accumulate `other` into `self` (union of present slots).
+    pub fn add(&mut self, other: &CounterValues) {
+        for i in 0..NUM_COUNTERS {
+            if other.present[i] {
+                self.values[i] = self.values[i].wrapping_add(other.values[i]);
+                self.present[i] = true;
+            }
+        }
+        self.time_enabled_ns = self.time_enabled_ns.wrapping_add(other.time_enabled_ns);
+        self.time_running_ns = self.time_running_ns.wrapping_add(other.time_running_ns);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw syscall layer, compiled only where a perf_event_open number exists.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::os::raw::{c_int, c_long, c_uint, c_ulong};
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 241;
+
+    const PERF_EVENT_IOC_ENABLE: c_ulong = 0x2400;
+    const PERF_EVENT_IOC_DISABLE: c_ulong = 0x2401;
+    const PERF_EVENT_IOC_RESET: c_ulong = 0x2403;
+    const PERF_IOC_FLAG_GROUP: c_ulong = 1;
+    const PERF_FLAG_FD_CLOEXEC: c_ulong = 8;
+
+    // PERF_FORMAT_TOTAL_TIME_ENABLED | _TOTAL_TIME_RUNNING | _GROUP
+    const READ_FORMAT: u64 = 1 | 2 | 8;
+
+    // Bits of the flags word at offset 40 of perf_event_attr.
+    const ATTR_DISABLED: u64 = 1 << 0;
+    const ATTR_EXCLUDE_KERNEL: u64 = 1 << 5;
+    const ATTR_EXCLUDE_HV: u64 = 1 << 6;
+
+    /// `perf_event_attr`, ABI version 0 layout (64 bytes). The kernel
+    /// accepts any declared `size`; fields we never set stay zero.
+    #[repr(C)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        bp_addr: u64,
+    }
+
+    extern "C" {
+        fn syscall(num: c_long, ...) -> c_long;
+        fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Open one counter on the calling thread (`pid = 0, cpu = -1`),
+    /// attached to `group_fd` (or a new group leader when `-1`). Returns a
+    /// negative value on any failure. Counting user space only: the
+    /// `exclude_kernel`/`exclude_hv` bits keep the call usable at
+    /// `perf_event_paranoid == 1` and make the numbers comparable across
+    /// hosts.
+    pub fn open(type_: u32, config: u64, group_fd: i32) -> i32 {
+        let attr = PerfEventAttr {
+            type_,
+            size: std::mem::size_of::<PerfEventAttr>() as u32,
+            config,
+            sample_period: 0,
+            sample_type: 0,
+            read_format: READ_FORMAT,
+            flags: ATTR_DISABLED | ATTR_EXCLUDE_KERNEL | ATTR_EXCLUDE_HV,
+            wakeup_events: 0,
+            bp_type: 0,
+            bp_addr: 0,
+        };
+        unsafe {
+            syscall(
+                SYS_PERF_EVENT_OPEN,
+                &attr as *const PerfEventAttr,
+                0 as c_int,
+                -1 as c_int,
+                group_fd as c_int,
+                PERF_FLAG_FD_CLOEXEC,
+            ) as i32
+        }
+    }
+
+    pub fn reset_group(leader_fd: i32) {
+        unsafe {
+            ioctl(
+                leader_fd,
+                PERF_EVENT_IOC_RESET,
+                PERF_IOC_FLAG_GROUP as c_uint,
+            );
+        }
+    }
+
+    pub fn enable_group(leader_fd: i32) {
+        unsafe {
+            ioctl(
+                leader_fd,
+                PERF_EVENT_IOC_ENABLE,
+                PERF_IOC_FLAG_GROUP as c_uint,
+            );
+        }
+    }
+
+    pub fn disable_group(leader_fd: i32) {
+        unsafe {
+            ioctl(
+                leader_fd,
+                PERF_EVENT_IOC_DISABLE,
+                PERF_IOC_FLAG_GROUP as c_uint,
+            );
+        }
+    }
+
+    /// Read the group snapshot into `buf` (u64 words). Returns the number
+    /// of u64 words filled, or `None` on error/short read.
+    pub fn read_group(leader_fd: i32, buf: &mut [u64]) -> Option<usize> {
+        let bytes = std::mem::size_of_val(buf);
+        let n = unsafe { read(leader_fd, buf.as_mut_ptr() as *mut u8, bytes) };
+        if n < 0 || !(n as usize).is_multiple_of(8) {
+            return None;
+        }
+        Some(n as usize / 8)
+    }
+
+    pub fn close_fd(fd: i32) {
+        unsafe {
+            close(fd);
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    //! Stub for targets without a compiled-in syscall number: every open
+    //! fails, so the whole subsystem reports unavailable.
+    pub fn open(_type: u32, _config: u64, _group_fd: i32) -> i32 {
+        -1
+    }
+    pub fn reset_group(_leader_fd: i32) {}
+    pub fn enable_group(_leader_fd: i32) {}
+    pub fn disable_group(_leader_fd: i32) {}
+    pub fn read_group(_leader_fd: i32, _buf: &mut [u64]) -> Option<usize> {
+        None
+    }
+    pub fn close_fd(_fd: i32) {}
+}
+
+// ---------------------------------------------------------------------------
+// CounterGroup
+// ---------------------------------------------------------------------------
+
+/// RAII handle over one per-thread group of hardware counters.
+///
+/// [`CounterGroup::open`] never fails: when the syscall is denied (or the
+/// target has no PMU support compiled in) it returns a no-op group with
+/// [`available`](CounterGroup::available)` == false` whose reads are empty.
+/// Counters run from `open` until the group is dropped; file descriptors
+/// are closed on drop.
+#[derive(Debug)]
+pub struct CounterGroup {
+    /// `(kind, fd)` in sibling-attach order, leader first. Empty when the
+    /// group is unavailable.
+    fds: Vec<(CounterKind, i32)>,
+}
+
+impl CounterGroup {
+    /// Open a counter group on the calling thread, degrading to a no-op if
+    /// the PMU is unavailable (see module docs). The availability probe is
+    /// cached process-wide, so repeated calls on a denied host cost one
+    /// atomic load, not one failed syscall each.
+    pub fn open() -> CounterGroup {
+        if !probe() {
+            return CounterGroup::unavailable();
+        }
+        let (leader_ty, leader_cfg) = CounterKind::Cycles.event();
+        let leader = sys::open(leader_ty, leader_cfg, -1);
+        if leader < 0 {
+            return CounterGroup::unavailable();
+        }
+        let mut fds = vec![(CounterKind::Cycles, leader)];
+        for kind in CounterKind::ALL.into_iter().skip(1) {
+            let (ty, cfg) = kind.event();
+            let fd = sys::open(ty, cfg, leader);
+            // Tolerate per-sibling failure: some cores expose no dTLB or
+            // LLC event; the rest of the group still counts.
+            if fd >= 0 {
+                fds.push((kind, fd));
+            }
+        }
+        sys::reset_group(leader);
+        sys::enable_group(leader);
+        CounterGroup { fds }
+    }
+
+    /// The explicit no-op group (what [`open`](CounterGroup::open) degrades
+    /// to). Public so tests can pin the degraded behaviour regardless of
+    /// host capability.
+    pub fn unavailable() -> CounterGroup {
+        CounterGroup { fds: Vec::new() }
+    }
+
+    /// Whether this group is actually counting.
+    pub fn available(&self) -> bool {
+        !self.fds.is_empty()
+    }
+
+    /// Snapshot all counters with one group read. Values are rescaled by
+    /// `time_enabled / time_running` when the kernel multiplexed the
+    /// group. Returns empty values when unavailable or on read error.
+    pub fn read(&self) -> CounterValues {
+        let mut out = CounterValues::default();
+        let Some(&(_, leader)) = self.fds.first() else {
+            return out;
+        };
+        // Layout: nr, time_enabled, time_running, value[nr].
+        let mut buf = [0u64; 3 + NUM_COUNTERS];
+        let Some(words) = sys::read_group(leader, &mut buf) else {
+            return out;
+        };
+        let nr = buf[0] as usize;
+        if nr != self.fds.len() || words < 3 + nr {
+            return out;
+        }
+        out.time_enabled_ns = buf[1];
+        out.time_running_ns = buf[2];
+        let (enabled, running) = (buf[1] as u128, buf[2] as u128);
+        for (i, &(kind, _)) in self.fds.iter().enumerate() {
+            let raw = buf[3 + i];
+            let scaled = if running > 0 && running < enabled {
+                ((raw as u128 * enabled) / running) as u64
+            } else {
+                raw
+            };
+            out.values[kind.index()] = scaled;
+            out.present[kind.index()] = true;
+        }
+        out
+    }
+
+    /// Stop counting without closing the group (drop closes the fds).
+    pub fn disable(&self) {
+        if let Some(&(_, leader)) = self.fds.first() {
+            sys::disable_group(leader);
+        }
+    }
+}
+
+impl Drop for CounterGroup {
+    fn drop(&mut self) {
+        for &(_, fd) in &self.fds {
+            sys::close_fd(fd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Availability probing
+// ---------------------------------------------------------------------------
+
+/// Whether `perf_event_open` works on this host (cached after the first
+/// call). `JOINSTUDY_NO_PMU=1` in the environment forces `false` so CI can
+/// exercise the degraded path deterministically.
+pub fn probe() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        if std::env::var_os("JOINSTUDY_NO_PMU").is_some() {
+            return false;
+        }
+        let (ty, cfg) = CounterKind::Cycles.event();
+        let fd = sys::open(ty, cfg, -1);
+        if fd < 0 {
+            return false;
+        }
+        sys::close_fd(fd);
+        true
+    })
+}
+
+/// The `/proc/sys/kernel/perf_event_paranoid` level, if readable.
+/// `<= 1` allows unprivileged user-space counting; `>= 2` typically
+/// explains an unavailable PMU (containers often also seccomp-filter the
+/// syscall outright, which this file cannot show).
+pub fn paranoid_level() -> Option<i64> {
+    std::fs::read_to_string("/proc/sys/kernel/perf_event_paranoid")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+// ---------------------------------------------------------------------------
+// Global enable + per-phase attribution
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn hardware-counter sampling on or off globally (the process-wide
+/// switch used by the bench bins and `Session::set_counters`; per-query
+/// opt-in goes through `QueryContext::set_counters`).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether global sampling is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Index into [`MemPhase::ALL`] of the phase currently executing, kept
+/// up to date by [`phase_boundary`] even while sampling is off (so turning
+/// sampling on mid-process attributes to the right phase).
+static CURRENT_PHASE: AtomicUsize = AtomicUsize::new(5); // MemPhase::Other
+
+/// Registry handles for the per-phase counter totals, resolved once.
+struct Handles {
+    /// `pmu.<phase_slug>.<kind_slug>`, indexed `[phase][kind]`.
+    phases: Vec<Vec<Arc<Counter>>>,
+    /// Number of worker counter-group samples folded in.
+    worker_samples: Arc<Counter>,
+}
+
+static HANDLES: OnceLock<Handles> = OnceLock::new();
+
+fn handles() -> &'static Handles {
+    HANDLES.get_or_init(|| {
+        let reg = registry::global();
+        Handles {
+            phases: MemPhase::ALL
+                .iter()
+                .map(|p| {
+                    CounterKind::ALL
+                        .iter()
+                        .map(|k| reg.counter(&format!("pmu.{}.{}", p.slug(), k.slug())))
+                        .collect()
+                })
+                .collect(),
+            worker_samples: reg.counter("pmu.worker_samples"),
+        }
+    })
+}
+
+fn flush_to_phase(phase_idx: usize, delta: &CounterValues) {
+    let h = handles();
+    for kind in CounterKind::ALL {
+        let i = kind.index();
+        if delta.present[i] && delta.values[i] > 0 {
+            h.phases[phase_idx][i].add(delta.values[i]);
+        }
+    }
+}
+
+thread_local! {
+    /// Control-thread counter group + last snapshot, opened lazily on the
+    /// first sampled phase boundary. One per thread that calls
+    /// [`phase_boundary`]/[`control_sample`] while sampling is on.
+    static CONTROL: RefCell<Option<(CounterGroup, CounterValues)>> = const { RefCell::new(None) };
+}
+
+/// Record a phase transition. Called unconditionally from
+/// `metrics::mark_phase`: the current-phase index is always maintained
+/// (one relaxed store), and when sampling is [`enabled`] the calling
+/// thread's counter delta since the previous boundary is flushed to the
+/// *previous* phase's `pmu.*` registry counters.
+///
+/// Caveat: this attributes only the *control thread's* work (plan
+/// compilation, sink finalize run inline). Worker-thread work is sampled
+/// separately per pipeline and attributed at drain; threads spawned
+/// privately inside a sink's `finalize` are not captured (the
+/// `inherit` attr bit is incompatible with `PERF_FORMAT_GROUP`).
+pub fn phase_boundary(phase: MemPhase) {
+    let prev = CURRENT_PHASE.swap(phase.index(), Ordering::Relaxed);
+    if !enabled() {
+        return;
+    }
+    CONTROL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let (group, last) = slot.get_or_insert_with(|| {
+            let g = CounterGroup::open();
+            let first = g.read();
+            (g, first)
+        });
+        if !group.available() {
+            return;
+        }
+        let now = group.read();
+        let delta = now.delta_since(last);
+        *last = now;
+        flush_to_phase(prev, &delta);
+    });
+}
+
+/// Index into [`MemPhase::ALL`] of the phase the control thread most
+/// recently announced (what worker drains attribute to).
+pub fn current_phase_index() -> usize {
+    CURRENT_PHASE.load(Ordering::Relaxed)
+}
+
+/// Cumulative counter snapshot from the calling thread's control group,
+/// for timeline sampling (trace phase spans, pipeline begin/end). `None`
+/// when sampling is off or the PMU is unavailable.
+pub fn control_sample() -> Option<CounterValues> {
+    if !enabled() {
+        return None;
+    }
+    CONTROL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let (group, _) = slot.get_or_insert_with(|| {
+            let g = CounterGroup::open();
+            let first = g.read();
+            (g, first)
+        });
+        if !group.available() {
+            return None;
+        }
+        Some(group.read())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker sampling
+// ---------------------------------------------------------------------------
+
+/// An open counter group on a worker thread, created at pipeline entry and
+/// finished exactly once at drain (see [`finish_worker`]).
+#[derive(Debug)]
+pub struct WorkerSampler {
+    group: CounterGroup,
+    start: CounterValues,
+}
+
+/// Start sampling on the calling worker thread. Returns `None` — and costs
+/// only the `enabled()` load — unless global sampling or the per-query
+/// flag (`query_on`) asks for counters *and* the PMU is usable.
+pub fn worker_sampler(query_on: bool) -> Option<WorkerSampler> {
+    if !(enabled() || query_on) {
+        return None;
+    }
+    let group = CounterGroup::open();
+    if !group.available() {
+        return None;
+    }
+    let start = group.read();
+    Some(WorkerSampler { group, start })
+}
+
+/// Finish a worker sample: fold the delta into the pipeline's [`HwSlot`]
+/// (when profiling observes this pipeline) and into the current phase's
+/// `pmu.*` registry counters. Safe to call with `None` (no-op).
+pub fn finish_worker(sampler: Option<WorkerSampler>, slot: Option<&HwSlot>) {
+    let Some(s) = sampler else { return };
+    let now = s.group.read();
+    let delta = now.delta_since(&s.start);
+    if delta.is_empty() {
+        return;
+    }
+    if let Some(slot) = slot {
+        slot.add(&delta);
+    }
+    flush_to_phase(current_phase_index(), &delta);
+    handles().worker_samples.inc();
+}
+
+// ---------------------------------------------------------------------------
+// HwSlot — relaxed-atomic aggregation for PipelineObs
+// ---------------------------------------------------------------------------
+
+/// Lock-free accumulator for worker counter deltas, one per observed
+/// pipeline (lives in `profile::PipelineObs`). Same relaxed-ordering
+/// contract as `OpStats`: exact once the workers are joined.
+#[derive(Debug, Default)]
+pub struct HwSlot {
+    values: [AtomicU64; NUM_COUNTERS],
+    /// Bitmask of counter indices that ever reported.
+    present: AtomicU64,
+    /// Number of worker samples folded in (0 ⇒ no hardware data).
+    samples: AtomicU64,
+}
+
+impl HwSlot {
+    /// Empty slot.
+    pub fn new() -> HwSlot {
+        HwSlot::default()
+    }
+
+    /// Fold one worker delta in.
+    pub fn add(&self, delta: &CounterValues) {
+        for i in 0..NUM_COUNTERS {
+            if delta.present[i] {
+                self.values[i].fetch_add(delta.values[i], Ordering::Relaxed);
+                self.present.fetch_or(1 << i, Ordering::Relaxed);
+            }
+        }
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of worker samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated totals, or `None` when no worker ever sampled (counters
+    /// off or PMU unavailable) — callers emit nothing in that case, which
+    /// is what keeps `.counters off` output byte-identical.
+    pub fn snapshot(&self) -> Option<CounterValues> {
+        if self.samples() == 0 {
+            return None;
+        }
+        let mask = self.present.load(Ordering::Relaxed);
+        let mut out = CounterValues::default();
+        for i in 0..NUM_COUNTERS {
+            if mask & (1 << i) != 0 {
+                out.present[i] = true;
+                out.values[i] = self.values[i].load(Ordering::Relaxed);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_table_is_consistent() {
+        for (i, k) in CounterKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "index order matches ALL order");
+            assert!(
+                k.slug()
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "slug {:?} registry-safe",
+                k.slug()
+            );
+        }
+        // Leader must be cycles: open() relies on it.
+        assert_eq!(CounterKind::ALL[0], CounterKind::Cycles);
+    }
+
+    #[test]
+    fn delta_and_add_math() {
+        let mut a = CounterValues::default();
+        a.values[0] = 100;
+        a.present[0] = true;
+        a.values[1] = 7;
+        a.present[1] = true;
+        a.time_enabled_ns = 50;
+        a.time_running_ns = 50;
+
+        let mut b = a;
+        b.values[0] = 250;
+        b.values[1] = 7;
+        b.present[2] = true; // present in later snapshot only
+        b.values[2] = 99;
+        b.time_enabled_ns = 80;
+        b.time_running_ns = 60;
+
+        let d = b.delta_since(&a);
+        assert_eq!(d.get(CounterKind::Cycles), Some(150));
+        assert_eq!(d.get(CounterKind::Instructions), Some(0));
+        assert_eq!(d.get(CounterKind::LlcLoads), None, "present must AND");
+        assert_eq!(d.time_enabled_ns, 30);
+        assert_eq!(d.time_running_ns, 10);
+        assert!(d.multiplexed());
+
+        let mut sum = CounterValues::default();
+        sum.add(&d);
+        sum.add(&d);
+        assert_eq!(sum.get(CounterKind::Cycles), Some(300));
+        assert!(!sum.is_empty());
+    }
+
+    /// The graceful-degradation contract: the no-op group reports
+    /// unavailable, reads empty, and drops cleanly.
+    #[test]
+    fn unavailable_group_is_noop() {
+        let g = CounterGroup::unavailable();
+        assert!(!g.available());
+        let v = g.read();
+        assert!(v.is_empty());
+        assert_eq!(v.time_enabled_ns, 0);
+        g.disable(); // no-op, must not panic
+        drop(g);
+
+        // Samplers built on an unavailable PMU collapse to None/no-op.
+        let slot = HwSlot::new();
+        finish_worker(None, Some(&slot));
+        assert_eq!(slot.samples(), 0);
+        assert!(slot.snapshot().is_none(), "zero samples ⇒ no hw details");
+    }
+
+    /// Skip-not-fail: exercises a real counter group only where the host
+    /// grants one.
+    #[test]
+    fn open_counts_cycles_where_available() {
+        let g = CounterGroup::open();
+        if !g.available() {
+            eprintln!(
+                "pmu: perf_event_open unavailable (paranoid={:?}); skipping",
+                paranoid_level()
+            );
+            return;
+        }
+        let before = g.read();
+        assert!(before.get(CounterKind::Cycles).is_some());
+        // Burn some user-space work so cycles must advance.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let after = g.read();
+        let delta = after.delta_since(&before);
+        assert!(
+            delta.get(CounterKind::Cycles).unwrap_or(0) > 0,
+            "cycles advanced across a compute loop"
+        );
+    }
+
+    #[test]
+    fn worker_sampler_gates_on_flags() {
+        // Neither the global flag nor the query flag: no syscalls, no slot.
+        if !enabled() {
+            assert!(worker_sampler(false).is_none());
+        }
+        // Query flag on: sampler exists only where the PMU does.
+        let s = worker_sampler(true);
+        if let Some(s) = s {
+            let slot = HwSlot::new();
+            finish_worker(Some(s), Some(&slot));
+            assert_eq!(slot.samples(), 1);
+            assert!(slot.snapshot().is_some());
+        } else {
+            assert!(!probe() || !CounterGroup::open().available());
+        }
+    }
+
+    #[test]
+    fn hw_slot_accumulates() {
+        let slot = HwSlot::new();
+        let mut d = CounterValues::default();
+        d.present[3] = true; // LlcMisses
+        d.values[3] = 41;
+        slot.add(&d);
+        slot.add(&d);
+        let snap = slot.snapshot().unwrap();
+        assert_eq!(snap.get(CounterKind::LlcMisses), Some(82));
+        assert_eq!(snap.get(CounterKind::Cycles), None);
+        assert_eq!(slot.samples(), 2);
+    }
+}

@@ -88,6 +88,9 @@ pub struct PipelineObs {
     pub source: OpStats,
     pub ops: Vec<OpStats>,
     pub sink: OpStats,
+    /// Aggregated hardware-counter deltas from the workers that ran this
+    /// pipeline (empty unless counter sampling was on — see [`crate::pmu`]).
+    pub hw: crate::pmu::HwSlot,
     wall_ns: AtomicU64,
     workers: AtomicU64,
 }
@@ -98,6 +101,7 @@ impl PipelineObs {
             source: OpStats::new(),
             ops: (0..num_ops).map(|_| OpStats::new()).collect(),
             sink: OpStats::new(),
+            hw: crate::pmu::HwSlot::new(),
             wall_ns: AtomicU64::new(0),
             workers: AtomicU64::new(0),
         }

@@ -263,6 +263,10 @@ fn run_worker_traced(
     track: u32,
 ) {
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // One PMU sample per worker per pipeline, opened before the first
+        // morsel and folded in at drain; one relaxed load when counters
+        // are off (see `pmu::worker_sampler`).
+        let hw = crate::pmu::worker_sampler(ctx.counters());
         let mut spans = trace::take_worker_buffer();
         let mut prof = obs.map(|_| WorkerProf::new(ops.len()));
         let result = worker_body_traced(
@@ -281,6 +285,7 @@ fn run_worker_traced(
         if let (Some(p), Some(obs)) = (&prof, obs) {
             p.flush(obs);
         }
+        crate::pmu::finish_worker(hw, obs.map(|o| &o.hw));
         trace::flush_worker(pipe, track, spans, trace::now_ns());
         result
     }));
@@ -358,6 +363,7 @@ fn worker_body_traced(
             start_ns: t0,
             dur_ns: dur,
             arg: rows,
+            hw: None,
         });
         if let Some(p) = prof.as_deref_mut() {
             p.morsels += 1;
@@ -415,19 +421,26 @@ fn run_worker(
     failure: &Failure,
     obs: Option<&PipelineObs>,
 ) {
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match obs {
-        None => worker_body(ctx, source, ops, sink, next_task, task_count, failure),
-        Some(obs) => {
-            let mut prof = WorkerProf::new(ops.len());
-            let result = worker_body_prof(
-                ctx, source, ops, sink, next_task, task_count, failure, &mut prof,
-            );
-            // Flush on success *and* on error so partial counts of a failed
-            // query are still visible; only a panic loses this worker's
-            // counts (the profile is advisory, the error is not).
-            prof.flush(obs);
-            result
-        }
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // One PMU sample per worker per pipeline (wrapper level, never in
+        // the worker bodies): one relaxed load when counters are off.
+        let hw = crate::pmu::worker_sampler(ctx.counters());
+        let result = match obs {
+            None => worker_body(ctx, source, ops, sink, next_task, task_count, failure),
+            Some(obs) => {
+                let mut prof = WorkerProf::new(ops.len());
+                let result = worker_body_prof(
+                    ctx, source, ops, sink, next_task, task_count, failure, &mut prof,
+                );
+                // Flush on success *and* on error so partial counts of a failed
+                // query are still visible; only a panic loses this worker's
+                // counts (the profile is advisory, the error is not).
+                prof.flush(obs);
+                result
+            }
+        };
+        crate::pmu::finish_worker(hw, obs.map(|o| &o.hw));
+        result
     }));
     match outcome {
         Ok(Ok(())) => {}

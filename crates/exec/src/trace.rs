@@ -92,6 +92,19 @@ pub struct TraceSpan {
     pub dur_ns: u64,
     /// Kind-specific payload: rows for `Morsel`, 0 otherwise.
     pub arg: u64,
+    /// Hardware-counter delta over this span (phase spans when counter
+    /// sampling is on — see [`crate::pmu`]); boxed so the common no-counter
+    /// span stays small.
+    pub hw: Option<Box<crate::pmu::CounterValues>>,
+}
+
+/// One timeline sample of the control thread's cumulative hardware
+/// counters (taken at pipeline begin/end and phase ends while counter
+/// sampling is on). `at_ns` is query-relative after [`end`].
+#[derive(Debug, Clone)]
+pub struct HwSample {
+    pub at_ns: u64,
+    pub values: crate::pmu::CounterValues,
 }
 
 /// One pipeline run: an async span stretching over all its workers.
@@ -110,6 +123,9 @@ pub struct QueryTrace {
     pub wall_ns: u64,
     pub spans: Vec<TraceSpan>,
     pub pipelines: Vec<PipelineSpan>,
+    /// Control-thread hardware-counter samples (empty unless counter
+    /// sampling was on during the trace).
+    pub counters: Vec<HwSample>,
 }
 
 struct Collector {
@@ -120,6 +136,7 @@ struct Collector {
     /// `(pipeline, track, drained_at)` — consumed by [`pipeline_end`] into
     /// `Idle` spans.
     drains: Vec<(u32, u32, u64)>,
+    counters: Vec<HwSample>,
     next_label: Option<String>,
 }
 
@@ -159,6 +176,7 @@ pub fn begin(label: &str) -> bool {
         spans: Vec::new(),
         pipelines: Vec::new(),
         drains: Vec::new(),
+        counters: Vec::new(),
         next_label: None,
     });
     ENABLED.store(true, Ordering::Release);
@@ -181,11 +199,16 @@ pub fn end() -> Option<QueryTrace> {
         p.start_ns = p.start_ns.saturating_sub(t0);
         p.end_ns = p.end_ns.saturating_sub(t0);
     }
+    let mut counters = col.counters;
+    for c in &mut counters {
+        c.at_ns = c.at_ns.saturating_sub(t0);
+    }
     Some(QueryTrace {
         label: col.label,
         wall_ns: end_ns.saturating_sub(t0),
         spans,
         pipelines,
+        counters,
     })
 }
 
@@ -206,6 +229,7 @@ pub fn label_next_pipeline(label: impl Into<String>) {
 /// race with [`end`]); worker flushes are then silently dropped.
 pub fn pipeline_begin() -> (u32, u64) {
     let start = now_ns();
+    let hw = crate::pmu::control_sample();
     let mut slot = COLLECTOR.lock().unwrap();
     match slot.as_mut() {
         None => (NO_PIPELINE, start),
@@ -221,6 +245,12 @@ pub fn pipeline_begin() -> (u32, u64) {
                 end_ns: start,
                 workers: 0,
             });
+            if let Some(values) = hw {
+                col.counters.push(HwSample {
+                    at_ns: start,
+                    values,
+                });
+            }
             (id, start)
         }
     }
@@ -233,8 +263,15 @@ pub fn pipeline_end(id: u32, end_ns: u64, workers: u32) {
     if id == NO_PIPELINE {
         return;
     }
+    let hw = crate::pmu::control_sample();
     let mut slot = COLLECTOR.lock().unwrap();
     let Some(col) = slot.as_mut() else { return };
+    if let Some(values) = hw {
+        col.counters.push(HwSample {
+            at_ns: end_ns,
+            values,
+        });
+    }
     let Some(p) = col.pipelines.get_mut(id as usize) else {
         return;
     };
@@ -254,6 +291,7 @@ pub fn pipeline_end(id: u32, end_ns: u64, workers: u32) {
                     start_ns: at,
                     dur_ns: end_ns - at,
                     arg: 0,
+                    hw: None,
                 });
             }
         } else {
@@ -300,22 +338,37 @@ pub fn instant(name: impl Into<Cow<'static, str>>) {
             start_ns: now,
             dur_ns: 0,
             arg: 0,
+            hw: None,
         });
     }
 }
 
 /// RAII guard for a cold-path phase span on the control track. Records on
-/// drop, so early returns and `?` propagation still close the span.
+/// drop, so early returns and `?` propagation still close the span. When
+/// hardware-counter sampling is on ([`crate::pmu`]) the span carries the
+/// control thread's counter delta over the phase.
 pub struct PhaseGuard {
     name: Option<Cow<'static, str>>,
     start_ns: u64,
+    hw_start: Option<crate::pmu::CounterValues>,
 }
 
 impl Drop for PhaseGuard {
     fn drop(&mut self) {
         let Some(name) = self.name.take() else { return };
         let end = now_ns();
+        let hw = match (self.hw_start.take(), crate::pmu::control_sample()) {
+            (Some(start), Some(now)) => Some((now, Box::new(now.delta_since(&start)))),
+            _ => None,
+        };
         if let Some(col) = COLLECTOR.lock().unwrap().as_mut() {
+            let hw_delta = hw.map(|(now, delta)| {
+                col.counters.push(HwSample {
+                    at_ns: end,
+                    values: now,
+                });
+                delta
+            });
             col.spans.push(TraceSpan {
                 name,
                 kind: SpanKind::Phase,
@@ -324,6 +377,7 @@ impl Drop for PhaseGuard {
                 start_ns: self.start_ns,
                 dur_ns: end.saturating_sub(self.start_ns),
                 arg: 0,
+                hw: hw_delta,
             });
         }
     }
@@ -335,11 +389,13 @@ pub fn phase_scope(name: impl Into<Cow<'static, str>>) -> PhaseGuard {
         return PhaseGuard {
             name: None,
             start_ns: 0,
+            hw_start: None,
         };
     }
     PhaseGuard {
         name: Some(name.into()),
         start_ns: now_ns(),
+        hw_start: crate::pmu::control_sample(),
     }
 }
 
@@ -509,15 +565,46 @@ impl QueryTrace {
                     us(s.start_ns),
                     json_string(&s.name)
                 )),
-                _ => events.push(format!(
-                    r#"{{"ph":"X","cat":{},"pid":1,"tid":{},"ts":{},"dur":{},"name":{},"args":{{"rows":{}}}}}"#,
-                    json_string(s.kind.name()),
-                    tid(s.track),
-                    us(s.start_ns),
-                    us(s.dur_ns),
-                    json_string(&s.name),
-                    s.arg
-                )),
+                _ => {
+                    // Per-span args: rows, plus the hardware-counter delta
+                    // when the span carries one (phase spans with counter
+                    // sampling on).
+                    let mut args = format!("\"rows\":{}", s.arg);
+                    if let Some(hw) = &s.hw {
+                        for k in crate::pmu::CounterKind::ALL {
+                            if let Some(v) = hw.get(k) {
+                                args.push_str(&format!(",\"hw_{}\":{v}", k.slug()));
+                            }
+                        }
+                    }
+                    events.push(format!(
+                        r#"{{"ph":"X","cat":{},"pid":1,"tid":{},"ts":{},"dur":{},"name":{},"args":{{{args}}}}}"#,
+                        json_string(s.kind.name()),
+                        tid(s.track),
+                        us(s.start_ns),
+                        us(s.dur_ns),
+                        json_string(&s.name),
+                    ))
+                }
+            }
+        }
+        // Counter tracks: one Perfetto "C" series per counter kind,
+        // baselined to the first sample so the track starts at zero.
+        if let Some(first) = self.counters.first() {
+            for k in crate::pmu::CounterKind::ALL {
+                if first.values.get(k).is_none() {
+                    continue;
+                }
+                for c in &self.counters {
+                    let Some(v) = c.values.get(k) else { continue };
+                    let base = first.values.get(k).unwrap_or(0);
+                    events.push(format!(
+                        r#"{{"ph":"C","pid":1,"tid":0,"ts":{},"name":{},"args":{{"value":{}}}}}"#,
+                        us(c.at_ns),
+                        json_string(&format!("hw.{}", k.slug())),
+                        v.saturating_sub(base)
+                    ));
+                }
             }
         }
         format!(
@@ -559,6 +646,7 @@ mod tests {
             start_ns: t0,
             dur_ns: 10,
             arg: 42,
+            hw: None,
         });
         let drained = t0 + 10;
         flush_worker(pid, 0, buf, drained);
@@ -613,12 +701,14 @@ mod tests {
             start_ns: start,
             dur_ns: dur,
             arg: 0,
+            hw: None,
         };
         let good = QueryTrace {
             label: "t".into(),
             wall_ns: 100,
             spans: vec![mk(0, 10), mk(10, 5), mk(20, 80)],
             pipelines: vec![],
+            counters: vec![],
         };
         good.validate().unwrap();
 
@@ -627,6 +717,7 @@ mod tests {
             wall_ns: 100,
             spans: vec![mk(0, 10), mk(5, 10)],
             pipelines: vec![],
+            counters: vec![],
         };
         assert!(bad.validate().is_err(), "partial overlap must fail");
 
@@ -635,6 +726,7 @@ mod tests {
             wall_ns: 100,
             spans: vec![mk(0, 50), mk(10, 5)],
             pipelines: vec![],
+            counters: vec![],
         };
         nested.validate().unwrap();
 
@@ -643,6 +735,7 @@ mod tests {
             wall_ns: 100,
             spans: vec![mk(90, 20)],
             pipelines: vec![],
+            counters: vec![],
         };
         assert!(past_wall.validate().is_err());
     }

@@ -1,0 +1,150 @@
+//! TPC-H Q3 smoke test for the hardware-counter subsystem: every join
+//! implementation must return identical results with counters on or off —
+//! on hosts where `perf_event_open` works *and* on hosts where it is
+//! denied (the CI `pmu` job re-runs this with `JOINSTUDY_NO_PMU=1` to pin
+//! the degraded path). Counter sampling must also leave EXPLAIN ANALYZE
+//! byte-identical when the PMU is unavailable: zero samples ⇒ zero `hw_*`
+//! details.
+
+use joinstudy_core::{Engine, JoinAlgo};
+use joinstudy_exec::pmu;
+use joinstudy_storage::table::Table;
+use joinstudy_tpch::queries::{all_queries, QueryConfig, TpchQuery};
+use joinstudy_tpch::{generate, TpchData};
+use std::sync::{Mutex, OnceLock};
+
+/// The pmu enable flag is process-global, so tests that flip it serialize
+/// here (same discipline as the tracer tests).
+static PMU_LOCK: Mutex<()> = Mutex::new(());
+
+fn data() -> &'static TpchData {
+    static DATA: OnceLock<TpchData> = OnceLock::new();
+    DATA.get_or_init(|| generate(0.01, 20260706))
+}
+
+fn q3() -> TpchQuery {
+    all_queries()
+        .into_iter()
+        .find(|q| q.id == 3)
+        .expect("Q3 is registered")
+}
+
+/// Canonical form: the multiset of row renderings, sorted.
+fn canonical(t: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = (0..t.num_rows())
+        .map(|r| {
+            t.row(r)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn q3_results_identical_with_counters_on_and_off() {
+    let _guard = PMU_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Engine::new(4);
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+        let off = canonical(&(q3().run)(data(), &QueryConfig::new(algo), &engine));
+
+        // Both opt-in routes at once, like `Session::set_counters(true)`.
+        engine.ctx.set_counters(true);
+        pmu::set_enabled(true);
+        let on = canonical(&(q3().run)(data(), &QueryConfig::new(algo), &engine));
+        pmu::set_enabled(false);
+        engine.ctx.set_counters(false);
+
+        assert_eq!(on, off, "{algo:?} result changed under counter sampling");
+    }
+}
+
+/// Counter sampling composes with profiling, and with the PMU unavailable
+/// the profile must be *byte-identical* to a counters-off profile: the
+/// graceful-degradation contract says zero worker samples, hence no `hw_*`
+/// details anywhere in the plan tree.
+#[test]
+fn q3_profile_carries_hw_details_only_where_pmu_works() {
+    let _guard = PMU_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Engine::new(4);
+    let cfg = QueryConfig::new(JoinAlgo::Rj);
+
+    engine.ctx.set_profiling(true);
+    let plain = (q3().run)(data(), &cfg, &engine);
+    let profile_off = engine.take_profile().expect("profile recorded");
+
+    engine.ctx.set_counters(true);
+    pmu::set_enabled(true);
+    let counted = (q3().run)(data(), &cfg, &engine);
+    let profile_on = engine.take_profile().expect("profile recorded");
+    pmu::set_enabled(false);
+    engine.ctx.set_counters(false);
+    engine.ctx.set_profiling(false);
+
+    assert_eq!(canonical(&plain), canonical(&counted));
+    let has_hw = |p: &joinstudy_exec::profile::QueryProfile| {
+        p.nodes()
+            .iter()
+            .any(|n| n.details.iter().any(|(k, _)| k.starts_with("hw_")))
+    };
+    assert!(
+        !has_hw(&profile_off),
+        "hw_* details leaked with counters off"
+    );
+    if pmu::probe() {
+        assert!(
+            has_hw(&profile_on),
+            "PMU available but no hw_* details in EXPLAIN ANALYZE"
+        );
+    } else {
+        // Degraded hosts: the render must match a counters-off run exactly
+        // apart from timings — structurally, no hw_* keys at all.
+        assert!(
+            !has_hw(&profile_on),
+            "PMU unavailable yet hw_* details appeared"
+        );
+    }
+}
+
+/// Tracing with counters on must stay valid and only carry counter samples
+/// where the PMU works.
+#[test]
+fn q3_trace_counter_samples_follow_availability() {
+    let _guard = PMU_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = Engine::new(4);
+    let cfg = QueryConfig::new(JoinAlgo::Rj);
+
+    engine.ctx.set_tracing(true);
+    engine.ctx.set_counters(true);
+    pmu::set_enabled(true);
+    let result = (q3().run)(data(), &cfg, &engine);
+    pmu::set_enabled(false);
+    engine.ctx.set_counters(false);
+    engine.ctx.set_tracing(false);
+    std::hint::black_box(result);
+
+    let trace = engine.take_trace().expect("trace recorded");
+    trace
+        .validate()
+        .expect("trace invariants hold with counters");
+    let json = trace.to_chrome_json();
+    if pmu::probe() {
+        assert!(
+            !trace.counters.is_empty(),
+            "PMU available but the trace recorded no counter samples"
+        );
+        assert!(
+            json.contains("\"hw.cycles\""),
+            "Perfetto export lacks counter tracks"
+        );
+    } else {
+        assert!(
+            trace.counters.is_empty(),
+            "PMU unavailable yet counter samples were recorded"
+        );
+        assert!(!json.contains("\"hw."), "counter tracks leaked into export");
+    }
+}
