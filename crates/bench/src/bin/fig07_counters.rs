@@ -51,11 +51,7 @@ impl Run {
 }
 
 fn algo_name(algo: JoinAlgo) -> &'static str {
-    match algo {
-        JoinAlgo::Bhj => "BHJ",
-        JoinAlgo::Rj => "RJ",
-        JoinAlgo::Brj => "BRJ",
-    }
+    algo.name()
 }
 
 /// Read the per-phase `pmu.*` totals out of the global registry.

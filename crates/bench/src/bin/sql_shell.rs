@@ -103,7 +103,7 @@ fn main() {
         session.register(name, Arc::clone(data.table(name)));
     }
     eprintln!(
-        "ready — {} tables, {} threads, join algo BHJ. '.algo brj' to switch, '.quit' to exit.",
+        "ready — {} tables, {} threads, join algo ADAPTIVE. '.algo bhj' to pin, '.quit' to exit.",
         TABLES.len(),
         threads
     );
@@ -149,7 +149,8 @@ fn main() {
                     Some(a) if a == "bhj" => session.set_join_algo(JoinAlgo::Bhj),
                     Some(a) if a == "rj" => session.set_join_algo(JoinAlgo::Rj),
                     Some(a) if a == "brj" => session.set_join_algo(JoinAlgo::Brj),
-                    _ => println!("usage: .algo bhj|rj|brj"),
+                    Some(a) if a == "adaptive" => session.set_join_algo(JoinAlgo::Adaptive),
+                    _ => println!("usage: .algo bhj|rj|brj|adaptive"),
                 },
                 ".timeout" => match parts.next().map(str::trim) {
                     Some("off") => {

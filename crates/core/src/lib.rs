@@ -28,8 +28,10 @@
 // the data flow without changing codegen.
 #![allow(clippy::needless_range_loop)]
 
+pub mod adaptive;
 pub mod bhj;
 pub mod bloom;
+pub mod cost;
 pub mod groupjoin;
 pub mod hash;
 pub mod ht_chain;

@@ -34,12 +34,18 @@ use joinstudy_exec::ops::{
 };
 use joinstudy_exec::pipeline::{LocalState, Sink, StreamSpec};
 use joinstudy_exec::profile::{DetailValue, PipelineObs, QueryProfile};
+use joinstudy_exec::registry;
 use joinstudy_exec::trace::{self, QueryTrace};
 use joinstudy_exec::{Batch, Executor};
 use joinstudy_storage::table::{Field, Schema, Table};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How far past [`RadixConfig::target_partition_bytes`] the largest build
+/// partition may grow before an adaptively-chosen radix join concludes the
+/// key distribution is skewed and falls back to the BHJ.
+const REGIME_SKEW_FACTOR: usize = 8;
 
 /// Which join implementation a join node uses (the paper's §5.1.1 contenders).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +56,12 @@ pub enum JoinAlgo {
     Rj,
     /// Bloom-filtered radix-partitioned join.
     Brj,
+    /// Let the engine pick among the three per join node, from the
+    /// calibrated regime model ([`crate::cost`]) over plan-time cardinality
+    /// and selectivity estimates ([`crate::adaptive`]). A mis-predicted
+    /// partitioned join falls back to the BHJ at runtime when the first
+    /// radix pass contradicts the estimate.
+    Adaptive,
 }
 
 impl JoinAlgo {
@@ -58,6 +70,7 @@ impl JoinAlgo {
             JoinAlgo::Bhj => "BHJ",
             JoinAlgo::Rj => "RJ",
             JoinAlgo::Brj => "BRJ",
+            JoinAlgo::Adaptive => "ADAPTIVE",
         }
     }
 }
@@ -569,6 +582,11 @@ pub struct Engine {
     /// Worker-timeline trace of the most recent traced [`Engine::execute`]
     /// (enabled via [`QueryContext::set_tracing`]). Shared across clones.
     trace_out: Arc<Mutex<Option<QueryTrace>>>,
+    /// Cost model used by [`JoinAlgo::Adaptive`] join nodes. `None` means
+    /// the process-wide calibration ([`crate::cost::Calibration::global`]);
+    /// tests and benchmarks inject a specific one via
+    /// [`Engine::with_cost_model`].
+    cost_model: Option<Arc<crate::cost::CostModel>>,
 }
 
 impl Engine {
@@ -581,6 +599,22 @@ impl Engine {
             ctx: QueryContext::unbounded(),
             profile: Arc::new(Mutex::new(None)),
             trace_out: Arc::new(Mutex::new(None)),
+            cost_model: None,
+        }
+    }
+
+    /// Pin the cost model consulted by [`JoinAlgo::Adaptive`] join nodes
+    /// instead of the process-wide calibrated one.
+    pub fn with_cost_model(mut self, model: crate::cost::CostModel) -> Engine {
+        self.cost_model = Some(Arc::new(model));
+        self
+    }
+
+    /// The cost model for adaptive decisions.
+    fn cost_model(&self) -> crate::cost::CostModel {
+        match &self.cost_model {
+            Some(m) => (**m).clone(),
+            None => crate::cost::CostModel::global(),
         }
     }
 
@@ -968,14 +1002,128 @@ impl Engine {
                 JoinAlgo::Bhj => {
                     self.compile_bhj(*kind, build, probe, build_keys, probe_keys, prof)
                 }
-                JoinAlgo::Rj => {
-                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, false, prof)
-                }
-                JoinAlgo::Brj => {
-                    self.compile_radix(*kind, build, probe, build_keys, probe_keys, true, prof)
+                JoinAlgo::Rj => self.compile_radix(
+                    *kind, build, probe, build_keys, probe_keys, false, None, prof,
+                ),
+                JoinAlgo::Brj => self.compile_radix(
+                    *kind, build, probe, build_keys, probe_keys, true, None, prof,
+                ),
+                JoinAlgo::Adaptive => {
+                    self.compile_adaptive(*kind, build, probe, build_keys, probe_keys, prof)
                 }
             },
         }
+    }
+
+    /// Answer the join question for one `Adaptive` join node: estimate,
+    /// decide, record the decision (registry counters + trace instant), and
+    /// dispatch to the chosen compilation path. The decision and its "why"
+    /// are attached to the join's profile node for EXPLAIN ANALYZE.
+    #[allow(clippy::too_many_arguments)]
+    fn compile_adaptive(
+        &self,
+        kind: JoinType,
+        build: &Plan,
+        probe: &Plan,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+        mut prof: Option<&mut ProfCtx>,
+    ) -> ExecResult<(StreamSpec, Option<usize>)> {
+        let model = self.cost_model();
+        let decision = crate::adaptive::decide(&model, kind, build, probe, build_keys, probe_keys);
+        let reg = registry::global();
+        reg.counter("adaptive.decisions").add(1);
+        reg.counter(match decision.algo {
+            JoinAlgo::Rj => "adaptive.choice.rj",
+            JoinAlgo::Brj => "adaptive.choice.brj",
+            _ => "adaptive.choice.bhj",
+        })
+        .add(1);
+        trace::instant(format!(
+            "adaptive: {} — {}",
+            decision.algo.name(),
+            decision.reason
+        ));
+        let (spec, node) = match decision.algo {
+            JoinAlgo::Rj => self.compile_radix(
+                kind,
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                false,
+                Some(&decision),
+                prof.as_deref_mut(),
+            )?,
+            JoinAlgo::Brj => self.compile_radix(
+                kind,
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                true,
+                Some(&decision),
+                prof.as_deref_mut(),
+            )?,
+            _ => self.compile_bhj(
+                kind,
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                prof.as_deref_mut(),
+            )?,
+        };
+        if let (Some(pc), Some(id)) = (prof, node) {
+            pc.detail(
+                id,
+                "adaptive_choice",
+                DetailValue::Str(decision.algo.name().into()),
+            );
+            pc.detail(
+                id,
+                "adaptive_reason",
+                DetailValue::Str(decision.reason.clone()),
+            );
+            pc.detail(
+                id,
+                "adaptive_cost_bhj_ms",
+                DetailValue::Float(decision.costs.bhj / 1e6),
+            );
+            pc.detail(
+                id,
+                "adaptive_cost_rj_ms",
+                DetailValue::Float(decision.costs.rj / 1e6),
+            );
+            if decision.costs.brj.is_finite() {
+                pc.detail(
+                    id,
+                    "adaptive_cost_brj_ms",
+                    DetailValue::Float(decision.costs.brj / 1e6),
+                );
+            }
+            pc.detail(
+                id,
+                "adaptive_est_build_rows",
+                DetailValue::Int(decision.estimate.build_rows as i64),
+            );
+            pc.detail(
+                id,
+                "adaptive_est_probe_rows",
+                DetailValue::Int(decision.estimate.probe_rows as i64),
+            );
+            pc.detail(
+                id,
+                "adaptive_est_bloom_selectivity",
+                DetailValue::Float(decision.estimate.bloom_selectivity),
+            );
+            pc.detail(
+                id,
+                "adaptive_ht_bytes",
+                DetailValue::Int(decision.ht_bytes as i64),
+            );
+        }
+        Ok((spec, node))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1074,6 +1222,14 @@ impl Engine {
     /// reverse: the BHJ only materializes the build side, so it is the
     /// natural fallback when partitioning the probe side is what breaks the
     /// budget). Degradations are counted in [`metrics::degradations`].
+    ///
+    /// When the radix join was picked *adaptively* (`adaptive` carries the
+    /// plan-time [`cost::Decision`](crate::cost::Decision)), the same
+    /// rollback machinery also serves as the regime-mismatch escape hatch:
+    /// [`Engine::try_compile_radix`] re-asks the cost model after the build
+    /// side's first partitioning pass with the *measured* histogram, and a
+    /// contradiction ([`ExecError::RegimeMismatch`]) falls back to the BHJ
+    /// here, counted in the `adaptive.fallbacks` registry counter.
     #[allow(clippy::too_many_arguments)]
     fn compile_radix(
         &self,
@@ -1083,11 +1239,26 @@ impl Engine {
         build_keys: &[usize],
         probe_keys: &[usize],
         with_bloom: bool,
+        adaptive: Option<&crate::cost::Decision>,
         mut prof: Option<&mut ProfCtx>,
     ) -> ExecResult<(StreamSpec, Option<usize>)> {
         // The trace arena is rolled back on degradation so the BHJ fallback
         // re-traces the whole join subtree (its pipelines re-run anyway).
         let mark = prof.as_deref_mut().map(|pc| pc.save());
+        let tag = if with_bloom { "BRJ" } else { "RJ" };
+        let fall_back = |err: &ExecError| -> Option<(&'static str, String)> {
+            match err {
+                ExecError::BudgetExceeded { .. } => Some((
+                    "degraded",
+                    format!("degradation: {tag} -> BHJ (memory budget)"),
+                )),
+                ExecError::RegimeMismatch { detail } if adaptive.is_some() => Some((
+                    "adaptive_fallback",
+                    format!("adaptive fallback: {tag} -> BHJ ({detail})"),
+                )),
+                _ => None,
+            }
+        };
         match self.try_compile_radix(
             kind,
             build,
@@ -1095,18 +1266,20 @@ impl Engine {
             build_keys,
             probe_keys,
             with_bloom,
+            adaptive,
             prof.as_deref_mut(),
         ) {
-            Err(ExecError::BudgetExceeded { .. }) => {
+            Err(e) if fall_back(&e).is_some() => {
+                let (detail_key, instant) = fall_back(&e).expect("checked by guard");
                 if let (Some(pc), Some(mark)) = (prof.as_deref_mut(), mark) {
                     pc.restore(mark);
                 }
-                metrics::record_degradation();
-                trace::instant(if with_bloom {
-                    "degradation: BRJ -> BHJ (memory budget)"
+                if matches!(e, ExecError::RegimeMismatch { .. }) {
+                    registry::global().counter("adaptive.fallbacks").add(1);
                 } else {
-                    "degradation: RJ -> BHJ (memory budget)"
-                });
+                    metrics::record_degradation();
+                }
+                trace::instant(instant);
                 let (spec, node) = self.compile_bhj(
                     kind,
                     build,
@@ -1116,13 +1289,71 @@ impl Engine {
                     prof.as_deref_mut(),
                 )?;
                 if let (Some(pc), Some(id)) = (prof, node) {
-                    let from = if with_bloom { "BRJ" } else { "RJ" };
-                    pc.detail(id, "degraded", DetailValue::Str(format!("{from} -> BHJ")));
+                    let value = match &e {
+                        ExecError::RegimeMismatch { detail } => {
+                            format!("{tag} -> BHJ: {detail}")
+                        }
+                        _ => format!("{tag} -> BHJ"),
+                    };
+                    pc.detail(id, detail_key, DetailValue::Str(value));
                 }
                 Ok((spec, node))
             }
             other => other,
         }
+    }
+
+    /// The adaptive escape hatch's measurement check, run right after the
+    /// build side's partitioning passes: re-ask the cost model with the
+    /// *measured* build cardinality and tuple width, and inspect the
+    /// partition histogram for skew. Returns [`ExecError::RegimeMismatch`]
+    /// when the measurement contradicts the plan-time choice — i.e. the
+    /// model would now answer "do not partition", or one partition blew
+    /// past [`REGIME_SKEW_FACTOR`]× the configured target size (a skewed
+    /// key whose partition-local table will not be cache-resident anyway).
+    fn check_regime(
+        &self,
+        decision: &crate::cost::Decision,
+        build_side: &PartitionedSide,
+    ) -> ExecResult<()> {
+        let measured_rows = build_side.total_rows();
+        let measured_width = if measured_rows > 0 {
+            build_side.byte_size() as f64 / measured_rows as f64
+        } else {
+            decision.estimate.build_width
+        };
+        let mut e = decision.estimate;
+        e.build_rows = (measured_rows as f64).max(1.0);
+        e.build_width = measured_width;
+        let re = self.cost_model().decide(&e);
+        if re.algo == JoinAlgo::Bhj {
+            return Err(ExecError::RegimeMismatch {
+                detail: format!(
+                    "measured build side {} rows × {:.0} B (estimated {:.0} × {:.0} B); {}",
+                    measured_rows,
+                    measured_width,
+                    decision.estimate.build_rows,
+                    decision.estimate.build_width,
+                    re.reason,
+                ),
+            });
+        }
+        let max_part_bytes = (0..build_side.num_partitions())
+            .map(|p| build_side.partition_row_range(p).len())
+            .max()
+            .unwrap_or(0) as f64
+            * measured_width;
+        let limit = (REGIME_SKEW_FACTOR * self.radix.target_partition_bytes) as f64;
+        if max_part_bytes > limit {
+            return Err(ExecError::RegimeMismatch {
+                detail: format!(
+                    "skew: largest build partition {:.0} B exceeds {REGIME_SKEW_FACTOR}x \
+                     the {} B target",
+                    max_part_bytes, self.radix.target_partition_bytes,
+                ),
+            });
+        }
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1134,6 +1365,7 @@ impl Engine {
         build_keys: &[usize],
         probe_keys: &[usize],
         with_bloom: bool,
+        adaptive: Option<&crate::cost::Decision>,
         mut prof: Option<&mut ProfCtx>,
     ) -> ExecResult<(StreamSpec, Option<usize>)> {
         // The Bloom reducer may only *drop* probe tuples when unmatched
@@ -1157,6 +1389,9 @@ impl Engine {
         trace::label_next_pipeline(format!("{tag} partition (build)"));
         let build_obs = self.run_breaker(&build_spec, &build_sink, prof.as_deref_mut())?;
         let (build_side, bloom) = build_sink.finalize(self.threads, None, use_bloom)?;
+        if let Some(decision) = adaptive {
+            self.check_regime(decision, &build_side)?;
+        }
         let bits2 = build_side.bits2();
         let build_side = Arc::new(build_side);
 

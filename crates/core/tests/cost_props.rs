@@ -1,0 +1,144 @@
+//! Property tests on the Table-4 regime cost model: for any workload point
+//! the chosen algorithm's modeled cost is minimal among the three (modulo
+//! the documented BHJ preference margin), the Bloom variant is never chosen
+//! where its reducer may not drop tuples, and the partition-or-not answer
+//! is monotone in build size across the LLC boundary — the paper's regime
+//! structure (partitioning pays off only *above* a workable size), which
+//! [`Calibration::sanitize`] guarantees for any calibration input.
+
+use joinstudy_core::cost::{Calibration, CostModel, JoinEstimate, BHJ_PREFERENCE_MARGIN};
+use joinstudy_core::JoinAlgo;
+use proptest::prelude::*;
+
+/// A random-but-plausible calibration, passed through `sanitize` exactly
+/// like one loaded from `results/calibration.json`.
+#[allow(clippy::too_many_arguments)]
+fn calibration(
+    llc_mib: f64,
+    build_hit: f64,
+    build_miss: f64,
+    probe_hit: f64,
+    probe_miss: f64,
+    partition_pass: f64,
+    rh_build: f64,
+    rh_probe: f64,
+) -> Calibration {
+    Calibration {
+        llc_bytes: llc_mib * 1024.0 * 1024.0,
+        bhj_build_hit: build_hit,
+        bhj_build_miss: build_miss,
+        bhj_probe_hit: probe_hit,
+        bhj_probe_miss: probe_miss,
+        partition_pass,
+        rh_build,
+        rh_probe,
+        ..Calibration::default_constants()
+    }
+    .sanitize()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The decision is cost-minimal: the chosen algorithm's modeled cost
+    /// never exceeds the true minimum by more than the BHJ preference
+    /// margin (and only the BHJ may claim that slack).
+    #[test]
+    fn chosen_cost_is_minimal_among_the_three(
+        build_rows in 1.0f64..5e8,
+        probe_ratio in 0.1f64..1000.0,
+        build_width in 8.0f64..128.0,
+        probe_width in 8.0f64..128.0,
+        sigma in 0.0f64..1.0,
+        allow_bloom: bool,
+        llc_mib in 1.0f64..64.0,
+        build_hit in 0.5f64..8.0,
+        build_miss in 1.0f64..60.0,
+        probe_hit in 0.5f64..8.0,
+        probe_miss in 1.0f64..60.0,
+        partition_pass in 0.5f64..12.0,
+        rh_build in 0.5f64..8.0,
+        rh_probe in 0.5f64..8.0,
+    ) {
+        let model = CostModel::new(calibration(
+            llc_mib, build_hit, build_miss, probe_hit, probe_miss,
+            partition_pass, rh_build, rh_probe,
+        ));
+        let e = JoinEstimate {
+            build_rows,
+            probe_rows: build_rows * probe_ratio,
+            build_width,
+            probe_width,
+            bloom_selectivity: sigma,
+            allow_bloom,
+        };
+        let d = model.decide(&e);
+        prop_assert!(d.algo != JoinAlgo::Adaptive, "decision must be concrete");
+        let min = d.costs.bhj.min(d.costs.rj).min(d.costs.brj);
+        let chosen = d.costs.of(d.algo);
+        prop_assert!(chosen.is_finite(), "chosen cost must be finite: {d}");
+        // Exactly minimal, except the BHJ may win ties within the margin.
+        let slack = if d.algo == JoinAlgo::Bhj {
+            min / (1.0 - BHJ_PREFERENCE_MARGIN)
+        } else {
+            min
+        };
+        prop_assert!(
+            chosen <= slack * (1.0 + 1e-12),
+            "{:?} cost {chosen} vs minimum {min}: {d}", d.algo
+        );
+        if !allow_bloom {
+            prop_assert!(d.algo != JoinAlgo::Brj, "BRJ chosen with bloom disallowed: {d}");
+        }
+    }
+
+    /// Scanning build size across the LLC boundary (probe scaled with it,
+    /// the Table-4 workload shape), the answer to the join question flips
+    /// at most once, from "do not partition" to "partition". Bloom is
+    /// disabled: the three-way frontier with σ is not monotone in general.
+    #[test]
+    fn partition_decision_is_monotone_in_build_size(
+        probe_ratio in 0.5f64..100.0,
+        build_width in 8.0f64..64.0,
+        llc_mib in 1.0f64..64.0,
+        build_hit in 0.5f64..8.0,
+        build_miss in 1.0f64..60.0,
+        probe_hit in 0.5f64..8.0,
+        probe_miss in 1.0f64..60.0,
+        partition_pass in 0.5f64..12.0,
+        rh_build in 0.5f64..8.0,
+        rh_probe in 0.5f64..8.0,
+    ) {
+        let cal = calibration(
+            llc_mib, build_hit, build_miss, probe_hit, probe_miss,
+            partition_pass, rh_build, rh_probe,
+        );
+        let llc = cal.llc_bytes;
+        let model = CostModel::new(cal);
+        // Geometric sweep from well below to well past the cache-miss ramp.
+        let mut partitioned_since: Option<i32> = None;
+        for step in 0..40i32 {
+            let ht_bytes = llc * 1e-3 * 1.5f64.powi(step);
+            let build_rows = (ht_bytes / (build_width + 16.0)).max(1.0);
+            let e = JoinEstimate {
+                build_rows,
+                probe_rows: build_rows * probe_ratio,
+                build_width,
+                probe_width: build_width,
+                bloom_selectivity: 1.0,
+                allow_bloom: false,
+            };
+            let d = model.decide(&e);
+            match (d.algo, partitioned_since) {
+                (JoinAlgo::Bhj, Some(since)) => prop_assert!(
+                    false,
+                    "non-monotone: partitioned at step {since}, BHJ again at step {step} \
+                     (ht {ht_bytes:.0} B, LLC {llc:.0} B): {d}"
+                ),
+                (JoinAlgo::Bhj, None) => {}
+                (_, None) => partitioned_since = Some(step),
+                (_, Some(_)) => {}
+            }
+        }
+    }
+}

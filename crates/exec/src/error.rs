@@ -34,6 +34,16 @@ pub enum ExecError {
         /// Best-effort rendering of the panic payload.
         message: String,
     },
+    /// An adaptively-chosen radix join aborted after its first partitioning
+    /// pass because the measured build-side histogram contradicted the
+    /// plan-time estimate (skew blow-up, or a build side small enough that
+    /// the cost model would have picked the non-partitioned join). The
+    /// planner catches this and falls back to the BHJ; it only escapes to
+    /// callers if the fallback itself fails.
+    RegimeMismatch {
+        /// What the measurement said, for EXPLAIN ANALYZE and logs.
+        detail: String,
+    },
     /// An operator, source, or sink failed in a recoverable way.
     Operator {
         /// Short operator name, e.g. `"scan"` or `"hash-build"`.
@@ -70,6 +80,9 @@ impl std::fmt::Display for ExecError {
             ),
             ExecError::WorkerPanic { message } => {
                 write!(f, "worker thread panicked: {message}")
+            }
+            ExecError::RegimeMismatch { detail } => {
+                write!(f, "adaptive regime mismatch: {detail}")
             }
             ExecError::Operator { op, message } => write!(f, "operator '{op}' failed: {message}"),
         }

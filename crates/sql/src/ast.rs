@@ -170,4 +170,10 @@ pub enum Statement {
         table: String,
         rows: Vec<Vec<Literal>>,
     },
+    /// `SET <name> = <value>`: a session variable assignment
+    /// (`SET join_algo = adaptive`). Both sides are lower-cased idents.
+    Set {
+        name: String,
+        value: String,
+    },
 }

@@ -92,6 +92,7 @@ const KEYWORDS: &[&str] = &[
     "SUBSTRING",
     "DATE",
     "CREATE",
+    "SET",
     "TABLE",
     "INSERT",
     "INTO",

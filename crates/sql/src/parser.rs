@@ -16,6 +16,7 @@
 //!              SUBSTRING '(' expr ',' int ',' int ')' | DATE 'lit'
 //! create    := CREATE TABLE ident '(' col (',' col)* ')' [';']
 //! insert    := INSERT INTO ident VALUES row (',' row)* [';']
+//! set       := SET ident '=' ident [';']
 //! ```
 
 use crate::ast::*;
@@ -54,8 +55,13 @@ pub fn parse(sql: &str) -> PResult<Statement> {
         p.parse_create()?
     } else if p.peek_keyword("INSERT") {
         p.parse_insert()?
+    } else if p.peek_keyword("SET") {
+        p.parse_set()?
     } else {
-        return Err(format!("expected SELECT/CREATE/INSERT, got {:?}", p.peek()));
+        return Err(format!(
+            "expected SELECT/CREATE/INSERT/SET, got {:?}",
+            p.peek()
+        ));
     };
     p.eat(&Token::Semicolon);
     if p.pos != p.tokens.len() {
@@ -463,6 +469,24 @@ impl Parser {
     }
 
     // ------------------------------------------------------------ DDL/DML
+
+    fn parse_set(&mut self) -> PResult<Statement> {
+        self.expect_keyword("SET")?;
+        let name = self.ident()?;
+        self.expect(&Token::Eq)?;
+        let value = match self.next()? {
+            Token::Ident(s) => s,
+            Token::Keyword(k) => k.to_ascii_lowercase(),
+            Token::Str(s) => s.to_ascii_lowercase(),
+            Token::Int(v) => v.to_string(),
+            other => {
+                return Err(format!(
+                    "expected a value after SET {name} =, got {other:?}"
+                ))
+            }
+        };
+        Ok(Statement::Set { name, value })
+    }
 
     fn parse_create(&mut self) -> PResult<Statement> {
         self.expect_keyword("CREATE")?;

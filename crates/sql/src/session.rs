@@ -117,14 +117,23 @@ impl Session {
         Session {
             catalog: HashMap::new(),
             engine: Engine::new(threads),
-            algo: JoinAlgo::Bhj,
+            // The engine answers the join question itself by default; the
+            // static algorithms stay one `SET join_algo = ...` away (the
+            // paper's drop-in replacement switch).
+            algo: JoinAlgo::Adaptive,
         }
     }
 
     /// Select the join implementation every planned join uses (the paper's
-    /// drop-in replacement switch).
+    /// drop-in replacement switch). [`JoinAlgo::Adaptive`] — the default —
+    /// lets the calibrated cost model pick per join node.
     pub fn set_join_algo(&mut self, algo: JoinAlgo) {
         self.algo = algo;
+    }
+
+    /// The session's current join-algorithm setting.
+    pub fn join_algo(&self) -> JoinAlgo {
+        self.algo
     }
 
     /// Replace the engine (thread count, radix configuration, ...). The new
@@ -262,6 +271,31 @@ impl Session {
                 }
                 self.catalog.insert(table, Arc::new(b.finish()));
                 Ok(Table::empty(schema))
+            }
+            Statement::Set { name, value } => {
+                match name.as_str() {
+                    "join_algo" => {
+                        let algo = match value.as_str() {
+                            "bhj" => JoinAlgo::Bhj,
+                            "rj" => JoinAlgo::Rj,
+                            "brj" => JoinAlgo::Brj,
+                            "adaptive" => JoinAlgo::Adaptive,
+                            other => {
+                                return Err(SqlError::Plan(format!(
+                                    "unknown join_algo {other:?} (expected bhj, rj, brj, \
+                                     or adaptive)"
+                                )))
+                            }
+                        };
+                        self.set_join_algo(algo);
+                    }
+                    other => {
+                        return Err(SqlError::Plan(format!(
+                            "unknown session variable {other:?} (expected join_algo)"
+                        )))
+                    }
+                }
+                Ok(text_table(&format!("SET {name} = {value}")))
             }
         }
     }

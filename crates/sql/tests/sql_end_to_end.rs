@@ -251,3 +251,36 @@ fn case_when_and_residual_predicates() {
     assert_eq!(t.column_by_name("n").as_i64(), &[2]);
     assert_eq!(t.column_by_name("big").as_i64(), &[1]);
 }
+
+#[test]
+fn set_join_algo_statement_switches_the_session() {
+    let mut session = microbench_session(200, 2_000, 7);
+    // The session answers the join question itself out of the box.
+    assert_eq!(session.join_algo(), JoinAlgo::Adaptive);
+    for (value, algo) in [
+        ("bhj", JoinAlgo::Bhj),
+        ("rj", JoinAlgo::Rj),
+        ("brj", JoinAlgo::Brj),
+        ("adaptive", JoinAlgo::Adaptive),
+    ] {
+        session
+            .execute(&format!("SET join_algo = {value};"))
+            .unwrap();
+        assert_eq!(session.join_algo(), algo, "SET join_algo = {value}");
+        let t = session
+            .execute("SELECT count(*) FROM probe r, build s WHERE r.k = s.key")
+            .unwrap();
+        assert_eq!(t.column(0).as_i64(), &[2_000], "{value}");
+    }
+
+    let err = session
+        .execute("SET join_algo = quantum")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("unknown join_algo"), "{err}");
+    let err = session
+        .execute("SET partition_bits = 6")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("unknown session variable"), "{err}");
+}
