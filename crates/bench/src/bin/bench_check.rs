@@ -12,7 +12,11 @@
 //! memory-traffic byte counters, degradation counts) drifts outside its
 //! tolerance, when a baseline metric disappears, or when the workload
 //! parameters don't match the baseline's. Wall-clock entries are recorded
-//! informational (`tol: null`) because CI machines vary. The current run's
+//! informational (`tol: null`) because CI machines vary. The `hhj` pass
+//! re-runs Q3 through the out-of-core hybrid hash join under a deliberately
+//! tiny memory budget: its row count is gated exactly, its `spill.*`
+//! counters ride along informationally, and the run hard-fails if nothing
+//! spilled (a budget that small must hit disk). The current run's
 //! metrics are always written to `results/bench_current.json` so a failed
 //! gate can be diffed; `--trace` additionally exports one Chrome/Perfetto
 //! `trace_event` file per algorithm (`results/q03_<algo>.trace.json`).
@@ -36,6 +40,9 @@ const SF: f64 = 0.01;
 const SEED: u64 = 20260706;
 const THREADS: usize = 4;
 const QUERY_ID: u32 = 3;
+/// Memory budget for the hybrid-join pass: far below Q3's working set at
+/// SF 0.01, so the run only completes by spilling partitions to disk.
+const SPILL_BUDGET: usize = 256 * 1024;
 /// Gated byte counters get a little slack: morsel boundaries can shift
 /// with scheduling, moving a few rows between phase attributions.
 const BYTES_TOL: f64 = 0.02;
@@ -71,10 +78,17 @@ fn main() {
     let mut informational: Vec<String> = Vec::new();
     metrics::set_enabled(true);
 
-    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj] {
+    for algo in [JoinAlgo::Bhj, JoinAlgo::Rj, JoinAlgo::Brj, JoinAlgo::Hybrid] {
         metrics::reset_all();
         let tag = algo.name().to_ascii_lowercase();
         let cfg = QueryConfig::new(algo);
+        // The hybrid pass runs under a tiny budget so it exercises the
+        // out-of-core path; the in-memory algorithms stay unbounded.
+        engine.ctx.set_memory_budget(if algo == JoinAlgo::Hybrid {
+            Some(SPILL_BUDGET)
+        } else {
+            None
+        });
 
         let t0 = Instant::now();
         let result = (query.run)(&data, &cfg, &engine);
@@ -118,10 +132,38 @@ fn main() {
             // histograms only populate on the traced path and stay out of
             // the baseline so `--trace` doesn't change the gate.
             if name.starts_with("mem.") && name.ends_with("_bytes") {
-                current.insert(format!("{prefix}.{name}"), value);
+                let full = format!("{prefix}.{name}");
+                // Spill-phase traffic is informational like the raw spill.*
+                // counters: how much hits disk depends on eviction order.
+                if name.starts_with("mem.spill.") {
+                    informational.push(full.clone());
+                }
+                current.insert(full, value);
             } else if name == "exec.degradations" {
                 current.insert(format!("{prefix}.degradations"), value);
             }
+        }
+        // Spill counters, emitted *unconditionally* (0 for the in-memory
+        // algorithms) so the baseline keys exist on every run. They stay
+        // informational: spill volume shifts with eviction order, which
+        // depends on morsel scheduling.
+        for spill_name in [
+            "spill.write_bytes",
+            "spill.read_bytes",
+            "spill.partitions",
+            "spill.recursions",
+            "spill.bnl_fallbacks",
+        ] {
+            let name = format!("{prefix}.{spill_name}");
+            current.insert(
+                name.clone(),
+                registry::global().counter(spill_name).get() as f64,
+            );
+            informational.push(name);
+        }
+        if algo == JoinAlgo::Hybrid && registry::global().counter("spill.write_bytes").get() == 0 {
+            eprintln!("FAIL: the {SPILL_BUDGET} B hybrid pass completed without spilling");
+            std::process::exit(1);
         }
 
         if with_trace {
@@ -145,6 +187,7 @@ fn main() {
         ("threads".to_string(), THREADS as f64),
         ("query".to_string(), QUERY_ID as f64),
         ("seed".to_string(), SEED as f64),
+        ("spill_budget".to_string(), SPILL_BUDGET as f64),
     ]
     .into();
 

@@ -144,6 +144,7 @@ fn main() {
         bloom_build,
         bloom_probe,
         ramp_llc_multiple: defaults.ramp_llc_multiple,
+        spill_ns_per_byte: defaults.spill_ns_per_byte,
         source: "measured".into(),
     }
     .sanitize();

@@ -8,7 +8,9 @@
 //! joinstudy> .quit
 //! ```
 //!
-//! Dot-commands: `.algo bhj|rj|brj` picks the join implementation,
+//! Dot-commands: `.algo bhj|rj|brj|adaptive|hybrid` picks the join
+//! implementation (`hybrid` is the out-of-core spilling join),
+//! `.spill <dir>|default` picks where hybrid-join spill runs live,
 //! `.explain <select>` prints the plan, `.profile on|off` records a
 //! per-operator [`QueryProfile`] for every statement (printed after the
 //! result; `EXPLAIN ANALYZE <select>` does the same for a single query;
@@ -22,7 +24,7 @@
 //! `.tables` lists relations, `.timing on|off` toggles wall-clock
 //! reporting, `.timeout <ms>|off` sets a per-statement deadline,
 //! `.budget <mb>|off` caps per-statement materialization memory (joins
-//! degrade to BHJ before failing), and `.quit` exits.
+//! degrade RJ → BHJ → spilling HHJ before failing), and `.quit` exits.
 
 use joinstudy_bench::harness::Args;
 use joinstudy_core::JoinAlgo;
@@ -150,7 +152,23 @@ fn main() {
                     Some(a) if a == "rj" => session.set_join_algo(JoinAlgo::Rj),
                     Some(a) if a == "brj" => session.set_join_algo(JoinAlgo::Brj),
                     Some(a) if a == "adaptive" => session.set_join_algo(JoinAlgo::Adaptive),
-                    _ => println!("usage: .algo bhj|rj|brj|adaptive"),
+                    Some(a) if a == "hybrid" || a == "hhj" => {
+                        session.set_join_algo(JoinAlgo::Hybrid)
+                    }
+                    _ => println!("usage: .algo bhj|rj|brj|adaptive|hybrid"),
+                },
+                ".spill" => match parts.next().map(str::trim) {
+                    Some("default") => {
+                        session.context().set_spill_dir(None);
+                        println!("spill dir: engine default (temp dir)");
+                    }
+                    Some(dir) if !dir.is_empty() => {
+                        session
+                            .context()
+                            .set_spill_dir(Some(std::path::PathBuf::from(dir)));
+                        println!("spill dir: {dir}");
+                    }
+                    _ => println!("usage: .spill <dir>|default"),
                 },
                 ".timeout" => match parts.next().map(str::trim) {
                     Some("off") => {
@@ -237,8 +255,8 @@ fn main() {
                 other => {
                     println!(
                         "unknown command {other:?} \
-                         (.tables .algo .explain .profile .trace .counters .timing .timeout \
-                          .budget .quit)"
+                         (.tables .algo .spill .explain .profile .trace .counters .timing \
+                          .timeout .budget .quit)"
                     )
                 }
             }

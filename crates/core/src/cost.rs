@@ -99,6 +99,10 @@ pub struct Calibration {
     /// Width of the miss ramp, in multiples of the LLC: `m` saturates at
     /// `H = (1 + ramp) · LLC`. Default 4.
     pub ramp_llc_multiple: f64,
+    /// Sequential spill I/O cost per byte (one direction) for the hybrid
+    /// join's out-of-core regime term. Default 0.5 ns (≈ 2 GB/s, a
+    /// buffered-SSD figure).
+    pub spill_ns_per_byte: f64,
     /// Where these constants came from (`"default"`, a file path, or
     /// `"measured"` for freshly calibrated values).
     pub source: String,
@@ -175,6 +179,7 @@ impl Calibration {
         // thing the reducer skips there is work that was already cheap.
         self.bloom_probe = pos(self.bloom_probe, d.bloom_probe).max(self.bhj_probe_hit);
         self.ramp_llc_multiple = pos(self.ramp_llc_multiple, d.ramp_llc_multiple).max(0.25);
+        self.spill_ns_per_byte = pos(self.spill_ns_per_byte, d.spill_ns_per_byte);
         let sched = self.partition_passes * self.partition_pass;
         self.bhj_build_miss = pos(self.bhj_build_miss, d.bhj_build_miss)
             .max(self.bhj_build_hit)
@@ -201,6 +206,7 @@ impl Calibration {
             bloom_build: 1.5,
             bloom_probe: 1.2,
             ramp_llc_multiple: 4.0,
+            spill_ns_per_byte: 0.5,
             source: "default".into(),
         }
     }
@@ -224,6 +230,7 @@ impl Calibration {
         field("bloom_build", self.bloom_build);
         field("bloom_probe", self.bloom_probe);
         field("ramp_llc_multiple", self.ramp_llc_multiple);
+        field("spill_ns_per_byte", self.spill_ns_per_byte);
         s.push_str(&format!("  \"source\": \"{}\"\n}}\n", self.source));
         s
     }
@@ -253,6 +260,7 @@ impl Calibration {
                 "bloom_build" => cal.bloom_build = num()?,
                 "bloom_probe" => cal.bloom_probe = num()?,
                 "ramp_llc_multiple" => cal.ramp_llc_multiple = num()?,
+                "spill_ns_per_byte" => cal.spill_ns_per_byte = num()?,
                 "source" => cal.source = value,
                 _ => {}
             }
@@ -407,7 +415,7 @@ impl CostBreakdown {
             JoinAlgo::Bhj => self.bhj,
             JoinAlgo::Rj => self.rj,
             JoinAlgo::Brj => self.brj,
-            JoinAlgo::Adaptive => f64::INFINITY,
+            JoinAlgo::Adaptive | JoinAlgo::Hybrid => f64::INFINITY,
         }
     }
 }
@@ -498,6 +506,41 @@ impl CostModel {
             + e.probe_rows * self.cal.bloom_probe
             + sigma
                 * (self.part_cost(e.probe_rows, e.probe_width) + e.probe_rows * self.cal.rh_probe)
+    }
+
+    /// The hybrid join's I/O regime term (ns): the fraction of both sides
+    /// that cannot stay memory-resident under `budget` is written to a
+    /// spill run once and read back once.
+    pub fn hybrid_io_cost(&self, e: &JoinEstimate, budget: f64) -> f64 {
+        let build_bytes = e.build_rows * e.build_width.max(8.0);
+        let probe_bytes = e.probe_rows * e.probe_width.max(8.0);
+        let footprint = self.ht_bytes(e.build_rows, e.build_width);
+        if footprint <= 0.0 {
+            return 0.0;
+        }
+        let spilled_frac = 1.0 - (budget / footprint).clamp(0.0, 1.0);
+        2.0 * spilled_frac * (build_bytes + probe_bytes) * self.cal.spill_ns_per_byte
+    }
+
+    /// Memory-budget override on a plan-time decision: when the modeled
+    /// build-side hash table cannot fit the budget, every in-memory
+    /// contender is doomed to degrade at runtime, so the decision is
+    /// rewritten to the out-of-core hybrid join ([`JoinAlgo::Hybrid`]) up
+    /// front, with the spill I/O regime term in the rationale.
+    pub fn apply_budget(&self, d: &mut Decision, budget: Option<usize>) {
+        let Some(budget) = budget else { return };
+        let budget = budget as f64;
+        if d.ht_bytes <= budget {
+            return;
+        }
+        let io = self.hybrid_io_cost(&d.estimate, budget);
+        d.algo = JoinAlgo::Hybrid;
+        d.reason = format!(
+            "ht {} exceeds the {} memory budget: out-of-core HHJ (modeled spill I/O {:.2} ms)",
+            fmt_bytes(d.ht_bytes),
+            fmt_bytes(budget),
+            io / 1e6,
+        );
     }
 
     /// All three costs at once.

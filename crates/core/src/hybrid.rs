@@ -1,0 +1,955 @@
+//! Dynamic hybrid hash join (HHJ): the out-of-core join that stays correct
+//! under *any* memory budget.
+//!
+//! Both inputs are hash-partitioned by their join keys (the same 64-bit
+//! hash the in-memory joins use, consumed window-by-window so recursion
+//! levels stay independent). Partitions remain memory-resident as long as
+//! the [`QueryContext`] budget allows; under pressure the *largest*
+//! resident partition is evicted to a [`crate::spill`] run — the
+//! victim-selection trade-off from "Design Trade-offs for a Robust Dynamic
+//! Hybrid Hash Join": evicting big partitions frees the most memory per
+//! eviction and keeps the most partitions resident. Once spilled, a
+//! partition stays spilled (no re-admission thrash).
+//!
+//! The join phase then processes each partition pair independently: build
+//! the in-memory hash table with the ordinary [`crate::bhj`] primitives and
+//! stream the probe side through it (the probe side is never materialized
+//! twice). A partition whose build side *still* exceeds the budget is
+//! recursively repartitioned on the next hash-bit window, up to
+//! [`SpillConfig::max_depth`]; a partition that stops shrinking (degenerate
+//! keys — every row identical) or exhausts the depth budget falls back to a
+//! streaming block nested-loop join that processes the build side in
+//! budget-sized chunks. All seven [`JoinType`]s are preserved through every
+//! fallback level.
+
+use crate::bhj::{BhjBuildSink, BhjProbeOp, BhjState, BhjUnmatchedSource};
+use crate::hash::hash_columns;
+use crate::join_common::{default_column, JoinType};
+use crate::spill::{SpillDir, SpillFile, SpillReader, SpillWriter};
+use joinstudy_exec::batch::Batch;
+use joinstudy_exec::context::{BudgetLease, QueryContext};
+use joinstudy_exec::error::{ExecError, ExecResult};
+use joinstudy_exec::metrics::{self, MemPhase};
+use joinstudy_exec::pipeline::{Emit, LocalState, Operator, Sink, Source};
+use joinstudy_exec::registry;
+use joinstudy_exec::trace;
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::types::DataType;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs of the hybrid hash join.
+#[derive(Debug, Clone, Copy)]
+pub struct SpillConfig {
+    /// log2 of the partition fan-out per level. The effective fan-out is
+    /// additionally capped by the budget so open write buffers can never
+    /// consume it whole (see [`SpillConfig::effective_fanout_bits`]).
+    pub fanout_bits: u32,
+    /// Maximum recursive-repartitioning depth; beyond it the join degrades
+    /// to the streaming nested-loop fallback.
+    pub max_depth: u32,
+}
+
+impl Default for SpillConfig {
+    fn default() -> SpillConfig {
+        SpillConfig {
+            fanout_bits: 4,
+            max_depth: 4,
+        }
+    }
+}
+
+impl SpillConfig {
+    /// Fan-out bits actually used under `budget`: at most a quarter of the
+    /// budget may go to open spill write buffers (one per partition, both
+    /// sides), with a floor of two partitions.
+    pub fn effective_fanout_bits(&self, budget: Option<usize>) -> u32 {
+        let Some(budget) = budget else {
+            return self.fanout_bits.max(1);
+        };
+        let max_buffers = (budget / 4 / crate::spill::WRITE_BUF_BYTES).max(2);
+        let cap = (usize::BITS - 1 - max_buffers.leading_zeros()).max(1);
+        self.fanout_bits.clamp(1, cap)
+    }
+}
+
+/// Sum of a batch's accountable bytes (column payloads + validity masks).
+fn batch_bytes(batch: &Batch) -> usize {
+    let cols: usize = batch.columns().iter().map(|c| c.byte_size()).sum();
+    let masks: usize = (0..batch.num_columns())
+        .map(|i| batch.validity(i).as_ref().map_or(0, |m| m.len()))
+        .sum();
+    cols + masks
+}
+
+// ------------------------------------------------------- partition sink
+
+/// One partition's staging state inside the sink.
+struct SlotState {
+    batches: Vec<Batch>,
+    /// Accounted bytes of `batches` (held by the sink's aggregate lease).
+    bytes: usize,
+    /// Present once the partition has been evicted; it then stays spilled.
+    writer: Option<SpillWriter>,
+}
+
+struct SinkState {
+    slots: Vec<SlotState>,
+    lease: BudgetLease,
+}
+
+/// Pipeline breaker that hash-partitions its input into `1 << fanout_bits`
+/// partitions, spilling victims partition-by-partition when the memory
+/// budget runs out.
+pub struct PartitionSpillSink {
+    key_cols: Vec<usize>,
+    fanout_bits: u32,
+    phase: MemPhase,
+    side: &'static str,
+    /// Resident-bytes ceiling for this sink — a quarter of the budget, so
+    /// build-side residents, probe-side residents and open write buffers
+    /// can coexist with headroom left for the join phase's hash tables.
+    resident_cap: usize,
+    ctx: Arc<QueryContext>,
+    dir: Arc<SpillDir>,
+    global: Mutex<SinkState>,
+}
+
+struct PartitionLocal {
+    hashes: Vec<u64>,
+    sels: Vec<Vec<u32>>,
+}
+
+impl PartitionSpillSink {
+    pub fn new(
+        key_cols: Vec<usize>,
+        fanout_bits: u32,
+        phase: MemPhase,
+        side: &'static str,
+        ctx: Arc<QueryContext>,
+        dir: Arc<SpillDir>,
+    ) -> PartitionSpillSink {
+        let fanout = 1usize << fanout_bits;
+        let slots = (0..fanout)
+            .map(|_| SlotState {
+                batches: Vec::new(),
+                bytes: 0,
+                writer: None,
+            })
+            .collect();
+        let lease = BudgetLease::empty(&ctx);
+        let resident_cap = ctx
+            .memory_budget()
+            .map(|b| (b / 4).max(1))
+            .unwrap_or(usize::MAX);
+        PartitionSpillSink {
+            key_cols,
+            fanout_bits,
+            phase,
+            side,
+            resident_cap,
+            ctx,
+            dir,
+            global: Mutex::new(SinkState { slots, lease }),
+        }
+    }
+
+    /// Evict `victim`'s resident batches to its spill run, creating the run
+    /// on first eviction. The victim's share of the aggregate lease is
+    /// released *before* the run is created, so the write buffer's own
+    /// reservation cannot deadlock against the memory it is about to free.
+    fn evict(&self, state: &mut SinkState, victim: usize) -> ExecResult {
+        let batches = std::mem::take(&mut state.slots[victim].batches);
+        let freed = std::mem::take(&mut state.slots[victim].bytes);
+        state.lease.shrink(freed);
+        let slot = &mut state.slots[victim];
+        if slot.writer.is_none() {
+            trace::instant(format!("HHJ evict: {} p{victim} -> disk", self.side));
+            slot.writer = Some(SpillWriter::create(
+                &self.dir,
+                &format!("{}-p{victim}", self.side),
+                &self.ctx,
+            )?);
+            self.ctx.add_spill_partition();
+            registry::global().counter("spill.partitions").inc();
+        }
+        let writer = slot.writer.as_mut().expect("just created");
+        for b in &batches {
+            writer.write_batch(b)?;
+        }
+        Ok(())
+    }
+
+    /// Place one partition's sub-batch: into memory if the budget allows,
+    /// else evict the largest resident partition (possibly `p` itself) and
+    /// retry; a partition that has spilled before appends to its run.
+    fn place(&self, state: &mut SinkState, p: usize, sub: Batch) -> ExecResult {
+        if state.slots[p].writer.is_some() {
+            return state.slots[p]
+                .writer
+                .as_mut()
+                .expect("checked")
+                .write_batch(&sub);
+        }
+        let need = batch_bytes(&sub);
+        loop {
+            if state.lease.bytes().saturating_add(need) <= self.resident_cap {
+                match state.lease.grow(need) {
+                    Ok(()) => {
+                        metrics::record_write(self.phase, need as u64);
+                        let slot = &mut state.slots[p];
+                        slot.batches.push(sub);
+                        slot.bytes += need;
+                        return Ok(());
+                    }
+                    Err(ExecError::BudgetExceeded { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            // Over the cap (or the global budget refused): evict the
+            // largest resident partition — the most memory freed per spill
+            // run — and retry; with nothing left to evict, spill `p`
+            // itself. If even a write buffer does not fit the budget, the
+            // typed error propagates.
+            let victim = state
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.bytes > 0)
+                .max_by_key(|(_, s)| s.bytes)
+                .map(|(i, _)| i);
+            match victim {
+                Some(v) => {
+                    self.evict(state, v)?;
+                    if v == p {
+                        // `p` is now disk-backed; append and stop.
+                        return state.slots[p]
+                            .writer
+                            .as_mut()
+                            .expect("just evicted")
+                            .write_batch(&sub);
+                    }
+                }
+                None => {
+                    if state.slots[p].writer.is_none() {
+                        self.evict(state, p)?;
+                    }
+                    return state.slots[p]
+                        .writer
+                        .as_mut()
+                        .expect("just evicted")
+                        .write_batch(&sub);
+                }
+            }
+        }
+    }
+
+    /// Seal the sink: finish all spill runs and hand the partitions (and
+    /// the budget reservation backing the resident ones) to the caller.
+    pub fn finalize(&self) -> ExecResult<SideParts> {
+        let (slots, lease) = {
+            let mut g = self.global.lock().unwrap();
+            let slots = std::mem::take(&mut g.slots);
+            let lease = std::mem::replace(&mut g.lease, BudgetLease::empty(&self.ctx));
+            (slots, lease)
+        };
+        let mut parts = Vec::with_capacity(slots.len());
+        for slot in slots {
+            parts.push(Some(match slot.writer {
+                Some(w) => {
+                    debug_assert!(slot.batches.is_empty(), "spilled slot kept batches");
+                    PartData::File(w.finish()?)
+                }
+                None => PartData::Mem {
+                    rows: slot.batches.iter().map(|b| b.num_rows() as u64).sum(),
+                    batches: slot.batches,
+                    bytes: slot.bytes,
+                },
+            }));
+        }
+        // The resident bytes now belong to SideParts, released part by part.
+        let owned = lease.transfer();
+        debug_assert_eq!(
+            owned,
+            parts
+                .iter()
+                .map(|p| match p {
+                    Some(PartData::Mem { bytes, .. }) => *bytes,
+                    _ => 0,
+                })
+                .sum::<usize>()
+        );
+        Ok(SideParts {
+            parts: Mutex::new(parts),
+            ctx: Arc::clone(&self.ctx),
+        })
+    }
+
+    /// Number of partitions currently spilled to disk.
+    pub fn spilled_partitions(&self) -> usize {
+        self.global
+            .lock()
+            .unwrap()
+            .slots
+            .iter()
+            .filter(|s| s.writer.is_some())
+            .count()
+    }
+}
+
+impl Sink for PartitionSpillSink {
+    fn create_local(&self) -> LocalState {
+        Box::new(PartitionLocal {
+            hashes: Vec::new(),
+            sels: vec![Vec::new(); 1 << self.fanout_bits],
+        })
+    }
+
+    fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
+        let local = local.downcast_mut::<PartitionLocal>().expect("local type");
+        let n = input.num_rows();
+        if n == 0 {
+            return Ok(());
+        }
+        let keys: Vec<&ColumnData> = self.key_cols.iter().map(|&c| input.column(c)).collect();
+        hash_columns(&keys, n, &mut local.hashes);
+        let mask = (1u64 << self.fanout_bits) - 1;
+        for sel in &mut local.sels {
+            sel.clear();
+        }
+        for r in 0..n {
+            local.sels[(local.hashes[r] & mask) as usize].push(r as u32);
+        }
+        // Split outside the lock, place under one lock per input batch.
+        let subs: Vec<(usize, Batch)> = local
+            .sels
+            .iter()
+            .enumerate()
+            .filter(|(_, sel)| !sel.is_empty())
+            .map(|(p, sel)| (p, input.take(sel)))
+            .collect();
+        let mut state = self.global.lock().unwrap();
+        for (p, sub) in subs {
+            self.place(&mut state, p, sub)?;
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------ partition store
+
+/// One finalized partition: memory-resident batches or a spill run.
+enum PartData {
+    Mem {
+        batches: Vec<Batch>,
+        bytes: usize,
+        rows: u64,
+    },
+    File(SpillFile),
+}
+
+/// All partitions of one join side after partitioning, taken one-by-one by
+/// the join tasks. Dropping releases the budget of untaken resident
+/// partitions (spill files are reclaimed by the [`SpillDir`] guard).
+pub struct SideParts {
+    parts: Mutex<Vec<Option<PartData>>>,
+    ctx: Arc<QueryContext>,
+}
+
+impl SideParts {
+    fn take(&self, p: usize) -> PartInput {
+        match self.parts.lock().unwrap()[p].take() {
+            Some(PartData::Mem {
+                batches,
+                bytes,
+                rows,
+            }) => PartInput::Mem(MemPart {
+                batches,
+                bytes,
+                rows,
+                ctx: Arc::clone(&self.ctx),
+            }),
+            Some(PartData::File(f)) => PartInput::File(f),
+            None => PartInput::Mem(MemPart::empty(&self.ctx)),
+        }
+    }
+
+    /// Partition count.
+    pub fn len(&self) -> usize {
+        self.parts.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total spilled bytes across partitions (for plan-time details).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.parts
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|p| match p {
+                Some(PartData::File(f)) => f.bytes(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total rows across all partitions (resident + spilled).
+    pub fn rows(&self) -> u64 {
+        self.parts
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|p| match p {
+                Some(PartData::Mem { rows, .. }) => *rows,
+                Some(PartData::File(f)) => f.rows(),
+                None => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes across all partitions (resident + spilled).
+    pub fn total_bytes(&self) -> u64 {
+        self.parts
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|p| match p {
+                Some(PartData::Mem { bytes, .. }) => *bytes as u64,
+                Some(PartData::File(f)) => f.bytes(),
+                None => 0,
+            })
+            .sum()
+    }
+
+    /// Number of disk-backed partitions (for plan-time details).
+    pub fn spilled_partitions(&self) -> usize {
+        self.parts
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|p| matches!(p, Some(PartData::File(_))))
+            .count()
+    }
+}
+
+impl Drop for SideParts {
+    fn drop(&mut self) {
+        let parts = self.parts.lock().unwrap();
+        for p in parts.iter() {
+            if let Some(PartData::Mem { bytes, .. }) = p {
+                self.ctx.release(*bytes);
+            }
+        }
+    }
+}
+
+/// Memory-resident partition input with RAII budget release.
+struct MemPart {
+    batches: Vec<Batch>,
+    bytes: usize,
+    rows: u64,
+    ctx: Arc<QueryContext>,
+}
+
+impl MemPart {
+    fn empty(ctx: &Arc<QueryContext>) -> MemPart {
+        MemPart {
+            batches: Vec::new(),
+            bytes: 0,
+            rows: 0,
+            ctx: Arc::clone(ctx),
+        }
+    }
+}
+
+impl Drop for MemPart {
+    fn drop(&mut self) {
+        self.ctx.release(self.bytes);
+    }
+}
+
+/// One partition's worth of input to a join task; re-iterable any number of
+/// times (chunked fallbacks stream the same side repeatedly).
+enum PartInput {
+    Mem(MemPart),
+    File(SpillFile),
+}
+
+impl PartInput {
+    fn rows(&self) -> u64 {
+        match self {
+            PartInput::Mem(m) => m.rows,
+            PartInput::File(f) => f.rows(),
+        }
+    }
+
+    fn stream<'a>(&'a self, ctx: &Arc<QueryContext>) -> ExecResult<PartStream<'a>> {
+        Ok(match self {
+            PartInput::Mem(m) => PartStream::Mem(m.batches.iter()),
+            PartInput::File(f) => PartStream::File(SpillReader::open(f, ctx)?),
+        })
+    }
+
+    /// Eagerly reclaim a consumed spill run (the dir guard is the backstop).
+    fn discard(self) {
+        if let PartInput::File(f) = self {
+            f.remove();
+        }
+    }
+}
+
+enum PartStream<'a> {
+    Mem(std::slice::Iter<'a, Batch>),
+    File(SpillReader),
+}
+
+impl PartStream<'_> {
+    fn next(&mut self) -> ExecResult<Option<Batch>> {
+        match self {
+            PartStream::Mem(it) => Ok(it.next().cloned()),
+            PartStream::File(r) => r.read_batch(),
+        }
+    }
+}
+
+// ------------------------------------------------------- the join source
+
+/// Source of the hybrid join's output pipeline: one task per partition
+/// pair, each joined with the in-memory BHJ primitives, recursing or
+/// degrading to the nested-loop fallback when the budget still does not
+/// fit.
+pub struct HybridJoinSource {
+    build: SideParts,
+    probe: SideParts,
+    build_types: Vec<DataType>,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    kind: JoinType,
+    prefetch: bool,
+    cfg: SpillConfig,
+    fanout_bits: u32,
+    ctx: Arc<QueryContext>,
+    dir: Arc<SpillDir>,
+    /// Unique suffix for recursion-spawned spill runs.
+    seq: AtomicU64,
+    /// Under a memory budget, partition pairs are joined one at a time:
+    /// two concurrent tasks would race for the same headroom and turn a
+    /// tight-but-sufficient budget into spurious recursion or failure.
+    /// Unbudgeted runs skip the lock and keep full task parallelism.
+    serial: Mutex<()>,
+}
+
+#[allow(clippy::too_many_arguments)]
+impl HybridJoinSource {
+    pub fn new(
+        build: SideParts,
+        probe: SideParts,
+        build_types: Vec<DataType>,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        kind: JoinType,
+        prefetch: bool,
+        cfg: SpillConfig,
+        fanout_bits: u32,
+        ctx: Arc<QueryContext>,
+        dir: Arc<SpillDir>,
+    ) -> HybridJoinSource {
+        debug_assert_eq!(build.len(), probe.len());
+        HybridJoinSource {
+            build,
+            probe,
+            build_types,
+            build_keys,
+            probe_keys,
+            kind,
+            prefetch,
+            cfg,
+            fanout_bits,
+            ctx,
+            dir,
+            seq: AtomicU64::new(0),
+            serial: Mutex::new(()),
+        }
+    }
+
+    /// Build the partition's hash table in memory; `Ok(None)` when the
+    /// budget does not fit (the caller recurses or degrades), `Err` for
+    /// everything else.
+    fn try_build(&self, build: &PartInput) -> ExecResult<Option<Arc<BhjState>>> {
+        let attempt = (|| {
+            let sink = BhjBuildSink::new(&self.build_types, self.build_keys.clone())
+                .with_context(Arc::clone(&self.ctx));
+            let mut local = sink.create_local();
+            let mut stream = build.stream(&self.ctx)?;
+            while let Some(batch) = stream.next()? {
+                sink.consume(&mut local, batch)?;
+            }
+            sink.finish_local(local)?;
+            sink.into_state(1)
+        })();
+        match attempt {
+            Ok(state) => Ok(Some(state)),
+            Err(ExecError::BudgetExceeded { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Probe `state` with the partition's probe side, streaming output.
+    /// Handles the build-preserving variants' unmatched scan; correct
+    /// because each partition (and in the chunked fallback, each chunk)
+    /// holds every build row exactly once.
+    fn probe_into(&self, state: &Arc<BhjState>, probe: &PartInput, out: Emit) -> ExecResult {
+        let op = BhjProbeOp::new(
+            Arc::clone(state),
+            self.probe_keys.clone(),
+            self.kind,
+            self.prefetch,
+        );
+        let mut local = op.create_local();
+        let mut stream = probe.stream(&self.ctx)?;
+        while let Some(batch) = stream.next()? {
+            op.process(&mut local, batch, out)?;
+        }
+        op.flush(&mut local, out)?;
+        if self.kind.preserves_build() {
+            let unmatched = BhjUnmatchedSource::new(Arc::clone(state), self.kind);
+            for t in 0..unmatched.task_count() {
+                unmatched.poll_task(t, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Join one partition pair at `depth`. `no_progress` marks a pair whose
+    /// build side did not shrink in the previous split (degenerate keys):
+    /// further recursion cannot help, go straight to the nested loop.
+    fn join_pair(
+        &self,
+        build: PartInput,
+        probe: PartInput,
+        depth: u32,
+        no_progress: bool,
+        out: Emit,
+    ) -> ExecResult {
+        self.ctx.check()?;
+        if let Some(state) = self.try_build(&build)? {
+            self.probe_into(&state, &probe, out)?;
+            drop(state);
+            build.discard();
+            probe.discard();
+            return Ok(());
+        }
+        // Build side does not fit. Decide between another split and the
+        // streaming nested loop.
+        let next_shift = (depth + 1) * self.fanout_bits;
+        let can_split =
+            !no_progress && depth < self.cfg.max_depth && next_shift + self.fanout_bits <= 64;
+        if !can_split {
+            return self.block_nested_loop(build, probe, out);
+        }
+        trace::instant(format!(
+            "HHJ recurse: repartition at depth {} ({} build rows)",
+            depth + 1,
+            build.rows()
+        ));
+        self.ctx.note_spill_depth(u64::from(depth) + 1);
+        registry::global().counter("spill.recursions").inc();
+        let parent_build_rows = build.rows();
+        let build_keys = self.build_keys.clone();
+        let probe_keys = self.probe_keys.clone();
+        let sub_build = self.split(build, &build_keys, next_shift)?;
+        let sub_probe = self.split(probe, &probe_keys, next_shift)?;
+        for (b, p) in sub_build.into_iter().zip(sub_probe) {
+            let stuck = b.rows() == parent_build_rows;
+            self.join_pair(b, p, depth + 1, stuck, out)?;
+        }
+        Ok(())
+    }
+
+    /// Repartition one side on the hash-bit window starting at `shift`,
+    /// writing each non-empty sub-partition to its own spill run. The
+    /// parent input is discarded afterwards.
+    fn split(
+        &self,
+        input: PartInput,
+        key_cols: &[usize],
+        shift: u32,
+    ) -> ExecResult<Vec<PartInput>> {
+        let fanout = 1usize << self.fanout_bits;
+        let mask = (1u64 << self.fanout_bits) - 1;
+        let mut writers: Vec<Option<SpillWriter>> = (0..fanout).map(|_| None).collect();
+        let mut hashes = Vec::new();
+        let mut sels: Vec<Vec<u32>> = vec![Vec::new(); fanout];
+        let mut stream = input.stream(&self.ctx)?;
+        while let Some(batch) = stream.next()? {
+            let n = batch.num_rows();
+            if n == 0 {
+                continue;
+            }
+            let keys: Vec<&ColumnData> = key_cols.iter().map(|&c| batch.column(c)).collect();
+            hash_columns(&keys, n, &mut hashes);
+            for sel in &mut sels {
+                sel.clear();
+            }
+            for r in 0..n {
+                sels[((hashes[r] >> shift) & mask) as usize].push(r as u32);
+            }
+            for (s, sel) in sels.iter().enumerate() {
+                if sel.is_empty() {
+                    continue;
+                }
+                let w = match &mut writers[s] {
+                    Some(w) => w,
+                    slot @ None => {
+                        let name = format!("sub-{}-s{s}", self.seq.fetch_add(1, Ordering::Relaxed));
+                        *slot = Some(SpillWriter::create(&self.dir, &name, &self.ctx)?);
+                        slot.as_mut().expect("just created")
+                    }
+                };
+                w.write_batch(&batch.take(sel))?;
+            }
+        }
+        drop(stream);
+        input.discard();
+        writers
+            .into_iter()
+            .map(|w| {
+                Ok(match w {
+                    Some(w) => PartInput::File(w.finish()?),
+                    None => PartInput::Mem(MemPart::empty(&self.ctx)),
+                })
+            })
+            .collect()
+    }
+
+    /// Streaming block nested-loop fallback: the build side is consumed in
+    /// budget-sized chunks, each probed with the full probe side. Probe-
+    /// preserving variants collect a cross-chunk match bitmap (charged
+    /// against the budget) and emit survivors in one final probe pass.
+    fn block_nested_loop(&self, build: PartInput, probe: PartInput, out: Emit) -> ExecResult {
+        trace::instant(format!(
+            "HHJ fallback: block nested loop ({} build rows)",
+            build.rows()
+        ));
+        registry::global().counter("spill.bnl_fallbacks").inc();
+        let needs_bitmap = matches!(
+            self.kind,
+            JoinType::ProbeSemi | JoinType::ProbeAnti | JoinType::ProbeMark | JoinType::ProbeOuter
+        );
+        let probe_rows = probe.rows() as usize;
+        let mut bitmap_lease = BudgetLease::empty(&self.ctx);
+        let mut matched = Vec::new();
+        if needs_bitmap {
+            bitmap_lease.grow(probe_rows)?;
+            matched = vec![false; probe_rows];
+        }
+
+        let mut stream = build.stream(&self.ctx)?;
+        let mut carry: Option<Batch> = None;
+        let mut exhausted = false;
+        while !exhausted {
+            // Assemble one chunk: consume until the budget refuses (leaving
+            // the refused batch for the next chunk) or half the budget is
+            // committed (headroom for the chunk's hash table).
+            let sink = BhjBuildSink::new(&self.build_types, self.build_keys.clone())
+                .with_context(Arc::clone(&self.ctx));
+            let mut local = sink.create_local();
+            let mut chunk_rows = 0u64;
+            loop {
+                let batch = match carry.take() {
+                    Some(b) => b,
+                    None => match stream.next()? {
+                        Some(b) => b,
+                        None => {
+                            exhausted = true;
+                            break;
+                        }
+                    },
+                };
+                let rows = batch.num_rows() as u64;
+                match sink.consume(&mut local, batch.clone()) {
+                    Ok(()) => chunk_rows += rows,
+                    Err(ExecError::BudgetExceeded { .. }) if chunk_rows > 0 => {
+                        carry = Some(batch);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+                if let Some(budget) = self.ctx.memory_budget() {
+                    if self.ctx.used().saturating_mul(2) >= budget {
+                        break;
+                    }
+                }
+            }
+            if chunk_rows == 0 && exhausted {
+                break;
+            }
+            sink.finish_local(local)?;
+            let state = sink.into_state(1)?;
+            self.probe_chunk(&state, &probe, &mut matched, out)?;
+        }
+        drop(stream);
+
+        if needs_bitmap {
+            self.emit_from_bitmap(&probe, &matched, out)?;
+        }
+        drop(bitmap_lease);
+        build.discard();
+        probe.discard();
+        Ok(())
+    }
+
+    /// Probe the full probe side against one build chunk.
+    fn probe_chunk(
+        &self,
+        state: &Arc<BhjState>,
+        probe: &PartInput,
+        matched: &mut [bool],
+        out: Emit,
+    ) -> ExecResult {
+        match self.kind {
+            // Build-preserving variants are correct per chunk: every build
+            // row lives in exactly one chunk, so per-chunk unmatched scans
+            // partition the overall answer.
+            JoinType::Inner | JoinType::BuildSemi | JoinType::BuildAnti => {
+                self.probe_into(state, probe, out)
+            }
+            JoinType::ProbeSemi | JoinType::ProbeAnti | JoinType::ProbeMark => {
+                self.mark_chunk(state, probe, matched, None)
+            }
+            JoinType::ProbeOuter => {
+                // Inner pairs stream out per chunk; unmatched probe rows are
+                // resolved by the bitmap after the last chunk.
+                self.mark_chunk(state, probe, matched, Some(out))
+            }
+        }
+    }
+
+    /// Run a `ProbeMark` pass over the probe side, OR-ing the mark column
+    /// into the global bitmap. With `pairs`, additionally emit the inner
+    /// matches of this chunk (the `ProbeOuter` case).
+    fn mark_chunk(
+        &self,
+        state: &Arc<BhjState>,
+        probe: &PartInput,
+        matched: &mut [bool],
+        mut pairs: Option<Emit>,
+    ) -> ExecResult {
+        let mark_op = BhjProbeOp::new(
+            Arc::clone(state),
+            self.probe_keys.clone(),
+            JoinType::ProbeMark,
+            self.prefetch,
+        );
+        let inner_op = BhjProbeOp::new(
+            Arc::clone(state),
+            self.probe_keys.clone(),
+            JoinType::Inner,
+            self.prefetch,
+        );
+        let mut mark_local = mark_op.create_local();
+        let mut inner_local = inner_op.create_local();
+        let mut stream = probe.stream(&self.ctx)?;
+        let mut offset = 0usize;
+        while let Some(batch) = stream.next()? {
+            let n = batch.num_rows();
+            if let Some(out) = pairs.as_mut() {
+                inner_op.process(&mut inner_local, batch.clone(), out)?;
+            }
+            // ProbeMark preserves input order and row count, appending the
+            // mark as the last column.
+            mark_op.process(&mut mark_local, batch, &mut |b: Batch| {
+                let marks = b.column(b.num_columns() - 1).as_bool();
+                for (i, &m) in marks.iter().enumerate() {
+                    if m {
+                        matched[offset + i] = true;
+                    }
+                }
+            })?;
+            offset += n;
+        }
+        Ok(())
+    }
+
+    /// Final probe pass of the nested loop: emit the probe-preserving
+    /// variants' answer from the cross-chunk bitmap.
+    fn emit_from_bitmap(&self, probe: &PartInput, matched: &[bool], out: Emit) -> ExecResult {
+        let mut stream = probe.stream(&self.ctx)?;
+        let mut offset = 0usize;
+        let mut sel = Vec::new();
+        while let Some(batch) = stream.next()? {
+            let n = batch.num_rows();
+            let bits = &matched[offset..offset + n];
+            offset += n;
+            match self.kind {
+                JoinType::ProbeSemi | JoinType::ProbeAnti => {
+                    let keep = self.kind == JoinType::ProbeSemi;
+                    sel.clear();
+                    sel.extend(
+                        bits.iter()
+                            .enumerate()
+                            .filter(|(_, &m)| m == keep)
+                            .map(|(i, _)| i as u32),
+                    );
+                    if !sel.is_empty() {
+                        out(batch.take(&sel));
+                    }
+                }
+                JoinType::ProbeMark => {
+                    let mut b = batch;
+                    b.push_column(ColumnData::Bool(bits.to_vec()));
+                    out(b);
+                }
+                JoinType::ProbeOuter => {
+                    sel.clear();
+                    sel.extend(
+                        bits.iter()
+                            .enumerate()
+                            .filter(|(_, &m)| !m)
+                            .map(|(i, _)| i as u32),
+                    );
+                    if sel.is_empty() {
+                        continue;
+                    }
+                    let k = sel.len();
+                    let pb = batch.take(&sel);
+                    let mut columns = Vec::with_capacity(self.build_types.len() + pb.num_columns());
+                    let mut validity = Vec::with_capacity(columns.capacity());
+                    for &t in &self.build_types {
+                        columns.push(default_column(t, k));
+                        validity.push(Some(vec![false; k]));
+                    }
+                    for c in 0..pb.num_columns() {
+                        validity.push(pb.validity(c).clone());
+                    }
+                    columns.extend(pb.into_columns());
+                    out(Batch::with_validity(columns, validity));
+                }
+                _ => unreachable!("bitmap emission only for probe-preserving variants"),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Source for HybridJoinSource {
+    fn task_count(&self) -> usize {
+        self.build.len()
+    }
+
+    fn poll_task(&self, task: usize, out: Emit) -> ExecResult {
+        self.ctx.check()?;
+        let _serial = if self.ctx.memory_budget().is_some() {
+            Some(self.serial.lock().unwrap_or_else(|p| p.into_inner()))
+        } else {
+            None
+        };
+        let _scope = trace::phase_scope(format!("HHJ join p{task}"));
+        let build = self.build.take(task);
+        let probe = self.probe.take(task);
+        self.join_pair(build, probe, 0, false, out)
+    }
+}

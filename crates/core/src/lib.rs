@@ -36,12 +36,14 @@ pub mod groupjoin;
 pub mod hash;
 pub mod ht_chain;
 pub mod ht_rh;
+pub mod hybrid;
 pub mod join_common;
 pub mod plan;
 pub(crate) mod qprof;
 pub mod radix;
 pub mod rj;
 pub mod row;
+pub mod spill;
 pub mod swwcb;
 
 pub use join_common::JoinType;

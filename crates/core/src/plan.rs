@@ -20,11 +20,13 @@
 
 use crate::bhj::{BhjBuildSink, BhjProbeOp, BhjUnmatchedSource};
 use crate::groupjoin::{GroupAggSpec, GroupJoinBuildSink, GroupJoinProbeOp, GroupJoinSource};
+use crate::hybrid::{HybridJoinSource, PartitionSpillSink, SpillConfig};
 use crate::join_common::JoinType;
 use crate::qprof::{ProfCtx, Slot};
 use crate::radix::{PartitionSink, PartitionedSide, PhaseSet, RadixConfig};
 use crate::rj::{BloomProbeOp, RadixJoinSource};
 use crate::row::RowLayout;
+use crate::spill::SpillDir;
 use joinstudy_exec::context::QueryContext;
 use joinstudy_exec::error::{ExecError, ExecResult};
 use joinstudy_exec::expr::Expr;
@@ -62,6 +64,12 @@ pub enum JoinAlgo {
     /// partitioned join falls back to the BHJ at runtime when the first
     /// radix pass contradicts the estimate.
     Adaptive,
+    /// Out-of-core dynamic hybrid hash join ([`crate::hybrid`]): partitions
+    /// both sides, keeps as many build partitions memory-resident as the
+    /// budget allows, spills the rest ([`crate::spill`]), and recursively
+    /// repartitions oversized spilled partitions. Correct under any memory
+    /// budget; the fallback of last resort for [`JoinAlgo::Adaptive`].
+    Hybrid,
 }
 
 impl JoinAlgo {
@@ -71,6 +79,7 @@ impl JoinAlgo {
             JoinAlgo::Rj => "RJ",
             JoinAlgo::Brj => "BRJ",
             JoinAlgo::Adaptive => "ADAPTIVE",
+            JoinAlgo::Hybrid => "HHJ",
         }
     }
 }
@@ -572,6 +581,9 @@ pub struct Engine {
     pub adaptive_bloom: bool,
     /// Software prefetching in the BHJ probe (ablation switch).
     pub bhj_prefetch: bool,
+    /// Spill configuration for [`JoinAlgo::Hybrid`] join nodes (partition
+    /// fanout per recursion level, recursion depth cap).
+    pub spill: SpillConfig,
     /// Shared cancellation / deadline / memory-budget context. Cloning the
     /// engine shares the context (same session semantics).
     pub ctx: Arc<QueryContext>,
@@ -591,12 +603,22 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(threads: usize) -> Engine {
+        let ctx = QueryContext::unbounded();
+        // `JOINSTUDY_MEMORY_BUDGET=<bytes>` caps every engine built with
+        // `Engine::new` (CI's spill job runs the whole suite under a tiny
+        // budget this way). Explicit `with_context` calls override it.
+        if let Ok(v) = std::env::var("JOINSTUDY_MEMORY_BUDGET") {
+            if let Ok(bytes) = v.trim().parse::<usize>() {
+                ctx.set_memory_budget(Some(bytes));
+            }
+        }
         Engine {
             threads,
             radix: RadixConfig::default(),
             adaptive_bloom: false,
             bhj_prefetch: true,
-            ctx: QueryContext::unbounded(),
+            spill: SpillConfig::default(),
+            ctx,
             profile: Arc::new(Mutex::new(None)),
             trace_out: Arc::new(Mutex::new(None)),
             cost_model: None,
@@ -687,6 +709,7 @@ impl Engine {
                         threads: self.threads,
                         degradations: metrics::degradations().saturating_sub(deg0),
                         peak_bytes: ctx.high_water(),
+                        spill_bytes: ctx.spill_write_bytes() + ctx.spill_read_bytes(),
                     }
                 };
             let stash_partial = |mut pc: ProfCtx, t0: Instant, deg0: u64| {
@@ -1000,7 +1023,7 @@ impl Engine {
                 probe_keys,
             } => match algo {
                 JoinAlgo::Bhj => {
-                    self.compile_bhj(*kind, build, probe, build_keys, probe_keys, prof)
+                    self.compile_bhj_or_spill(*kind, build, probe, build_keys, probe_keys, prof)
                 }
                 JoinAlgo::Rj => self.compile_radix(
                     *kind, build, probe, build_keys, probe_keys, false, None, prof,
@@ -1010,6 +1033,9 @@ impl Engine {
                 ),
                 JoinAlgo::Adaptive => {
                     self.compile_adaptive(*kind, build, probe, build_keys, probe_keys, prof)
+                }
+                JoinAlgo::Hybrid => {
+                    self.compile_hybrid(*kind, build, probe, build_keys, probe_keys, prof)
                 }
             },
         }
@@ -1030,12 +1056,18 @@ impl Engine {
         mut prof: Option<&mut ProfCtx>,
     ) -> ExecResult<(StreamSpec, Option<usize>)> {
         let model = self.cost_model();
-        let decision = crate::adaptive::decide(&model, kind, build, probe, build_keys, probe_keys);
+        let mut decision =
+            crate::adaptive::decide(&model, kind, build, probe, build_keys, probe_keys);
+        // The memory budget trumps the regime model: a build side that
+        // cannot fit goes straight to the out-of-core hybrid join instead
+        // of degrading its way there at runtime.
+        model.apply_budget(&mut decision, self.ctx.memory_budget());
         let reg = registry::global();
         reg.counter("adaptive.decisions").add(1);
         reg.counter(match decision.algo {
             JoinAlgo::Rj => "adaptive.choice.rj",
             JoinAlgo::Brj => "adaptive.choice.brj",
+            JoinAlgo::Hybrid => "adaptive.choice.hybrid",
             _ => "adaptive.choice.bhj",
         })
         .add(1);
@@ -1065,7 +1097,15 @@ impl Engine {
                 Some(&decision),
                 prof.as_deref_mut(),
             )?,
-            _ => self.compile_bhj(
+            JoinAlgo::Hybrid => self.compile_hybrid(
+                kind,
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                prof.as_deref_mut(),
+            )?,
+            _ => self.compile_bhj_or_spill(
                 kind,
                 build,
                 probe,
@@ -1217,6 +1257,163 @@ impl Engine {
         }
     }
 
+    /// Compile a BHJ, degrading to the out-of-core hybrid hash join when
+    /// the memory budget cannot even hold the build side's hash table (the
+    /// end of the degradation chain: RJ → BHJ → HHJ; the HHJ is correct
+    /// under any budget that fits its spill write buffers).
+    #[allow(clippy::too_many_arguments)]
+    fn compile_bhj_or_spill(
+        &self,
+        kind: JoinType,
+        build: &Plan,
+        probe: &Plan,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+        mut prof: Option<&mut ProfCtx>,
+    ) -> ExecResult<(StreamSpec, Option<usize>)> {
+        let mark = prof.as_deref_mut().map(|pc| pc.save());
+        match self.compile_bhj(
+            kind,
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            prof.as_deref_mut(),
+        ) {
+            Err(ExecError::BudgetExceeded { .. }) => {
+                if let (Some(pc), Some(mark)) = (prof.as_deref_mut(), mark) {
+                    pc.restore(mark);
+                }
+                metrics::record_degradation();
+                trace::instant("degradation: BHJ -> HHJ (memory budget)");
+                let (spec, node) = self.compile_hybrid(
+                    kind,
+                    build,
+                    probe,
+                    build_keys,
+                    probe_keys,
+                    prof.as_deref_mut(),
+                )?;
+                if let (Some(pc), Some(id)) = (prof, node) {
+                    pc.detail(id, "degraded", DetailValue::Str("BHJ -> HHJ".into()));
+                }
+                Ok((spec, node))
+            }
+            other => other,
+        }
+    }
+
+    /// Compile the out-of-core dynamic hybrid hash join: both sides are
+    /// hash-partitioned by [`PartitionSpillSink`] (spilling partition by
+    /// partition under budget pressure), then [`HybridJoinSource`] joins
+    /// each partition pair, recursing on oversized spilled partitions.
+    #[allow(clippy::too_many_arguments)]
+    fn compile_hybrid(
+        &self,
+        kind: JoinType,
+        build: &Plan,
+        probe: &Plan,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+        mut prof: Option<&mut ProfCtx>,
+    ) -> ExecResult<(StreamSpec, Option<usize>)> {
+        let dir = SpillDir::create(self.ctx.spill_dir())?;
+        let fanout_bits = self.spill.effective_fanout_bits(self.ctx.memory_budget());
+
+        // Pipeline 1: partition (and spill) the build side.
+        let (build_spec, bchild) = self.stream(build, prof.as_deref_mut())?;
+        let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
+        let build_sink = PartitionSpillSink::new(
+            build_keys.to_vec(),
+            fanout_bits,
+            MemPhase::Build,
+            "build",
+            Arc::clone(&self.ctx),
+            Arc::clone(&dir),
+        );
+        metrics::mark_phase(MemPhase::Build);
+        trace::label_next_pipeline("HHJ partition build");
+        let build_obs = self.run_breaker(&build_spec, &build_sink, prof.as_deref_mut())?;
+        let build_parts = build_sink.finalize()?;
+
+        // Pipeline 2: partition (and spill) the probe side.
+        let (probe_spec, pchild) = self.stream(probe, prof.as_deref_mut())?;
+        let probe_sink = PartitionSpillSink::new(
+            probe_keys.to_vec(),
+            fanout_bits,
+            MemPhase::PartitionPass1,
+            "probe",
+            Arc::clone(&self.ctx),
+            Arc::clone(&dir),
+        );
+        metrics::mark_phase(MemPhase::PartitionPass1);
+        trace::label_next_pipeline("HHJ partition probe");
+        let probe_obs = self.run_breaker(&probe_spec, &probe_sink, prof.as_deref_mut())?;
+        let probe_parts = probe_sink.finalize()?;
+
+        joinlog::record(joinlog::JoinSizes {
+            algo: "HHJ",
+            build_rows: build_parts.rows() as usize,
+            build_bytes: build_parts.total_bytes() as usize,
+            probe_rows: probe_parts.rows() as usize,
+            probe_bytes: probe_parts.total_bytes() as usize,
+            stats: None,
+        });
+
+        let out_schema = kind.output_schema(&build_spec.schema, &probe_spec.schema);
+        let spilled_parts = build_parts.spilled_partitions() + probe_parts.spilled_partitions();
+        let spilled_bytes = build_parts.spilled_bytes() + probe_parts.spilled_bytes();
+        let node = prof.map(|pc| {
+            let label = format!(
+                "Join HHJ {:?} on build[{}] = probe[{}]",
+                kind,
+                fmt_col_names(&build_spec.schema, build_keys),
+                fmt_col_names(&probe_spec.schema, probe_keys),
+            );
+            let id = pc.node(label, bchild.into_iter().chain(pchild).collect());
+            if let Some(obs) = &build_obs {
+                pc.bind(id, obs, Slot::Sink);
+                hw_details(pc, id, "hw_build_", obs);
+            }
+            let _ = &probe_obs;
+            pc.detail(
+                id,
+                "build_rows",
+                DetailValue::Int(build_parts.rows() as i64),
+            );
+            pc.detail(
+                id,
+                "probe_rows",
+                DetailValue::Int(probe_parts.rows() as i64),
+            );
+            pc.detail(id, "spill_fanout", DetailValue::Int(1i64 << fanout_bits));
+            pc.detail(
+                id,
+                "spill_partitions",
+                DetailValue::Int(spilled_parts as i64),
+            );
+            pc.detail(id, "spill_bytes", DetailValue::Int(spilled_bytes as i64));
+            pc.pend(id, Slot::Source);
+            id
+        });
+
+        metrics::mark_phase(MemPhase::Join);
+        let source = Arc::new(HybridJoinSource::new(
+            build_parts,
+            probe_parts,
+            build_types,
+            build_keys.to_vec(),
+            probe_keys.to_vec(),
+            kind,
+            self.bhj_prefetch,
+            self.spill,
+            fanout_bits,
+            Arc::clone(&self.ctx),
+            dir,
+        ));
+        Ok((StreamSpec::new(source, out_schema), node))
+    }
+
     /// Compile a radix join, degrading to a BHJ when the memory budget
     /// cannot hold both partitioned sides (the paper's core observation in
     /// reverse: the BHJ only materializes the build side, so it is the
@@ -1280,7 +1477,7 @@ impl Engine {
                     metrics::record_degradation();
                 }
                 trace::instant(instant);
-                let (spec, node) = self.compile_bhj(
+                let (spec, node) = self.compile_bhj_or_spill(
                     kind,
                     build,
                     probe,

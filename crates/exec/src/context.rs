@@ -17,8 +17,9 @@
 //! usage counter while keeping the configured budget and timeout.
 
 use crate::error::{ExecError, ExecResult};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Sentinel for "no deadline armed".
@@ -48,6 +49,18 @@ pub struct QueryContext {
     tracing: AtomicBool,
     /// Whether workers should sample hardware PMU counters.
     counters: AtomicBool,
+    /// Base directory for spill files; `None` means `$JOINSTUDY_SPILL_DIR`
+    /// or the system temp dir. Persists across [`QueryContext::arm`].
+    spill_dir: Mutex<Option<PathBuf>>,
+    /// Bytes written to spill files since the last [`QueryContext::arm`].
+    spill_write_bytes: AtomicU64,
+    /// Bytes read back from spill files since the last [`QueryContext::arm`].
+    spill_read_bytes: AtomicU64,
+    /// Partitions evicted to disk since the last [`QueryContext::arm`].
+    spill_partitions: AtomicU64,
+    /// Deepest recursive-repartitioning level reached since the last
+    /// [`QueryContext::arm`] (0 = no recursion).
+    spill_max_depth: AtomicU64,
 }
 
 impl Default for QueryContext {
@@ -63,6 +76,11 @@ impl Default for QueryContext {
             profiling: AtomicBool::new(false),
             tracing: AtomicBool::new(false),
             counters: AtomicBool::new(false),
+            spill_dir: Mutex::new(None),
+            spill_write_bytes: AtomicU64::new(0),
+            spill_read_bytes: AtomicU64::new(0),
+            spill_partitions: AtomicU64::new(0),
+            spill_max_depth: AtomicU64::new(0),
         }
     }
 }
@@ -153,13 +171,70 @@ impl QueryContext {
         self.counters.load(Ordering::Relaxed)
     }
 
+    /// Set (or clear, with `None`) the base directory for spill files.
+    /// `None` falls back to `$JOINSTUDY_SPILL_DIR`, then the system temp
+    /// directory. Persists across [`QueryContext::arm`] like the budget.
+    pub fn set_spill_dir(&self, dir: Option<PathBuf>) {
+        *self.spill_dir.lock().unwrap() = dir;
+    }
+
+    /// The configured spill base directory, if any.
+    pub fn spill_dir(&self) -> Option<PathBuf> {
+        self.spill_dir.lock().unwrap().clone()
+    }
+
+    /// Account `bytes` written to spill files.
+    pub fn add_spill_write(&self, bytes: u64) {
+        self.spill_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account `bytes` read back from spill files.
+    pub fn add_spill_read(&self, bytes: u64) {
+        self.spill_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count one partition evicted to disk.
+    pub fn add_spill_partition(&self) {
+        self.spill_partitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise the recorded maximum recursive-repartitioning depth to `depth`.
+    pub fn note_spill_depth(&self, depth: u64) {
+        self.spill_max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Bytes written to spill files since the last [`QueryContext::arm`].
+    pub fn spill_write_bytes(&self) -> u64 {
+        self.spill_write_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read from spill files since the last [`QueryContext::arm`].
+    pub fn spill_read_bytes(&self) -> u64 {
+        self.spill_read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Partitions evicted to disk since the last [`QueryContext::arm`].
+    pub fn spill_partitions(&self) -> u64 {
+        self.spill_partitions.load(Ordering::Relaxed)
+    }
+
+    /// Deepest recursion level reached since the last [`QueryContext::arm`].
+    pub fn spill_max_depth(&self) -> u64 {
+        self.spill_max_depth.load(Ordering::Relaxed)
+    }
+
     /// Re-arm the context for a fresh query: clears the cancel flag, the
-    /// usage counter, and the high-water mark; re-starts the timeout clock if
-    /// a timeout is configured. Budget and timeout settings persist.
+    /// usage counter, the high-water mark, and the spill counters; re-starts
+    /// the timeout clock if a timeout is configured. Budget, timeout, and
+    /// spill-directory settings persist.
     pub fn arm(&self) {
         self.cancelled.store(false, Ordering::Release);
         self.used.store(0, Ordering::Relaxed);
         self.high_water.store(0, Ordering::Relaxed);
+        self.spill_write_bytes.store(0, Ordering::Relaxed);
+        self.spill_read_bytes.store(0, Ordering::Relaxed);
+        self.spill_partitions.store(0, Ordering::Relaxed);
+        self.spill_max_depth.store(0, Ordering::Relaxed);
         if self.deadline_ns.load(Ordering::Relaxed) != NO_DEADLINE {
             let ms = self.budget_ms.load(Ordering::Relaxed);
             self.set_timeout(Some(Duration::from_millis(ms)));
@@ -197,6 +272,7 @@ impl QueryContext {
                 requested: bytes,
                 in_use: prev,
                 budget,
+                phase: crate::metrics::current_phase().name(),
             });
         }
         self.high_water.fetch_max(prev + bytes, Ordering::Relaxed);
@@ -253,6 +329,16 @@ impl BudgetLease {
         self.ctx.try_reserve(bytes)?;
         self.bytes += bytes;
         Ok(())
+    }
+
+    /// Release `bytes` of this lease back to the budget early (saturating
+    /// at zero). Used when a structure the lease pays for shrinks before the
+    /// lease itself is dropped, e.g. a memory-resident spill partition being
+    /// evicted to disk.
+    pub fn shrink(&mut self, bytes: usize) {
+        let freed = bytes.min(self.bytes);
+        self.bytes -= freed;
+        self.ctx.release(freed);
     }
 
     /// Bytes held by this lease.
@@ -316,6 +402,46 @@ mod tests {
         ctx.release(60);
         assert_eq!(ctx.used(), 0);
         assert_eq!(ctx.high_water(), 60);
+    }
+
+    /// Satellite regression: a budget breach reports the phase that issued
+    /// the failed reservation, and a failed `grow` leaks neither lease bytes
+    /// nor context usage. The current phase is a process-wide atomic shared
+    /// with concurrently running tests, so retry until our own `mark_phase`
+    /// was still in effect at breach time.
+    #[test]
+    fn breach_reports_phase_and_failed_grow_leaks_nothing() {
+        use crate::metrics::{mark_phase, MemPhase};
+        let ctx = QueryContext::unbounded();
+        ctx.set_memory_budget(Some(100));
+        let mut lease = BudgetLease::reserve(&ctx, 40).unwrap();
+
+        let mut reported = String::new();
+        for _ in 0..64 {
+            mark_phase(MemPhase::PartitionPass2);
+            let err = lease.grow(500).unwrap_err();
+            // Neither the lease nor the context may retain the failed grow.
+            assert_eq!(lease.bytes(), 40);
+            assert_eq!(ctx.used(), 40);
+            let ExecError::BudgetExceeded { phase, .. } = err else {
+                panic!("expected budget breach, got {err}");
+            };
+            reported = phase.to_string();
+            if reported == "partition pass 2" {
+                break;
+            }
+        }
+        assert_eq!(reported, "partition pass 2");
+        let msg = lease.grow(500).unwrap_err().to_string();
+        assert!(msg.contains("phase"), "phase missing from message: {msg}");
+
+        lease.shrink(15);
+        assert_eq!(lease.bytes(), 25);
+        assert_eq!(ctx.used(), 25);
+        lease.shrink(usize::MAX);
+        assert_eq!(lease.bytes(), 0);
+        assert_eq!(ctx.used(), 0);
+        mark_phase(MemPhase::Other);
     }
 
     #[test]

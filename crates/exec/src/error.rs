@@ -27,6 +27,17 @@ pub enum ExecError {
         in_use: usize,
         /// The configured budget, in bytes.
         budget: usize,
+        /// Execution phase ([`crate::metrics::MemPhase::name`]) that issued
+        /// the failed reservation, for diagnosis of *where* memory ran out.
+        phase: &'static str,
+    },
+    /// A spill-file operation (create/write/read) failed: disk full, I/O
+    /// error, torn frame, or checksum mismatch. Temp files are cleaned up by
+    /// the spill directory guard before this surfaces to the caller.
+    SpillIo {
+        /// Which operation failed: `"create"`, `"write"`, or `"read"`.
+        op: &'static str,
+        message: String,
     },
     /// A worker thread panicked; the panic was caught at the pipeline
     /// boundary and the remaining workers shut down cleanly.
@@ -60,6 +71,14 @@ impl ExecError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for spill I/O failures.
+    pub fn spill(op: &'static str, message: impl Into<String>) -> ExecError {
+        ExecError::SpillIo {
+            op,
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -73,11 +92,15 @@ impl std::fmt::Display for ExecError {
                 requested,
                 in_use,
                 budget,
+                phase,
             } => write!(
                 f,
-                "memory budget exceeded: requested {requested} B with {in_use} B in use \
-                 against a {budget} B budget"
+                "memory budget exceeded in the {phase} phase: requested {requested} B with \
+                 {in_use} B in use against a {budget} B budget"
             ),
+            ExecError::SpillIo { op, message } => {
+                write!(f, "spill {op} failed: {message}")
+            }
             ExecError::WorkerPanic { message } => {
                 write!(f, "worker thread panicked: {message}")
             }
@@ -105,12 +128,18 @@ mod tests {
             requested: 64,
             in_use: 100,
             budget: 128,
+            phase: "build",
         };
-        for part in ["64 B", "100 B", "128 B"] {
+        for part in ["64 B", "100 B", "128 B", "build phase"] {
             assert!(e.to_string().contains(part), "missing {part} in {e}");
         }
         assert!(ExecError::operator("scan", "boom")
             .to_string()
             .contains("scan"));
+        let s = ExecError::SpillIo {
+            op: "write",
+            message: "no space left on device".into(),
+        };
+        assert!(s.to_string().contains("spill write failed"), "{s}");
     }
 }

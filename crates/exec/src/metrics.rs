@@ -54,17 +54,21 @@ pub enum MemPhase {
     PartitionPass2,
     /// Per-partition hash build + probe (the actual join).
     Join,
+    /// Spill-file I/O of the out-of-core hybrid hash join: partition
+    /// eviction writes and the restore/probe reads after the in-memory pass.
+    Spill,
     /// Non-partitioned probe phase (BHJ) and everything else.
     Other,
 }
 
 impl MemPhase {
-    pub const ALL: [MemPhase; 6] = [
+    pub const ALL: [MemPhase; 7] = [
         MemPhase::Build,
         MemPhase::PartitionPass1,
         MemPhase::HistogramScan,
         MemPhase::PartitionPass2,
         MemPhase::Join,
+        MemPhase::Spill,
         MemPhase::Other,
     ];
 
@@ -75,6 +79,7 @@ impl MemPhase {
             MemPhase::HistogramScan => "scan",
             MemPhase::PartitionPass2 => "partition pass 2",
             MemPhase::Join => "join",
+            MemPhase::Spill => "spill",
             MemPhase::Other => "other",
         }
     }
@@ -87,6 +92,7 @@ impl MemPhase {
             MemPhase::HistogramScan => "histogram_scan",
             MemPhase::PartitionPass2 => "partition_pass2",
             MemPhase::Join => "join",
+            MemPhase::Spill => "spill",
             MemPhase::Other => "other",
         }
     }
@@ -98,7 +104,8 @@ impl MemPhase {
             MemPhase::HistogramScan => 2,
             MemPhase::PartitionPass2 => 3,
             MemPhase::Join => 4,
-            MemPhase::Other => 5,
+            MemPhase::Spill => 5,
+            MemPhase::Other => 6,
         }
     }
 }
@@ -217,6 +224,15 @@ pub fn mark_phase(phase: MemPhase) {
     let origin = *t.origin.get_or_insert_with(Instant::now);
     let at_secs = origin.elapsed().as_secs_f64();
     t.events.push(TimelineEvent { phase, at_secs });
+}
+
+/// The phase most recently announced via [`mark_phase`], process-wide.
+/// Maintained unconditionally (the index lives in [`crate::pmu`], one
+/// relaxed load), so budget-breach errors can report *which phase* ran out
+/// of memory even when byte accounting is off.
+#[inline]
+pub fn current_phase() -> MemPhase {
+    MemPhase::ALL[crate::pmu::current_phase_index()]
 }
 
 /// Per-phase read/write byte totals since the last [`reset`]. Exact only

@@ -526,7 +526,7 @@ pub fn enabled() -> bool {
 /// Index into [`MemPhase::ALL`] of the phase currently executing, kept
 /// up to date by [`phase_boundary`] even while sampling is off (so turning
 /// sampling on mid-process attributes to the right phase).
-static CURRENT_PHASE: AtomicUsize = AtomicUsize::new(5); // MemPhase::Other
+static CURRENT_PHASE: AtomicUsize = AtomicUsize::new(6); // MemPhase::Other
 
 /// Registry handles for the per-phase counter totals, resolved once.
 struct Handles {

@@ -303,17 +303,21 @@ pub struct QueryProfile {
     pub degradations: u64,
     /// Peak bytes reserved against the query's memory budget.
     pub peak_bytes: usize,
+    /// Spill-file traffic (bytes written + bytes read back) of the
+    /// out-of-core hybrid hash join; 0 for fully in-memory queries.
+    pub spill_bytes: u64,
 }
 
 impl QueryProfile {
     /// Render the annotated plan tree (the EXPLAIN ANALYZE output).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "wall={} threads={} peak_mem={} degradations={}\n",
+            "wall={} threads={} peak_mem={} degradations={} spill={}\n",
             fmt_ns(self.wall_ns),
             self.threads,
             fmt_bytes(self.peak_bytes),
-            self.degradations
+            self.degradations,
+            fmt_bytes(self.spill_bytes as usize),
         );
         self.root.render_into(0, &mut out);
         out
@@ -330,8 +334,9 @@ impl QueryProfile {
     /// plan shape in advance.
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"wall_ns\":{},\"threads\":{},\"degradations\":{},\"peak_bytes\":{},\"root\":",
-            self.wall_ns, self.threads, self.degradations, self.peak_bytes
+            "{{\"wall_ns\":{},\"threads\":{},\"degradations\":{},\"peak_bytes\":{},\
+             \"spill_bytes\":{},\"root\":",
+            self.wall_ns, self.threads, self.degradations, self.peak_bytes, self.spill_bytes
         );
         self.root.to_json_into(&mut out);
         out.push('}');
@@ -442,10 +447,12 @@ mod tests {
             threads: 2,
             degradations: 0,
             peak_bytes: 1024,
+            spill_bytes: 2048,
         };
         let json = p.to_json();
         assert!(json.starts_with(
-            "{\"wall_ns\":42,\"threads\":2,\"degradations\":0,\"peak_bytes\":1024,\"root\":"
+            "{\"wall_ns\":42,\"threads\":2,\"degradations\":0,\"peak_bytes\":1024,\
+             \"spill_bytes\":2048,\"root\":"
         ));
         assert!(json.contains("\"label\":\"Scan [a\\\"b]\""), "{json}");
         assert!(json.contains("\"skew\":1.25"), "{json}");
@@ -471,12 +478,14 @@ mod tests {
             threads: 4,
             degradations: 1,
             peak_bytes: 0,
+            spill_bytes: 4 * 1024 * 1024,
         };
         let text = p.render();
         assert!(text.contains("rows_in=100"), "{text}");
         assert!(text.contains("rows_out=40"), "{text}");
         assert!(text.contains("selectivity=0.400"), "{text}");
         assert!(text.contains("degradations=1"), "{text}");
+        assert!(text.contains("spill=4.0MiB"), "{text}");
         assert!(text.contains("1.50ms"), "{text}");
     }
 
@@ -491,6 +500,7 @@ mod tests {
             threads: 1,
             degradations: 0,
             peak_bytes: 0,
+            spill_bytes: 0,
         };
         assert!(p.to_json().contains("\"bad\":0"));
     }

@@ -477,7 +477,10 @@ impl Parser {
         let value = match self.next()? {
             Token::Ident(s) => s,
             Token::Keyword(k) => k.to_ascii_lowercase(),
-            Token::Str(s) => s.to_ascii_lowercase(),
+            // String literals keep their case: `SET spill_dir = '/Tmp/X'`
+            // must not mangle the path. Variables that want case-folding
+            // (join_algo) fold at the session layer instead.
+            Token::Str(s) => s,
             Token::Int(v) => v.to_string(),
             other => {
                 return Err(format!(

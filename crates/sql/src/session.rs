@@ -38,6 +38,8 @@ pub enum SqlError {
         requested: usize,
         in_use: usize,
         budget: usize,
+        /// Execution phase that issued the failed reservation.
+        phase: &'static str,
     },
 }
 
@@ -60,13 +62,15 @@ impl fmt::Display for SqlError {
                 requested,
                 in_use,
                 budget,
+                phase,
             } => write!(
                 f,
                 "SQL error: {}",
                 ExecError::BudgetExceeded {
                     requested: *requested,
                     in_use: *in_use,
-                    budget: *budget
+                    budget: *budget,
+                    phase,
                 }
             ),
         }
@@ -95,10 +99,12 @@ impl From<ExecError> for SqlError {
                 requested,
                 in_use,
                 budget,
+                phase,
             } => SqlError::BudgetExceeded {
                 requested,
                 in_use,
                 budget,
+                phase,
             },
             other => SqlError::Exec(other),
         }
@@ -275,23 +281,34 @@ impl Session {
             Statement::Set { name, value } => {
                 match name.as_str() {
                     "join_algo" => {
-                        let algo = match value.as_str() {
+                        let algo = match value.to_ascii_lowercase().as_str() {
                             "bhj" => JoinAlgo::Bhj,
                             "rj" => JoinAlgo::Rj,
                             "brj" => JoinAlgo::Brj,
                             "adaptive" => JoinAlgo::Adaptive,
+                            "hybrid" | "hhj" => JoinAlgo::Hybrid,
                             other => {
                                 return Err(SqlError::Plan(format!(
                                     "unknown join_algo {other:?} (expected bhj, rj, brj, \
-                                     or adaptive)"
+                                     adaptive, or hybrid)"
                                 )))
                             }
                         };
                         self.set_join_algo(algo);
                     }
+                    "spill_dir" => {
+                        // `default` (or an empty string) reverts to the
+                        // engine's temp-directory fallback.
+                        let dir = match value.as_str() {
+                            "" | "default" => None,
+                            path => Some(std::path::PathBuf::from(path)),
+                        };
+                        self.engine.ctx.set_spill_dir(dir);
+                    }
                     other => {
                         return Err(SqlError::Plan(format!(
-                            "unknown session variable {other:?} (expected join_algo)"
+                            "unknown session variable {other:?} (expected join_algo \
+                             or spill_dir)"
                         )))
                     }
                 }

@@ -262,6 +262,7 @@ fn set_join_algo_statement_switches_the_session() {
         ("rj", JoinAlgo::Rj),
         ("brj", JoinAlgo::Brj),
         ("adaptive", JoinAlgo::Adaptive),
+        ("hybrid", JoinAlgo::Hybrid),
     ] {
         session
             .execute(&format!("SET join_algo = {value};"))
