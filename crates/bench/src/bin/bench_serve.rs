@@ -1,0 +1,173 @@
+//! Multi-client serving benchmark: latency percentiles and throughput of
+//! the concurrent SQL server under a mixed TPC-H workload.
+//!
+//! ```text
+//! cargo run --release -p joinstudy-bench --bin bench_serve -- \
+//!     [--sf 0.05] [--clients 8] [--queries 40] [--threads N] \
+//!     [--mode closed|open] [--rate 20] [--pool-mb 256] [--quick]
+//! ```
+//!
+//! Spins up an in-process [`SqlServer`] on an ephemeral port, then drives
+//! it with `--clients` TCP clients, each issuing `--queries` statements
+//! from a rotating mixed TPC-H set (aggregates, two-table joins, and the
+//! three-way Q3). Two load models:
+//!
+//! * **closed** (default): each client waits for its response before
+//!   sending the next statement — latency measures server residence time
+//!   under full back-pressure.
+//! * **open**: each client fires on a fixed schedule of `--rate`
+//!   queries/second regardless of completions; latency is measured from
+//!   the *scheduled* send time, so admission queueing delay is included
+//!   (the paper-adjacent "heavy traffic" view).
+//!
+//! Reports p50/p95/p99/max latency and aggregate throughput on stdout and
+//! as JSON in `results/bench_serve.json` (the CI artifact). `--quick`
+//! shrinks everything for a smoke run.
+
+use joinstudy_bench::harness::{banner, Args};
+use joinstudy_sql::server::Client;
+use joinstudy_sql::{ServerConfig, SqlServer};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
+/// The mixed workload: one statement per line-protocol request. Clients
+/// rotate through this list starting at their client index.
+const MIX: [&str; 6] = [
+    "SELECT o_orderpriority, count(*) FROM orders GROUP BY o_orderpriority ORDER BY o_orderpriority",
+    "SELECT count(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey",
+    "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_shipdate > DATE '1995-03-15'",
+    "SELECT count(*) FROM supplier, nation WHERE s_nationkey = n_nationkey",
+    "SELECT o_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue \
+     FROM customer, orders, lineitem \
+     WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey \
+     AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' \
+     GROUP BY o_orderkey ORDER BY revenue DESC, o_orderkey LIMIT 5",
+    "SELECT n_name, count(*) FROM customer, nation WHERE c_nationkey = n_nationkey \
+     GROUP BY n_name ORDER BY n_name",
+];
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let sf = args.f64("sf", if quick { 0.01 } else { 0.05 });
+    let clients = args.usize("clients", 8);
+    let queries = args.usize("queries", if quick { 6 } else { 40 });
+    let mode = args.str("mode", "closed");
+    let rate = args.f64("rate", 20.0);
+    let open_loop = mode == "open";
+    let config = ServerConfig {
+        threads: args.threads(),
+        pool_bytes: args.usize("pool-mb", 256) << 20,
+        query_bytes: args.usize("query-mb", 64) << 20,
+        min_grant_bytes: args.usize("min-grant-mb", 8) << 20,
+    };
+
+    banner(
+        "bench_serve",
+        &format!(
+            "SF {sf}, {clients} clients x {queries} queries, {} workers, {} loop",
+            config.threads,
+            if open_loop { "open" } else { "closed" }
+        ),
+    );
+
+    let data = joinstudy_tpch::generate(sf, 42);
+    let mut server = SqlServer::new(config.clone());
+    for name in TABLES {
+        server.register(name, Arc::clone(data.table(name)));
+    }
+    let admission = server.admission();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let handle = Arc::new(server).spawn(listener).expect("spawn server");
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let mut per_client: Vec<Vec<f64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(queries);
+                let start = Instant::now();
+                let period = Duration::from_secs_f64(1.0 / rate.max(0.01));
+                for q in 0..queries {
+                    let stmt = MIX[(c + q) % MIX.len()];
+                    let scheduled = start + period * q as u32;
+                    if open_loop {
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    let sent = if open_loop { scheduled } else { Instant::now() };
+                    let response = client.query(stmt).expect("query round trip");
+                    assert!(
+                        response.starts_with("OK"),
+                        "client {c} query {q} failed: {}",
+                        response.lines().next().unwrap_or("")
+                    );
+                    latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies
+            }));
+        }
+        for j in joins {
+            per_client.push(j.join().expect("client thread"));
+        }
+    });
+    let elapsed = t0.elapsed();
+    handle.stop();
+
+    let mut all: Vec<f64> = per_client.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total = all.len();
+    let qps = total as f64 / elapsed.as_secs_f64();
+    let (p50, p95, p99) = (
+        percentile(&all, 0.50),
+        percentile(&all, 0.95),
+        percentile(&all, 0.99),
+    );
+    let max = all.last().copied().unwrap_or(0.0);
+
+    println!(
+        "{total} queries in {:.2} s  ->  {qps:.1} q/s  \
+         p50 {p50:.2} ms  p95 {p95:.2} ms  p99 {p99:.2} ms  max {max:.2} ms",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "admission: {} admitted, peak grant {} MiB of {} MiB pool",
+        admission.admitted(),
+        admission.peak_granted() >> 20,
+        admission.total() >> 20
+    );
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let json = format!(
+        "{{\n  \"sf\": {sf},\n  \"clients\": {clients},\n  \"queries_per_client\": {queries},\n  \
+         \"threads\": {},\n  \"mode\": \"{}\",\n  \"total_queries\": {total},\n  \
+         \"elapsed_s\": {:.4},\n  \"qps\": {qps:.2},\n  \"p50_ms\": {p50:.3},\n  \
+         \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \"max_ms\": {max:.3},\n  \
+         \"admitted\": {},\n  \"peak_granted_bytes\": {},\n  \"pool_bytes\": {}\n}}\n",
+        config.threads,
+        if open_loop { "open" } else { "closed" },
+        elapsed.as_secs_f64(),
+        admission.admitted(),
+        admission.peak_granted(),
+        admission.total(),
+    );
+    std::fs::write("results/bench_serve.json", json).expect("write results/bench_serve.json");
+    println!("wrote results/bench_serve.json");
+}

@@ -599,6 +599,10 @@ pub struct Engine {
     /// tests and benchmarks inject a specific one via
     /// [`Engine::with_cost_model`].
     cost_model: Option<Arc<crate::cost::CostModel>>,
+    /// Shared worker pool for concurrent serving. `None` (the default)
+    /// gives every query its own scoped worker team; `Some` submits all
+    /// pipelines to the pool so workers interleave morsels across queries.
+    pool: Option<Arc<joinstudy_exec::pool::WorkerPool>>,
 }
 
 impl Engine {
@@ -622,7 +626,20 @@ impl Engine {
             profile: Arc::new(Mutex::new(None)),
             trace_out: Arc::new(Mutex::new(None)),
             cost_model: None,
+            pool: None,
         }
+    }
+
+    /// Route every pipeline of this engine through a shared worker pool
+    /// (`None` restores private scoped worker teams). The engine's
+    /// `threads` is updated to the pool's worker count so plan-time
+    /// parallelism decisions (radix fan-out, morsel sizing) match the
+    /// workers that will actually run the query.
+    pub fn set_worker_pool(&mut self, pool: Option<Arc<joinstudy_exec::pool::WorkerPool>>) {
+        if let Some(p) = &pool {
+            self.threads = p.threads();
+        }
+        self.pool = pool;
     }
 
     /// Pin the cost model consulted by [`JoinAlgo::Adaptive`] join nodes
@@ -649,7 +666,10 @@ impl Engine {
     }
 
     fn executor(&self) -> Executor {
-        Executor::new(self.threads)
+        match &self.pool {
+            Some(pool) => Executor::pooled(Arc::clone(pool)),
+            None => Executor::new(self.threads),
+        }
     }
 
     /// Execute a plan to a materialized result table, honouring the

@@ -34,10 +34,18 @@
 //! * **Worker-timeline tracing** ([`trace`]): opt-in per-worker span
 //!   buffers (morsels, phases, synthesized idle intervals) exported as
 //!   Chrome/Perfetto `trace_event` JSON.
+//! * **Shared worker pool** ([`pool`]): one process-wide worker team that
+//!   interleaves morsels from every active query — the concurrent-serving
+//!   counterpart to the per-query scoped teams in [`sched`].
+//! * **Admission control** ([`admission`]): a global memory pool granting
+//!   each admitted query a budget lease, queueing queries when memory is
+//!   contended and shrinking grants so joins degrade RJ → BHJ → HHJ
+//!   instead of failing.
 //!
 //! The join operators themselves live in `joinstudy-core`; they plug into
 //! this engine through the same [`pipeline`] traits as every other operator.
 
+pub mod admission;
 pub mod batch;
 pub mod context;
 pub mod error;
@@ -46,16 +54,19 @@ pub mod metrics;
 pub mod ops;
 pub mod pipeline;
 pub mod pmu;
+pub mod pool;
 pub mod profile;
 pub mod registry;
 pub mod sched;
 pub mod trace;
 
+pub use admission::{AdmissionController, AdmissionGrant};
 pub use batch::{Batch, BATCH_ROWS};
 pub use context::{BudgetLease, QueryContext};
 pub use error::{ExecError, ExecResult};
 pub use pipeline::{Operator, Sink, Source, StreamSpec};
 pub use pmu::{CounterGroup, CounterKind, CounterValues, HwSlot};
+pub use pool::WorkerPool;
 pub use profile::{DetailValue, OpStats, PipelineObs, ProfileNode, QueryProfile, WorkerProf};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use sched::Executor;

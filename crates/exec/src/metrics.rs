@@ -189,7 +189,20 @@ pub fn reset() {
 /// included). Tests sharing a process — in particular the single-threaded
 /// CI job, where test order is deterministic and bleed is reproducible —
 /// call this instead of [`reset`] so no counter carries over between tests.
+///
+/// This is a **test/bench-only** hook: it zeroes process-global state, so
+/// calling it while another session is executing silently corrupts that
+/// session's counters. The serving layer never calls it; results are
+/// per-query (profiles, traces, spill counters on the [`QueryContext`])
+/// precisely so concurrent sessions need no global reset. A debug build
+/// asserts that no pooled pipeline is in flight.
 pub fn reset_all() {
+    debug_assert_eq!(
+        crate::pool::pipelines_in_flight(),
+        0,
+        "metrics::reset_all() while queries are executing on a shared \
+         worker pool — it would corrupt their counters"
+    );
     registry::global().reset_all();
     reset();
 }

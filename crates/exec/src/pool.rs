@@ -1,0 +1,839 @@
+//! Shared process-wide worker pool for concurrent query serving.
+//!
+//! The scoped executor in [`crate::sched`] gives every pipeline its own
+//! worker team: perfect for one query at a time, but under concurrent
+//! sessions each query would spawn `threads` workers and the OS scheduler
+//! — not the engine — would arbitrate the machine. The [`WorkerPool`]
+//! inverts that: one fixed team of workers serves *all* active pipelines,
+//! interleaving morsels from different queries at morsel granularity.
+//!
+//! # Design
+//!
+//! A submitted pipeline becomes an [`ActivePipeline`]: the same shared
+//! atomic task cursor and first-error [`Failure`] slot the scoped executor
+//! uses, tagged with a pipeline id. Workers loop over a small state
+//! machine:
+//!
+//! 1. If this worker holds local state for a pipeline that is *exhausted*
+//!    (cursor drained or failure raised), flush it — operators
+//!    front-to-back, then `finish_local` — exactly like a scoped worker
+//!    that ran out of tasks. Flushing before anything else is what makes
+//!    the pool deadlock-free: a worker never parks while it still owes a
+//!    pipeline its merge step.
+//! 2. Otherwise claim one morsel from the next claimable pipeline in
+//!    round-robin order (the fairness rule: a heavy query cannot starve a
+//!    light one — between two morsels of query A every other active query
+//!    gets offered a morsel first). A pipeline with zero tasks is still
+//!    *adopted* by exactly one worker so its flush/`finish_local`
+//!    semantics match the scoped executor.
+//! 3. If nothing is claimable, park on a condvar until a submit, an
+//!    exhaustion, or shutdown wakes the pool.
+//!
+//! Per-(worker, pipeline) local state ([`Participation`]) mirrors a scoped
+//! worker's: operator locals, sink local, optional [`WorkerProf`], and one
+//! PMU sampler per participation. Panics are caught per burst and land in
+//! the pipeline's failure slot as [`ExecError::WorkerPanic`] — a bug in
+//! one query cannot take down the pool or any other query.
+//!
+//! # Borrow safety
+//!
+//! [`WorkerPool::run_pipeline_obs`] borrows its source/ops/sink like the
+//! scoped executor does, but hands them to long-lived pool threads, so the
+//! pipeline record stores raw pointers. This is sound because the
+//! submitting thread **blocks until the pipeline retires**: retirement
+//! requires that no worker is engaged on the pipeline and that every
+//! participation has been flushed and dropped, and a retired pipeline is
+//! removed from the active list so no worker can select it again. The
+//! pointers therefore never outlive the borrow they were created from.
+//!
+//! Traced pipelines never reach the pool — [`crate::sched::Executor`]
+//! routes them to a private scoped team so a query's timeline contains
+//! only its own workers (see `run_pipeline_obs` in `sched.rs`).
+
+use crate::context::QueryContext;
+use crate::error::{ExecError, ExecResult};
+use crate::pipeline::{LocalState, Operator, Sink, Source};
+use crate::profile::{PipelineObs, WorkerProf};
+use crate::sched::{feed_chain, feed_chain_prof, panic_message, Failure};
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Pipelines currently submitted to any [`WorkerPool`] and not yet
+/// retired. Guards test/bench-only global resets (see
+/// [`crate::metrics::reset_all`]).
+static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of pooled pipelines currently executing, process-wide.
+pub fn pipelines_in_flight() -> usize {
+    IN_FLIGHT.load(Ordering::Acquire)
+}
+
+/// Borrowed pipeline parts, type-erased so long-lived pool workers can
+/// reach them. See the module docs for why storing raw pointers here is
+/// sound (the submitter outlives every access).
+struct PipelineRefs {
+    ctx: *const QueryContext,
+    source: *const dyn Source,
+    ops: *const [Arc<dyn Operator>],
+    sink: *const dyn Sink,
+    obs: Option<*const PipelineObs>,
+}
+
+// SAFETY: the pointees are `Sync` (`Source`/`Operator`/`Sink` require it,
+// the scoped executor already shares them across its worker team) and the
+// submitting thread keeps the borrows alive until the pipeline retires.
+unsafe impl Send for PipelineRefs {}
+unsafe impl Sync for PipelineRefs {}
+
+/// One pipeline currently being served by the pool. All counter fields are
+/// only mutated under the pool's state lock; the atomics exist so the
+/// cursor/failure hot path (outside the lock) matches the scoped executor.
+struct ActivePipeline {
+    id: u64,
+    refs: PipelineRefs,
+    task_count: usize,
+    /// Shared claim cursor, same discipline as the scoped executor.
+    cursor: AtomicUsize,
+    /// First-error-wins slot, shared by every participating worker.
+    failure: Failure,
+    /// Workers currently inside a burst (claiming or flushing) for this
+    /// pipeline. Retirement requires zero.
+    engaged: AtomicUsize,
+    /// Workers holding un-flushed [`Participation`] state. Retirement
+    /// requires zero.
+    holders: AtomicUsize,
+    /// Whether any worker ever created locals — guarantees zero-task
+    /// pipelines still get one ops-flush + `finish_local` pass.
+    adopted: AtomicBool,
+    /// Distinct workers that participated; reported to the profiler.
+    participants: AtomicUsize,
+    /// Set at retirement, under the state lock; the submitter waits on it.
+    done: AtomicBool,
+}
+
+impl ActivePipeline {
+    /// No more morsels will ever be claimed: tasks drained or a failure
+    /// raised. Held participations must now be flushed.
+    #[inline]
+    fn exhausted(&self) -> bool {
+        self.failure.raised() || self.cursor.load(Ordering::Relaxed) >= self.task_count
+    }
+
+    /// Whether a worker scanning the active list should pick this
+    /// pipeline: either a morsel is claimable or nobody adopted it yet.
+    fn selectable(&self) -> bool {
+        let claimable =
+            !self.failure.raised() && self.cursor.load(Ordering::Relaxed) < self.task_count;
+        claimable || !self.adopted.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-(worker, pipeline) local state — exactly what a scoped worker keeps
+/// on its stack for the duration of a pipeline.
+struct Participation {
+    pipe: Arc<ActivePipeline>,
+    op_locals: Vec<LocalState>,
+    sink_local: LocalState,
+    prof: Option<WorkerProf>,
+    hw: Option<crate::pmu::WorkerSampler>,
+}
+
+impl Participation {
+    fn new(pipe: Arc<ActivePipeline>) -> Participation {
+        let ctx = unsafe { &*pipe.refs.ctx };
+        let ops = unsafe { &*pipe.refs.ops };
+        let sink = unsafe { &*pipe.refs.sink };
+        let prof = pipe.refs.obs.map(|_| WorkerProf::new(ops.len()));
+        let hw = crate::pmu::worker_sampler(ctx.counters());
+        Participation {
+            op_locals: ops.iter().map(|o| o.create_local()).collect(),
+            sink_local: sink.create_local(),
+            prof,
+            hw,
+            pipe,
+        }
+    }
+}
+
+/// What a worker decided to do after scanning the shared state.
+enum Action {
+    /// Claim (at most) one morsel from this pipeline.
+    Work(Arc<ActivePipeline>),
+    /// Flush this worker's participation in an exhausted pipeline.
+    Flush(u64),
+}
+
+struct PoolState {
+    active: Vec<Arc<ActivePipeline>>,
+    /// Round-robin start index for the next selection scan.
+    rr: usize,
+}
+
+struct PoolInner {
+    threads: usize,
+    state: Mutex<PoolState>,
+    /// Signalled on submit, exhaustion, and shutdown.
+    work_cv: Condvar,
+    /// Signalled on retirement; submitters wait here.
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// A fixed team of OS worker threads serving morsels from every active
+/// pipeline. Create once per process (or per server), share via `Arc`,
+/// and hand to [`crate::sched::Executor::pooled`].
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.inner.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> Arc<WorkerPool> {
+        assert!(threads > 0, "worker pool needs at least one thread");
+        let inner = Arc::new(PoolInner {
+            threads,
+            state: Mutex::new(PoolState {
+                active: Vec::new(),
+                rr: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("joinstudy-pool-{w}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            inner,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Number of pipelines currently active on this pool.
+    pub fn active_pipelines(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .active
+            .len()
+    }
+
+    /// Submit one pipeline and block until it retires. Semantics are
+    /// identical to [`crate::sched::Executor::run_pipeline_obs`]: on
+    /// success the sink is finalized; on error the first failure is
+    /// returned and `finish` is skipped — but every participation has been
+    /// flushed or dropped, so no worker still references the pipeline.
+    pub fn run_pipeline_obs(
+        &self,
+        ctx: &Arc<QueryContext>,
+        source: &dyn Source,
+        ops: &[Arc<dyn Operator>],
+        sink: &dyn Sink,
+        obs: Option<&PipelineObs>,
+    ) -> ExecResult {
+        let started = obs.map(|_| Instant::now());
+        // Erase the borrow lifetimes into raw pointers. SAFETY: this
+        // function blocks until the pipeline retires (no worker can reach
+        // these pointers afterwards), so the pointees outlive every use.
+        let source_ptr: *const (dyn Source + '_) = source;
+        let sink_ptr: *const (dyn Sink + '_) = sink;
+        let pipe = Arc::new(ActivePipeline {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            refs: PipelineRefs {
+                ctx: Arc::as_ptr(ctx),
+                source: unsafe {
+                    std::mem::transmute::<*const (dyn Source + '_), *const (dyn Source + 'static)>(
+                        source_ptr,
+                    )
+                },
+                ops: ops as *const [Arc<dyn Operator>],
+                sink: unsafe {
+                    std::mem::transmute::<*const (dyn Sink + '_), *const (dyn Sink + 'static)>(
+                        sink_ptr,
+                    )
+                },
+                obs: obs.map(|o| o as *const PipelineObs),
+            },
+            task_count: source.task_count(),
+            cursor: AtomicUsize::new(0),
+            failure: Failure::new(),
+            engaged: AtomicUsize::new(0),
+            holders: AtomicUsize::new(0),
+            adopted: AtomicBool::new(false),
+            participants: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+        });
+        IN_FLIGHT.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.active.push(Arc::clone(&pipe));
+        }
+        self.inner.work_cv.notify_all();
+
+        // Block until retirement. After this loop no worker holds any
+        // reference into this pipeline (see module docs), so the raw
+        // pointers in `refs` are dead and the borrows may end.
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !pipe.done.load(Ordering::Relaxed) {
+            state = self
+                .inner
+                .done_cv
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(state);
+        IN_FLIGHT.fetch_sub(1, Ordering::AcqRel);
+
+        if let (Some(obs), Some(t0)) = (obs, started) {
+            let workers = pipe.participants.load(Ordering::Relaxed).max(1) as u64;
+            obs.record_run(t0.elapsed().as_nanos() as u64, workers);
+        }
+        match pipe.failure.take_first() {
+            Some(err) => Err(err),
+            None => {
+                sink.finish();
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_cv.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    let mut held: HashMap<u64, Participation> = HashMap::new();
+    loop {
+        // Selection under the state lock: flush duties first, then a fair
+        // round-robin scan, then park.
+        let (action, fresh) = {
+            let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(id) = held
+                    .iter()
+                    .find(|(_, p)| p.pipe.exhausted())
+                    .map(|(id, _)| *id)
+                {
+                    held[&id].pipe.engaged.fetch_add(1, Ordering::Relaxed);
+                    break (Action::Flush(id), false);
+                }
+                let n = state.active.len();
+                let mut picked = None;
+                for k in 0..n {
+                    let i = (state.rr + k) % n;
+                    if state.active[i].selectable() {
+                        state.rr = (i + 1) % n;
+                        picked = Some(Arc::clone(&state.active[i]));
+                        break;
+                    }
+                }
+                if let Some(p) = picked {
+                    p.engaged.fetch_add(1, Ordering::Relaxed);
+                    let fresh = !held.contains_key(&p.id);
+                    if fresh {
+                        p.holders.fetch_add(1, Ordering::Relaxed);
+                        p.adopted.store(true, Ordering::Relaxed);
+                        p.participants.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break (Action::Work(p), fresh);
+                }
+                if inner.shutdown.load(Ordering::Acquire) && state.active.is_empty() {
+                    debug_assert!(held.is_empty(), "shutdown with unflushed participations");
+                    return;
+                }
+                state = inner.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        match action {
+            Action::Work(pipe) => {
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| work_burst(&mut held, &pipe)));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => pipe.failure.set(err),
+                    Err(payload) => pipe.failure.set(ExecError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+                let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+                // If creating locals panicked, no participation exists and
+                // the holder slot reserved above must be handed back.
+                if fresh && !held.contains_key(&pipe.id) {
+                    pipe.holders.fetch_sub(1, Ordering::Relaxed);
+                }
+                pipe.engaged.fetch_sub(1, Ordering::Relaxed);
+                maybe_retire(&mut state, &inner, &pipe);
+                if pipe.exhausted() {
+                    // Wake holders on other workers so they flush.
+                    inner.work_cv.notify_all();
+                }
+            }
+            Action::Flush(id) => {
+                let mut part = held.remove(&id).expect("flush of un-held pipeline");
+                let pipe = Arc::clone(&part.pipe);
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| flush_participation(&mut part)));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => pipe.failure.set(err),
+                    Err(payload) => pipe.failure.set(ExecError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+                drop(part);
+                let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+                pipe.holders.fetch_sub(1, Ordering::Relaxed);
+                pipe.engaged.fetch_sub(1, Ordering::Relaxed);
+                maybe_retire(&mut state, &inner, &pipe);
+            }
+        }
+    }
+}
+
+/// Retire a pipeline once it is exhausted, adopted, and nobody holds or
+/// runs state for it. Called under the pool state lock.
+fn maybe_retire(state: &mut PoolState, inner: &PoolInner, pipe: &Arc<ActivePipeline>) {
+    if pipe.exhausted()
+        && pipe.adopted.load(Ordering::Relaxed)
+        && pipe.engaged.load(Ordering::Relaxed) == 0
+        && pipe.holders.load(Ordering::Relaxed) == 0
+        && !pipe.done.load(Ordering::Relaxed)
+    {
+        state.active.retain(|q| q.id != pipe.id);
+        pipe.done.store(true, Ordering::Relaxed);
+        inner.done_cv.notify_all();
+    }
+}
+
+/// Claim and run at most one morsel of `pipe`, creating this worker's
+/// participation on first contact. One-morsel bursts are the fairness
+/// quantum: after every morsel the worker rescans the active list, so
+/// other queries get served in between.
+fn work_burst(held: &mut HashMap<u64, Participation>, pipe: &Arc<ActivePipeline>) -> ExecResult {
+    let part = held
+        .entry(pipe.id)
+        .or_insert_with(|| Participation::new(Arc::clone(pipe)));
+    let ctx = unsafe { &*pipe.refs.ctx };
+    // Same per-morsel discipline as the scoped worker body: observe a
+    // sibling failure before claiming, honor cancellation/deadline, then
+    // claim-and-run.
+    if pipe.failure.raised() {
+        return Ok(());
+    }
+    ctx.check()?;
+    let task = pipe.cursor.fetch_add(1, Ordering::Relaxed);
+    if task >= pipe.task_count {
+        return Ok(());
+    }
+    let source = unsafe { &*pipe.refs.source };
+    let ops = unsafe { &*pipe.refs.ops };
+    let sink = unsafe { &*pipe.refs.sink };
+    let Participation {
+        op_locals,
+        sink_local,
+        prof,
+        ..
+    } = part;
+    let mut chain_err: Option<ExecError> = None;
+    let morsel_start = prof.as_ref().map(|_| Instant::now());
+    let polled = source.poll_task(task, &mut |batch| {
+        if chain_err.is_none() {
+            let fed = match prof.as_mut() {
+                Some(p) => {
+                    p.src_batches += 1;
+                    p.src_rows += batch.num_rows() as u64;
+                    feed_chain_prof(ops, op_locals, sink, sink_local, batch, 0, p)
+                }
+                None => feed_chain(ops, op_locals, sink, sink_local, batch, 0),
+            };
+            if let Err(e) = fed {
+                chain_err = Some(e);
+            }
+        }
+    });
+    if let (Some(p), Some(t0)) = (prof.as_mut(), morsel_start) {
+        p.morsels += 1;
+        p.src_busy_ns += t0.elapsed().as_nanos() as u64;
+    }
+    if let Some(e) = chain_err {
+        return Err(e);
+    }
+    polled
+}
+
+/// End-of-participation merge, mirroring the tail of the scoped worker
+/// body: flush operators front-to-back (skipped entirely once a failure is
+/// raised, like a scoped worker that observes `failure.raised()`), then
+/// `finish_local`; profile and PMU data are flushed on success *and* on
+/// error so partial counts of a failed query stay visible.
+fn flush_participation(part: &mut Participation) -> ExecResult {
+    let pipe = Arc::clone(&part.pipe);
+    let ops = unsafe { &*pipe.refs.ops };
+    let sink = unsafe { &*pipe.refs.sink };
+    let obs = pipe.refs.obs.map(|o| unsafe { &*o });
+
+    let result = (|| -> ExecResult {
+        for i in 0..ops.len() {
+            if pipe.failure.raised() {
+                return Ok(());
+            }
+            let mut pending: Vec<crate::batch::Batch> = Vec::new();
+            let flush_start = part.prof.as_ref().map(|_| Instant::now());
+            ops[i].flush(&mut part.op_locals[i], &mut |b| pending.push(b))?;
+            if let (Some(p), Some(t0)) = (part.prof.as_mut(), flush_start) {
+                p.ops[i].busy_ns += t0.elapsed().as_nanos() as u64;
+            }
+            for b in pending {
+                match part.prof.as_mut() {
+                    Some(p) => {
+                        p.ops[i].batches += 1;
+                        p.ops[i].rows_out += b.num_rows() as u64;
+                        feed_chain_prof(
+                            ops,
+                            &mut part.op_locals,
+                            sink,
+                            &mut part.sink_local,
+                            b,
+                            i + 1,
+                            p,
+                        )?;
+                    }
+                    None => feed_chain(
+                        ops,
+                        &mut part.op_locals,
+                        sink,
+                        &mut part.sink_local,
+                        b,
+                        i + 1,
+                    )?,
+                }
+            }
+        }
+        if pipe.failure.raised() {
+            return Ok(());
+        }
+        let local = std::mem::replace(&mut part.sink_local, Box::new(()));
+        match part.prof.as_mut() {
+            Some(p) => {
+                let t0 = Instant::now();
+                let finished = sink.finish_local(local);
+                p.sink_busy_ns += t0.elapsed().as_nanos() as u64;
+                finished
+            }
+            None => sink.finish_local(local),
+        }
+    })();
+
+    if let (Some(p), Some(obs)) = (&part.prof, obs) {
+        p.flush(obs);
+    }
+    crate::pmu::finish_worker(part.hw.take(), obs.map(|o| &o.hw));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use crate::pipeline::Emit;
+    use joinstudy_storage::column::ColumnData;
+
+    /// Source emitting `tasks` tasks of one i64 batch each: task t => [t*10, t*10+1].
+    struct NumberSource {
+        tasks: usize,
+    }
+
+    impl Source for NumberSource {
+        fn task_count(&self) -> usize {
+            self.tasks
+        }
+
+        fn poll_task(&self, task: usize, out: Emit) -> ExecResult {
+            let base = task as i64 * 10;
+            out(Batch::new(vec![ColumnData::Int64(vec![base, base + 1])]));
+            Ok(())
+        }
+    }
+
+    struct FailOnValueOp {
+        trigger: i64,
+    }
+
+    impl Operator for FailOnValueOp {
+        fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
+            if input.column(0).as_i64().contains(&self.trigger) {
+                return Err(ExecError::operator("fail-on-value", "injected failure"));
+            }
+            out(input);
+            Ok(())
+        }
+    }
+
+    struct PanicOnValueOp {
+        trigger: i64,
+    }
+
+    impl Operator for PanicOnValueOp {
+        fn process(&self, _local: &mut LocalState, input: Batch, out: Emit) -> ExecResult {
+            assert!(
+                !input.column(0).as_i64().contains(&self.trigger),
+                "injected panic"
+            );
+            out(input);
+            Ok(())
+        }
+    }
+
+    /// Operator buffering everything until flush (exercises the
+    /// participation-flush path across interleaved pipelines).
+    struct BufferAllOp;
+
+    impl Operator for BufferAllOp {
+        fn create_local(&self) -> LocalState {
+            Box::new(Vec::<Batch>::new())
+        }
+
+        fn process(&self, local: &mut LocalState, input: Batch, _out: Emit) -> ExecResult {
+            local.downcast_mut::<Vec<Batch>>().unwrap().push(input);
+            Ok(())
+        }
+
+        fn flush(&self, local: &mut LocalState, out: Emit) -> ExecResult {
+            for b in local.downcast_mut::<Vec<Batch>>().unwrap().drain(..) {
+                out(b);
+            }
+            Ok(())
+        }
+    }
+
+    #[derive(Default)]
+    struct SumSink {
+        total: Mutex<i64>,
+        finished: AtomicBool,
+    }
+
+    impl Sink for SumSink {
+        fn create_local(&self) -> LocalState {
+            Box::new(0i64)
+        }
+
+        fn consume(&self, local: &mut LocalState, input: Batch) -> ExecResult {
+            let acc = local.downcast_mut::<i64>().unwrap();
+            *acc += input.column(0).as_i64().iter().sum::<i64>();
+            Ok(())
+        }
+
+        fn finish_local(&self, local: LocalState) -> ExecResult {
+            *self.total.lock().unwrap() += *local.downcast::<i64>().unwrap();
+            Ok(())
+        }
+
+        fn finish(&self) {
+            self.finished.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn expected_sum(tasks: usize) -> i64 {
+        (0..tasks as i64).map(|t| t * 10 + t * 10 + 1).sum()
+    }
+
+    fn run(pool: &Arc<WorkerPool>, tasks: usize, ops: Vec<Arc<dyn Operator>>) -> ExecResult<i64> {
+        let sink = SumSink::default();
+        pool.run_pipeline_obs(
+            &QueryContext::unbounded(),
+            &NumberSource { tasks },
+            &ops,
+            &sink,
+            None,
+        )?;
+        assert!(sink.finished.load(Ordering::Relaxed));
+        let total = *sink.total.lock().unwrap();
+        Ok(total)
+    }
+
+    #[test]
+    fn pool_runs_single_pipeline() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(run(&pool, 17, vec![]).unwrap(), expected_sum(17));
+            assert_eq!(pool.active_pipelines(), 0);
+        }
+    }
+
+    #[test]
+    fn pool_zero_task_pipeline_still_finishes() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(run(&pool, 0, vec![]).unwrap(), 0);
+    }
+
+    #[test]
+    fn pool_flushes_buffering_operators() {
+        let pool = WorkerPool::new(4);
+        let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(BufferAllOp)];
+        assert_eq!(run(&pool, 23, ops).unwrap(), expected_sum(23));
+    }
+
+    #[test]
+    fn pool_interleaves_concurrent_pipelines() {
+        for threads in [1, 3] {
+            let pool = WorkerPool::new(threads);
+            std::thread::scope(|scope| {
+                for client in 0..8usize {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || {
+                        let tasks = 5 + client * 3;
+                        let ops: Vec<Arc<dyn Operator>> = if client % 2 == 0 {
+                            vec![Arc::new(BufferAllOp)]
+                        } else {
+                            vec![]
+                        };
+                        assert_eq!(
+                            run(&pool, tasks, ops).unwrap(),
+                            expected_sum(tasks),
+                            "client {client} threads {threads}"
+                        );
+                    });
+                }
+            });
+            assert_eq!(pool.active_pipelines(), 0);
+            assert_eq!(pipelines_in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn pool_error_propagates_and_skips_finish() {
+        let pool = WorkerPool::new(4);
+        let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(FailOnValueOp { trigger: 200 })];
+        let sink = SumSink::default();
+        let err = pool
+            .run_pipeline_obs(
+                &QueryContext::unbounded(),
+                &NumberSource { tasks: 40 },
+                &ops,
+                &sink,
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecError::Operator {
+                    op: "fail-on-value",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(!sink.finished.load(Ordering::Relaxed));
+        // The pool survives a failed query and serves the next one.
+        assert_eq!(run(&pool, 9, vec![]).unwrap(), expected_sum(9));
+    }
+
+    #[test]
+    fn pool_isolates_worker_panics() {
+        let pool = WorkerPool::new(4);
+        let ops: Vec<Arc<dyn Operator>> = vec![Arc::new(PanicOnValueOp { trigger: 130 })];
+        let sink = SumSink::default();
+        let err = pool
+            .run_pipeline_obs(
+                &QueryContext::unbounded(),
+                &NumberSource { tasks: 30 },
+                &ops,
+                &sink,
+                None,
+            )
+            .unwrap_err();
+        match err {
+            ExecError::WorkerPanic { message } => {
+                assert!(message.contains("injected panic"), "got: {message}")
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+        // A panicking query must not poison the pool for its neighbors.
+        assert_eq!(run(&pool, 9, vec![]).unwrap(), expected_sum(9));
+    }
+
+    #[test]
+    fn pool_honors_pre_cancelled_context() {
+        let pool = WorkerPool::new(2);
+        let ctx = QueryContext::unbounded();
+        ctx.cancel();
+        let sink = SumSink::default();
+        let err = pool
+            .run_pipeline_obs(&ctx, &NumberSource { tasks: 40 }, &[], &sink, None)
+            .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+        assert_eq!(*sink.total.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn pooled_executor_dispatches_to_pool() {
+        let pool = WorkerPool::new(3);
+        let exec = crate::sched::Executor::pooled(Arc::clone(&pool));
+        assert_eq!(exec.threads(), 3);
+        let sink = SumSink::default();
+        exec.run_pipeline(
+            &QueryContext::unbounded(),
+            &NumberSource { tasks: 12 },
+            &[],
+            &sink,
+        )
+        .unwrap();
+        assert_eq!(*sink.total.lock().unwrap(), expected_sum(12));
+    }
+
+    #[test]
+    fn pool_profiled_run_counts_rows() {
+        let pool = WorkerPool::new(4);
+        let sink = SumSink::default();
+        let obs = PipelineObs::new(0);
+        pool.run_pipeline_obs(
+            &QueryContext::unbounded(),
+            &NumberSource { tasks: 20 },
+            &[],
+            &sink,
+            Some(&obs),
+        )
+        .unwrap();
+        assert_eq!(obs.source.morsels(), 20);
+        assert_eq!(obs.source.rows_out(), 40);
+        assert_eq!(obs.sink.rows_in(), 40);
+        assert!(obs.wall_ns() > 0);
+        assert!(obs.workers() >= 1);
+    }
+}

@@ -35,20 +35,24 @@ use std::time::Instant;
 /// A pipeline executor with a fixed worker count.
 ///
 /// `threads == 1` runs inline on the calling thread (deterministic order,
-/// easier profiling); `threads > 1` spawns scoped workers.
-#[derive(Debug, Clone, Copy)]
+/// easier profiling); `threads > 1` spawns scoped workers. An executor
+/// built with [`Executor::pooled`] instead submits its pipelines to a
+/// shared process-wide [`WorkerPool`](crate::pool::WorkerPool), whose
+/// workers interleave morsels from every active query.
+#[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
+    pool: Option<Arc<crate::pool::WorkerPool>>,
 }
 
 /// First-error-wins failure slot shared by all workers of one pipeline.
-struct Failure {
+pub(crate) struct Failure {
     raised: AtomicBool,
     first: Mutex<Option<ExecError>>,
 }
 
 impl Failure {
-    fn new() -> Failure {
+    pub(crate) fn new() -> Failure {
         Failure {
             raised: AtomicBool::new(false),
             first: Mutex::new(None),
@@ -57,11 +61,11 @@ impl Failure {
 
     /// Whether any worker has failed; checked per morsel by the others.
     #[inline]
-    fn raised(&self) -> bool {
+    pub(crate) fn raised(&self) -> bool {
         self.raised.load(Ordering::Acquire)
     }
 
-    fn set(&self, err: ExecError) {
+    pub(crate) fn set(&self, err: ExecError) {
         let mut slot = self.first.lock().unwrap_or_else(|e| e.into_inner());
         if slot.is_none() {
             *slot = Some(err);
@@ -72,12 +76,21 @@ impl Failure {
     fn take(self) -> Option<ExecError> {
         self.first.lock().unwrap_or_else(|e| e.into_inner()).take()
     }
+
+    /// Shared-reference twin of [`Failure::take`] for the worker pool,
+    /// where the slot lives inside an `Arc`'d pipeline record.
+    pub(crate) fn take_first(&self) -> Option<ExecError> {
+        self.first.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
 }
 
 impl Executor {
     pub fn new(threads: usize) -> Executor {
         assert!(threads > 0, "executor needs at least one thread");
-        Executor { threads }
+        Executor {
+            threads,
+            pool: None,
+        }
     }
 
     /// An executor using all available hardware parallelism.
@@ -86,6 +99,16 @@ impl Executor {
             .map(|n| n.get())
             .unwrap_or(1);
         Executor::new(n)
+    }
+
+    /// An executor that submits every pipeline to `pool` instead of
+    /// spawning a private worker team. `threads()` reports the pool's
+    /// worker count so plan-time parallelism decisions stay meaningful.
+    pub fn pooled(pool: Arc<crate::pool::WorkerPool>) -> Executor {
+        Executor {
+            threads: pool.threads(),
+            pool: Some(pool),
+        }
     }
 
     pub fn threads(&self) -> usize {
@@ -127,9 +150,18 @@ impl Executor {
     ) -> ExecResult {
         // Twin-path dispatch, same discipline as the profiler: one relaxed
         // load, then either the traced twin or the original body — the
-        // untraced hot path below is unchanged code.
-        if trace::enabled() {
+        // untraced hot path below is unchanged code. The check is
+        // per-thread ownership, not the bare enabled flag, so a trace begun
+        // by one session never captures a concurrent session's pipelines.
+        // A traced pipeline always runs on a private scoped worker team
+        // (never the shared pool): its timeline then contains exactly this
+        // query's workers, and the tracer's per-worker track indices stay
+        // stable.
+        if trace::thread_active() {
             return self.run_pipeline_traced(ctx, source, ops, sink, obs);
+        }
+        if let Some(pool) = &self.pool {
+            return pool.run_pipeline_obs(ctx, source, ops, sink, obs);
         }
         let next_task = AtomicUsize::new(0);
         let task_count = source.task_count();
@@ -451,7 +483,7 @@ fn run_worker(
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -519,7 +551,7 @@ fn worker_body(
 /// Push a batch through operators `from..` and finally into the sink.
 /// Iterative (explicit stack) because operators may emit many batches and
 /// recursion through `dyn FnMut` closures cannot borrow-check.
-fn feed_chain(
+pub(crate) fn feed_chain(
     ops: &[Arc<dyn Operator>],
     op_locals: &mut [LocalState],
     sink: &dyn Sink,
@@ -618,7 +650,7 @@ fn worker_body_prof(
 
 /// Profiled twin of [`feed_chain`]: counts batches/rows in and out of every
 /// operator and the sink, and times each `process`/`consume` call.
-fn feed_chain_prof(
+pub(crate) fn feed_chain_prof(
     ops: &[Arc<dyn Operator>],
     op_locals: &mut [LocalState],
     sink: &dyn Sink,

@@ -34,14 +34,22 @@
 //! # Scope
 //!
 //! One query is traced at a time: [`begin`] returns `false` while a trace
-//! is active and the caller then runs untraced. Pipelines run by *other*
-//! engines while a trace is active are recorded into the active trace
-//! (the flag is global); that is acceptable for the tool's purpose —
-//! tracing is an interactive/diagnostic mode, not an always-on facility.
+//! is active and the caller then runs untraced. Since PR 7 the active
+//! trace is additionally *owned* by the thread that called [`begin`]: the
+//! collector carries a generation token and the owning thread holds the
+//! matching thread-local token, so pipelines run by *other* sessions while
+//! a trace is active no longer leak spans into it. The scheduler and the
+//! shared worker pool consult [`thread_active`] (or the token captured at
+//! pipeline submission) instead of the bare [`enabled`] flag, and the
+//! cold-path helpers ([`phase_scope`], [`instant`],
+//! [`label_next_pipeline`]) are inert on non-owning threads. Two traced
+//! queries on different sessions therefore serialize (second [`begin`]
+//! refuses, that query runs untraced) and two *concurrent* queries — one
+//! traced, one not — cannot corrupt each other's spans.
 
 use std::borrow::Cow;
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -130,6 +138,11 @@ pub struct QueryTrace {
 
 struct Collector {
     label: String,
+    /// Generation token of this trace; matches [`ACTIVE_TOKEN`] while the
+    /// trace is live. The thread that called [`begin`] holds the same
+    /// value in [`THREAD_TOKEN`] — that pairing is what scopes a trace to
+    /// one query among concurrent sessions.
+    token: u64,
     start_ns: u64,
     spans: Vec<TraceSpan>,
     pipelines: Vec<PipelineSpan>,
@@ -143,11 +156,17 @@ struct Collector {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
+/// Token of the live trace (0 = none). Monotonic generations, never reused.
+static ACTIVE_TOKEN: AtomicU64 = AtomicU64::new(0);
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     /// Reusable worker span buffer (only the capacity is reused; contents
     /// are moved into the collector at flush).
     static WORKER_BUF: RefCell<Vec<TraceSpan>> = const { RefCell::new(Vec::new()) };
+    /// Token of the trace this thread owns (0 = none). Set by [`begin`] on
+    /// the calling thread; checked by every cold-path helper.
+    static THREAD_TOKEN: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Nanoseconds since the process trace epoch.
@@ -163,15 +182,31 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Start recording a trace. Returns `false` (and records nothing) if a
-/// trace is already active — the caller should then run untraced.
+/// Whether the *calling thread* owns the live trace: a trace is active and
+/// its token matches this thread's. This — not the bare [`enabled`] flag —
+/// is what the scheduler and the cold-path helpers consult, so concurrent
+/// sessions cannot record into a trace they did not begin.
+#[inline]
+pub fn thread_active() -> bool {
+    if !enabled() {
+        return false;
+    }
+    let t = THREAD_TOKEN.with(|c| c.get());
+    t != 0 && t == ACTIVE_TOKEN.load(Ordering::Relaxed)
+}
+
+/// Start recording a trace owned by the calling thread. Returns `false`
+/// (and records nothing) if a trace is already active — the caller should
+/// then run untraced.
 pub fn begin(label: &str) -> bool {
     let mut slot = COLLECTOR.lock().unwrap();
     if slot.is_some() {
         return false;
     }
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
     *slot = Some(Collector {
         label: label.to_string(),
+        token,
         start_ns: now_ns(),
         spans: Vec::new(),
         pipelines: Vec::new(),
@@ -179,15 +214,26 @@ pub fn begin(label: &str) -> bool {
         counters: Vec::new(),
         next_label: None,
     });
+    ACTIVE_TOKEN.store(token, Ordering::Relaxed);
+    THREAD_TOKEN.with(|c| c.set(token));
     ENABLED.store(true, Ordering::Release);
     true
 }
 
 /// Stop recording and return the trace begun by the matching [`begin`].
+/// Must be called from the thread that called [`begin`] (the trace owner);
+/// the engine and the tests satisfy this by construction.
 pub fn end() -> Option<QueryTrace> {
     let mut slot = COLLECTOR.lock().unwrap();
     let col = slot.take()?;
+    debug_assert_eq!(
+        THREAD_TOKEN.with(|c| c.get()),
+        col.token,
+        "trace::end() must be called from the thread that called begin()"
+    );
     ENABLED.store(false, Ordering::Release);
+    ACTIVE_TOKEN.store(0, Ordering::Relaxed);
+    THREAD_TOKEN.with(|c| c.set(0));
     let end_ns = now_ns();
     let t0 = col.start_ns;
     let mut spans = col.spans;
@@ -216,7 +262,7 @@ pub fn end() -> Option<QueryTrace> {
 /// (build)"). Called by the engine just before running a breaker; without a
 /// label the pipeline is recorded as "pipeline".
 pub fn label_next_pipeline(label: impl Into<String>) {
-    if !enabled() {
+    if !thread_active() {
         return;
     }
     if let Some(col) = COLLECTOR.lock().unwrap().as_mut() {
@@ -325,7 +371,7 @@ pub fn flush_worker(pipeline: u32, track: u32, mut spans: Vec<TraceSpan>, draine
 /// Record a zero-duration event on the control track (e.g. an RJ→BHJ
 /// budget degradation).
 pub fn instant(name: impl Into<Cow<'static, str>>) {
-    if !enabled() {
+    if !thread_active() {
         return;
     }
     let now = now_ns();
@@ -383,9 +429,10 @@ impl Drop for PhaseGuard {
     }
 }
 
-/// Open a phase span; inert (no clock read, no lock) when tracing is off.
+/// Open a phase span; inert (no clock read, no lock) when tracing is off
+/// or when the calling thread does not own the active trace.
 pub fn phase_scope(name: impl Into<Cow<'static, str>>) -> PhaseGuard {
-    if !enabled() {
+    if !thread_active() {
         return PhaseGuard {
             name: None,
             start_ns: 0,

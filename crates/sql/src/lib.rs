@@ -32,6 +32,8 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod server;
 pub mod session;
 
+pub use server::{ServerConfig, SqlServer};
 pub use session::{Session, SqlError};

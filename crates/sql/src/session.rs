@@ -155,6 +155,14 @@ impl Session {
         Arc::clone(&self.engine.ctx)
     }
 
+    /// Route this session's pipelines through a shared worker pool
+    /// (`None` restores a private per-query worker team). Used by the
+    /// server so all connections share one process-wide team; the
+    /// session's thread count follows the pool's.
+    pub fn set_worker_pool(&mut self, pool: Option<Arc<joinstudy_exec::pool::WorkerPool>>) {
+        self.engine.set_worker_pool(pool);
+    }
+
     /// Per-statement wall-clock timeout (`None` disables).
     pub fn set_timeout(&mut self, timeout: Option<Duration>) {
         self.engine.ctx.set_timeout(timeout);

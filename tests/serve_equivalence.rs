@@ -1,0 +1,135 @@
+//! Multi-client equivalence: N concurrent TCP clients driving the SQL
+//! server through a mixed TPC-H workload must get responses byte-equal
+//! to a serial single-session run of the same statements.
+//!
+//! This is the correctness contract for the shared worker pool: morsels
+//! of different queries interleave on the same workers, sessions share
+//! one admission pool, and yet every client observes exactly the results
+//! it would have gotten alone. The comparison covers the full wire
+//! framing (`OK <rows> <cols>`, header, rows, `.`), including `SET`
+//! acknowledgements, session-local DDL/DML, and `ERR` responses.
+//!
+//! Runs the whole matrix under a 1-worker pool and a multi-worker pool:
+//! a pool with one thread must still make progress with eight concurrent
+//! sessions (fair round-robin, no deadlock), and a wide pool must not
+//! perturb results (exact Decimal/i64 aggregates, total ORDER BY).
+
+use joinstudy::sql::server::{encode_error, encode_table, Client};
+use joinstudy::sql::{ServerConfig, Session, SqlServer};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+const TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
+/// Each client runs one of these scripts (rotating by client index).
+/// Every statement is deterministic under any worker count: aggregates
+/// are exact (i64 counts, fixed-point Decimal sums) and multi-row
+/// results carry a total ORDER BY.
+fn script(client: usize) -> Vec<String> {
+    let algo = ["adaptive", "bhj", "rj", "brj", "hybrid"][client % 5];
+    let mut stmts = vec![
+        format!("SET join_algo = {algo}"),
+        "SELECT count(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey".to_string(),
+        "SELECT o_orderpriority, count(*) FROM orders \
+         GROUP BY o_orderpriority ORDER BY o_orderpriority"
+            .to_string(),
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem \
+         WHERE l_shipdate > DATE '1995-03-15'"
+            .to_string(),
+        "SELECT n_name, count(*) FROM customer, nation WHERE c_nationkey = n_nationkey \
+         GROUP BY n_name ORDER BY n_name"
+            .to_string(),
+        "SELECT count(*) FROM supplier, nation WHERE s_nationkey = n_nationkey;".to_string(),
+    ];
+    // Session-local DDL/DML: each connection owns its catalog view, so
+    // concurrent clients creating the same table name must not collide.
+    stmts.push("CREATE TABLE scratch (k BIGINT NOT NULL, v BIGINT NOT NULL)".to_string());
+    stmts.push(format!(
+        "INSERT INTO scratch VALUES (1, {c}), (2, {c2}), (3, {c3})",
+        c = client,
+        c2 = client * 10,
+        c3 = client * 100
+    ));
+    stmts.push("SELECT k, v FROM scratch ORDER BY k".to_string());
+    // An error statement: ERR framing must match the serial run too.
+    stmts.push("SELECT * FROM nosuch".to_string());
+    stmts.push(
+        "SELECT o_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue \
+         FROM customer, orders, lineitem \
+         WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND l_orderkey = o_orderkey \
+         AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' \
+         GROUP BY o_orderkey ORDER BY revenue DESC, o_orderkey LIMIT 5"
+            .to_string(),
+    );
+    stmts
+}
+
+/// Serial reference: the same script through a plain single-threaded
+/// session, rendered with the server's own wire encoding.
+fn serial_reference(data: &joinstudy::tpch::TpchData, client: usize) -> Vec<String> {
+    let mut session = Session::new(1);
+    for name in TABLES {
+        session.register(name, Arc::clone(data.table(name)));
+    }
+    script(client)
+        .iter()
+        .map(|stmt| match session.execute(stmt.trim_end_matches(';')) {
+            Ok(table) => encode_table(&table),
+            Err(e) => encode_error(&e),
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_serial_run() {
+    let data = joinstudy::tpch::generate(0.01, 42);
+    let clients = 8;
+
+    // Expected responses are thread-count independent; compute once.
+    let expected: Vec<Vec<String>> = (0..clients).map(|c| serial_reference(&data, c)).collect();
+
+    for pool_threads in [1, 4] {
+        let mut server = SqlServer::new(ServerConfig {
+            threads: pool_threads,
+            // Generous pool: grants never shrink, budgets never bind, so
+            // plans (and therefore results) match the serial run exactly.
+            pool_bytes: 1 << 30,
+            query_bytes: 64 << 20,
+            min_grant_bytes: 8 << 20,
+        });
+        for name in TABLES {
+            server.register(name, Arc::clone(data.table(name)));
+        }
+        let admission = server.admission();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let handle = Arc::new(server).spawn(listener).expect("spawn server");
+        let addr = handle.addr();
+
+        std::thread::scope(|scope| {
+            for (c, want) in expected.iter().enumerate() {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for (q, (stmt, want)) in script(c).iter().zip(want).enumerate() {
+                        let got = client.query(stmt).expect("round trip");
+                        assert_eq!(
+                            &got, want,
+                            "client {c} stmt {q} ({pool_threads}-thread pool): {stmt}"
+                        );
+                    }
+                    client.query(".quit").ok();
+                });
+            }
+        });
+
+        // Every grant was returned: the admission pool is whole again.
+        assert_eq!(
+            admission.available(),
+            admission.total(),
+            "admission pool leaked budget ({pool_threads}-thread pool)"
+        );
+        assert_eq!(admission.queued(), 0);
+        handle.stop();
+    }
+}
