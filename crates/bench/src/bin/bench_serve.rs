@@ -21,13 +21,20 @@
 //!   (the paper-adjacent "heavy traffic" view).
 //!
 //! Reports p50/p95/p99/max latency and aggregate throughput on stdout and
-//! as JSON in `results/bench_serve.json` (the CI artifact). `--quick`
-//! shrinks everything for a smoke run.
+//! as JSON in `results/bench_serve.json` (the CI artifact). While the
+//! clients run, a scraper connection polls the `METRICS` protocol command
+//! (validating each response as Prometheus text exposition) and the last
+//! scrape lands in `results/metrics_scrape.txt`; after the run the
+//! server-wide statement statistics are dumped to
+//! `results/jsys_statements.tsv` via `SELECT ... FROM jsys.statements`.
+//! `--quick` shrinks everything for a smoke run.
 
 use joinstudy_bench::harness::{banner, Args};
 use joinstudy_sql::server::Client;
+use joinstudy_sql::stats::validate_exposition;
 use joinstudy_sql::{ServerConfig, SqlServer};
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,7 +103,34 @@ fn main() {
 
     let t0 = Instant::now();
     let mut per_client: Vec<Vec<f64>> = Vec::new();
+    let stop_scraper = AtomicBool::new(false);
+    let mut last_scrape = String::new();
+    let mut scrapes = 0usize;
     std::thread::scope(|scope| {
+        // A monitoring connection alongside the load: poll METRICS like a
+        // Prometheus scraper would, and fail loudly if any scrape is not
+        // valid text exposition.
+        let scraper = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect scraper");
+            let mut last;
+            let mut n = 0usize;
+            loop {
+                let response = client.query("METRICS").expect("METRICS round trip");
+                let body = response.trim_end_matches(".\n").trim_end_matches("\n.");
+                validate_exposition(body)
+                    .unwrap_or_else(|e| panic!("scrape {n} is invalid exposition: {e}"));
+                last = format!("{body}\n");
+                n += 1;
+                // One final scrape after the load drains, so the saved
+                // exposition covers the whole run.
+                if stop_scraper.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            client.query(".quit").ok();
+            (last, n)
+        });
         let mut joins = Vec::new();
         for c in 0..clients {
             joins.push(scope.spawn(move || {
@@ -127,8 +161,36 @@ fn main() {
         for j in joins {
             per_client.push(j.join().expect("client thread"));
         }
+        stop_scraper.store(true, Ordering::Release);
+        (last_scrape, scrapes) = scraper.join().expect("scraper thread");
     });
     let elapsed = t0.elapsed();
+
+    // Dump the server-wide statement statistics through plain SQL before
+    // shutting down: the CI artifact showing what actually ran.
+    let stats_tsv = {
+        let mut observer = Client::connect(addr).expect("connect observer");
+        let response = observer
+            .query(
+                "SELECT fingerprint, calls, errors, total_ns, p50_ns, p95_ns, p99_ns, \
+                 rows_out, spill_bytes, admission_wait_ns, degradations, algos \
+                 FROM jsys.statements",
+            )
+            .expect("jsys.statements round trip");
+        assert!(
+            response.starts_with("OK"),
+            "jsys.statements failed: {}",
+            response.lines().next().unwrap_or("")
+        );
+        let tsv: String = response
+            .lines()
+            .skip(1) // OK header
+            .take_while(|l| *l != ".")
+            .map(|l| format!("{l}\n"))
+            .collect();
+        observer.query(".quit").ok();
+        tsv
+    };
     handle.stop();
 
     let mut all: Vec<f64> = per_client.into_iter().flatten().collect();
@@ -170,4 +232,14 @@ fn main() {
     );
     std::fs::write("results/bench_serve.json", json).expect("write results/bench_serve.json");
     println!("wrote results/bench_serve.json");
+
+    std::fs::write("results/metrics_scrape.txt", &last_scrape)
+        .expect("write results/metrics_scrape.txt");
+    std::fs::write("results/jsys_statements.tsv", &stats_tsv)
+        .expect("write results/jsys_statements.tsv");
+    println!(
+        "wrote results/metrics_scrape.txt ({scrapes} mid-run scrapes, all valid exposition) \
+         and results/jsys_statements.tsv ({} fingerprints)",
+        stats_tsv.lines().count().saturating_sub(1)
+    );
 }

@@ -24,7 +24,10 @@
 //! `.tables` lists relations, `.timing on|off` toggles wall-clock
 //! reporting, `.timeout <ms>|off` sets a per-statement deadline,
 //! `.budget <mb>|off` caps per-statement materialization memory (joins
-//! degrade RJ → BHJ → spilling HHJ before failing), and `.quit` exits.
+//! degrade RJ → BHJ → spilling HHJ before failing), `.stats` prints the
+//! session's statement statistics (the same aggregates behind `SELECT *
+//! FROM jsys.statements`), `.slowlog <path>|stderr|off [threshold_ms]`
+//! routes the slow-query JSON log, and `.quit` exits.
 
 use joinstudy_bench::harness::Args;
 use joinstudy_core::JoinAlgo;
@@ -227,6 +230,51 @@ fn main() {
                     }
                     _ => println!("usage: .trace on|off"),
                 },
+                ".stats" => {
+                    let stats = session.statlog().statements_snapshot();
+                    if stats.is_empty() {
+                        println!("(no statements recorded)");
+                    }
+                    for s in stats.iter().take(20) {
+                        let fp: String = s.fingerprint.chars().take(48).collect();
+                        println!(
+                            "{:<48} calls={} err={} total={:.1}ms p95={:.1}ms max={:.1}ms \
+                             rows={} spill={} algos={}",
+                            fp,
+                            s.calls,
+                            s.errors,
+                            s.total_ns as f64 / 1e6,
+                            s.p95_ns as f64 / 1e6,
+                            s.max_ns as f64 / 1e6,
+                            s.rows_out,
+                            s.spill_bytes,
+                            s.algos,
+                        );
+                    }
+                    if stats.len() > 20 {
+                        println!("... ({} more fingerprints)", stats.len() - 20);
+                    }
+                }
+                ".slowlog" => match parts.next().map(str::trim) {
+                    Some(arg) if !arg.is_empty() => {
+                        let mut it = arg.split_whitespace();
+                        let target = it.next().unwrap();
+                        session.slowlog().set_target(target);
+                        if let Some(ms) = it.next().and_then(|m| m.parse::<u64>().ok()) {
+                            session.set_slow_query_ns(ms * 1_000_000);
+                        } else if target != "off" && session.slow_query_ns() == 0 {
+                            // A sink with no threshold never fires: default
+                            // to 100 ms unless one was already configured.
+                            session.set_slow_query_ns(100_000_000);
+                        }
+                        println!(
+                            "slow log: {} (threshold {} ms)",
+                            session.slowlog().describe(),
+                            session.slow_query_ns() as f64 / 1e6
+                        );
+                    }
+                    _ => println!("usage: .slowlog <path>|stderr|off [threshold_ms]"),
+                },
                 ".counters" => match parts.next().map(str::trim) {
                     Some("on") => {
                         session.set_counters(true);
@@ -256,7 +304,7 @@ fn main() {
                     println!(
                         "unknown command {other:?} \
                          (.tables .algo .spill .explain .profile .trace .counters .timing \
-                          .timeout .budget .quit)"
+                          .timeout .budget .stats .slowlog .quit)"
                     )
                 }
             }

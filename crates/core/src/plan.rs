@@ -27,7 +27,7 @@ use crate::radix::{PartitionSink, PartitionedSide, PhaseSet, RadixConfig};
 use crate::rj::{BloomProbeOp, RadixJoinSource};
 use crate::row::RowLayout;
 use crate::spill::SpillDir;
-use joinstudy_exec::context::QueryContext;
+use joinstudy_exec::context::{algo_bits, QueryContext};
 use joinstudy_exec::error::{ExecError, ExecResult};
 use joinstudy_exec::expr::Expr;
 use joinstudy_exec::metrics::{self, MemPhase};
@@ -642,6 +642,13 @@ impl Engine {
         self.pool = pool;
     }
 
+    /// The shared worker pool this engine submits pipelines to, if any.
+    /// Telemetry surfaces (the `jsys.pool` system table, the `METRICS`
+    /// scrape) read pool gauges through this.
+    pub fn worker_pool(&self) -> Option<Arc<joinstudy_exec::pool::WorkerPool>> {
+        self.pool.clone()
+    }
+
     /// Pin the cost model consulted by [`JoinAlgo::Adaptive`] join nodes
     /// instead of the process-wide calibrated one.
     pub fn with_cost_model(mut self, model: crate::cost::CostModel) -> Engine {
@@ -730,6 +737,8 @@ impl Engine {
                         degradations: metrics::degradations().saturating_sub(deg0),
                         peak_bytes: ctx.high_water(),
                         spill_bytes: ctx.spill_write_bytes() + ctx.spill_read_bytes(),
+                        admission_wait_ns: ctx.admission_wait_ns(),
+                        admission_granted: ctx.admission_granted(),
                     }
                 };
             let stash_partial = |mut pc: ProfCtx, t0: Instant, deg0: u64| {
@@ -1196,6 +1205,7 @@ impl Engine {
         probe_keys: &[usize],
         mut prof: Option<&mut ProfCtx>,
     ) -> ExecResult<(StreamSpec, Option<usize>)> {
+        self.ctx.note_join_algo(algo_bits::BHJ);
         // Pipeline 1: materialize the build side + parallel table build.
         let (build_spec, bchild) = self.stream(build, prof.as_deref_mut())?;
         let build_types: Vec<_> = build_spec.schema.fields.iter().map(|f| f.dtype).collect();
@@ -1305,6 +1315,7 @@ impl Engine {
                     pc.restore(mark);
                 }
                 metrics::record_degradation();
+                self.ctx.note_degradation();
                 trace::instant("degradation: BHJ -> HHJ (memory budget)");
                 let (spec, node) = self.compile_hybrid(
                     kind,
@@ -1337,6 +1348,7 @@ impl Engine {
         probe_keys: &[usize],
         mut prof: Option<&mut ProfCtx>,
     ) -> ExecResult<(StreamSpec, Option<usize>)> {
+        self.ctx.note_join_algo(algo_bits::HHJ);
         let dir = SpillDir::create(self.ctx.spill_dir())?;
         let fanout_bits = self.spill.effective_fanout_bits(self.ctx.memory_budget());
 
@@ -1463,6 +1475,11 @@ impl Engine {
         // re-traces the whole join subtree (its pipelines re-run anyway).
         let mark = prof.as_deref_mut().map(|pc| pc.save());
         let tag = if with_bloom { "BRJ" } else { "RJ" };
+        self.ctx.note_join_algo(if with_bloom {
+            algo_bits::BRJ
+        } else {
+            algo_bits::RJ
+        });
         let fall_back = |err: &ExecError| -> Option<(&'static str, String)> {
             match err {
                 ExecError::BudgetExceeded { .. } => Some((
@@ -1495,6 +1512,7 @@ impl Engine {
                     registry::global().counter("adaptive.fallbacks").add(1);
                 } else {
                     metrics::record_degradation();
+                    self.ctx.note_degradation();
                 }
                 trace::instant(instant);
                 let (spec, node) = self.compile_bhj_or_spill(

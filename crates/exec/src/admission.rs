@@ -187,6 +187,7 @@ impl AdmissionController {
     ) -> ExecResult<AdmissionGrant> {
         let desired = desired.clamp(1, self.total);
         let floor = self.min_grant.min(desired);
+        let enqueued = std::time::Instant::now();
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let ticket = state.next_ticket;
         state.next_ticket += 1;
@@ -208,9 +209,12 @@ impl AdmissionController {
                 drop(state);
                 // The new head may also fit in what remains.
                 self.cv.notify_all();
-                crate::registry::global()
-                    .counter("admission.admitted")
-                    .inc();
+                let wait_ns = enqueued.elapsed().as_nanos() as u64;
+                ctx.set_admission_outcome(wait_ns, bytes as u64);
+                let reg = crate::registry::global();
+                reg.counter("admission.admitted").inc();
+                reg.histogram("admission.wait_ns").record(wait_ns);
+                reg.counter("admission.granted_bytes").add(bytes as u64);
                 return Ok(AdmissionGrant {
                     ctrl: Arc::clone(self),
                     bytes,

@@ -61,6 +61,45 @@ pub struct QueryContext {
     /// Deepest recursive-repartitioning level reached since the last
     /// [`QueryContext::arm`] (0 = no recursion).
     spill_max_depth: AtomicU64,
+    /// Nanoseconds this query waited in the admission queue. Set by the
+    /// admission controller *before* the session arms the context for
+    /// execution, so it persists across [`QueryContext::arm`].
+    admission_wait_ns: AtomicU64,
+    /// Bytes granted by the admission controller (0 = no admission in
+    /// effect). Persists across [`QueryContext::arm`] like the wait.
+    admission_granted: AtomicU64,
+    /// Plan-degradation events (RJ→BHJ→HHJ downgrades) observed since the
+    /// last [`QueryContext::arm`]; the per-query view of the process-wide
+    /// `joins.degraded` counter.
+    degradations: AtomicU64,
+    /// Bitmask of join algorithms compiled for this query since the last
+    /// [`QueryContext::arm`]; see [`QueryContext::note_join_algo`].
+    join_algos: AtomicU64,
+}
+
+/// Bit flags for [`QueryContext::note_join_algo`]: which join operator
+/// shapes this query's plan actually compiled to.
+pub mod algo_bits {
+    pub const BHJ: u64 = 1;
+    pub const RJ: u64 = 2;
+    pub const BRJ: u64 = 4;
+    pub const HHJ: u64 = 8;
+
+    /// Render a bitmask as a stable `+`-joined label, e.g. `"bhj+rj"`.
+    /// Empty mask renders as `"-"`.
+    pub fn label(mask: u64) -> String {
+        let mut parts = Vec::new();
+        for (bit, name) in [(BHJ, "bhj"), (RJ, "rj"), (BRJ, "brj"), (HHJ, "hhj")] {
+            if mask & bit != 0 {
+                parts.push(name);
+            }
+        }
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
 }
 
 impl Default for QueryContext {
@@ -81,6 +120,10 @@ impl Default for QueryContext {
             spill_read_bytes: AtomicU64::new(0),
             spill_partitions: AtomicU64::new(0),
             spill_max_depth: AtomicU64::new(0),
+            admission_wait_ns: AtomicU64::new(0),
+            admission_granted: AtomicU64::new(0),
+            degradations: AtomicU64::new(0),
+            join_algos: AtomicU64::new(0),
         }
     }
 }
@@ -223,10 +266,55 @@ impl QueryContext {
         self.spill_max_depth.load(Ordering::Relaxed)
     }
 
+    /// Record the admission-queue outcome for the upcoming query: how long
+    /// it waited and how many bytes the controller granted. Called by
+    /// [`crate::admission::AdmissionController::admit`] before the session
+    /// arms the context, so both values survive [`QueryContext::arm`].
+    pub fn set_admission_outcome(&self, wait_ns: u64, granted_bytes: u64) {
+        self.admission_wait_ns.store(wait_ns, Ordering::Relaxed);
+        self.admission_granted
+            .store(granted_bytes, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds the current query waited for admission (0 when the query
+    /// never went through admission control).
+    pub fn admission_wait_ns(&self) -> u64 {
+        self.admission_wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Bytes the admission controller granted the current query (0 when the
+    /// query never went through admission control).
+    pub fn admission_granted(&self) -> u64 {
+        self.admission_granted.load(Ordering::Relaxed)
+    }
+
+    /// Count one plan-degradation event against this query.
+    pub fn note_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plan-degradation events since the last [`QueryContext::arm`].
+    pub fn degradations(&self) -> u64 {
+        self.degradations.load(Ordering::Relaxed)
+    }
+
+    /// Record that the plan compiled a join of the given shape (a bit from
+    /// [`algo_bits`]). Queries with several joins accumulate a mask.
+    pub fn note_join_algo(&self, bit: u64) {
+        self.join_algos.fetch_or(bit, Ordering::Relaxed);
+    }
+
+    /// Bitmask of join shapes compiled since the last [`QueryContext::arm`].
+    pub fn join_algos(&self) -> u64 {
+        self.join_algos.load(Ordering::Relaxed)
+    }
+
     /// Re-arm the context for a fresh query: clears the cancel flag, the
-    /// usage counter, the high-water mark, and the spill counters; re-starts
-    /// the timeout clock if a timeout is configured. Budget, timeout, and
-    /// spill-directory settings persist.
+    /// usage counter, the high-water mark, the spill counters, and the
+    /// per-query degradation/join-shape telemetry; re-starts the timeout
+    /// clock if a timeout is configured. Budget, timeout, spill-directory,
+    /// and admission-outcome settings persist (admission runs *before* the
+    /// engine arms the context).
     pub fn arm(&self) {
         self.cancelled.store(false, Ordering::Release);
         self.used.store(0, Ordering::Relaxed);
@@ -235,6 +323,8 @@ impl QueryContext {
         self.spill_read_bytes.store(0, Ordering::Relaxed);
         self.spill_partitions.store(0, Ordering::Relaxed);
         self.spill_max_depth.store(0, Ordering::Relaxed);
+        self.degradations.store(0, Ordering::Relaxed);
+        self.join_algos.store(0, Ordering::Relaxed);
         if self.deadline_ns.load(Ordering::Relaxed) != NO_DEADLINE {
             let ms = self.budget_ms.load(Ordering::Relaxed);
             self.set_timeout(Some(Duration::from_millis(ms)));
@@ -442,6 +532,24 @@ mod tests {
         assert_eq!(lease.bytes(), 0);
         assert_eq!(ctx.used(), 0);
         mark_phase(MemPhase::Other);
+    }
+
+    #[test]
+    fn telemetry_fields_clear_or_persist_across_arm() {
+        let ctx = QueryContext::unbounded();
+        ctx.set_admission_outcome(1234, 1 << 20);
+        ctx.note_degradation();
+        ctx.note_join_algo(algo_bits::RJ);
+        ctx.note_join_algo(algo_bits::BHJ);
+        assert_eq!(ctx.degradations(), 1);
+        assert_eq!(algo_bits::label(ctx.join_algos()), "bhj+rj");
+        ctx.arm();
+        // Per-query counters clear; admission outcome (set pre-arm) persists.
+        assert_eq!(ctx.degradations(), 0);
+        assert_eq!(ctx.join_algos(), 0);
+        assert_eq!(algo_bits::label(ctx.join_algos()), "-");
+        assert_eq!(ctx.admission_wait_ns(), 1234);
+        assert_eq!(ctx.admission_granted(), 1 << 20);
     }
 
     #[test]

@@ -306,18 +306,25 @@ pub struct QueryProfile {
     /// Spill-file traffic (bytes written + bytes read back) of the
     /// out-of-core hybrid hash join; 0 for fully in-memory queries.
     pub spill_bytes: u64,
+    /// Nanoseconds the query waited in the admission queue (0 when it was
+    /// not admitted through an [`crate::admission::AdmissionController`]).
+    pub admission_wait_ns: u64,
+    /// Bytes the admission controller granted (0 without admission).
+    pub admission_granted: u64,
 }
 
 impl QueryProfile {
     /// Render the annotated plan tree (the EXPLAIN ANALYZE output).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "wall={} threads={} peak_mem={} degradations={} spill={}\n",
+            "wall={} threads={} peak_mem={} degradations={} spill={} admission={}/{}\n",
             fmt_ns(self.wall_ns),
             self.threads,
             fmt_bytes(self.peak_bytes),
             self.degradations,
             fmt_bytes(self.spill_bytes as usize),
+            fmt_ns(self.admission_wait_ns),
+            fmt_bytes(self.admission_granted as usize),
         );
         self.root.render_into(0, &mut out);
         out
@@ -335,8 +342,14 @@ impl QueryProfile {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"wall_ns\":{},\"threads\":{},\"degradations\":{},\"peak_bytes\":{},\
-             \"spill_bytes\":{},\"root\":",
-            self.wall_ns, self.threads, self.degradations, self.peak_bytes, self.spill_bytes
+             \"spill_bytes\":{},\"admission_wait_ns\":{},\"admission_granted\":{},\"root\":",
+            self.wall_ns,
+            self.threads,
+            self.degradations,
+            self.peak_bytes,
+            self.spill_bytes,
+            self.admission_wait_ns,
+            self.admission_granted
         );
         self.root.to_json_into(&mut out);
         out.push('}');
@@ -448,11 +461,13 @@ mod tests {
             degradations: 0,
             peak_bytes: 1024,
             spill_bytes: 2048,
+            admission_wait_ns: 7,
+            admission_granted: 4096,
         };
         let json = p.to_json();
         assert!(json.starts_with(
             "{\"wall_ns\":42,\"threads\":2,\"degradations\":0,\"peak_bytes\":1024,\
-             \"spill_bytes\":2048,\"root\":"
+             \"spill_bytes\":2048,\"admission_wait_ns\":7,\"admission_granted\":4096,\"root\":"
         ));
         assert!(json.contains("\"label\":\"Scan [a\\\"b]\""), "{json}");
         assert!(json.contains("\"skew\":1.25"), "{json}");
@@ -479,6 +494,8 @@ mod tests {
             degradations: 1,
             peak_bytes: 0,
             spill_bytes: 4 * 1024 * 1024,
+            admission_wait_ns: 2_500,
+            admission_granted: 16 * 1024 * 1024,
         };
         let text = p.render();
         assert!(text.contains("rows_in=100"), "{text}");
@@ -486,6 +503,7 @@ mod tests {
         assert!(text.contains("selectivity=0.400"), "{text}");
         assert!(text.contains("degradations=1"), "{text}");
         assert!(text.contains("spill=4.0MiB"), "{text}");
+        assert!(text.contains("admission=2.5us/16.0MiB"), "{text}");
         assert!(text.contains("1.50ms"), "{text}");
     }
 
@@ -501,6 +519,8 @@ mod tests {
             degradations: 0,
             peak_bytes: 0,
             spill_bytes: 0,
+            admission_wait_ns: 0,
+            admission_granted: 0,
         };
         assert!(p.to_json().contains("\"bad\":0"));
     }

@@ -162,6 +162,18 @@ impl Histogram {
         1u64 << (HIST_BUCKETS - 2)
     }
 
+    /// The standard latency quantile set as `(label, lower_bound)` pairs:
+    /// p50 / p90 / p95 / p99. One pass per quantile over 65 buckets — cheap
+    /// enough for any snapshot path.
+    pub fn quantiles(&self) -> [(&'static str, u64); 4] {
+        [
+            ("p50", self.quantile(0.5)),
+            ("p90", self.quantile(0.9)),
+            ("p95", self.quantile(0.95)),
+            ("p99", self.quantile(0.99)),
+        ]
+    }
+
     pub fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
@@ -254,8 +266,8 @@ impl MetricsRegistry {
 
     /// All counters and gauges as flat `(name, value)` pairs, plus derived
     /// scalar views of each histogram (`<name>.count` / `.sum` / `.p50` /
-    /// `.p90` / `.p99`). Sorted by name (BTreeMap order) so exports are
-    /// stable across runs.
+    /// `.p90` / `.p95` / `.p99`). Sorted by name (BTreeMap order) so exports
+    /// are stable across runs.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
         let map = self.inner.lock().unwrap();
         let mut out = Vec::new();
@@ -266,9 +278,9 @@ impl MetricsRegistry {
                 Metric::Histogram(h) => {
                     out.push((format!("{name}.count"), h.count() as f64));
                     out.push((format!("{name}.sum"), h.sum() as f64));
-                    out.push((format!("{name}.p50"), h.quantile(0.5) as f64));
-                    out.push((format!("{name}.p90"), h.quantile(0.9) as f64));
-                    out.push((format!("{name}.p99"), h.quantile(0.99) as f64));
+                    for (label, q) in h.quantiles() {
+                        out.push((format!("{name}.{label}"), q as f64));
+                    }
                 }
             }
         }
@@ -400,6 +412,31 @@ mod tests {
         assert_eq!(snap[0].0, "a");
         assert_eq!(snap[1].0, "b");
         assert_eq!(r.to_json(), r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    fn snapshot_flattens_histogram_quantiles() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let snap: std::collections::HashMap<String, f64> = r.snapshot().into_iter().collect();
+        for key in [
+            "lat.count",
+            "lat.sum",
+            "lat.p50",
+            "lat.p90",
+            "lat.p95",
+            "lat.p99",
+        ] {
+            assert!(snap.contains_key(key), "missing {key}");
+        }
+        assert_eq!(snap["lat.count"], 5.0);
+        assert_eq!(snap["lat.p99"], 512.0, "p99 lower-bounds the 1000 bucket");
+        let qs = h.quantiles();
+        assert_eq!(qs[2].0, "p95");
+        assert!(qs[2].1 >= qs[0].1, "p95 >= p50");
     }
 
     #[test]

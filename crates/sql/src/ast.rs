@@ -92,8 +92,9 @@ pub enum AggCall {
     Max,
 }
 
-/// One projection item: an expression, an aggregate over an expression, and
-/// an optional alias.
+/// One projection item: an expression, an aggregate over an expression
+/// (each with an optional alias), or the `*` wildcard (every column of
+/// every FROM table, in FROM order — expanded by the planner).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     Expr {
@@ -105,6 +106,7 @@ pub enum SelectItem {
         arg: Option<ExprAst>,
         alias: Option<String>,
     },
+    Wildcard,
 }
 
 /// `FROM` entry: table name + optional alias.

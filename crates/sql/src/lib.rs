@@ -34,6 +34,8 @@ pub mod parser;
 pub mod planner;
 pub mod server;
 pub mod session;
+pub mod stats;
 
 pub use server::{ServerConfig, SqlServer};
 pub use session::{Session, SqlError};
+pub use stats::{SlowLog, StatLog};

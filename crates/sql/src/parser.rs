@@ -8,9 +8,10 @@
 //! select    := SELECT item (',' item)* FROM table (',' table)*
 //!              [WHERE expr] [GROUP BY expr (',' expr)*]
 //!              [ORDER BY key (',' key)*] [LIMIT int] [';']
-//! item      := agg '(' ['DISTINCT'] (expr|'*') ')' [AS? ident]
+//! item      := '*'
+//!            | agg '(' ['DISTINCT'] (expr|'*') ')' [AS? ident]
 //!            | expr [AS? ident]
-//! table     := ident [AS? ident]
+//! table     := ident ['.' ident] [AS? ident]
 //! expr      := or_expr  (standard precedence: OR < AND < NOT < cmp < +- < */)
 //! primary   := literal | column | '(' expr ')' | CASE WHEN ... | EXTRACT |
 //!              SUBSTRING '(' expr ',' int ',' int ')' | DATE 'lit'
@@ -199,6 +200,9 @@ impl Parser {
     }
 
     fn parse_select_item(&mut self) -> PResult<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
         let agg = match self.peek() {
             Some(Token::Keyword(k)) => match k.as_str() {
                 "COUNT" => Some(AggCall::Count),
@@ -244,7 +248,12 @@ impl Parser {
     }
 
     fn parse_table_ref(&mut self) -> PResult<TableRef> {
-        let table = self.ident()?;
+        let mut table = self.ident()?;
+        // Dotted table names (`jsys.statements`) address namespaced tables;
+        // the catalog keys them by the full dotted string.
+        if self.eat(&Token::Dot) {
+            table = format!("{table}.{}", self.ident()?);
+        }
         let alias = self.parse_alias()?;
         Ok(TableRef { table, alias })
     }
@@ -716,6 +725,23 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][2], Literal::Decimal(Decimal(5)));
         assert_eq!(rows[1][0], Literal::Int(-2));
+    }
+
+    #[test]
+    fn wildcard_and_dotted_table_names() {
+        let Statement::Select(s) = parse("SELECT * FROM jsys.statements").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from[0].table, "jsys.statements");
+        assert_eq!(s.from[0].binding(), "jsys.statements");
+
+        let Statement::Select(s) = parse("SELECT *, fingerprint FROM jsys.statements q").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from[0].binding(), "q");
     }
 
     #[test]

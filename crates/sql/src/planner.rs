@@ -345,6 +345,31 @@ pub fn plan_select(
         }
         order.push(binding);
     }
+    // Expand `*` into every column of every FROM binding, in FROM order
+    // (schema order within a binding) — after bindings resolve, so the
+    // wildcard sees aliases and dotted system tables alike.
+    let items: Vec<SelectItem> = select
+        .items
+        .iter()
+        .flat_map(|item| match item {
+            SelectItem::Wildcard => order
+                .iter()
+                .flat_map(|b| {
+                    tables[b].schema().fields.iter().map(|f| SelectItem::Expr {
+                        expr: ExprAst::Column(ColumnRef {
+                            qualifier: Some(b.clone()),
+                            name: f.name.clone(),
+                        }),
+                        alias: Some(f.name.clone()),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            other => vec![other.clone()],
+        })
+        .collect();
+    if items.is_empty() {
+        return Err("SELECT * found no columns to expand".into());
+    }
     let full_layouts: HashMap<String, Layout> = tables
         .iter()
         .map(|(b, t)| {
@@ -404,11 +429,12 @@ pub fn plan_select(
         let note_expr = |e: &ExprAst, note: &mut dyn FnMut(&str, &str)| -> PResult<()> {
             collect_columns(e, &full_layouts, note)
         };
-        for item in &select.items {
+        for item in &items {
             match item {
                 SelectItem::Expr { expr, .. } => note_expr(expr, &mut note)?,
                 SelectItem::Agg { arg: Some(a), .. } => note_expr(a, &mut note)?,
                 SelectItem::Agg { arg: None, .. } => {}
+                SelectItem::Wildcard => unreachable!("wildcards expanded above"),
             }
         }
         for g in &select.group_by {
@@ -542,11 +568,8 @@ pub fn plan_select(
     }
 
     // Projection / aggregation.
-    let has_agg = select
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Agg { .. }))
-        || !select.group_by.is_empty();
+    let has_agg =
+        items.iter().any(|i| matches!(i, SelectItem::Agg { .. })) || !select.group_by.is_empty();
 
     let mut out_names: Vec<String> = Vec::new();
     if has_agg {
@@ -559,7 +582,7 @@ pub fn plan_select(
         }
         let mut agg_specs: Vec<AggSpec> = Vec::new();
         let mut agg_names: Vec<String> = Vec::new();
-        for (i, item) in select.items.iter().enumerate() {
+        for (i, item) in items.iter().enumerate() {
             if let SelectItem::Agg { func, arg, alias } = item {
                 let name = alias.clone().unwrap_or_else(|| format!("@a{i}"));
                 let input = match arg {
@@ -601,7 +624,7 @@ pub fn plan_select(
         let agg_schema = plan.schema();
         let mut final_exprs: Vec<Expr> = Vec::new();
         let mut agg_cursor = 0usize;
-        for item in &select.items {
+        for item in &items {
             match item {
                 SelectItem::Expr { expr, alias } => {
                     let pos = select
@@ -623,13 +646,14 @@ pub fn plan_select(
                     );
                     let _ = &agg_schema;
                 }
+                SelectItem::Wildcard => unreachable!("wildcards expanded above"),
             }
         }
         let name_refs: Vec<&str> = out_names.iter().map(String::as_str).collect();
         plan = plan.map(final_exprs, &name_refs);
     } else {
         let mut exprs = Vec::new();
-        for item in &select.items {
+        for item in &items {
             let SelectItem::Expr { expr, alias } = item else {
                 unreachable!()
             };

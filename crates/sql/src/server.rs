@@ -34,6 +34,13 @@
 //! multi-client equivalence tests can render a serial single-session run
 //! with byte-identical framing.
 //!
+//! Besides SQL, two protocol commands are recognized: `.quit` closes the
+//! connection, and `METRICS` returns the server's current metrics in
+//! Prometheus text exposition (terminated by the same `.` line; see
+//! [`SqlServer::metrics_text`]). Telemetry-wise, every connection shares
+//! the server's [`StatLog`] and [`SlowLog`], so `SELECT * FROM
+//! jsys.statements` on any connection sees every connection's statements.
+//!
 //! # Disconnects
 //!
 //! A watchdog thread per connection `peek`s the socket; when the client
@@ -45,8 +52,10 @@
 //! so a vanished client leaks neither disk nor memory budget.
 
 use crate::session::{Session, SqlError};
+use crate::stats::{render_exposition, SlowLog, StatLog};
 use joinstudy_exec::admission::AdmissionController;
 use joinstudy_exec::pool::WorkerPool;
+use joinstudy_exec::registry;
 use joinstudy_storage::table::Table;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -94,6 +103,11 @@ pub struct SqlServer {
     catalog: BTreeMap<String, Arc<Table>>,
     pool: Arc<WorkerPool>,
     admission: Arc<AdmissionController>,
+    /// One statement-statistics log shared by every connection, so
+    /// `jsys.statements` is a server-wide view.
+    statlog: Arc<StatLog>,
+    /// One slow-query sink shared by every connection.
+    slowlog: Arc<SlowLog>,
     config: ServerConfig,
 }
 
@@ -103,6 +117,8 @@ impl SqlServer {
             catalog: BTreeMap::new(),
             pool: WorkerPool::new(config.threads),
             admission: AdmissionController::new(config.pool_bytes, config.min_grant_bytes),
+            statlog: Arc::new(StatLog::new()),
+            slowlog: Arc::new(SlowLog::from_env()),
             config,
         }
     }
@@ -122,14 +138,62 @@ impl SqlServer {
         Arc::clone(&self.admission)
     }
 
-    /// Build the per-connection session: shared pool, registered tables.
+    /// The server-wide statement-statistics log.
+    pub fn statlog(&self) -> Arc<StatLog> {
+        Arc::clone(&self.statlog)
+    }
+
+    /// The server-wide slow-query sink.
+    pub fn slowlog(&self) -> Arc<SlowLog> {
+        Arc::clone(&self.slowlog)
+    }
+
+    /// Build the per-connection session: shared pool, registered tables,
+    /// shared telemetry, and a fresh connection id.
     fn session(&self) -> Session {
         let mut session = Session::new(self.config.threads);
         session.set_worker_pool(Some(Arc::clone(&self.pool)));
+        session.set_statlog(Arc::clone(&self.statlog));
+        session.set_slowlog(Arc::clone(&self.slowlog));
+        session.set_conn_id(self.statlog.next_conn_id());
+        session.set_admission(Some(Arc::clone(&self.admission)));
         for (name, table) in &self.catalog {
             session.register(name.clone(), Arc::clone(table));
         }
         session
+    }
+
+    /// Current metrics in Prometheus text exposition: every global-registry
+    /// counter and histogram quantile plus live pool and admission gauges,
+    /// each prefixed `joinstudy_`. Served by the `METRICS` protocol command.
+    pub fn metrics_text(&self) -> String {
+        let mut samples = registry::global().snapshot();
+        samples.push(("pool.threads".to_string(), self.pool.threads() as f64));
+        samples.push((
+            "pool.active_pipelines".to_string(),
+            self.pool.active_pipelines() as f64,
+        ));
+        samples.push((
+            "admission.total_bytes".to_string(),
+            self.admission.total() as f64,
+        ));
+        samples.push((
+            "admission.available_bytes".to_string(),
+            self.admission.available() as f64,
+        ));
+        samples.push((
+            "admission.queued".to_string(),
+            self.admission.queued() as f64,
+        ));
+        samples.push((
+            "admission.peak_granted_bytes".to_string(),
+            self.admission.peak_granted() as f64,
+        ));
+        samples.push((
+            "statements.recorded".to_string(),
+            self.statlog.total_recorded() as f64,
+        ));
+        render_exposition(&samples)
     }
 
     /// Accept loop: one thread per connection, until the process exits.
@@ -176,6 +240,7 @@ impl SqlServer {
     /// admission controller and the shared pool, write framed responses.
     fn handle_connection(&self, stream: TcpStream) {
         let mut session = self.session();
+        let conn = session.conn_id();
         let ctx = session.context();
 
         // Watchdog: peek for EOF; once the client is gone, cancel the
@@ -236,7 +301,18 @@ impl SqlServer {
             if stmt == ".quit" {
                 break;
             }
-            let response = self.run_statement(&mut session, stmt);
+            // `METRICS` is a protocol command, not SQL: it answers from
+            // shared server state without touching the session, so a
+            // scraper never queues behind admission control.
+            if stmt.eq_ignore_ascii_case("METRICS") {
+                let mut response = self.metrics_text();
+                response.push_str(".\n");
+                if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                    break;
+                }
+                continue;
+            }
+            let response = self.run_statement(&mut session, conn, stmt);
             if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
                 break;
             }
@@ -248,11 +324,17 @@ impl SqlServer {
     }
 
     /// Admission + execution of one statement, encoded for the wire.
-    fn run_statement(&self, session: &mut Session, stmt: &str) -> String {
+    fn run_statement(&self, session: &mut Session, conn: u64, stmt: &str) -> String {
         let ctx = session.context();
+        // Show up in `jsys.active_queries` while waiting for memory; the
+        // session flips the state to `running` once it starts executing.
+        self.statlog.active_upsert(conn, stmt, "queued", 0);
         let grant = match self.admission.admit(self.config.query_bytes, &ctx) {
             Ok(grant) => grant,
-            Err(e) => return encode_error(&SqlError::from(e)),
+            Err(e) => {
+                self.statlog.active_end(conn);
+                return encode_error(&SqlError::from(e));
+            }
         };
         session.set_memory_budget(Some(grant.bytes()));
         let result = session.execute(stmt);

@@ -1,19 +1,33 @@
 //! The SQL session: a catalog of registered tables plus an engine.
+//!
+//! # Telemetry
+//!
+//! Every statement a session executes — queries, DDL, even statements that
+//! fail to parse — is recorded into the session's [`StatLog`]
+//! (fingerprinted aggregates + recent-query ring) and, above the
+//! `slow_query_ns` threshold, into the shared [`SlowLog`]. The log also
+//! backs the `jsys.*` virtual system tables: a SELECT whose FROM names a
+//! `jsys.`-prefixed table gets that table materialized from live telemetry
+//! at plan time, so plain SQL (`SELECT * FROM jsys.statements`) works
+//! against serving state.
 
-use crate::ast::{Literal, Statement};
+use crate::ast::{Literal, Select, Statement};
 use crate::parser::parse;
 use crate::planner::plan_select;
+use crate::stats::{should_log_slow, SlowEvent, SlowLog, StatLog, StatRecord};
 use joinstudy_core::{Engine, JoinAlgo};
-use joinstudy_exec::context::QueryContext;
+use joinstudy_exec::admission::AdmissionController;
+use joinstudy_exec::context::{algo_bits, QueryContext};
 use joinstudy_exec::error::ExecError;
 use joinstudy_exec::profile::QueryProfile;
+use joinstudy_exec::registry;
 use joinstudy_exec::trace::QueryTrace;
 use joinstudy_storage::table::{Field, Schema, Table, TableBuilder};
 use joinstudy_storage::types::{DataType, Decimal, Value};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Anything that can go wrong between SQL text and a result table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,10 +130,25 @@ pub struct Session {
     catalog: HashMap<String, Arc<Table>>,
     engine: Engine,
     algo: JoinAlgo,
+    /// Statement statistics; a server shares one log across all
+    /// connections, an embedded session gets its own.
+    statlog: Arc<StatLog>,
+    /// Slow-query sink (shared like the statlog).
+    slowlog: Arc<SlowLog>,
+    /// Slow-query threshold in nanoseconds; 0 disables.
+    slow_query_ns: u64,
+    /// Connection id stamped on telemetry rows (0 for embedded sessions).
+    conn_id: u64,
+    /// The server's admission controller, for `jsys.pool` gauges.
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl Session {
     pub fn new(threads: usize) -> Session {
+        let slow_query_ns = std::env::var("JOINSTUDY_SLOW_QUERY_NS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
         Session {
             catalog: HashMap::new(),
             engine: Engine::new(threads),
@@ -127,6 +156,11 @@ impl Session {
             // static algorithms stay one `SET join_algo = ...` away (the
             // paper's drop-in replacement switch).
             algo: JoinAlgo::Adaptive,
+            statlog: Arc::new(StatLog::new()),
+            slowlog: Arc::new(SlowLog::from_env()),
+            slow_query_ns,
+            conn_id: 0,
+            admission: None,
         }
     }
 
@@ -215,6 +249,54 @@ impl Session {
         joinstudy_exec::pmu::set_enabled(on);
     }
 
+    /// Share a statement-statistics log (the server passes one log to
+    /// every connection's session, making `jsys.statements` server-wide).
+    pub fn set_statlog(&mut self, log: Arc<StatLog>) {
+        self.statlog = log;
+    }
+
+    /// This session's statement-statistics log.
+    pub fn statlog(&self) -> Arc<StatLog> {
+        Arc::clone(&self.statlog)
+    }
+
+    /// Share a slow-query sink (server-wide, like the statlog).
+    pub fn set_slowlog(&mut self, log: Arc<SlowLog>) {
+        self.slowlog = log;
+    }
+
+    /// This session's slow-query sink.
+    pub fn slowlog(&self) -> Arc<SlowLog> {
+        Arc::clone(&self.slowlog)
+    }
+
+    /// Slow-query threshold in nanoseconds (0 disables). Also settable in
+    /// SQL: `SET slow_query_ns = 1000000`.
+    pub fn set_slow_query_ns(&mut self, ns: u64) {
+        self.slow_query_ns = ns;
+    }
+
+    /// The current slow-query threshold in nanoseconds.
+    pub fn slow_query_ns(&self) -> u64 {
+        self.slow_query_ns
+    }
+
+    /// Stamp telemetry rows from this session with a connection id.
+    pub fn set_conn_id(&mut self, conn: u64) {
+        self.conn_id = conn;
+    }
+
+    /// The connection id stamped on this session's telemetry rows.
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// Give the session a view of the server's admission controller so
+    /// `jsys.pool` can report pool-wide memory gauges.
+    pub fn set_admission(&mut self, admission: Option<Arc<AdmissionController>>) {
+        self.admission = admission;
+    }
+
     /// Register an existing table (e.g. a generated TPC-H relation).
     pub fn register(&mut self, name: impl Into<String>, table: Arc<Table>) {
         self.catalog.insert(name.into().to_ascii_lowercase(), table);
@@ -226,14 +308,46 @@ impl Session {
     }
 
     /// Parse and execute one statement. DDL/DML return an empty table.
+    ///
+    /// Every call — including parse failures — lands in the session's
+    /// [`StatLog`] and, past the `slow_query_ns` threshold, the
+    /// [`SlowLog`].
     pub fn execute(&mut self, sql: &str) -> Result<Table, SqlError> {
-        match parse(sql).map_err(SqlError::Parse)? {
+        let started = Instant::now();
+        self.statlog.active_upsert(
+            self.conn_id,
+            sql,
+            "running",
+            self.engine.ctx.admission_granted(),
+        );
+        let (result, is_query) = match parse(sql).map_err(SqlError::Parse) {
+            Ok(stmt) => {
+                // Only queries arm the engine context; SET/DDL would read
+                // stale spill/degradation counters from the previous query.
+                let is_query = matches!(
+                    stmt,
+                    Statement::Select(_) | Statement::Explain { analyze: true, .. }
+                );
+                (self.execute_stmt(stmt), is_query)
+            }
+            Err(e) => (Err(e), false),
+        };
+        self.finish_statement(sql, started, is_query, &result);
+        result
+    }
+
+    fn execute_stmt(&mut self, stmt: Statement) -> Result<Table, SqlError> {
+        match stmt {
             Statement::Select(select) => {
-                let plan = plan_select(&select, &self.catalog, self.algo)?;
+                let jsys = self.catalog_for(&select)?;
+                let catalog = jsys.as_ref().unwrap_or(&self.catalog);
+                let plan = plan_select(&select, catalog, self.algo)?;
                 Ok(self.engine.execute(&plan)?)
             }
             Statement::Explain { analyze, select } => {
-                let plan = plan_select(&select, &self.catalog, self.algo)?;
+                let jsys = self.catalog_for(&select)?;
+                let catalog = jsys.as_ref().unwrap_or(&self.catalog);
+                let plan = plan_select(&select, catalog, self.algo)?;
                 let text = if analyze {
                     let (_, profile) = self.engine.execute_profiled(&plan)?;
                     profile.render()
@@ -313,16 +427,279 @@ impl Session {
                         };
                         self.engine.ctx.set_spill_dir(dir);
                     }
+                    "slow_query_ns" => {
+                        let ns = value.trim().parse::<u64>().map_err(|_| {
+                            SqlError::Plan(format!(
+                                "slow_query_ns expects a non-negative integer of \
+                                 nanoseconds, got {value:?}"
+                            ))
+                        })?;
+                        self.slow_query_ns = ns;
+                    }
+                    "slow_query_log" => {
+                        // `off`, `stderr`, or a file path (appended to).
+                        self.slowlog.set_target(&value);
+                    }
                     other => {
                         return Err(SqlError::Plan(format!(
-                            "unknown session variable {other:?} (expected join_algo \
-                             or spill_dir)"
+                            "unknown session variable {other:?} (expected join_algo, \
+                             spill_dir, slow_query_ns, or slow_query_log)"
                         )))
                     }
                 }
                 Ok(text_table(&format!("SET {name} = {value}")))
             }
         }
+    }
+
+    /// Close out one statement: drop it from the active registry, fold it
+    /// into the statement statistics, and emit a slow-query line when it
+    /// crossed the threshold. Engine-context readings (spill, admission,
+    /// degradations, join shapes) are taken only from statements that armed
+    /// the context — SET/DDL never execute through the engine, and a query
+    /// that failed at parse/plan time never reached `arm()`, so in both
+    /// cases the counters still describe the previous query.
+    fn finish_statement(
+        &self,
+        sql: &str,
+        started: Instant,
+        is_query: bool,
+        result: &Result<Table, SqlError>,
+    ) {
+        self.statlog.active_end(self.conn_id);
+        let latency_ns = started.elapsed().as_nanos() as u64;
+        let ctx = &self.engine.ctx;
+        let armed = is_query && !matches!(result, Err(SqlError::Parse(_)) | Err(SqlError::Plan(_)));
+        let (spill_bytes, admission_wait_ns, granted_bytes, degradations, algo_mask, peak_bytes) =
+            if armed {
+                (
+                    ctx.spill_write_bytes(),
+                    ctx.admission_wait_ns(),
+                    ctx.admission_granted(),
+                    ctx.degradations(),
+                    ctx.join_algos(),
+                    ctx.high_water() as u64,
+                )
+            } else {
+                (0, 0, 0, 0, 0, 0)
+            };
+        let rows_out = match result {
+            Ok(t) => t.num_rows() as u64,
+            Err(_) => 0,
+        };
+        let fingerprint = self.statlog.record(&StatRecord {
+            conn: self.conn_id,
+            sql,
+            ok: result.is_ok(),
+            latency_ns,
+            rows_out,
+            spill_bytes,
+            admission_wait_ns,
+            granted_bytes,
+            degradations,
+            algo_mask,
+        });
+        if should_log_slow(latency_ns, self.slow_query_ns) && self.slowlog.enabled() {
+            let ts_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis())
+                .unwrap_or(0);
+            let algos = algo_bits::label(algo_mask);
+            self.slowlog.emit(
+                &SlowEvent {
+                    ts_ms,
+                    conn: self.conn_id,
+                    fingerprint: &fingerprint,
+                    sql,
+                    ok: result.is_ok(),
+                    latency_ns,
+                    threshold_ns: self.slow_query_ns,
+                    rows_out,
+                    spill_bytes,
+                    admission_wait_ns,
+                    granted_bytes,
+                    degradations,
+                    algos: &algos,
+                    peak_bytes,
+                }
+                .to_json(),
+            );
+        }
+    }
+
+    /// The catalog a SELECT should plan against: `None` (plan against the
+    /// session catalog) unless the FROM clause names `jsys.*` system tables,
+    /// in which case a copy of the catalog (cheap: `Arc` clones) is extended
+    /// with those tables materialized from live telemetry. Materializing
+    /// *before* planning means a `jsys.statements` query observes the state
+    /// prior to its own recording — counts stay exact.
+    fn catalog_for(
+        &self,
+        select: &Select,
+    ) -> Result<Option<HashMap<String, Arc<Table>>>, SqlError> {
+        if !select.from.iter().any(|t| t.table.starts_with("jsys.")) {
+            return Ok(None);
+        }
+        let mut catalog = self.catalog.clone();
+        for t in &select.from {
+            if t.table.starts_with("jsys.") {
+                catalog.insert(t.table.clone(), Arc::new(self.system_table(&t.table)?));
+            }
+        }
+        Ok(Some(catalog))
+    }
+
+    /// Materialize one `jsys.*` virtual table from current telemetry.
+    fn system_table(&self, name: &str) -> Result<Table, SqlError> {
+        match name {
+            "jsys.statements" => Ok(self.jsys_statements()),
+            "jsys.recent_queries" => Ok(self.jsys_recent_queries()),
+            "jsys.active_queries" => Ok(self.jsys_active_queries()),
+            "jsys.metrics" => Ok(self.jsys_metrics()),
+            "jsys.pool" => Ok(self.jsys_pool()),
+            other => Err(SqlError::Plan(format!(
+                "unknown system table {other:?} (expected jsys.statements, \
+                 jsys.recent_queries, jsys.active_queries, jsys.metrics, or jsys.pool)"
+            ))),
+        }
+    }
+
+    fn jsys_statements(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("fingerprint", DataType::Str),
+            Field::new("calls", DataType::Int64),
+            Field::new("errors", DataType::Int64),
+            Field::new("total_ns", DataType::Int64),
+            Field::new("min_ns", DataType::Int64),
+            Field::new("max_ns", DataType::Int64),
+            Field::new("p50_ns", DataType::Int64),
+            Field::new("p95_ns", DataType::Int64),
+            Field::new("p99_ns", DataType::Int64),
+            Field::new("rows_out", DataType::Int64),
+            Field::new("spill_bytes", DataType::Int64),
+            Field::new("admission_wait_ns", DataType::Int64),
+            Field::new("granted_bytes", DataType::Int64),
+            Field::new("degradations", DataType::Int64),
+            Field::new("algos", DataType::Str),
+        ]);
+        let stats = self.statlog.statements_snapshot();
+        let mut b = TableBuilder::with_capacity(schema, stats.len());
+        for s in stats {
+            b.push_row(&[
+                Value::Str(s.fingerprint),
+                Value::Int64(s.calls as i64),
+                Value::Int64(s.errors as i64),
+                Value::Int64(s.total_ns as i64),
+                Value::Int64(s.min_ns as i64),
+                Value::Int64(s.max_ns as i64),
+                Value::Int64(s.p50_ns as i64),
+                Value::Int64(s.p95_ns as i64),
+                Value::Int64(s.p99_ns as i64),
+                Value::Int64(s.rows_out as i64),
+                Value::Int64(s.spill_bytes as i64),
+                Value::Int64(s.admission_wait_ns as i64),
+                Value::Int64(s.granted_bytes as i64),
+                Value::Int64(s.degradations as i64),
+                Value::Str(s.algos),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn jsys_recent_queries(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("seq", DataType::Int64),
+            Field::new("conn", DataType::Int64),
+            Field::new("sql", DataType::Str),
+            Field::new("fingerprint", DataType::Str),
+            Field::new("ok", DataType::Bool),
+            Field::new("latency_ns", DataType::Int64),
+            Field::new("rows_out", DataType::Int64),
+            Field::new("spill_bytes", DataType::Int64),
+            Field::new("admission_wait_ns", DataType::Int64),
+            Field::new("granted_bytes", DataType::Int64),
+        ]);
+        let recent = self.statlog.recent_snapshot();
+        let mut b = TableBuilder::with_capacity(schema, recent.len());
+        for q in recent {
+            b.push_row(&[
+                Value::Int64(q.seq as i64),
+                Value::Int64(q.conn as i64),
+                Value::Str(q.sql),
+                Value::Str(q.fingerprint),
+                Value::Bool(q.ok),
+                Value::Int64(q.latency_ns as i64),
+                Value::Int64(q.rows_out as i64),
+                Value::Int64(q.spill_bytes as i64),
+                Value::Int64(q.admission_wait_ns as i64),
+                Value::Int64(q.granted_bytes as i64),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn jsys_active_queries(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("conn", DataType::Int64),
+            Field::new("state", DataType::Str),
+            Field::new("sql", DataType::Str),
+            Field::new("elapsed_ns", DataType::Int64),
+            Field::new("granted_bytes", DataType::Int64),
+        ]);
+        let active = self.statlog.active_snapshot();
+        let mut b = TableBuilder::with_capacity(schema, active.len());
+        for q in active {
+            b.push_row(&[
+                Value::Int64(q.conn as i64),
+                Value::Str(q.state.to_string()),
+                Value::Str(q.sql),
+                Value::Int64(q.elapsed_ns as i64),
+                Value::Int64(q.granted_bytes as i64),
+            ]);
+        }
+        b.finish()
+    }
+
+    fn jsys_metrics(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("name", DataType::Str),
+            Field::new("value", DataType::Float64),
+        ]);
+        let snap = registry::global().snapshot();
+        let mut b = TableBuilder::with_capacity(schema, snap.len());
+        for (name, value) in snap {
+            b.push_row(&[Value::Str(name), Value::Float64(value)]);
+        }
+        b.finish()
+    }
+
+    fn jsys_pool(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("name", DataType::Str),
+            Field::new("value", DataType::Int64),
+        ]);
+        let mut rows: Vec<(&str, i64)> = Vec::new();
+        if let Some(pool) = self.engine.worker_pool() {
+            rows.push(("pool.threads", pool.threads() as i64));
+            rows.push(("pool.active_pipelines", pool.active_pipelines() as i64));
+        } else {
+            rows.push((
+                "pool.active_pipelines",
+                joinstudy_exec::pool::pipelines_in_flight() as i64,
+            ));
+        }
+        if let Some(adm) = &self.admission {
+            rows.push(("admission.total_bytes", adm.total() as i64));
+            rows.push(("admission.available_bytes", adm.available() as i64));
+            rows.push(("admission.queued", adm.queued() as i64));
+            rows.push(("admission.admitted", adm.admitted() as i64));
+            rows.push(("admission.peak_granted_bytes", adm.peak_granted() as i64));
+        }
+        let mut b = TableBuilder::with_capacity(schema, rows.len());
+        for (name, value) in rows {
+            b.push_row(&[Value::Str(name.to_string()), Value::Int64(value)]);
+        }
+        b.finish()
     }
 
     /// Plan a SELECT and render its operator tree (EXPLAIN). Accepts both a
@@ -334,7 +711,9 @@ impl Session {
                 analyze: false,
                 select,
             } => {
-                let plan = plan_select(&select, &self.catalog, self.algo)?;
+                let jsys = self.catalog_for(&select)?;
+                let catalog = jsys.as_ref().unwrap_or(&self.catalog);
+                let plan = plan_select(&select, catalog, self.algo)?;
                 Ok(plan.explain())
             }
             Statement::Explain { analyze: true, .. } => self.explain_analyze(sql),
@@ -350,7 +729,9 @@ impl Session {
             Statement::Select(select) | Statement::Explain { select, .. } => select,
             _ => return Err(SqlError::Plan("EXPLAIN supports SELECT statements".into())),
         };
-        let plan = plan_select(&select, &self.catalog, self.algo)?;
+        let jsys = self.catalog_for(&select)?;
+        let catalog = jsys.as_ref().unwrap_or(&self.catalog);
+        let plan = plan_select(&select, catalog, self.algo)?;
         let (_, profile) = self.engine.execute_profiled(&plan)?;
         Ok(profile.render())
     }

@@ -1,0 +1,135 @@
+//! Serving telemetry under concurrency: N TCP clients drive a mixed
+//! workload, and afterwards `jsys.statements` must account for every
+//! statement exactly once (call counts sum to N×M — the conservation
+//! invariant from the statement-statistics design), a `METRICS` scrape
+//! must parse as valid Prometheus text exposition, and the active-query
+//! registry must drain to empty.
+
+use joinstudy::sql::server::Client;
+use joinstudy::sql::stats::validate_exposition;
+use joinstudy::sql::{ServerConfig, SqlServer};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+const TABLES: [&str; 4] = ["nation", "supplier", "customer", "orders"];
+
+/// M statements per client: SELECTs (some sharing fingerprints across
+/// clients, some per-client literals), a SET, and a failing statement.
+fn script(client: usize) -> Vec<String> {
+    vec![
+        "SET join_algo = adaptive".to_string(),
+        "SELECT count(*) FROM customer, nation WHERE c_nationkey = n_nationkey".to_string(),
+        format!(
+            "SELECT count(*) FROM orders WHERE o_custkey = {}",
+            client + 1
+        ),
+        "SELECT count(*) FROM supplier, nation WHERE s_nationkey = n_nationkey".to_string(),
+        "SELECT * FROM nosuch".to_string(),
+        format!("SELECT count(*) FROM customer WHERE c_custkey > {client}"),
+    ]
+}
+
+fn parse_rows(response: &str) -> Vec<Vec<String>> {
+    let mut lines = response.lines();
+    let header = lines.next().expect("response header");
+    assert!(
+        header.starts_with("OK "),
+        "expected OK response: {response}"
+    );
+    lines.next(); // column-name line
+    lines
+        .take_while(|l| *l != ".")
+        .map(|l| l.split('\t').map(str::to_string).collect())
+        .collect()
+}
+
+#[test]
+fn statement_stats_conserve_counts_across_clients() {
+    let data = joinstudy::tpch::generate(0.01, 7);
+    let clients = 6usize;
+    let per_client = script(0).len();
+
+    let mut server = SqlServer::new(ServerConfig {
+        threads: 4,
+        pool_bytes: 1 << 30,
+        query_bytes: 64 << 20,
+        min_grant_bytes: 8 << 20,
+    });
+    for name in TABLES {
+        server.register(name, Arc::clone(data.table(name)));
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = Arc::new(server).spawn(listener).expect("spawn server");
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for stmt in script(c) {
+                    // A mid-run METRICS scrape from one client must be
+                    // valid exposition even while others are executing.
+                    if c == 0 {
+                        let scrape = client.query("METRICS").expect("scrape");
+                        let body = scrape.trim_end_matches(".\n").trim_end_matches("\n.");
+                        let series = validate_exposition(body)
+                            .unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+                        assert!(series > 0, "scrape should carry at least one sample");
+                    }
+                    client.query(&stmt).expect("round trip");
+                }
+                client.query(".quit").ok();
+            });
+        }
+    });
+
+    // Conservation: a fresh connection reads the shared statlog. The read
+    // snapshots *before* recording itself, so the sum of calls is exactly
+    // clients × statements-per-client.
+    let mut observer = Client::connect(addr).expect("connect observer");
+    let resp = observer
+        .query("SELECT fingerprint, calls, errors FROM jsys.statements")
+        .expect("jsys.statements");
+    let rows = parse_rows(&resp);
+    let total_calls: i64 = rows.iter().map(|r| r[1].parse::<i64>().unwrap()).sum();
+    let total_errors: i64 = rows.iter().map(|r| r[2].parse::<i64>().unwrap()).sum();
+    assert_eq!(
+        total_calls,
+        (clients * per_client) as i64,
+        "every statement recorded exactly once: {rows:?}"
+    );
+    // One deliberately failing statement per client.
+    assert_eq!(total_errors, clients as i64);
+
+    // The shared-fingerprint SELECT folded across all clients.
+    let folded = rows
+        .iter()
+        .find(|r| r[0].contains("from customer, nation"))
+        .expect("shared fingerprint row");
+    assert_eq!(folded[1].parse::<i64>().unwrap(), clients as i64);
+
+    // Per-client literals folded into one parameterized fingerprint.
+    let param = rows
+        .iter()
+        .find(|r| r[0].contains("o_custkey = ?"))
+        .expect("parameterized fingerprint row");
+    assert_eq!(param[1].parse::<i64>().unwrap(), clients as i64);
+
+    // All clients are gone: only the observer's own statement is active.
+    let resp = observer
+        .query("SELECT conn, state FROM jsys.active_queries")
+        .expect("jsys.active_queries");
+    assert_eq!(parse_rows(&resp).len(), 1);
+
+    // Post-run scrape still parses and reflects the recorded statements.
+    let scrape = observer.query("METRICS").expect("final scrape");
+    let body = scrape.trim_end_matches(".\n").trim_end_matches("\n.");
+    validate_exposition(body).expect("final scrape parses");
+    assert!(
+        body.contains("joinstudy_statements_recorded"),
+        "scrape should carry the statement-log gauge: {body}"
+    );
+
+    observer.query(".quit").ok();
+    handle.stop();
+}
