@@ -26,13 +26,27 @@
 //! (validating each response as Prometheus text exposition) and the last
 //! scrape lands in `results/metrics_scrape.txt`; after the run the
 //! server-wide statement statistics are dumped to
-//! `results/jsys_statements.tsv` via `SELECT ... FROM jsys.statements`.
+//! `results/jsys_statements.tsv`, the active-session-history ring to
+//! `results/ash_dump.tsv`, and the 1-second gauge ring to
+//! `results/jsys_timeseries.tsv` — all via plain `SELECT ... FROM jsys.*`.
 //! `--quick` shrinks everything for a smoke run.
+//!
+//! Two ASH-specific flags:
+//!
+//! * `--no-ash` disables the server's wait-state sampler — the off arm of
+//!   the sampler-overhead A/B (DESIGN.md §14 commits to a <2% closed-loop
+//!   p50 difference between the arms).
+//! * `--ash` joins the p99 latency tail against the ASH samples taken
+//!   while those requests ran (same connection, sample time inside the
+//!   request's `[end - latency, end]` window) and prints a per-wait-state
+//!   straggler attribution table, also recorded in the JSON.
 
 use joinstudy_bench::harness::{banner, Args};
+use joinstudy_bench::top;
 use joinstudy_sql::server::Client;
 use joinstudy_sql::stats::validate_exposition;
 use joinstudy_sql::{ServerConfig, SqlServer};
+use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -66,6 +80,63 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
+/// Run `sql` and return the response body (column header + rows) as TSV.
+fn dump_tsv(client: &mut Client, sql: &str) -> String {
+    let response = client.query(sql).expect("jsys round trip");
+    assert!(
+        response.starts_with("OK"),
+        "jsys dump failed: {}",
+        response.lines().next().unwrap_or("")
+    );
+    response
+        .lines()
+        .skip(1) // OK header
+        .take_while(|l| *l != ".")
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Straggler attribution: join the p99 latency tail of the recent-query
+/// ring against the ASH samples taken while those requests ran (same
+/// connection, sample inside `[end - latency, end]`). Returns the p99
+/// threshold (ms), the tail size, and samples per wait state.
+fn attribute_tail(
+    recent_rows: &[Vec<String>],
+    ash_rows: &[Vec<String>],
+) -> (f64, usize, BTreeMap<String, u64>) {
+    // (ts_ms, conn, latency_ns) of every recorded request.
+    let recent: Vec<(i64, i64, i64)> = recent_rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].parse().unwrap_or(0),
+                r[1].parse().unwrap_or(0),
+                r[2].parse().unwrap_or(0),
+            )
+        })
+        .collect();
+    let mut latencies: Vec<i64> = recent.iter().map(|r| r.2).collect();
+    latencies.sort_unstable();
+    if latencies.is_empty() {
+        return (0.0, 0, BTreeMap::new());
+    }
+    let p99_idx = ((latencies.len() as f64 - 1.0) * 0.99).round() as usize;
+    let p99_ns = latencies[p99_idx.min(latencies.len() - 1)];
+    let tail: Vec<&(i64, i64, i64)> = recent.iter().filter(|r| r.2 >= p99_ns).collect();
+    let mut by_state: BTreeMap<String, u64> = BTreeMap::new();
+    for (end_ms, conn, latency_ns) in tail.iter().copied() {
+        let start_ms = end_ms - (latency_ns / 1_000_000).max(1);
+        for row in ash_rows {
+            let at: i64 = row[0].parse().unwrap_or(0);
+            let sample_conn: i64 = row[1].parse().unwrap_or(-1);
+            if sample_conn == *conn && at >= start_ms && at <= *end_ms {
+                *by_state.entry(row[2].clone()).or_default() += 1;
+            }
+        }
+    }
+    (p99_ns as f64 / 1e6, tail.len(), by_state)
+}
+
 fn main() {
     let args = Args::parse();
     let quick = args.flag("quick");
@@ -75,11 +146,15 @@ fn main() {
     let mode = args.str("mode", "closed");
     let rate = args.f64("rate", 20.0);
     let open_loop = mode == "open";
+    let ash_report = args.flag("ash");
+    let ash_enabled = !args.flag("no-ash");
     let config = ServerConfig {
         threads: args.threads(),
         pool_bytes: args.usize("pool-mb", 256) << 20,
         query_bytes: args.usize("query-mb", 64) << 20,
         min_grant_bytes: args.usize("min-grant-mb", 8) << 20,
+        ash_enabled,
+        ..ServerConfig::default()
     };
 
     banner(
@@ -166,30 +241,42 @@ fn main() {
     });
     let elapsed = t0.elapsed();
 
-    // Dump the server-wide statement statistics through plain SQL before
-    // shutting down: the CI artifact showing what actually ran.
-    let stats_tsv = {
+    // Dump serving telemetry through plain SQL before shutting down: the
+    // CI artifacts showing what actually ran. The recent-query ring is
+    // fetched on the observer's *first* statement so its own jsys queries
+    // cannot pollute the attribution join (system tables materialize
+    // before the reading statement records itself).
+    let (recent_rows, ash_rows, stats_tsv, ash_tsv, ts_tsv) = {
         let mut observer = Client::connect(addr).expect("connect observer");
-        let response = observer
-            .query(
-                "SELECT fingerprint, calls, errors, total_ns, p50_ns, p95_ns, p99_ns, \
-                 rows_out, spill_bytes, admission_wait_ns, degradations, algos \
-                 FROM jsys.statements",
-            )
-            .expect("jsys.statements round trip");
-        assert!(
-            response.starts_with("OK"),
-            "jsys.statements failed: {}",
-            response.lines().next().unwrap_or("")
+        let recent_rows = top::query_rows(
+            &mut observer,
+            "SELECT ts_ms, conn, latency_ns, fingerprint FROM jsys.recent_queries",
+        )
+        .expect("jsys.recent_queries round trip");
+        let ash_rows = top::query_rows(
+            &mut observer,
+            "SELECT at_ms, conn, wait_state FROM jsys.ash",
+        )
+        .expect("jsys.ash round trip");
+        let stats_tsv = dump_tsv(
+            &mut observer,
+            "SELECT fingerprint, calls, errors, total_ns, p50_ns, p95_ns, p99_ns, \
+             rows_out, spill_bytes, admission_wait_ns, degradations, algos \
+             FROM jsys.statements",
         );
-        let tsv: String = response
-            .lines()
-            .skip(1) // OK header
-            .take_while(|l| *l != ".")
-            .map(|l| format!("{l}\n"))
-            .collect();
+        let ash_tsv = dump_tsv(
+            &mut observer,
+            "SELECT at_ms, conn, query_id, fingerprint, wait_state, pipeline, rows, \
+             granted_bytes FROM jsys.ash",
+        );
+        let ts_tsv = dump_tsv(
+            &mut observer,
+            "SELECT at_ms, queue_depth, available_bytes, admitted_bytes, pool_threads, \
+             active_pipelines, active_queries, spill_write_bytes, spill_read_bytes \
+             FROM jsys.timeseries",
+        );
         observer.query(".quit").ok();
-        tsv
+        (recent_rows, ash_rows, stats_tsv, ash_tsv, ts_tsv)
     };
     handle.stop();
 
@@ -216,13 +303,46 @@ fn main() {
         admission.total() >> 20
     );
 
+    // Straggler attribution (--ash): which wait states the p99 latency
+    // tail actually spent its time in, according to the sampler.
+    let mut ash_json = format!(
+        ",\n  \"ash_enabled\": {ash_enabled},\n  \"ash_samples\": {}",
+        ash_rows.len()
+    );
+    if ash_report {
+        let (p99_ms, tail_n, by_state) = attribute_tail(&recent_rows, &ash_rows);
+        let tail_total: u64 = by_state.values().sum();
+        println!(
+            "p99 tail attribution: {tail_n} request(s) >= {p99_ms:.2} ms, \
+             {tail_total} ASH sample(s) in their windows"
+        );
+        if tail_total == 0 {
+            println!("  (tail too fast for the sampler — no samples landed in its windows)");
+        }
+        for (state, n) in &by_state {
+            println!(
+                "  {state:<18} {n:>6} samples  {:>5.1}%",
+                *n as f64 * 100.0 / tail_total.max(1) as f64
+            );
+        }
+        let states: Vec<String> = by_state
+            .iter()
+            .map(|(s, n)| format!("\"{s}\": {n}"))
+            .collect();
+        ash_json.push_str(&format!(
+            ",\n  \"tail_p99_ms\": {p99_ms:.3},\n  \"tail_requests\": {tail_n},\n  \
+             \"tail_wait_samples\": {{{}}}",
+            states.join(", ")
+        ));
+    }
+
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!(
         "{{\n  \"sf\": {sf},\n  \"clients\": {clients},\n  \"queries_per_client\": {queries},\n  \
          \"threads\": {},\n  \"mode\": \"{}\",\n  \"total_queries\": {total},\n  \
          \"elapsed_s\": {:.4},\n  \"qps\": {qps:.2},\n  \"p50_ms\": {p50:.3},\n  \
          \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \"max_ms\": {max:.3},\n  \
-         \"admitted\": {},\n  \"peak_granted_bytes\": {},\n  \"pool_bytes\": {}\n}}\n",
+         \"admitted\": {},\n  \"peak_granted_bytes\": {},\n  \"pool_bytes\": {}{ash_json}\n}}\n",
         config.threads,
         if open_loop { "open" } else { "closed" },
         elapsed.as_secs_f64(),
@@ -237,9 +357,15 @@ fn main() {
         .expect("write results/metrics_scrape.txt");
     std::fs::write("results/jsys_statements.tsv", &stats_tsv)
         .expect("write results/jsys_statements.tsv");
+    std::fs::write("results/ash_dump.tsv", &ash_tsv).expect("write results/ash_dump.tsv");
+    std::fs::write("results/jsys_timeseries.tsv", &ts_tsv)
+        .expect("write results/jsys_timeseries.tsv");
     println!(
-        "wrote results/metrics_scrape.txt ({scrapes} mid-run scrapes, all valid exposition) \
-         and results/jsys_statements.tsv ({} fingerprints)",
-        stats_tsv.lines().count().saturating_sub(1)
+        "wrote results/metrics_scrape.txt ({scrapes} mid-run scrapes, all valid exposition), \
+         results/jsys_statements.tsv ({} fingerprints), results/ash_dump.tsv ({} samples), \
+         results/jsys_timeseries.tsv ({} ticks)",
+        stats_tsv.lines().count().saturating_sub(1),
+        ash_tsv.lines().count().saturating_sub(1),
+        ts_tsv.lines().count().saturating_sub(1)
     );
 }

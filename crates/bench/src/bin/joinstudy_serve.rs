@@ -35,6 +35,8 @@ fn main() {
         pool_bytes: args.usize("pool-mb", 256) << 20,
         query_bytes: args.usize("query-mb", 64) << 20,
         min_grant_bytes: args.usize("min-grant-mb", 8) << 20,
+        ash_enabled: !args.flag("no-ash"),
+        ..ServerConfig::default()
     };
 
     eprintln!("generating TPC-H SF {sf} ...");

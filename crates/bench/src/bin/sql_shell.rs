@@ -27,7 +27,10 @@
 //! degrade RJ → BHJ → spilling HHJ before failing), `.stats` prints the
 //! session's statement statistics (the same aggregates behind `SELECT *
 //! FROM jsys.statements`), `.slowlog <path>|stderr|off [threshold_ms]`
-//! routes the slow-query JSON log, and `.quit` exits.
+//! routes the slow-query JSON log, `.top <addr> [frames]` renders the
+//! live dashboard of a *running server* (same frames as the
+//! `joinstudy_top` binary; the embedded shell has no sampler of its own),
+//! and `.quit` exits.
 
 use joinstudy_bench::harness::Args;
 use joinstudy_core::JoinAlgo;
@@ -275,6 +278,36 @@ fn main() {
                     }
                     _ => println!("usage: .slowlog <path>|stderr|off [threshold_ms]"),
                 },
+                ".top" => match parts.next().map(str::trim) {
+                    Some(arg) if !arg.is_empty() => {
+                        let mut it = arg.split_whitespace();
+                        let addr = it.next().unwrap();
+                        let frames = it.next().and_then(|f| f.parse::<usize>().ok()).unwrap_or(1);
+                        match addr.parse::<std::net::SocketAddr>() {
+                            Ok(sock) => match joinstudy_sql::server::Client::connect(sock) {
+                                Ok(mut client) => {
+                                    for frame in 0..frames.max(1) {
+                                        match joinstudy_bench::top::fetch(&mut client) {
+                                            Ok(f) => {
+                                                print!("{}", joinstudy_bench::top::render(&f, addr))
+                                            }
+                                            Err(e) => {
+                                                println!("server went away: {e}");
+                                                break;
+                                            }
+                                        }
+                                        if frame + 1 < frames {
+                                            std::thread::sleep(std::time::Duration::from_secs(1));
+                                        }
+                                    }
+                                }
+                                Err(e) => println!("cannot connect to {addr}: {e}"),
+                            },
+                            Err(e) => println!("bad address {addr:?}: {e}"),
+                        }
+                    }
+                    _ => println!("usage: .top <host:port> [frames]"),
+                },
                 ".counters" => match parts.next().map(str::trim) {
                     Some("on") => {
                         session.set_counters(true);
@@ -304,7 +337,7 @@ fn main() {
                     println!(
                         "unknown command {other:?} \
                          (.tables .algo .spill .explain .profile .trace .counters .timing \
-                          .timeout .budget .stats .slowlog .quit)"
+                          .timeout .budget .stats .slowlog .top .quit)"
                     )
                 }
             }

@@ -14,7 +14,9 @@
 //!   skew and pipeline-depth variations (§5.4),
 //! * [`regress`] — the `bench_check` regression gate: baseline schema,
 //!   minimal JSON reader, and tolerance-aware comparison against
-//!   `results/baseline.json`.
+//!   `results/baseline.json`,
+//! * [`top`] — the live-server dashboard (`joinstudy_top`, shell `.top`):
+//!   jsys query helpers and frame rendering.
 //!
 //! Defaults are sized for a small container; `--scale`/`--threads`/`--reps`
 //! flags scale every experiment up to real hardware.
@@ -22,4 +24,5 @@
 pub mod harness;
 pub mod hw;
 pub mod regress;
+pub mod top;
 pub mod workloads;

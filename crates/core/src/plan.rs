@@ -36,6 +36,7 @@ use joinstudy_exec::ops::{
 };
 use joinstudy_exec::pipeline::{LocalState, Sink, StreamSpec};
 use joinstudy_exec::profile::{DetailValue, PipelineObs, QueryProfile};
+use joinstudy_exec::progress;
 use joinstudy_exec::registry;
 use joinstudy_exec::trace::{self, QueryTrace};
 use joinstudy_exec::{Batch, Executor};
@@ -1622,6 +1623,14 @@ impl Engine {
         let tag = if with_bloom { "BRJ" } else { "RJ" };
         metrics::mark_phase(MemPhase::Build);
         trace::label_next_pipeline(format!("{tag} partition (build)"));
+        if let Some(d) = adaptive {
+            // Attach the cost model's cardinality estimate so
+            // `jsys.query_progress` can report an est-vs-actual fraction.
+            progress::label_next_pipeline(
+                &format!("{tag} partition (build)"),
+                d.estimate.build_rows as u64,
+            );
+        }
         let build_obs = self.run_breaker(&build_spec, &build_sink, prof.as_deref_mut())?;
         let (build_side, bloom) = build_sink.finalize(self.threads, None, use_bloom)?;
         if let Some(decision) = adaptive {
@@ -1656,11 +1665,15 @@ impl Engine {
         )
         .with_context(Arc::clone(&self.ctx));
         metrics::mark_phase(MemPhase::PartitionPass1);
-        trace::label_next_pipeline(if bloom_op.is_some() {
+        let probe_label = if bloom_op.is_some() {
             format!("{tag} partition (probe) + bloom probe")
         } else {
             format!("{tag} partition (probe)")
-        });
+        };
+        trace::label_next_pipeline(probe_label.clone());
+        if let Some(d) = adaptive {
+            progress::label_next_pipeline(&probe_label, d.estimate.probe_rows as u64);
+        }
         let probe_obs = self.run_breaker(&probe_spec, &probe_sink, prof.as_deref_mut())?;
         let (probe_side, _) = probe_sink.finalize(self.threads, Some(bits2), false)?;
         let stats = Arc::new(crate::join_common::JoinStats::default());

@@ -39,6 +39,7 @@ use joinstudy_exec::batch::{Batch, Validity};
 use joinstudy_exec::context::{BudgetLease, QueryContext};
 use joinstudy_exec::error::{ExecError, ExecResult};
 use joinstudy_exec::metrics::{self, MemPhase};
+use joinstudy_exec::progress::WaitState;
 use joinstudy_exec::registry;
 use joinstudy_storage::column::{ColumnData, StrColumn};
 use joinstudy_storage::types::DataType;
@@ -539,9 +540,19 @@ impl SpillWriter {
             return Ok(());
         }
         fault::check(FaultOp::Write)?;
-        self.file
+        // Wait-state + time attribution around the actual I/O: stamp
+        // SpillIo for the sampler, restore the previous (CPU) stamp after.
+        let prev = self.ctx.wait_state();
+        self.ctx.stamp_wait(WaitState::SpillIo);
+        let io_start = std::time::Instant::now();
+        let wrote = self
+            .file
             .write_all(&self.buf)
-            .map_err(|e| ExecError::spill("write", format!("{}: {e}", self.path.display())))?;
+            .map_err(|e| ExecError::spill("write", format!("{}: {e}", self.path.display())));
+        self.ctx
+            .add_spill_io_ns(io_start.elapsed().as_nanos() as u64);
+        self.ctx.stamp_wait(prev);
+        wrote?;
         let n = self.buf.len() as u64;
         self.bytes += n;
         self.ctx.add_spill_write(n);
@@ -626,11 +637,24 @@ impl SpillReader {
         Ok(true)
     }
 
+    /// [`SpillReader::read_full`] with SpillIo wait-state and time
+    /// attribution on the query context (see [`joinstudy_exec::progress`]).
+    fn read_full_timed(&mut self, buf: &mut [u8]) -> ExecResult<bool> {
+        let prev = self.ctx.wait_state();
+        self.ctx.stamp_wait(WaitState::SpillIo);
+        let io_start = std::time::Instant::now();
+        let got = self.read_full(buf);
+        self.ctx
+            .add_spill_io_ns(io_start.elapsed().as_nanos() as u64);
+        self.ctx.stamp_wait(prev);
+        got
+    }
+
     /// Read and verify the next frame; `Ok(None)` at end of run.
     pub fn read_batch(&mut self) -> ExecResult<Option<Batch>> {
         self.ctx.check()?;
         let mut header = [0u8; FRAME_HEADER_BYTES];
-        if !self.read_full(&mut header)? {
+        if !self.read_full_timed(&mut header)? {
             return Ok(None);
         }
         fault::check(FaultOp::Read)?;
@@ -648,7 +672,7 @@ impl SpillReader {
         let rows = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
         let checksum = u64::from_le_bytes(header[16..24].try_into().unwrap());
         let mut payload = vec![0u8; payload_len];
-        if !self.read_full(&mut payload)? {
+        if !self.read_full_timed(&mut payload)? {
             return Err(ExecError::spill(
                 "read",
                 format!(

@@ -188,6 +188,9 @@ impl AdmissionController {
         let desired = desired.clamp(1, self.total);
         let floor = self.min_grant.min(desired);
         let enqueued = std::time::Instant::now();
+        // Stamp before taking the lock so a sampler that fires while we
+        // contend on the state mutex already sees the queue wait.
+        ctx.stamp_wait(crate::progress::WaitState::AdmissionQueued);
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let ticket = state.next_ticket;
         state.next_ticket += 1;
@@ -198,6 +201,7 @@ impl AdmissionController {
                 drop(state);
                 // The head may have changed; let the next ticket re-check.
                 self.cv.notify_all();
+                ctx.stamp_wait(crate::progress::WaitState::Other);
                 return Err(e);
             }
             if state.queue.front() == Some(&ticket) && state.available >= floor {
@@ -211,6 +215,7 @@ impl AdmissionController {
                 self.cv.notify_all();
                 let wait_ns = enqueued.elapsed().as_nanos() as u64;
                 ctx.set_admission_outcome(wait_ns, bytes as u64);
+                ctx.stamp_wait(crate::progress::WaitState::Other);
                 let reg = crate::registry::global();
                 reg.counter("admission.admitted").inc();
                 reg.histogram("admission.wait_ns").record(wait_ns);

@@ -17,6 +17,7 @@
 //! usage counter while keeping the configured budget and timeout.
 
 use crate::error::{ExecError, ExecResult};
+use crate::progress::WaitState;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -24,6 +25,10 @@ use std::time::{Duration, Instant};
 
 /// Sentinel for "no deadline armed".
 const NO_DEADLINE: u64 = u64::MAX;
+
+/// Process-wide query serial; each [`QueryContext::arm`] takes the next
+/// value so ASH samples and progress rows can be joined per execution.
+static NEXT_QUERY_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Shared cancellation token, deadline, and memory budget for one query.
 ///
@@ -75,6 +80,21 @@ pub struct QueryContext {
     /// Bitmask of join algorithms compiled for this query since the last
     /// [`QueryContext::arm`]; see [`QueryContext::note_join_algo`].
     join_algos: AtomicU64,
+    /// Current [`WaitState`] stamp (see [`crate::progress`]): one relaxed
+    /// store at existing phase boundaries, read by the ASH sampler.
+    wait_state: AtomicU64,
+    /// Process-wide serial of the execution this context is armed for.
+    query_id: AtomicU64,
+    /// Connection id of the owning session (0 when embedded). Persists
+    /// across [`QueryContext::arm`] like the budget.
+    conn_id: AtomicU64,
+    /// Nanoseconds spent running morsels since the last
+    /// [`QueryContext::arm`] (summed across workers, so it can exceed
+    /// wall time).
+    cpu_ns: AtomicU64,
+    /// Nanoseconds spent inside spill-file reads/writes since the last
+    /// [`QueryContext::arm`].
+    spill_io_ns: AtomicU64,
 }
 
 /// Bit flags for [`QueryContext::note_join_algo`]: which join operator
@@ -124,6 +144,11 @@ impl Default for QueryContext {
             admission_granted: AtomicU64::new(0),
             degradations: AtomicU64::new(0),
             join_algos: AtomicU64::new(0),
+            wait_state: AtomicU64::new(WaitState::Other.as_u64()),
+            query_id: AtomicU64::new(0),
+            conn_id: AtomicU64::new(0),
+            cpu_ns: AtomicU64::new(0),
+            spill_io_ns: AtomicU64::new(0),
         }
     }
 }
@@ -309,6 +334,61 @@ impl QueryContext {
         self.join_algos.load(Ordering::Relaxed)
     }
 
+    /// Stamp the current [`WaitState`]. One relaxed store; called at
+    /// boundaries that already exist (admission queue, pipeline submit,
+    /// morsel claim, participation flush, spill I/O) — never in a
+    /// per-tuple loop. Advisory: the ASH sampler reads it every ~10 ms.
+    #[inline]
+    pub fn stamp_wait(&self, state: WaitState) {
+        self.wait_state.store(state.as_u64(), Ordering::Relaxed);
+    }
+
+    /// The most recently stamped [`WaitState`].
+    pub fn wait_state(&self) -> WaitState {
+        WaitState::from_u64(self.wait_state.load(Ordering::Relaxed))
+    }
+
+    /// Process-wide serial of the current execution (0 before the first
+    /// [`QueryContext::arm`]).
+    pub fn query_id(&self) -> u64 {
+        self.query_id.load(Ordering::Relaxed)
+    }
+
+    /// Tag this context with its owning connection id. Set once by the
+    /// session; persists across [`QueryContext::arm`].
+    pub fn set_conn_id(&self, conn: u64) {
+        self.conn_id.store(conn, Ordering::Relaxed);
+    }
+
+    /// Connection id of the owning session (0 when embedded).
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id.load(Ordering::Relaxed)
+    }
+
+    /// Account `ns` of morsel-execution time against this query.
+    #[inline]
+    pub fn add_cpu_ns(&self, ns: u64) {
+        self.cpu_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Summed morsel-execution nanoseconds since the last
+    /// [`QueryContext::arm`] (across workers; can exceed wall time).
+    pub fn cpu_ns(&self) -> u64 {
+        self.cpu_ns.load(Ordering::Relaxed)
+    }
+
+    /// Account `ns` spent inside spill-file I/O against this query.
+    #[inline]
+    pub fn add_spill_io_ns(&self, ns: u64) {
+        self.spill_io_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds spent in spill reads/writes since the last
+    /// [`QueryContext::arm`].
+    pub fn spill_io_ns(&self) -> u64 {
+        self.spill_io_ns.load(Ordering::Relaxed)
+    }
+
     /// Re-arm the context for a fresh query: clears the cancel flag, the
     /// usage counter, the high-water mark, the spill counters, and the
     /// per-query degradation/join-shape telemetry; re-starts the timeout
@@ -325,6 +405,13 @@ impl QueryContext {
         self.spill_max_depth.store(0, Ordering::Relaxed);
         self.degradations.store(0, Ordering::Relaxed);
         self.join_algos.store(0, Ordering::Relaxed);
+        self.cpu_ns.store(0, Ordering::Relaxed);
+        self.spill_io_ns.store(0, Ordering::Relaxed);
+        self.stamp_wait(WaitState::Other);
+        self.query_id.store(
+            NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         if self.deadline_ns.load(Ordering::Relaxed) != NO_DEADLINE {
             let ms = self.budget_ms.load(Ordering::Relaxed);
             self.set_timeout(Some(Duration::from_millis(ms)));
@@ -550,6 +637,28 @@ mod tests {
         assert_eq!(algo_bits::label(ctx.join_algos()), "-");
         assert_eq!(ctx.admission_wait_ns(), 1234);
         assert_eq!(ctx.admission_granted(), 1 << 20);
+    }
+
+    #[test]
+    fn wait_stamp_and_time_breakdown_clear_on_arm() {
+        let ctx = QueryContext::unbounded();
+        assert_eq!(ctx.wait_state(), WaitState::Other);
+        ctx.stamp_wait(WaitState::SpillIo);
+        ctx.add_cpu_ns(500);
+        ctx.add_spill_io_ns(200);
+        ctx.set_conn_id(7);
+        assert_eq!(ctx.wait_state(), WaitState::SpillIo);
+        assert_eq!(ctx.cpu_ns(), 500);
+        assert_eq!(ctx.spill_io_ns(), 200);
+        let before = ctx.query_id();
+        ctx.arm();
+        // Per-query readings clear, the conn tag persists, and each arm
+        // takes a fresh process-wide query id.
+        assert_eq!(ctx.wait_state(), WaitState::Other);
+        assert_eq!(ctx.cpu_ns(), 0);
+        assert_eq!(ctx.spill_io_ns(), 0);
+        assert_eq!(ctx.conn_id(), 7);
+        assert!(ctx.query_id() > before);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod pipeline;
 pub mod pmu;
 pub mod pool;
 pub mod profile;
+pub mod progress;
 pub mod registry;
 pub mod sched;
 pub mod trace;
@@ -68,6 +69,7 @@ pub use pipeline::{Operator, Sink, Source, StreamSpec};
 pub use pmu::{CounterGroup, CounterKind, CounterValues, HwSlot};
 pub use pool::WorkerPool;
 pub use profile::{DetailValue, OpStats, PipelineObs, ProfileNode, QueryProfile, WorkerProf};
+pub use progress::{PipelineProgress, PipelineSnapshot, ProgressRegistry, WaitState};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use sched::Executor;
 pub use trace::{QueryTrace, SpanKind, TraceSpan};

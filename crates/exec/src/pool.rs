@@ -50,11 +50,13 @@
 //! routes them to a private scoped team so a query's timeline contains
 //! only its own workers (see `run_pipeline_obs` in `sched.rs`).
 
+use crate::batch::Batch;
 use crate::context::QueryContext;
 use crate::error::{ExecError, ExecResult};
 use crate::pipeline::{LocalState, Operator, Sink, Source};
 use crate::profile::{PipelineObs, WorkerProf};
-use crate::sched::{feed_chain, feed_chain_prof, panic_message, Failure};
+use crate::progress::{self, PipelineProgress, WaitState};
+use crate::sched::{panic_message, Failure};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -113,6 +115,10 @@ struct ActivePipeline {
     participants: AtomicUsize,
     /// Set at retirement, under the state lock; the submitter waits on it.
     done: AtomicBool,
+    /// Always-on live progress counters (see [`crate::progress`]):
+    /// registered at submit, retired with the pipeline, readable
+    /// mid-flight through `jsys.query_progress`.
+    progress: Arc<PipelineProgress>,
 }
 
 impl ActivePipeline {
@@ -258,6 +264,21 @@ impl WorkerPool {
         obs: Option<&PipelineObs>,
     ) -> ExecResult {
         let started = obs.map(|_| Instant::now());
+        // The engine labels the pipeline (thread-locally) just before
+        // submitting it; unlabeled pipelines still get a progress entry.
+        let (label, est_rows) =
+            progress::take_next_label().unwrap_or_else(|| ("pipeline".to_string(), 0));
+        let live = Arc::new(PipelineProgress::new(
+            ctx,
+            label,
+            est_rows,
+            ops.len(),
+            source.task_count() as u64,
+        ));
+        progress::global().register(Arc::clone(&live));
+        // Submitted but no morsel claimed yet; each worker burst re-stamps
+        // the CPU flavor on entry and PoolWait on exit.
+        ctx.stamp_wait(WaitState::PoolWait);
         // Erase the borrow lifetimes into raw pointers. SAFETY: this
         // function blocks until the pipeline retires (no worker can reach
         // these pointers afterwards), so the pointees outlive every use.
@@ -288,6 +309,7 @@ impl WorkerPool {
             adopted: AtomicBool::new(false),
             participants: AtomicUsize::new(0),
             done: AtomicBool::new(false),
+            progress: live,
         });
         IN_FLIGHT.fetch_add(1, Ordering::AcqRel);
         {
@@ -309,6 +331,8 @@ impl WorkerPool {
         }
         drop(state);
         IN_FLIGHT.fetch_sub(1, Ordering::AcqRel);
+        progress::global().retire(&pipe.progress);
+        ctx.stamp_wait(WaitState::Other);
 
         if let (Some(obs), Some(t0)) = (obs, started) {
             let workers = pipe.participants.load(Ordering::Relaxed).max(1) as u64;
@@ -463,37 +487,126 @@ fn work_burst(held: &mut HashMap<u64, Participation>, pipe: &Arc<ActivePipeline>
     let source = unsafe { &*pipe.refs.source };
     let ops = unsafe { &*pipe.refs.ops };
     let sink = unsafe { &*pipe.refs.sink };
+    let live = &pipe.progress;
     let Participation {
         op_locals,
         sink_local,
         prof,
         ..
     } = part;
+    // Wait-state stamp: this query is on-CPU in this pipeline's phase for
+    // the duration of the burst. Two relaxed stores per morsel.
+    ctx.stamp_wait(live.cpu_state);
     let mut chain_err: Option<ExecError> = None;
-    let morsel_start = prof.as_ref().map(|_| Instant::now());
+    let morsel_start = Instant::now();
     let polled = source.poll_task(task, &mut |batch| {
         if chain_err.is_none() {
-            let fed = match prof.as_mut() {
-                Some(p) => {
-                    p.src_batches += 1;
-                    p.src_rows += batch.num_rows() as u64;
-                    feed_chain_prof(ops, op_locals, sink, sink_local, batch, 0, p)
-                }
-                None => feed_chain(ops, op_locals, sink, sink_local, batch, 0),
-            };
+            let n = batch.num_rows() as u64;
+            live.source.batches.fetch_add(1, Ordering::Relaxed);
+            live.source.rows_out.fetch_add(n, Ordering::Relaxed);
+            if let Some(p) = prof.as_mut() {
+                p.src_batches += 1;
+                p.src_rows += n;
+            }
+            let fed = feed_chain_live(
+                ops,
+                op_locals,
+                sink,
+                sink_local,
+                batch,
+                0,
+                live,
+                prof.as_mut(),
+            );
             if let Err(e) = fed {
                 chain_err = Some(e);
             }
         }
     });
-    if let (Some(p), Some(t0)) = (prof.as_mut(), morsel_start) {
+    let morsel_ns = morsel_start.elapsed().as_nanos() as u64;
+    ctx.add_cpu_ns(morsel_ns);
+    live.tasks_done.fetch_add(1, Ordering::Relaxed);
+    if let Some(p) = prof.as_mut() {
         p.morsels += 1;
-        p.src_busy_ns += t0.elapsed().as_nanos() as u64;
+        p.src_busy_ns += morsel_ns;
+        // Incremental flush: fold this morsel's counts into the shared
+        // `PipelineObs` now (and reset the local), so `EXPLAIN ANALYZE`
+        // observation slots are readable mid-flight instead of only at
+        // participation drain. `flush` is purely additive, so drain-time
+        // totals are unchanged.
+        if let Some(obs) = pipe.refs.obs {
+            p.flush(unsafe { &*obs });
+            *p = WorkerProf::new(ops.len());
+        }
     }
+    // Burst over: until the next claim this query is waiting on the pool.
+    ctx.stamp_wait(WaitState::PoolWait);
     if let Some(e) = chain_err {
         return Err(e);
     }
     polled
+}
+
+/// Pooled twin of `sched::feed_chain` / `feed_chain_prof`: pushes a batch
+/// through operators `from..` into the sink, always counting rows/batches
+/// into the pipeline's live [`PipelineProgress`] (relaxed adds, no clock
+/// reads) and, when profiling is on, also doing the profiler's timing
+/// accounting.
+#[allow(clippy::too_many_arguments)]
+fn feed_chain_live(
+    ops: &[Arc<dyn Operator>],
+    op_locals: &mut [LocalState],
+    sink: &dyn Sink,
+    sink_local: &mut LocalState,
+    batch: Batch,
+    from: usize,
+    live: &PipelineProgress,
+    mut prof: Option<&mut WorkerProf>,
+) -> ExecResult {
+    let mut stack: Vec<(usize, Batch)> = vec![(from, batch)];
+    while let Some((i, b)) = stack.pop() {
+        if i == ops.len() {
+            if b.num_rows() > 0 {
+                let n = b.num_rows() as u64;
+                live.sink.add_in(n);
+                match prof.as_deref_mut() {
+                    Some(p) => {
+                        p.sink_batches += 1;
+                        p.sink_rows += n;
+                        let t0 = Instant::now();
+                        sink.consume(sink_local, b)?;
+                        p.sink_busy_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    None => sink.consume(sink_local, b)?,
+                }
+            }
+            continue;
+        }
+        if b.num_rows() == 0 {
+            continue;
+        }
+        let n = b.num_rows() as u64;
+        live.ops[i].add_in(n);
+        if let Some(p) = prof.as_deref_mut() {
+            p.ops[i].batches += 1;
+            p.ops[i].rows_in += n;
+        }
+        let (op, local) = (&ops[i], &mut op_locals[i]);
+        let mut produced: Vec<(usize, Batch)> = Vec::new();
+        let mut rows_out = 0u64;
+        let t0 = prof.is_some().then(Instant::now);
+        op.process(local, b, &mut |nb| {
+            rows_out += nb.num_rows() as u64;
+            produced.push((i + 1, nb));
+        })?;
+        if let (Some(p), Some(t0)) = (prof.as_deref_mut(), t0) {
+            p.ops[i].busy_ns += t0.elapsed().as_nanos() as u64;
+            p.ops[i].rows_out += rows_out;
+        }
+        live.ops[i].add_out(rows_out);
+        stack.extend(produced);
+    }
+    Ok(())
 }
 
 /// End-of-participation merge, mirroring the tail of the scoped worker
@@ -503,9 +616,12 @@ fn work_burst(held: &mut HashMap<u64, Participation>, pipe: &Arc<ActivePipeline>
 /// error so partial counts of a failed query stay visible.
 fn flush_participation(part: &mut Participation) -> ExecResult {
     let pipe = Arc::clone(&part.pipe);
+    let ctx = unsafe { &*pipe.refs.ctx };
     let ops = unsafe { &*pipe.refs.ops };
     let sink = unsafe { &*pipe.refs.sink };
     let obs = pipe.refs.obs.map(|o| unsafe { &*o });
+    let live = &pipe.progress;
+    ctx.stamp_wait(WaitState::Finalizing);
 
     let result = (|| -> ExecResult {
         for i in 0..ops.len() {
@@ -519,29 +635,22 @@ fn flush_participation(part: &mut Participation) -> ExecResult {
                 p.ops[i].busy_ns += t0.elapsed().as_nanos() as u64;
             }
             for b in pending {
-                match part.prof.as_mut() {
-                    Some(p) => {
-                        p.ops[i].batches += 1;
-                        p.ops[i].rows_out += b.num_rows() as u64;
-                        feed_chain_prof(
-                            ops,
-                            &mut part.op_locals,
-                            sink,
-                            &mut part.sink_local,
-                            b,
-                            i + 1,
-                            p,
-                        )?;
-                    }
-                    None => feed_chain(
-                        ops,
-                        &mut part.op_locals,
-                        sink,
-                        &mut part.sink_local,
-                        b,
-                        i + 1,
-                    )?,
+                let n = b.num_rows() as u64;
+                live.ops[i].add_out(n);
+                if let Some(p) = part.prof.as_mut() {
+                    p.ops[i].batches += 1;
+                    p.ops[i].rows_out += n;
                 }
+                feed_chain_live(
+                    ops,
+                    &mut part.op_locals,
+                    sink,
+                    &mut part.sink_local,
+                    b,
+                    i + 1,
+                    live,
+                    part.prof.as_mut(),
+                )?;
             }
         }
         if pipe.failure.raised() {

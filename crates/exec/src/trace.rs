@@ -262,11 +262,17 @@ pub fn end() -> Option<QueryTrace> {
 /// (build)"). Called by the engine just before running a breaker; without a
 /// label the pipeline is recorded as "pipeline".
 pub fn label_next_pipeline(label: impl Into<String>) {
+    let label = label.into();
+    // Always forward to the live-progress twin (`crate::progress`), which
+    // needs no active trace: pooled serving pipelines get labels too. The
+    // engine overrides the forwarded entry at adaptive-join sites to attach
+    // a cardinality estimate.
+    crate::progress::label_next_pipeline(&label, 0);
     if !thread_active() {
         return;
     }
     if let Some(col) = COLLECTOR.lock().unwrap().as_mut() {
-        col.next_label = Some(label.into());
+        col.next_label = Some(label);
     }
 }
 

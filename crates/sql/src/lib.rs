@@ -38,4 +38,4 @@ pub mod stats;
 
 pub use server::{ServerConfig, SqlServer};
 pub use session::{Session, SqlError};
-pub use stats::{SlowLog, StatLog};
+pub use stats::{AshRing, AshSample, SlowLog, StatLog, TimeseriesRing, TsSample};

@@ -52,16 +52,19 @@
 //! so a vanished client leaks neither disk nor memory budget.
 
 use crate::session::{Session, SqlError};
-use crate::stats::{render_exposition, SlowLog, StatLog};
+use crate::stats::{
+    now_ms, render_exposition, AshRing, AshSample, SlowLog, StatLog, TimeseriesRing, TsSample,
+};
 use joinstudy_exec::admission::AdmissionController;
 use joinstudy_exec::pool::WorkerPool;
+use joinstudy_exec::progress;
 use joinstudy_exec::registry;
 use joinstudy_storage::table::Table;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How often the per-connection watchdog polls the socket for EOF, and
@@ -80,6 +83,14 @@ pub struct ServerConfig {
     pub query_bytes: usize,
     /// Smallest grant worth admitting a query with.
     pub min_grant_bytes: usize,
+    /// Run the active-session-history sampler thread. Off, `jsys.ash`
+    /// stays empty (the table still answers); the A/B knob behind the
+    /// sampler-overhead contract in DESIGN.md §14.
+    pub ash_enabled: bool,
+    /// Wait-state sampling interval.
+    pub ash_interval: Duration,
+    /// Gauge time-series tick interval (`jsys.timeseries`).
+    pub timeseries_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +103,9 @@ impl Default for ServerConfig {
             pool_bytes: 256 << 20,
             query_bytes: 64 << 20,
             min_grant_bytes: 8 << 20,
+            ash_enabled: true,
+            ash_interval: Duration::from_millis(10),
+            timeseries_interval: Duration::from_secs(1),
         }
     }
 }
@@ -108,19 +122,116 @@ pub struct SqlServer {
     statlog: Arc<StatLog>,
     /// One slow-query sink shared by every connection.
     slowlog: Arc<SlowLog>,
+    /// Active session history: the wait-state sampler's output ring.
+    ash: Arc<AshRing>,
+    /// 1-second server gauges (`jsys.timeseries`).
+    timeseries: Arc<TimeseriesRing>,
+    /// Stops the sampler and ticker threads when the server drops.
+    telemetry_stop: Arc<AtomicBool>,
+    telemetry_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     config: ServerConfig,
 }
 
 impl SqlServer {
     pub fn new(config: ServerConfig) -> SqlServer {
-        SqlServer {
+        let server = SqlServer {
             catalog: BTreeMap::new(),
             pool: WorkerPool::new(config.threads),
             admission: AdmissionController::new(config.pool_bytes, config.min_grant_bytes),
             statlog: Arc::new(StatLog::new()),
             slowlog: Arc::new(SlowLog::from_env()),
+            ash: Arc::new(AshRing::new()),
+            timeseries: Arc::new(TimeseriesRing::new()),
+            telemetry_stop: Arc::new(AtomicBool::new(false)),
+            telemetry_threads: Mutex::new(Vec::new()),
             config,
+        };
+        server.start_telemetry();
+        server
+    }
+
+    /// Spawn the ASH sampler (when enabled) and the gauge ticker. Both are
+    /// pure readers of shared state — they never take a lock a query's hot
+    /// path holds for more than a registry push/snapshot — so sampling
+    /// cost stays off the serving path (the <2% p50 contract is tested in
+    /// `bench_serve`'s sampler A/B).
+    fn start_telemetry(&self) {
+        let mut threads = self
+            .telemetry_threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if self.config.ash_enabled {
+            let stop = Arc::clone(&self.telemetry_stop);
+            let statlog = Arc::clone(&self.statlog);
+            let ash = Arc::clone(&self.ash);
+            let interval = self.config.ash_interval;
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let at_ms = now_ms();
+                    for q in statlog.active_detail() {
+                        let (query_id, wait_state) = match &q.ctx {
+                            Some(ctx) => (ctx.query_id(), ctx.wait_state().name()),
+                            // A statement queued before its session ever
+                            // shared a context: classify from the registry
+                            // state alone.
+                            None if q.state == "queued" => (0, "admission_queued"),
+                            None => (0, "other"),
+                        };
+                        let reg = progress::global();
+                        let (pipeline, rows) = if query_id != 0 {
+                            (
+                                reg.current_pipeline(query_id).unwrap_or_default(),
+                                reg.rows_so_far(query_id),
+                            )
+                        } else {
+                            (String::new(), 0)
+                        };
+                        ash.push(AshSample {
+                            at_ms,
+                            conn: q.conn,
+                            query_id,
+                            fingerprint: q.fingerprint,
+                            wait_state,
+                            pipeline,
+                            rows,
+                            granted_bytes: q.granted_bytes,
+                        });
+                    }
+                    std::thread::sleep(interval);
+                }
+            }));
         }
+        let stop = Arc::clone(&self.telemetry_stop);
+        let statlog = Arc::clone(&self.statlog);
+        let admission = Arc::clone(&self.admission);
+        let pool = Arc::clone(&self.pool);
+        let timeseries = Arc::clone(&self.timeseries);
+        let interval = self.config.timeseries_interval;
+        threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let reg = registry::global();
+                let available = admission.available() as u64;
+                timeseries.push(TsSample {
+                    at_ms: now_ms(),
+                    queue_depth: admission.queued() as u64,
+                    available_bytes: available,
+                    admitted_bytes: admission.total() as u64 - available,
+                    pool_threads: pool.threads() as u64,
+                    active_pipelines: pool.active_pipelines() as u64,
+                    active_queries: statlog.active_snapshot().len() as u64,
+                    spill_write_bytes: reg.counter("spill.write_bytes").get(),
+                    spill_read_bytes: reg.counter("spill.read_bytes").get(),
+                });
+                // Sleep in short slices so dropping the server never
+                // blocks a full tick behind the join.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop.load(Ordering::Acquire) {
+                    let slice = WATCHDOG_TICK.min(interval - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        }));
     }
 
     /// Register a table every connection's session will see.
@@ -148,6 +259,16 @@ impl SqlServer {
         Arc::clone(&self.slowlog)
     }
 
+    /// The active-session-history ring (for tests and benches).
+    pub fn ash(&self) -> Arc<AshRing> {
+        Arc::clone(&self.ash)
+    }
+
+    /// The gauge time-series ring (for tests and benches).
+    pub fn timeseries(&self) -> Arc<TimeseriesRing> {
+        Arc::clone(&self.timeseries)
+    }
+
     /// Build the per-connection session: shared pool, registered tables,
     /// shared telemetry, and a fresh connection id.
     fn session(&self) -> Session {
@@ -157,6 +278,8 @@ impl SqlServer {
         session.set_slowlog(Arc::clone(&self.slowlog));
         session.set_conn_id(self.statlog.next_conn_id());
         session.set_admission(Some(Arc::clone(&self.admission)));
+        session.set_ash(Some(Arc::clone(&self.ash)));
+        session.set_timeseries(Some(Arc::clone(&self.timeseries)));
         for (name, table) in &self.catalog {
             session.register(name.clone(), Arc::clone(table));
         }
@@ -193,6 +316,7 @@ impl SqlServer {
             "statements.recorded".to_string(),
             self.statlog.total_recorded() as f64,
         ));
+        samples.push(("ash.samples".to_string(), self.ash.total_samples() as f64));
         render_exposition(&samples)
     }
 
@@ -328,7 +452,10 @@ impl SqlServer {
         let ctx = session.context();
         // Show up in `jsys.active_queries` while waiting for memory; the
         // session flips the state to `running` once it starts executing.
-        self.statlog.active_upsert(conn, stmt, "queued", 0);
+        // Attaching the context here lets the ASH sampler see the
+        // admission wait before the statement ever arms.
+        self.statlog
+            .active_upsert(conn, stmt, "queued", 0, Some(&ctx));
         let grant = match self.admission.admit(self.config.query_bytes, &ctx) {
             Ok(grant) => grant,
             Err(e) => {
@@ -343,6 +470,21 @@ impl SqlServer {
         match result {
             Ok(table) => encode_table(&table),
             Err(e) => encode_error(&e),
+        }
+    }
+}
+
+impl Drop for SqlServer {
+    fn drop(&mut self) {
+        self.telemetry_stop.store(true, Ordering::Release);
+        let threads = std::mem::take(
+            &mut *self
+                .telemetry_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for t in threads {
+            let _ = t.join();
         }
     }
 }

@@ -14,7 +14,9 @@
 use crate::ast::{Literal, Select, Statement};
 use crate::parser::parse;
 use crate::planner::plan_select;
-use crate::stats::{should_log_slow, SlowEvent, SlowLog, StatLog, StatRecord};
+use crate::stats::{
+    should_log_slow, AshRing, SlowEvent, SlowLog, StatLog, StatRecord, TimeseriesRing,
+};
 use joinstudy_core::{Engine, JoinAlgo};
 use joinstudy_exec::admission::AdmissionController;
 use joinstudy_exec::context::{algo_bits, QueryContext};
@@ -141,6 +143,12 @@ pub struct Session {
     conn_id: u64,
     /// The server's admission controller, for `jsys.pool` gauges.
     admission: Option<Arc<AdmissionController>>,
+    /// The server's active-session-history ring, for `jsys.ash` (`None`
+    /// for embedded sessions, which have no sampler — the table is then
+    /// empty rather than an error).
+    ash: Option<Arc<AshRing>>,
+    /// The server's 1-second gauge ring, for `jsys.timeseries`.
+    timeseries: Option<Arc<TimeseriesRing>>,
 }
 
 impl Session {
@@ -161,6 +169,8 @@ impl Session {
             slow_query_ns,
             conn_id: 0,
             admission: None,
+            ash: None,
+            timeseries: None,
         }
     }
 
@@ -281,9 +291,12 @@ impl Session {
         self.slow_query_ns
     }
 
-    /// Stamp telemetry rows from this session with a connection id.
+    /// Stamp telemetry rows from this session with a connection id. Also
+    /// stamped on the engine's [`QueryContext`] so ASH samples taken from
+    /// executor state carry the same id.
     pub fn set_conn_id(&mut self, conn: u64) {
         self.conn_id = conn;
+        self.engine.ctx.set_conn_id(conn);
     }
 
     /// The connection id stamped on this session's telemetry rows.
@@ -295,6 +308,18 @@ impl Session {
     /// `jsys.pool` can report pool-wide memory gauges.
     pub fn set_admission(&mut self, admission: Option<Arc<AdmissionController>>) {
         self.admission = admission;
+    }
+
+    /// Share the server's active-session-history ring so `jsys.ash`
+    /// answers on this session.
+    pub fn set_ash(&mut self, ash: Option<Arc<AshRing>>) {
+        self.ash = ash;
+    }
+
+    /// Share the server's gauge time-series ring so `jsys.timeseries`
+    /// answers on this session.
+    pub fn set_timeseries(&mut self, ts: Option<Arc<TimeseriesRing>>) {
+        self.timeseries = ts;
     }
 
     /// Register an existing table (e.g. a generated TPC-H relation).
@@ -319,6 +344,7 @@ impl Session {
             sql,
             "running",
             self.engine.ctx.admission_granted(),
+            Some(&self.engine.ctx),
         );
         let (result, is_query) = match parse(sql).map_err(SqlError::Parse) {
             Ok(stmt) => {
@@ -483,6 +509,11 @@ impl Session {
             } else {
                 (0, 0, 0, 0, 0, 0)
             };
+        let (cpu_ns, spill_io_ns) = if armed {
+            (ctx.cpu_ns(), ctx.spill_io_ns())
+        } else {
+            (0, 0)
+        };
         let rows_out = match result {
             Ok(t) => t.num_rows() as u64,
             Err(_) => 0,
@@ -517,6 +548,8 @@ impl Session {
                     rows_out,
                     spill_bytes,
                     admission_wait_ns,
+                    cpu_ns,
+                    spill_io_ns,
                     granted_bytes,
                     degradations,
                     algos: &algos,
@@ -557,9 +590,13 @@ impl Session {
             "jsys.active_queries" => Ok(self.jsys_active_queries()),
             "jsys.metrics" => Ok(self.jsys_metrics()),
             "jsys.pool" => Ok(self.jsys_pool()),
+            "jsys.ash" => Ok(self.jsys_ash()),
+            "jsys.query_progress" => Ok(self.jsys_query_progress()),
+            "jsys.timeseries" => Ok(self.jsys_timeseries()),
             other => Err(SqlError::Plan(format!(
                 "unknown system table {other:?} (expected jsys.statements, \
-                 jsys.recent_queries, jsys.active_queries, jsys.metrics, or jsys.pool)"
+                 jsys.recent_queries, jsys.active_queries, jsys.metrics, jsys.pool, \
+                 jsys.ash, jsys.query_progress, or jsys.timeseries)"
             ))),
         }
     }
@@ -609,6 +646,7 @@ impl Session {
     fn jsys_recent_queries(&self) -> Table {
         let schema = Schema::new(vec![
             Field::new("seq", DataType::Int64),
+            Field::new("ts_ms", DataType::Int64),
             Field::new("conn", DataType::Int64),
             Field::new("sql", DataType::Str),
             Field::new("fingerprint", DataType::Str),
@@ -624,6 +662,7 @@ impl Session {
         for q in recent {
             b.push_row(&[
                 Value::Int64(q.seq as i64),
+                Value::Int64(q.ts_ms as i64),
                 Value::Int64(q.conn as i64),
                 Value::Str(q.sql),
                 Value::Str(q.fingerprint),
@@ -698,6 +737,112 @@ impl Session {
         let mut b = TableBuilder::with_capacity(schema, rows.len());
         for (name, value) in rows {
             b.push_row(&[Value::Str(name.to_string()), Value::Int64(value)]);
+        }
+        b.finish()
+    }
+
+    fn jsys_ash(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("at_ms", DataType::Int64),
+            Field::new("conn", DataType::Int64),
+            Field::new("query_id", DataType::Int64),
+            Field::new("fingerprint", DataType::Str),
+            Field::new("wait_state", DataType::Str),
+            Field::new("pipeline", DataType::Str),
+            Field::new("rows", DataType::Int64),
+            Field::new("granted_bytes", DataType::Int64),
+        ]);
+        let samples = self.ash.as_ref().map(|a| a.snapshot()).unwrap_or_default();
+        let mut b = TableBuilder::with_capacity(schema, samples.len());
+        for s in samples {
+            b.push_row(&[
+                Value::Int64(s.at_ms as i64),
+                Value::Int64(s.conn as i64),
+                Value::Int64(s.query_id as i64),
+                Value::Str(s.fingerprint),
+                Value::Str(s.wait_state.to_string()),
+                Value::Str(s.pipeline),
+                Value::Int64(s.rows as i64),
+                Value::Int64(s.granted_bytes as i64),
+            ]);
+        }
+        b.finish()
+    }
+
+    /// Live per-operator progress of every in-flight pipeline, one row per
+    /// (pipeline, stage). Reads the process-global progress registry, so
+    /// it works for embedded sessions and servers alike; counters are
+    /// relaxed-atomic advisory values (the executor's mid-flight ordering
+    /// contract).
+    fn jsys_query_progress(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("query_id", DataType::Int64),
+            Field::new("conn", DataType::Int64),
+            Field::new("pipeline", DataType::Str),
+            Field::new("stage", DataType::Str),
+            Field::new("batches", DataType::Int64),
+            Field::new("rows_in", DataType::Int64),
+            Field::new("rows_out", DataType::Int64),
+            Field::new("morsels_done", DataType::Int64),
+            Field::new("morsels_total", DataType::Int64),
+            Field::new("est_rows", DataType::Int64),
+            Field::new("fraction", DataType::Float64),
+            Field::new("spill_bytes", DataType::Int64),
+        ]);
+        let pipelines = joinstudy_exec::progress::global().snapshot();
+        let mut b = TableBuilder::new(schema);
+        for p in &pipelines {
+            let fraction = p.fraction();
+            for s in &p.stages {
+                b.push_row(&[
+                    Value::Int64(p.query_id as i64),
+                    Value::Int64(p.conn as i64),
+                    Value::Str(p.label.clone()),
+                    Value::Str(s.stage.clone()),
+                    Value::Int64(s.batches as i64),
+                    Value::Int64(s.rows_in as i64),
+                    Value::Int64(s.rows_out as i64),
+                    Value::Int64(p.tasks_done as i64),
+                    Value::Int64(p.tasks_total as i64),
+                    Value::Int64(p.est_rows as i64),
+                    Value::Float64(fraction),
+                    Value::Int64(p.spill_bytes as i64),
+                ]);
+            }
+        }
+        b.finish()
+    }
+
+    fn jsys_timeseries(&self) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("at_ms", DataType::Int64),
+            Field::new("queue_depth", DataType::Int64),
+            Field::new("available_bytes", DataType::Int64),
+            Field::new("admitted_bytes", DataType::Int64),
+            Field::new("pool_threads", DataType::Int64),
+            Field::new("active_pipelines", DataType::Int64),
+            Field::new("active_queries", DataType::Int64),
+            Field::new("spill_write_bytes", DataType::Int64),
+            Field::new("spill_read_bytes", DataType::Int64),
+        ]);
+        let ticks = self
+            .timeseries
+            .as_ref()
+            .map(|t| t.snapshot())
+            .unwrap_or_default();
+        let mut b = TableBuilder::with_capacity(schema, ticks.len());
+        for t in ticks {
+            b.push_row(&[
+                Value::Int64(t.at_ms as i64),
+                Value::Int64(t.queue_depth as i64),
+                Value::Int64(t.available_bytes as i64),
+                Value::Int64(t.admitted_bytes as i64),
+                Value::Int64(t.pool_threads as i64),
+                Value::Int64(t.active_pipelines as i64),
+                Value::Int64(t.active_queries as i64),
+                Value::Int64(t.spill_write_bytes as i64),
+                Value::Int64(t.spill_read_bytes as i64),
+            ]);
         }
         b.finish()
     }

@@ -12,12 +12,19 @@
 //! same record feeds a bounded ring of [`RecentQuery`] rows and, above a
 //! session threshold, one JSON line in the [`SlowLog`].
 //!
+//! The module also owns the sampler-facing rings: the [`AshRing`] of
+//! active-session-history samples (the server's wait-state sampler pushes
+//! one [`AshSample`] per active query every ~10 ms) and the
+//! [`TimeseriesRing`] of 1-second server gauges ([`TsSample`]). Both are
+//! the same fixed-slot structure as the recent-query ring and surface as
+//! `jsys.ash` / `jsys.timeseries`.
+//!
 //! # Overhead contract
 //!
 //! Collection must stay cheap enough to leave on in production:
 //!
 //! * The per-statement path takes two short mutex critical sections (one
-//!   `HashMap` lookup to resolve the entry, one `VecDeque` push for the
+//!   `HashMap` lookup to resolve the entry, one slot write in the recent
 //!   ring) and otherwise updates the resolved [`StatEntry`] with *relaxed
 //!   atomics only* — the same ordering contract as
 //!   [`joinstudy_exec::registry`]: reads are advisory mid-flight and exact
@@ -31,17 +38,77 @@
 //! the `METRICS` exposition are snapshot readers over these structures;
 //! they pay their cost at read time, never on the execute path.
 
-use joinstudy_exec::context::algo_bits;
+use joinstudy_exec::context::{algo_bits, QueryContext};
 use joinstudy_exec::registry::Histogram;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// How many [`RecentQuery`] rows the ring buffer keeps.
 pub const RECENT_CAP: usize = 256;
+
+/// How many [`AshSample`] rows the active-session-history ring keeps
+/// (~40 s of history at the default 10 ms sampling interval with one
+/// active query).
+pub const ASH_CAP: usize = 4096;
+
+/// How many [`TsSample`] rows the gauge time-series ring keeps (10
+/// minutes at the 1 s tick).
+pub const TIMESERIES_CAP: usize = 600;
+
+/// Milliseconds since the Unix epoch, the timestamp unit every ring here
+/// shares (0 if the clock is before the epoch).
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-slot ring
+// ---------------------------------------------------------------------------
+
+/// A bounded ring of fixed slots with a head index. `head` is the next
+/// slot to overwrite, which after wrap-around is also the *oldest* live
+/// slot — so an oldest-first scan must start at `head`, not at slot 0
+/// (slot 0 holds a newer row than the head slot once the ring has
+/// wrapped).
+#[derive(Debug)]
+struct Ring<T> {
+    slots: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+}
+
+impl<T: Clone> Ring<T> {
+    fn new(cap: usize) -> Ring<T> {
+        Ring {
+            slots: vec![None; cap.max(1)],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, item: T) {
+        self.slots[self.head] = Some(item);
+        self.head = (self.head + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    /// Oldest-first snapshot: starts at the head once full (see type
+    /// docs), at slot 0 while still filling.
+    fn snapshot(&self) -> Vec<T> {
+        let cap = self.slots.len();
+        let start = if self.len == cap { self.head } else { 0 };
+        (0..self.len)
+            .filter_map(|i| self.slots[(start + i) % cap].clone())
+            .collect()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Fingerprinting
@@ -212,6 +279,10 @@ pub struct StatementStats {
 #[derive(Debug, Clone)]
 pub struct RecentQuery {
     pub seq: u64,
+    /// Completion time, milliseconds since the Unix epoch — what lets
+    /// `bench_serve --ash` join a finished request against the ASH
+    /// samples taken while it ran.
+    pub ts_ms: u64,
     pub conn: u64,
     pub sql: String,
     pub fingerprint: String,
@@ -226,9 +297,13 @@ pub struct RecentQuery {
 #[derive(Debug)]
 struct ActiveQuery {
     sql: String,
+    fingerprint: String,
     state: &'static str,
     started: Instant,
     granted_bytes: u64,
+    /// The statement's query context, when the caller has one — the ASH
+    /// sampler reads wait state / query id / time breakdowns through it.
+    ctx: Option<Arc<QueryContext>>,
 }
 
 /// A read-time snapshot of one in-flight statement.
@@ -241,6 +316,17 @@ pub struct ActiveQuerySnapshot {
     pub granted_bytes: u64,
 }
 
+/// The sampler's view of one in-flight statement: fingerprint plus the
+/// live [`QueryContext`] (when the session shared one).
+#[derive(Debug, Clone)]
+pub struct ActiveQueryDetail {
+    pub conn: u64,
+    pub state: &'static str,
+    pub fingerprint: String,
+    pub granted_bytes: u64,
+    pub ctx: Option<Arc<QueryContext>>,
+}
+
 /// The statement-statistics log: per-fingerprint aggregates, the
 /// recent-query ring, and the active-query registry. One per embedded
 /// [`crate::Session`]; the [`crate::SqlServer`] shares a single instance
@@ -249,11 +335,10 @@ pub struct ActiveQuerySnapshot {
 #[derive(Debug)]
 pub struct StatLog {
     entries: Mutex<HashMap<String, Arc<StatEntry>>>,
-    recent: Mutex<VecDeque<RecentQuery>>,
+    recent: Mutex<Ring<RecentQuery>>,
     active: Mutex<HashMap<u64, ActiveQuery>>,
     seq: AtomicU64,
     next_conn: AtomicU64,
-    recent_cap: usize,
 }
 
 impl Default for StatLog {
@@ -271,11 +356,10 @@ impl StatLog {
     pub fn with_capacity(recent_cap: usize) -> StatLog {
         StatLog {
             entries: Mutex::new(HashMap::new()),
-            recent: Mutex::new(VecDeque::with_capacity(recent_cap.min(RECENT_CAP))),
+            recent: Mutex::new(Ring::new(recent_cap)),
             active: Mutex::new(HashMap::new()),
             seq: AtomicU64::new(0),
             next_conn: AtomicU64::new(1),
-            recent_cap: recent_cap.max(1),
         }
     }
 
@@ -298,6 +382,7 @@ impl StatLog {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let row = RecentQuery {
             seq,
+            ts_ms: now_ms(),
             conn: rec.conn,
             sql: rec.sql.to_string(),
             fingerprint: fp.clone(),
@@ -308,11 +393,10 @@ impl StatLog {
             admission_wait_ns: rec.admission_wait_ns,
             granted_bytes: rec.granted_bytes,
         };
-        let mut recent = self.recent.lock().unwrap_or_else(|e| e.into_inner());
-        if recent.len() >= self.recent_cap {
-            recent.pop_front();
-        }
-        recent.push_back(row);
+        self.recent
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(row);
         fp
     }
 
@@ -320,22 +404,36 @@ impl StatLog {
     /// existing entry for the same connection keeps its original start
     /// time — the server marks a statement `queued` before admission and
     /// the session re-marks it `running` after, and elapsed time should
-    /// span both.
-    pub fn active_upsert(&self, conn: u64, sql: &str, state: &'static str, granted_bytes: u64) {
+    /// span both. `ctx` (when the caller has one) lets the ASH sampler
+    /// read the statement's wait state mid-flight; an upsert without a
+    /// context keeps the one already attached.
+    pub fn active_upsert(
+        &self,
+        conn: u64,
+        sql: &str,
+        state: &'static str,
+        granted_bytes: u64,
+        ctx: Option<&Arc<QueryContext>>,
+    ) {
         let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
         match active.get_mut(&conn) {
             Some(q) if q.sql == sql => {
                 q.state = state;
                 q.granted_bytes = granted_bytes;
+                if let Some(ctx) = ctx {
+                    q.ctx = Some(Arc::clone(ctx));
+                }
             }
             _ => {
                 active.insert(
                     conn,
                     ActiveQuery {
                         sql: sql.to_string(),
+                        fingerprint: fingerprint(sql),
                         state,
                         started: Instant::now(),
                         granted_bytes,
+                        ctx: ctx.map(Arc::clone),
                     },
                 );
             }
@@ -391,14 +489,13 @@ impl StatLog {
         out
     }
 
-    /// Snapshot the recent-query ring, oldest first.
+    /// Snapshot the recent-query ring, oldest first (the scan starts at
+    /// the ring head once the ring has wrapped — see [`Ring`]).
     pub fn recent_snapshot(&self) -> Vec<RecentQuery> {
         self.recent
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .iter()
-            .cloned()
-            .collect()
+            .snapshot()
     }
 
     /// Snapshot the in-flight statements, by connection id.
@@ -418,9 +515,163 @@ impl StatLog {
         out
     }
 
+    /// The in-flight statements with their query contexts attached — the
+    /// ASH sampler's read path.
+    pub fn active_detail(&self) -> Vec<ActiveQueryDetail> {
+        let active = self.active.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<ActiveQueryDetail> = active
+            .iter()
+            .map(|(&conn, q)| ActiveQueryDetail {
+                conn,
+                state: q.state,
+                fingerprint: q.fingerprint.clone(),
+                granted_bytes: q.granted_bytes,
+                ctx: q.ctx.clone(),
+            })
+            .collect();
+        out.sort_by_key(|q| q.conn);
+        out
+    }
+
     /// Total statements recorded (== sum of per-fingerprint `calls`).
     pub fn total_recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Active session history
+// ---------------------------------------------------------------------------
+
+/// One wait-state sample of one active query, as taken by the server's
+/// ASH sampler thread. `wait_state` is a
+/// [`WaitState`](joinstudy_exec::progress::WaitState) name; `pipeline` is
+/// the label of the query's most recently registered live pipeline (empty
+/// between pipelines).
+#[derive(Debug, Clone)]
+pub struct AshSample {
+    pub at_ms: u64,
+    pub conn: u64,
+    pub query_id: u64,
+    pub fingerprint: String,
+    pub wait_state: &'static str,
+    pub pipeline: String,
+    /// Source rows emitted so far across the query's live pipelines.
+    pub rows: u64,
+    pub granted_bytes: u64,
+}
+
+/// Bounded ring of [`AshSample`]s — `jsys.ash`. One per server; shared
+/// (`Arc`) with every connection's session so any connection can query
+/// the history.
+#[derive(Debug)]
+pub struct AshRing {
+    ring: Mutex<Ring<AshSample>>,
+    taken: AtomicU64,
+}
+
+impl Default for AshRing {
+    fn default() -> AshRing {
+        AshRing::with_capacity(ASH_CAP)
+    }
+}
+
+impl AshRing {
+    pub fn new() -> AshRing {
+        AshRing::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> AshRing {
+        AshRing {
+            ring: Mutex::new(Ring::new(cap)),
+            taken: AtomicU64::new(0),
+        }
+    }
+
+    pub fn push(&self, sample: AshSample) {
+        self.taken.fetch_add(1, Ordering::Relaxed);
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(sample);
+    }
+
+    /// Oldest-first snapshot of the retained samples.
+    pub fn snapshot(&self) -> Vec<AshSample> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .snapshot()
+    }
+
+    /// Samples ever taken (retained or evicted).
+    pub fn total_samples(&self) -> u64 {
+        self.taken.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge time series
+// ---------------------------------------------------------------------------
+
+/// One 1-second tick of server-wide gauges — a row of `jsys.timeseries`.
+#[derive(Debug, Clone, Default)]
+pub struct TsSample {
+    pub at_ms: u64,
+    /// Queries waiting in the admission queue.
+    pub queue_depth: u64,
+    /// Admission pool bytes not currently leased out.
+    pub available_bytes: u64,
+    /// Admission pool bytes currently leased out.
+    pub admitted_bytes: u64,
+    pub pool_threads: u64,
+    pub active_pipelines: u64,
+    /// Statements in flight (queued or running).
+    pub active_queries: u64,
+    /// Cumulative spill bytes written (process-wide counter; diff adjacent
+    /// rows for throughput).
+    pub spill_write_bytes: u64,
+    /// Cumulative spill bytes read back.
+    pub spill_read_bytes: u64,
+}
+
+/// Bounded ring of [`TsSample`]s — `jsys.timeseries`. Pushed once a
+/// second by the server's ticker thread.
+#[derive(Debug)]
+pub struct TimeseriesRing {
+    ring: Mutex<Ring<TsSample>>,
+}
+
+impl Default for TimeseriesRing {
+    fn default() -> TimeseriesRing {
+        TimeseriesRing::with_capacity(TIMESERIES_CAP)
+    }
+}
+
+impl TimeseriesRing {
+    pub fn new() -> TimeseriesRing {
+        TimeseriesRing::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> TimeseriesRing {
+        TimeseriesRing {
+            ring: Mutex::new(Ring::new(cap)),
+        }
+    }
+
+    pub fn push(&self, sample: TsSample) {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(sample);
+    }
+
+    /// Oldest-first snapshot of the retained ticks.
+    pub fn snapshot(&self) -> Vec<TsSample> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .snapshot()
     }
 }
 
@@ -539,6 +790,11 @@ pub struct SlowEvent<'a> {
     pub rows_out: u64,
     pub spill_bytes: u64,
     pub admission_wait_ns: u64,
+    /// Worker CPU time the statement's morsels consumed (summed across
+    /// workers, so it can exceed wall latency).
+    pub cpu_ns: u64,
+    /// Time spent blocked on spill-partition writes and read-backs.
+    pub spill_io_ns: u64,
     pub granted_bytes: u64,
     pub degradations: u64,
     pub algos: &'a str,
@@ -550,7 +806,8 @@ impl SlowEvent<'_> {
         format!(
             "{{\"ts_ms\":{},\"conn\":{},\"fingerprint\":{},\"latency_ns\":{},\
              \"threshold_ns\":{},\"ok\":{},\"rows_out\":{},\"spill_bytes\":{},\
-             \"admission_wait_ns\":{},\"granted_bytes\":{},\"degradations\":{},\
+             \"admission_wait_ns\":{},\"cpu_ns\":{},\"spill_io_ns\":{},\
+             \"granted_bytes\":{},\"degradations\":{},\
              \"algos\":{},\"peak_bytes\":{},\"sql\":{}}}",
             self.ts_ms,
             self.conn,
@@ -561,6 +818,8 @@ impl SlowEvent<'_> {
             self.rows_out,
             self.spill_bytes,
             self.admission_wait_ns,
+            self.cpu_ns,
+            self.spill_io_ns,
             self.granted_bytes,
             self.degradations,
             json_str(self.algos),
@@ -795,11 +1054,37 @@ mod tests {
     }
 
     #[test]
+    fn recent_ring_stays_oldest_first_after_wrapping_full_capacity() {
+        // Overflow the default 256-slot ring. After wrap-around the ring
+        // head is in the middle of the slot array; an oldest-first scan
+        // that started at slot 0 would splice the newest 40 rows in front
+        // of the oldest — the exact bug this ring's head-based scan fixes.
+        let log = StatLog::new();
+        let total = RECENT_CAP as u64 + 40;
+        for i in 0..total {
+            log.record(&rec("SELECT a FROM t", 10 + i));
+        }
+        let recent = log.recent_snapshot();
+        assert_eq!(recent.len(), RECENT_CAP);
+        assert_eq!(recent[0].seq, 41, "oldest retained row after 40 evictions");
+        assert_eq!(recent.last().unwrap().seq, total);
+        for w in recent.windows(2) {
+            assert!(
+                w[0].seq < w[1].seq,
+                "oldest-first must be monotone across the wrap point: {} then {}",
+                w[0].seq,
+                w[1].seq
+            );
+        }
+        assert!(recent[0].ts_ms > 0, "rows carry an epoch timestamp");
+    }
+
+    #[test]
     fn active_registry_tracks_state_and_preserves_start() {
         let log = StatLog::new();
-        log.active_upsert(7, "SELECT 1", "queued", 0);
+        log.active_upsert(7, "SELECT 1", "queued", 0, None);
         std::thread::sleep(std::time::Duration::from_millis(2));
-        log.active_upsert(7, "SELECT 1", "running", 4096);
+        log.active_upsert(7, "SELECT 1", "running", 4096, None);
         let snap = log.active_snapshot();
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].state, "running");
@@ -811,6 +1096,68 @@ mod tests {
         );
         log.active_end(7);
         assert!(log.active_snapshot().is_empty());
+    }
+
+    #[test]
+    fn active_detail_carries_context_across_state_flips() {
+        let log = StatLog::new();
+        let ctx = QueryContext::unbounded();
+        log.active_upsert(3, "SELECT 1", "queued", 0, Some(&ctx));
+        // The running upsert without a context keeps the attached one.
+        log.active_upsert(3, "SELECT 1", "running", 64, None);
+        let detail = log.active_detail();
+        assert_eq!(detail.len(), 1);
+        assert_eq!(detail[0].fingerprint, "select ?");
+        assert_eq!(detail[0].state, "running");
+        assert!(
+            Arc::ptr_eq(detail[0].ctx.as_ref().unwrap(), &ctx),
+            "sampler sees the statement's own context"
+        );
+    }
+
+    // -- ASH / timeseries rings ---------------------------------------------
+
+    fn ash(at_ms: u64) -> AshSample {
+        AshSample {
+            at_ms,
+            conn: 1,
+            query_id: at_ms,
+            fingerprint: "select ?".to_string(),
+            wait_state: "cpu_probe",
+            pipeline: "probe".to_string(),
+            rows: at_ms * 100,
+            granted_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn ash_ring_is_bounded_and_oldest_first() {
+        let ring = AshRing::with_capacity(4);
+        for i in 1..=10 {
+            ring.push(ash(i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].at_ms, 7, "oldest retained sample");
+        assert_eq!(snap[3].at_ms, 10);
+        assert_eq!(ring.total_samples(), 10, "evicted samples still counted");
+    }
+
+    #[test]
+    fn timeseries_ring_is_bounded_and_oldest_first() {
+        let ring = TimeseriesRing::with_capacity(3);
+        for i in 1..=5 {
+            ring.push(TsSample {
+                at_ms: i,
+                queue_depth: i,
+                ..TsSample::default()
+            });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].at_ms, 3);
+        assert_eq!(snap[2].at_ms, 5);
+        assert_eq!(snap[2].queue_depth, 5);
     }
 
     // -- slow log (satellite: threshold boundaries) -------------------------
@@ -838,6 +1185,8 @@ mod tests {
             rows_out: 3,
             spill_bytes: 0,
             admission_wait_ns: 10,
+            cpu_ns: 4_000,
+            spill_io_ns: 250,
             granted_bytes: 64,
             degradations: 0,
             algos: "-",
@@ -846,6 +1195,10 @@ mod tests {
         let line = ev.to_json();
         assert!(!line.contains('\n'), "must be a single line: {line}");
         assert!(line.contains("\"latency_ns\":5000"), "{line}");
+        assert!(
+            line.contains("\"admission_wait_ns\":10,\"cpu_ns\":4000,\"spill_io_ns\":250"),
+            "wait-state breakdown rides along: {line}"
+        );
         assert!(line.contains("\"sql\":\"SELECT 'x\\n'\""), "{line}");
         assert!(line.starts_with('{') && line.ends_with('}'));
     }
@@ -889,6 +1242,62 @@ mod tests {
         assert!(text.contains("joinstudy_spill_write_bytes 1500000000\n"));
         assert!(!text.contains("bad"), "non-finite values are skipped");
         assert_eq!(validate_exposition(&text), Ok(2));
+    }
+
+    #[test]
+    fn exposition_empty_histogram_has_zero_quantiles_and_stays_valid() {
+        // An idle server scrapes before any statement ran: every latency
+        // histogram is empty, every quantile must render as a parseable 0
+        // rather than NaN or a missing sample.
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        for (_, v) in h.quantiles() {
+            assert_eq!(v, 0, "zero-sample quantiles are 0");
+        }
+        let samples = vec![
+            (
+                "statements.latency_ns.p50".to_string(),
+                h.quantile(0.5) as f64,
+            ),
+            (
+                "statements.latency_ns.p99".to_string(),
+                h.quantile(0.99) as f64,
+            ),
+        ];
+        let text = render_exposition(&samples);
+        assert!(
+            text.contains("joinstudy_statements_latency_ns_p50 0\n"),
+            "{text}"
+        );
+        assert_eq!(validate_exposition(&text), Ok(2));
+    }
+
+    #[test]
+    fn exposition_sanitizes_fingerprints_with_braces_and_utf8() {
+        // Fingerprints flow into metric names (per-statement gauges);
+        // brace characters collide with Prometheus label syntax and
+        // multi-byte characters are outside the charset — both must
+        // flatten to `_`.
+        let fp = fingerprint("SELECT 名前 FROM t{} WHERE tag = '{\"k\":1}' AND x = 42");
+        assert!(fp.contains('{') && fp.contains('}'), "precondition: {fp}");
+        assert!(!fp.is_ascii(), "precondition: {fp}");
+        let name = sanitize_metric_name(&format!("stmt.{fp}.p99_ns"));
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "sanitized name stays in the exposition charset: {name}"
+        );
+        let text = render_exposition(&[(format!("stmt.{fp}.p99_ns"), 7.0)]);
+        assert!(!text.contains('{') && !text.contains('}'), "{text}");
+        assert_eq!(validate_exposition(&text), Ok(1));
+        // Braces alone, as a scraper would inject via label syntax.
+        let braced = sanitize_metric_name("q{instance=\"a\"}.count");
+        assert!(
+            !braced.contains('{') && !braced.contains('}') && !braced.contains('"'),
+            "{braced}"
+        );
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn disconnect_and_fault_leak_nothing() {
             // 256 KiB grants force the hybrid join out of core.
             query_bytes: 256 * 1024,
             min_grant_bytes: 64 * 1024,
+            ..ServerConfig::default()
         });
         server.register("build_t", Arc::clone(&build));
         server.register("probe_t", Arc::clone(&probe));

@@ -98,6 +98,7 @@ fn concurrent_clients_match_serial_run() {
             pool_bytes: 1 << 30,
             query_bytes: 64 << 20,
             min_grant_bytes: 8 << 20,
+            ..ServerConfig::default()
         });
         for name in TABLES {
             server.register(name, Arc::clone(data.table(name)));

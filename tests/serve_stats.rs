@@ -54,6 +54,7 @@ fn statement_stats_conserve_counts_across_clients() {
         pool_bytes: 1 << 30,
         query_bytes: 64 << 20,
         min_grant_bytes: 8 << 20,
+        ..ServerConfig::default()
     });
     for name in TABLES {
         server.register(name, Arc::clone(data.table(name)));
