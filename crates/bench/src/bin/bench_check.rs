@@ -141,6 +141,13 @@ fn main() {
                 current.insert(full, value);
             } else if name == "exec.degradations" {
                 current.insert(format!("{prefix}.degradations"), value);
+            } else if name.starts_with("simd.") {
+                // Which kernel path ran is a host property (AVX2 presence,
+                // `JOINSTUDY_NO_SIMD`), so the per-path row counts ride
+                // along informationally rather than gating.
+                let full = format!("{prefix}.{name}");
+                informational.push(full.clone());
+                current.insert(full, value);
             }
         }
         // Spill counters, emitted *unconditionally* (0 for the in-memory

@@ -1,0 +1,264 @@
+//! SIMD kernel A/B — scalar vs AVX2 cycles-per-tuple for the three rewritten
+//! hot loops (key hashing, radix partition pass, Bloom probe), measured with
+//! the PMU subsystem at SF-1 scale (6 M tuples, the paper's lineitem
+//! cardinality).
+//!
+//! The SIMD dispatcher picks its path once per process (`OnceLock`), so a
+//! true A/B needs two processes: the parent re-execs itself twice as
+//! `--child`, once with `JOINSTUDY_NO_SIMD=1` and once without, and each
+//! child prints one JSON line of measurements. The partition pass is the
+//! real thing — a [`PartitionSink`] consuming 6 M keys through histogram,
+//! scatter and SWWCB flush — not an isolated micro-loop, so the reported
+//! ratio is the end-to-end partitioning win.
+//!
+//! Where `perf_event_open` is unavailable the artifact falls back to
+//! ns/tuple (`"pmu_available": false`), mirroring `fig07_counters`.
+//!
+//! `cargo run --release -p joinstudy-bench --bin simd_ab -- [--tuples N]`
+//! writes `results/fig07_simd_ab.json`.
+
+use joinstudy_bench::harness::{banner, Args};
+use joinstudy_core::bloom::BlockedBloom;
+use joinstudy_core::radix::{partition_of, PartitionSink, PhaseSet, RadixConfig};
+use joinstudy_core::row::RowLayout;
+use joinstudy_core::simd;
+use joinstudy_exec::batch::BatchBuilder;
+use joinstudy_exec::pipeline::Sink;
+use joinstudy_exec::pmu::{self, CounterGroup, CounterKind};
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::gen::Rng;
+use joinstudy_storage::types::DataType;
+use std::process::Command;
+use std::time::Instant;
+
+const DEFAULT_TUPLES: usize = 6_000_000;
+
+/// One measured region: cycles and wall time per tuple.
+struct Measure {
+    cycles_per_tuple: f64,
+    ns_per_tuple: f64,
+}
+
+fn measure(tuples: usize, mut f: impl FnMut()) -> Measure {
+    measure_with(tuples, || (), |()| f())
+}
+
+/// Warm up once, then count one measured run. `setup` builds per-run state
+/// outside the counted region so allocation and ingest don't dilute the
+/// kernel under test.
+fn measure_with<S>(tuples: usize, mut setup: impl FnMut() -> S, mut run: impl FnMut(S)) -> Measure {
+    run(setup()); // warm-up: faults the pages, trains the branch predictors
+    let state = setup();
+    let group = CounterGroup::open();
+    let before = group.read();
+    let t0 = Instant::now();
+    run(state);
+    let wall = t0.elapsed();
+    let after = group.read();
+    group.disable();
+    let delta = after.delta_since(&before);
+    let cycles = delta.get(CounterKind::Cycles).unwrap_or(0);
+    Measure {
+        cycles_per_tuple: cycles as f64 / tuples as f64,
+        ns_per_tuple: wall.as_nanos() as f64 / tuples as f64,
+    }
+}
+
+/// Child mode: run the three kernels under whatever SIMD path the
+/// environment selects and print one JSON line.
+fn child(tuples: usize) {
+    let mut rng = Rng::new(7);
+    let keys: Vec<i64> = (0..tuples).map(|_| rng.next_u64() as i64).collect();
+
+    // Kernel 1: key hashing (the dispatched column-hash entry point).
+    let mut out = vec![0u64; tuples];
+    let hash = measure(tuples, || simd::hash_i64(&keys, &mut out, true));
+
+    // Kernel 2: the radix partition pass — histogram, scatter, SWWCB flush
+    // over materialized rows, exactly what `finalize` runs between the
+    // pre-partitioned page lists and the contiguous partitioned output.
+    // Ingest (`consume`: hashing + row materialization) happens in setup so
+    // the counted region is the partition pass itself.
+    let cfg = RadixConfig::default();
+    let build_sink = || {
+        let layout = RowLayout::new(&[DataType::Int64], false);
+        let sink = PartitionSink::new(layout, vec![0], cfg, PhaseSet::build());
+        let mut local = sink.create_local();
+        for chunk in keys.chunks(4096) {
+            let mut bb = BatchBuilder::new(vec![DataType::Int64]);
+            *bb.column_mut(0) = ColumnData::Int64(chunk.to_vec());
+            bb.advance(chunk.len());
+            sink.consume(&mut local, bb.flush().unwrap()).unwrap();
+        }
+        sink.finish_local(local).unwrap();
+        sink
+    };
+    let pass = measure_with(tuples, build_sink, |sink| {
+        sink.finalize(1, Some(3), false).unwrap();
+    });
+
+    // Kernel 2a: the histogram sub-kernel in isolation — packed 16-byte
+    // rows (hash + key), counts per sub-partition. `hist_chunk` follows the
+    // process dispatch, so the scalar child counts the scalar loop.
+    let stride = 16usize;
+    let mut packed = vec![0u8; tuples * stride];
+    for (i, h) in out.iter().enumerate() {
+        packed[i * stride..i * stride + 8].copy_from_slice(&h.to_le_bytes());
+        packed[i * stride + 8..i * stride + 16].copy_from_slice(&keys[i].to_le_bytes());
+    }
+    let mut counts = vec![0usize; 1 << 3];
+    let hist = measure(tuples, || {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for chunk in packed.chunks(4096 * stride) {
+            simd::hist_chunk(chunk, stride, 0, 6, 0x7, &mut counts);
+        }
+    });
+
+    // Kernel 2b: the SWWCB flush copy in isolation — 256-byte non-temporal
+    // block copies, the write path every partitioned byte flows through.
+    // `swwcb::nt_copy` follows the process dispatch (AVX2 256-bit streaming
+    // stores vs the original 64-bit streaming-store loop).
+    let mut flush_dst = vec![0u64; tuples * stride / 8];
+    let flush = measure(tuples, || {
+        let dst_bytes = unsafe {
+            std::slice::from_raw_parts_mut(flush_dst.as_mut_ptr().cast::<u8>(), flush_dst.len() * 8)
+        };
+        for (d, s) in dst_bytes.chunks_mut(256).zip(packed.chunks(256)) {
+            joinstudy_core::swwcb::nt_copy(d, s);
+        }
+    });
+
+    // Kernel 3: Bloom probe over the hashed keys (half the probes hit).
+    let (bits1, bits2) = (4u32, 3u32);
+    let bloom = BlockedBloom::new(1 << (bits1 + bits2), tuples / 2);
+    for h in out.iter().step_by(2) {
+        bloom.insert(partition_of(*h, bits1, bits2), *h);
+    }
+    let mut sel: Vec<u32> = Vec::with_capacity(tuples);
+    let bloom_probe = measure(tuples, || {
+        bloom.probe_sel(bits1, bits2, &out, &mut sel);
+    });
+
+    println!(
+        "{{\"simd\":\"{}\",\"pmu_available\":{},\
+         \"hash\":{{\"cycles_per_tuple\":{:.3},\"ns_per_tuple\":{:.3}}},\
+         \"partition_pass\":{{\"cycles_per_tuple\":{:.3},\"ns_per_tuple\":{:.3}}},\
+         \"histogram\":{{\"cycles_per_tuple\":{:.3},\"ns_per_tuple\":{:.3}}},\
+         \"flush_copy\":{{\"cycles_per_tuple\":{:.3},\"ns_per_tuple\":{:.3}}},\
+         \"bloom_probe\":{{\"cycles_per_tuple\":{:.3},\"ns_per_tuple\":{:.3}}}}}",
+        simd::active().name(),
+        pmu::probe(),
+        hash.cycles_per_tuple,
+        hash.ns_per_tuple,
+        pass.cycles_per_tuple,
+        pass.ns_per_tuple,
+        hist.cycles_per_tuple,
+        hist.ns_per_tuple,
+        flush.cycles_per_tuple,
+        flush.ns_per_tuple,
+        bloom_probe.cycles_per_tuple,
+        bloom_probe.ns_per_tuple,
+    );
+}
+
+/// Pull `"key":{"cycles_per_tuple":X,"ns_per_tuple":Y}` out of a child line.
+fn extract(line: &str, key: &str) -> (f64, f64) {
+    let at = line.find(&format!("\"{key}\"")).expect("kernel key");
+    let rest = &line[at..];
+    let num = |field: &str| -> f64 {
+        let p = rest.find(field).expect("field") + field.len() + 2;
+        rest[p..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect::<String>()
+            .parse()
+            .expect("number")
+    };
+    (num("cycles_per_tuple"), num("ns_per_tuple"))
+}
+
+fn run_child(no_simd: bool, tuples: usize) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--child").arg("--tuples").arg(tuples.to_string());
+    if no_simd {
+        cmd.env("JOINSTUDY_NO_SIMD", "1");
+    } else {
+        cmd.env_remove("JOINSTUDY_NO_SIMD");
+    }
+    let out = cmd.output().expect("spawn child");
+    assert!(out.status.success(), "child failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .expect("child JSON line")
+        .to_string()
+}
+
+fn main() {
+    let args = Args::parse();
+    let tuples = args.usize("tuples", DEFAULT_TUPLES);
+    if args.flag("child") {
+        child(tuples);
+        return;
+    }
+
+    let pmu_on = pmu::probe();
+    banner(
+        "SIMD A/B: scalar vs AVX2 kernels (two-process dispatch toggle)",
+        &format!(
+            "{tuples} tuples per kernel; metric = {} per tuple; host AVX2 {}",
+            if pmu_on {
+                "PMU cycles"
+            } else {
+                "wall ns (PMU unavailable)"
+            },
+            if simd::avx2_available() {
+                "available"
+            } else {
+                "UNAVAILABLE (A/B degenerates to scalar/scalar)"
+            },
+        ),
+    );
+
+    let scalar = run_child(true, tuples);
+    let vector = run_child(false, tuples);
+
+    let mut json = format!(
+        "{{\"tuples\":{tuples},\"pmu_available\":{pmu_on},\
+         \"metric\":\"{}\",\"scalar\":{scalar},\"avx2\":{vector},\"speedup\":{{",
+        if pmu_on {
+            "cycles_per_tuple"
+        } else {
+            "ns_per_tuple"
+        }
+    );
+    let kernels = [
+        "hash",
+        "partition_pass",
+        "histogram",
+        "flush_copy",
+        "bloom_probe",
+    ];
+    for (i, kernel) in kernels.iter().enumerate() {
+        let (sc, sn) = extract(&scalar, kernel);
+        let (vc, vn) = extract(&vector, kernel);
+        // Cycles are the acceptance metric when the PMU counts; wall time
+        // otherwise (still a valid ratio — both childs ran the same host).
+        let (s, v) = if pmu_on { (sc, vc) } else { (sn, vn) };
+        let speedup = if v > 0.0 { s / v } else { 0.0 };
+        println!("{kernel:15} scalar {s:8.2} /tuple   avx2 {v:8.2} /tuple   speedup {speedup:.2}x");
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{kernel}\":{speedup:.3}"));
+    }
+    json.push_str("}}\n");
+
+    let dir = std::path::PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(dir.join("fig07_simd_ab.json"), json).expect("write artifact");
+    println!("artifact: results/fig07_simd_ab.json");
+}

@@ -68,6 +68,7 @@ pub fn estimate_rows(plan: &Plan) -> f64 {
                 Some(pred) => rows * scan_filter_selectivity(table, plan, pred),
             }
         }
+        Plan::Stream { est_rows, .. } => *est_rows,
         Plan::Filter { input, .. } => estimate_rows(input) * DERIVED_FILTER_SELECTIVITY,
         Plan::Map { input, .. } | Plan::LateLoad { input, .. } => estimate_rows(input),
         Plan::Join {
@@ -175,6 +176,8 @@ pub fn row_width(schema: &Schema) -> f64 {
 fn trace_to_base(plan: &Plan, col: usize) -> Option<(Arc<Table>, usize)> {
     match plan {
         Plan::Scan { table, cols, .. } => cols.get(col).map(|&base| (Arc::clone(table), base)),
+        // Streamed sources have no materialized base table to sample.
+        Plan::Stream { .. } => None,
         Plan::Filter { input, .. } => trace_to_base(input, col),
         Plan::Map { input, exprs, .. } => match exprs.get(col)? {
             Expr::Col(c) => trace_to_base(input, *c),

@@ -53,17 +53,21 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
 }
 
 /// Hash the key columns of every row in a batch into `out` (one u64 per
-/// row). Multi-column keys are combined with [`hash_combine`].
+/// row). Multi-column keys are combined with [`hash_combine`]. Integer-like
+/// columns (the overwhelmingly common join-key types) go through the
+/// runtime-dispatched [`crate::simd`] kernels; the remaining types stay on
+/// the scalar closure path.
 pub fn hash_columns(cols: &[&ColumnData], rows: usize, out: &mut Vec<u64>) {
     out.clear();
     out.resize(rows, 0);
     for (ci, col) in cols.iter().enumerate() {
+        let first = ci == 0;
         match col {
             ColumnData::Int32(v) | ColumnData::Date(v) => {
-                hash_typed(ci, out, |i| hash_u64(v[i] as u64))
+                crate::simd::hash_i32(&v[..rows], out, first)
             }
             ColumnData::Int64(v) | ColumnData::Decimal(v) => {
-                hash_typed(ci, out, |i| hash_u64(v[i] as u64))
+                crate::simd::hash_i64(&v[..rows], out, first)
             }
             ColumnData::Bool(v) => hash_typed(ci, out, |i| hash_u64(u64::from(v[i]))),
             ColumnData::Float64(v) => hash_typed(ci, out, |i| hash_u64(v[i].to_bits())),

@@ -43,6 +43,7 @@ pub(crate) mod qprof;
 pub mod radix;
 pub mod rj;
 pub mod row;
+pub mod simd;
 pub mod spill;
 pub mod swwcb;
 

@@ -34,7 +34,7 @@ use joinstudy_exec::metrics::{self, MemPhase};
 use joinstudy_exec::ops::{
     AggSink, AggSpec, CollectSink, FilterOp, LateLoadOp, ProjectOp, SortKey, SortSink, TableScan,
 };
-use joinstudy_exec::pipeline::{LocalState, Sink, StreamSpec};
+use joinstudy_exec::pipeline::{LocalState, Sink, Source, StreamSpec};
 use joinstudy_exec::profile::{DetailValue, PipelineObs, QueryProfile};
 use joinstudy_exec::progress;
 use joinstudy_exec::registry;
@@ -95,6 +95,17 @@ pub enum Plan {
         cols: Vec<usize>,
         filter: Option<Expr>,
         tid: bool,
+    },
+    /// Streaming source: batches produced on the fly by an external
+    /// [`Source`] (e.g. the TPC-H chunk generator), so a pipeline can
+    /// consume data that never exists as a materialized table. The engine
+    /// treats it exactly like a scan whose table it cannot see: `est_rows`
+    /// feeds the adaptive cost model in place of a table row count.
+    Stream {
+        source: Arc<dyn Source>,
+        schema: Schema,
+        est_rows: f64,
+        label: String,
     },
     /// In-pipeline filter.
     Filter { input: Box<Plan>, pred: Expr },
@@ -166,6 +177,21 @@ impl Plan {
             cols: idx,
             filter,
             tid: true,
+        }
+    }
+
+    /// A streaming-source leaf (see [`Plan::Stream`]).
+    pub fn stream_source(
+        source: Arc<dyn Source>,
+        schema: Schema,
+        est_rows: f64,
+        label: impl Into<String>,
+    ) -> Plan {
+        Plan::Stream {
+            source,
+            schema,
+            est_rows,
+            label: label.into(),
         }
     }
 
@@ -262,6 +288,7 @@ impl Plan {
                 }
                 Schema::new(fields)
             }
+            Plan::Stream { schema, .. } => schema.clone(),
             Plan::Filter { input, .. } => input.schema(),
             Plan::Map {
                 input,
@@ -316,7 +343,7 @@ impl Plan {
     /// Number of join nodes (used by the Fig 12 permutation harness).
     pub fn count_joins(&self) -> usize {
         match self {
-            Plan::Scan { .. } => 0,
+            Plan::Scan { .. } | Plan::Stream { .. } => 0,
             Plan::Filter { input, .. }
             | Plan::Map { input, .. }
             | Plan::Aggregate { input, .. }
@@ -335,7 +362,7 @@ impl Plan {
     pub fn override_join_algo(&mut self, idx: usize, algo: JoinAlgo) -> usize {
         fn walk(plan: &mut Plan, idx: usize, algo: JoinAlgo, counter: &mut usize) {
             match plan {
-                Plan::Scan { .. } => {}
+                Plan::Scan { .. } | Plan::Stream { .. } => {}
                 Plan::Filter { input, .. }
                 | Plan::Map { input, .. }
                 | Plan::Aggregate { input, .. }
@@ -369,7 +396,7 @@ impl Plan {
     /// all joins in the query tree with the join under testing").
     pub fn set_all_join_algos(&mut self, algo: JoinAlgo) {
         match self {
-            Plan::Scan { .. } => {}
+            Plan::Scan { .. } | Plan::Stream { .. } => {}
             Plan::Filter { input, .. }
             | Plan::Map { input, .. }
             | Plan::Aggregate { input, .. }
@@ -418,6 +445,11 @@ impl Plan {
                         if *tid { " +tid" } else { "" },
                         table.num_rows()
                     ));
+                }
+                Plan::Stream {
+                    label, est_rows, ..
+                } => {
+                    out.push_str(&format!("{pad}Stream [{label}] (~{est_rows:.0} rows)\n"));
                 }
                 Plan::Filter { input, .. } => {
                     out.push_str(&format!("{pad}Filter\n"));
@@ -708,6 +740,9 @@ impl Engine {
     /// if another trace is already active, `f` runs untraced.
     fn traced<R>(&self, f: impl FnOnce() -> R) -> R {
         let tracing = self.ctx.tracing() && trace::begin("query");
+        if tracing {
+            trace::instant(format!("simd path: {}", crate::simd::active().name()));
+        }
         let result = f();
         if tracing {
             *self.trace_out.lock() = trace::end();
@@ -740,6 +775,7 @@ impl Engine {
                         spill_bytes: ctx.spill_write_bytes() + ctx.spill_read_bytes(),
                         admission_wait_ns: ctx.admission_wait_ns(),
                         admission_granted: ctx.admission_granted(),
+                        simd: crate::simd::active().name(),
                     }
                 };
             let stash_partial = |mut pc: ProfCtx, t0: Instant, deg0: u64| {
@@ -864,6 +900,19 @@ impl Engine {
                     id
                 });
                 Ok((StreamSpec::new(Arc::new(scan), schema), node))
+            }
+            Plan::Stream {
+                source,
+                schema,
+                est_rows,
+                label,
+            } => {
+                let node = prof.map(|pc| {
+                    let id = pc.node(format!("Stream [{label}] (~{est_rows:.0} rows)"), vec![]);
+                    pc.pend(id, Slot::Source);
+                    id
+                });
+                Ok((StreamSpec::new(Arc::clone(source), schema.clone()), node))
             }
             Plan::Filter { input, pred } => {
                 let (spec, child) = self.stream(input, prof.as_deref_mut())?;

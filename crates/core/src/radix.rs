@@ -584,13 +584,15 @@ impl PartitionSink {
             for lists in &worker_lists {
                 for chunk in lists[p].chunks() {
                     bytes += chunk.len();
-                    for row in chunk.chunks_exact(stride) {
-                        let h = read_u64(row, hash_off);
-                        counts[((h >> bits1) & mask2) as usize] += 1;
-                    }
+                    crate::simd::hist_chunk(chunk, stride, hash_off, bits1, mask2, &mut counts);
                 }
             }
             metrics::record_read(self.phases.hist, bytes as u64);
+            crate::simd::note(
+                crate::simd::Kernel::Hist,
+                crate::simd::active(),
+                bytes / stride,
+            );
             *histograms[p].lock() = counts;
         };
         run_parallel(threads, fanout1, run_hist);
@@ -701,6 +703,11 @@ impl PartitionSink {
                 }
                 metrics::record_read(self.phases.pass2, bytes as u64);
                 metrics::record_write(self.phases.pass2, bytes as u64);
+                crate::simd::note(
+                    crate::simd::Kernel::Scatter,
+                    crate::simd::active(),
+                    bytes / stride,
+                );
             }
             nt_fence();
         };

@@ -21,7 +21,7 @@ use crate::bloom::BlockedBloom;
 use crate::hash::hash_columns;
 use crate::ht_rh::RobinHoodTable;
 use crate::join_common::{default_column, JoinStats, JoinType};
-use crate::radix::{partition_of, PartitionedSide};
+use crate::radix::PartitionedSide;
 use joinstudy_exec::batch::{Batch, BATCH_ROWS};
 use joinstudy_exec::error::ExecResult;
 use joinstudy_exec::metrics::{self, MemPhase};
@@ -403,13 +403,8 @@ impl Operator for BloomProbeOp {
         drop(key_cols);
 
         let mut sel: Vec<u32> = Vec::with_capacity(n);
-        for r in 0..n {
-            let h = hashes[r];
-            let p = partition_of(h, self.bits1, self.bits2);
-            if self.bloom.contains(p, h) {
-                sel.push(r as u32);
-            }
-        }
+        self.bloom
+            .probe_sel(self.bits1, self.bits2, &hashes[..n], &mut sel);
         local.seen += n as u64;
         local.passed += sel.len() as u64;
         if self.adaptive

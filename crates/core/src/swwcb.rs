@@ -19,11 +19,21 @@
 /// (guaranteed by page buffers being `u64`-backed and row strides being
 /// multiples of 8). Callers must execute [`nt_fence`] before the written
 /// data is handed to another thread.
+///
+/// Dispatches through [`crate::simd`]: on AVX2 hosts the body uses 256-bit
+/// `_mm256_stream_si256` stores (with 8-byte head/tail alignment handling);
+/// the scalar path keeps the original 8-byte `_mm_stream_si64` loop, so
+/// `JOINSTUDY_NO_SIMD=1` reproduces the pre-SIMD binary exactly.
 #[inline]
 pub fn nt_copy(dst: &mut [u8], src: &[u8]) {
     debug_assert_eq!(dst.len(), src.len());
     debug_assert_eq!(dst.len() % 8, 0);
     debug_assert_eq!(dst.as_ptr() as usize % 8, 0, "unaligned NT destination");
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    if crate::simd::active() == crate::simd::SimdPath::Avx2 {
+        crate::simd::nt_copy_avx2(dst, src);
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     unsafe {
         use std::arch::x86_64::_mm_stream_si64;

@@ -311,13 +311,16 @@ pub struct QueryProfile {
     pub admission_wait_ns: u64,
     /// Bytes the admission controller granted (0 without admission).
     pub admission_granted: u64,
+    /// Which kernel path the process-wide SIMD dispatcher selected
+    /// (`"avx2"` or `"scalar"`); constant for the process lifetime.
+    pub simd: &'static str,
 }
 
 impl QueryProfile {
     /// Render the annotated plan tree (the EXPLAIN ANALYZE output).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "wall={} threads={} peak_mem={} degradations={} spill={} admission={}/{}\n",
+            "wall={} threads={} peak_mem={} degradations={} spill={} admission={}/{} simd={}\n",
             fmt_ns(self.wall_ns),
             self.threads,
             fmt_bytes(self.peak_bytes),
@@ -325,6 +328,7 @@ impl QueryProfile {
             fmt_bytes(self.spill_bytes as usize),
             fmt_ns(self.admission_wait_ns),
             fmt_bytes(self.admission_granted as usize),
+            self.simd,
         );
         self.root.render_into(0, &mut out);
         out
@@ -342,14 +346,16 @@ impl QueryProfile {
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"wall_ns\":{},\"threads\":{},\"degradations\":{},\"peak_bytes\":{},\
-             \"spill_bytes\":{},\"admission_wait_ns\":{},\"admission_granted\":{},\"root\":",
+             \"spill_bytes\":{},\"admission_wait_ns\":{},\"admission_granted\":{},\
+             \"simd\":\"{}\",\"root\":",
             self.wall_ns,
             self.threads,
             self.degradations,
             self.peak_bytes,
             self.spill_bytes,
             self.admission_wait_ns,
-            self.admission_granted
+            self.admission_granted,
+            self.simd
         );
         self.root.to_json_into(&mut out);
         out.push('}');
@@ -463,11 +469,13 @@ mod tests {
             spill_bytes: 2048,
             admission_wait_ns: 7,
             admission_granted: 4096,
+            simd: "scalar",
         };
         let json = p.to_json();
         assert!(json.starts_with(
             "{\"wall_ns\":42,\"threads\":2,\"degradations\":0,\"peak_bytes\":1024,\
-             \"spill_bytes\":2048,\"admission_wait_ns\":7,\"admission_granted\":4096,\"root\":"
+             \"spill_bytes\":2048,\"admission_wait_ns\":7,\"admission_granted\":4096,\
+             \"simd\":\"scalar\",\"root\":"
         ));
         assert!(json.contains("\"label\":\"Scan [a\\\"b]\""), "{json}");
         assert!(json.contains("\"skew\":1.25"), "{json}");
@@ -496,6 +504,7 @@ mod tests {
             spill_bytes: 4 * 1024 * 1024,
             admission_wait_ns: 2_500,
             admission_granted: 16 * 1024 * 1024,
+            simd: "avx2",
         };
         let text = p.render();
         assert!(text.contains("rows_in=100"), "{text}");
@@ -504,6 +513,7 @@ mod tests {
         assert!(text.contains("degradations=1"), "{text}");
         assert!(text.contains("spill=4.0MiB"), "{text}");
         assert!(text.contains("admission=2.5us/16.0MiB"), "{text}");
+        assert!(text.contains("simd=avx2"), "{text}");
         assert!(text.contains("1.50ms"), "{text}");
     }
 
@@ -521,6 +531,7 @@ mod tests {
             spill_bytes: 0,
             admission_wait_ns: 0,
             admission_granted: 0,
+            simd: "scalar",
         };
         assert!(p.to_json().contains("\"bad\":0"));
     }

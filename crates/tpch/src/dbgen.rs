@@ -17,12 +17,13 @@
 //! Comments are drawn from a compact vocabulary rather than the spec
 //! grammar; the only query-visible pattern — `%Customer%Complaints%` in
 //! supplier comments (Q16) — is injected at the spec's expected frequency.
+//!
+//! Since the streaming generator landed ([`crate::stream`]), this module is
+//! a thin materializing facade: all row generation lives in per-unit-seeded
+//! chunk code shared with the constant-memory streaming path.
 
-use crate::text;
-use joinstudy_storage::column::ColumnData;
-use joinstudy_storage::gen::{Rng, Zipf};
-use joinstudy_storage::table::{Schema, Table, TableBuilder};
-use joinstudy_storage::types::{DataType, Date};
+use crate::stream::{StreamGen, TpchTable};
+use joinstudy_storage::table::Table;
 use std::sync::Arc;
 
 /// The eight TPC-H relations plus generation metadata.
@@ -88,414 +89,10 @@ pub fn retail_price_cents(pk: i64) -> i64 {
     90_000 + (pk / 10) % 20_001 + 100 * (pk % 1_000)
 }
 
-fn comment(rng: &mut Rng, out: &mut String) {
-    out.clear();
-    let words = 3 + rng.u64_below(5);
-    for w in 0..words {
-        if w > 0 {
-            out.push(' ');
-        }
-        match w % 3 {
-            0 => out.push_str(rng.pick::<&str>(&text::ADVERBS)),
-            1 => out.push_str(rng.pick::<&str>(&text::NOUNS)),
-            _ => out.push_str(rng.pick::<&str>(&text::VERBS)),
-        }
-    }
-}
-
-fn phone(rng: &mut Rng, nationkey: i64, out: &mut String) {
-    use std::fmt::Write;
-    out.clear();
-    let _ = write!(
-        out,
-        "{}-{:03}-{:03}-{:04}",
-        10 + nationkey,
-        100 + rng.u64_below(900),
-        100 + rng.u64_below(900),
-        1000 + rng.u64_below(9000)
-    );
-}
-
-fn gen_region(rng: &mut Rng) -> Table {
-    let schema = Schema::of(&[
-        ("r_regionkey", DataType::Int64),
-        ("r_name", DataType::Str),
-        ("r_comment", DataType::Str),
-    ]);
-    let mut b = TableBuilder::with_capacity(schema, 5);
-    let mut c = String::new();
-    for (k, name) in text::REGIONS.iter().enumerate() {
-        comment(rng, &mut c);
-        push_i64(&mut b, 0, k as i64);
-        push_str(&mut b, 1, name);
-        push_str(&mut b, 2, &c);
-    }
-    b.finish()
-}
-
-fn gen_nation(rng: &mut Rng) -> Table {
-    let schema = Schema::of(&[
-        ("n_nationkey", DataType::Int64),
-        ("n_name", DataType::Str),
-        ("n_regionkey", DataType::Int64),
-        ("n_comment", DataType::Str),
-    ]);
-    let mut b = TableBuilder::with_capacity(schema, 25);
-    let mut c = String::new();
-    for (k, (name, region)) in text::NATIONS.iter().enumerate() {
-        comment(rng, &mut c);
-        push_i64(&mut b, 0, k as i64);
-        push_str(&mut b, 1, name);
-        push_i64(&mut b, 2, *region);
-        push_str(&mut b, 3, &c);
-    }
-    b.finish()
-}
-
-fn gen_supplier(rng: &mut Rng, n: usize) -> Table {
-    let schema = Schema::of(&[
-        ("s_suppkey", DataType::Int64),
-        ("s_name", DataType::Str),
-        ("s_address", DataType::Str),
-        ("s_nationkey", DataType::Int64),
-        ("s_phone", DataType::Str),
-        ("s_acctbal", DataType::Decimal),
-        ("s_comment", DataType::Str),
-    ]);
-    let mut b = TableBuilder::with_capacity(schema, n);
-    let mut buf = String::new();
-    for k in 1..=n as i64 {
-        let nation = rng.u64_below(25) as i64;
-        push_i64(&mut b, 0, k);
-        push_str(&mut b, 1, &format!("Supplier#{k:09}"));
-        rng.alpha_string(10, 30, &mut buf);
-        push_str(&mut b, 2, &buf);
-        push_i64(&mut b, 3, nation);
-        phone(rng, nation, &mut buf);
-        push_str(&mut b, 4, &buf);
-        push_dec(&mut b, 5, rng.i64_range(-99_999, 999_999));
-        // Q16's pattern: the spec injects complaints into 5 per 10k suppliers.
-        if rng.bool(0.0005) {
-            push_str(
-                &mut b,
-                6,
-                "the slyly final Customer ironic Complaints sleep",
-            );
-        } else {
-            comment(rng, &mut buf);
-            push_str(&mut b, 6, &buf);
-        }
-    }
-    b.finish()
-}
-
-fn gen_part(rng: &mut Rng, n: usize) -> Table {
-    let schema = Schema::of(&[
-        ("p_partkey", DataType::Int64),
-        ("p_name", DataType::Str),
-        ("p_mfgr", DataType::Str),
-        ("p_brand", DataType::Str),
-        ("p_type", DataType::Str),
-        ("p_size", DataType::Int32),
-        ("p_container", DataType::Str),
-        ("p_retailprice", DataType::Decimal),
-        ("p_comment", DataType::Str),
-    ]);
-    let mut b = TableBuilder::with_capacity(schema, n);
-    let mut buf = String::new();
-    for k in 1..=n as i64 {
-        push_i64(&mut b, 0, k);
-        // p_name: five distinct color words.
-        buf.clear();
-        let mut used = [usize::MAX; 5];
-        for w in 0..5 {
-            let mut idx;
-            loop {
-                idx = rng.u64_below(text::COLORS.len() as u64) as usize;
-                if !used[..w].contains(&idx) {
-                    break;
-                }
-            }
-            used[w] = idx;
-            if w > 0 {
-                buf.push(' ');
-            }
-            buf.push_str(text::COLORS[idx]);
-        }
-        push_str(&mut b, 1, &buf);
-        let mfgr = 1 + rng.u64_below(5);
-        push_str(&mut b, 2, &format!("Manufacturer#{mfgr}"));
-        push_str(
-            &mut b,
-            3,
-            &format!("Brand#{}{}", mfgr, 1 + rng.u64_below(5)),
-        );
-        let ptype = format!(
-            "{} {} {}",
-            *rng.pick::<&str>(&text::TYPE_S1),
-            *rng.pick::<&str>(&text::TYPE_S2),
-            *rng.pick::<&str>(&text::TYPE_S3)
-        );
-        push_str(&mut b, 4, &ptype);
-        push_i32(&mut b, 5, rng.i32_range(1, 50));
-        let container = format!(
-            "{} {}",
-            *rng.pick::<&str>(&text::CONTAINER_S1),
-            *rng.pick::<&str>(&text::CONTAINER_S2)
-        );
-        push_str(&mut b, 6, &container);
-        push_dec(&mut b, 7, retail_price_cents(k));
-        comment(rng, &mut buf);
-        push_str(&mut b, 8, &buf);
-    }
-    b.finish()
-}
-
-fn gen_partsupp(rng: &mut Rng, parts: usize, suppliers: usize) -> Table {
-    let schema = Schema::of(&[
-        ("ps_partkey", DataType::Int64),
-        ("ps_suppkey", DataType::Int64),
-        ("ps_availqty", DataType::Int32),
-        ("ps_supplycost", DataType::Decimal),
-        ("ps_comment", DataType::Str),
-    ]);
-    let mut b = TableBuilder::with_capacity(schema, parts * 4);
-    let mut buf = String::new();
-    for pk in 1..=parts as i64 {
-        for i in 0..4 {
-            push_i64(&mut b, 0, pk);
-            push_i64(&mut b, 1, supp_for_part(pk, i, suppliers as i64));
-            push_i32(&mut b, 2, rng.i32_range(1, 9_999));
-            push_dec(&mut b, 3, rng.i64_range(100, 100_000));
-            comment(rng, &mut buf);
-            push_str(&mut b, 4, &buf);
-        }
-    }
-    b.finish()
-}
-
-fn gen_customer(rng: &mut Rng, n: usize) -> Table {
-    let schema = Schema::of(&[
-        ("c_custkey", DataType::Int64),
-        ("c_name", DataType::Str),
-        ("c_address", DataType::Str),
-        ("c_nationkey", DataType::Int64),
-        ("c_phone", DataType::Str),
-        ("c_acctbal", DataType::Decimal),
-        ("c_mktsegment", DataType::Str),
-        ("c_comment", DataType::Str),
-    ]);
-    let mut b = TableBuilder::with_capacity(schema, n);
-    let mut buf = String::new();
-    for k in 1..=n as i64 {
-        let nation = rng.u64_below(25) as i64;
-        push_i64(&mut b, 0, k);
-        push_str(&mut b, 1, &format!("Customer#{k:09}"));
-        rng.alpha_string(10, 40, &mut buf);
-        push_str(&mut b, 2, &buf);
-        push_i64(&mut b, 3, nation);
-        phone(rng, nation, &mut buf);
-        push_str(&mut b, 4, &buf);
-        push_dec(&mut b, 5, rng.i64_range(-99_999, 999_999));
-        push_str(&mut b, 6, rng.pick::<&str>(&text::SEGMENTS));
-        comment(rng, &mut buf);
-        push_str(&mut b, 7, &buf);
-    }
-    b.finish()
-}
-
-/// Foreign-key skew configuration (the JCC-H-style extension the paper's
-/// footnote 11 points at: "JCC-H provides a more realistic drop-in
-/// replacement for TPC-H with skew. It puts even more pressure on the
-/// radix join"). `None` = spec-uniform foreign keys.
-struct FkSkew {
-    cust: Zipf,
-    cust_perm: Vec<u64>,
-    part: Zipf,
-    part_perm: Vec<u64>,
-}
-
-/// Orders + lineitem are generated together (l_* dates derive from
-/// o_orderdate; o_totalprice and o_orderstatus derive from the lineitems).
-fn gen_orders_lineitem(
-    rng: &mut Rng,
-    orders_n: usize,
-    customers: usize,
-    parts: usize,
-    suppliers: usize,
-    skew: Option<&FkSkew>,
-) -> (Table, Table) {
-    let o_schema = Schema::of(&[
-        ("o_orderkey", DataType::Int64),
-        ("o_custkey", DataType::Int64),
-        ("o_orderstatus", DataType::Str),
-        ("o_totalprice", DataType::Decimal),
-        ("o_orderdate", DataType::Date),
-        ("o_orderpriority", DataType::Str),
-        ("o_clerk", DataType::Str),
-        ("o_shippriority", DataType::Int32),
-        ("o_comment", DataType::Str),
-    ]);
-    let l_schema = Schema::of(&[
-        ("l_orderkey", DataType::Int64),
-        ("l_partkey", DataType::Int64),
-        ("l_suppkey", DataType::Int64),
-        ("l_linenumber", DataType::Int32),
-        ("l_quantity", DataType::Decimal),
-        ("l_extendedprice", DataType::Decimal),
-        ("l_discount", DataType::Decimal),
-        ("l_tax", DataType::Decimal),
-        ("l_returnflag", DataType::Str),
-        ("l_linestatus", DataType::Str),
-        ("l_shipdate", DataType::Date),
-        ("l_commitdate", DataType::Date),
-        ("l_receiptdate", DataType::Date),
-        ("l_shipinstruct", DataType::Str),
-        ("l_shipmode", DataType::Str),
-        ("l_comment", DataType::Str),
-    ]);
-    let mut ob = TableBuilder::with_capacity(o_schema, orders_n);
-    let mut lb = TableBuilder::with_capacity(l_schema, orders_n * 4);
-    let mut buf = String::new();
-
-    let date_lo = Date::from_ymd(1992, 1, 1).0;
-    // Last order date: 1998-08-02 (spec: end - 151 days).
-    let date_hi = Date::from_ymd(1998, 8, 2).0;
-    let current = Date::from_ymd(1995, 6, 17).0;
-    let clerks = ((orders_n / 1000).max(1)) as i64;
-
-    for i in 0..orders_n as i64 {
-        // Sparse keys: 8 used out of every 32 consecutive values.
-        let orderkey = (i / 8) * 32 + i % 8 + 1;
-        // A third of the customers place no orders (custkey % 3 == 0).
-        let custkey = loop {
-            let c = match skew {
-                None => 1 + rng.u64_below(customers as u64) as i64,
-                Some(s) => 1 + s.cust_perm[(s.cust.sample(rng) - 1) as usize] as i64,
-            };
-            if c % 3 != 0 || customers < 3 {
-                break c;
-            }
-        };
-        let orderdate = rng.i32_range(date_lo, date_hi);
-
-        let nlines = 1 + rng.u64_below(7) as i32;
-        let mut total = 0i64;
-        let mut any_open = false;
-        let mut any_fulfilled = false;
-        for ln in 1..=nlines {
-            let partkey = match skew {
-                None => 1 + rng.u64_below(parts as u64) as i64,
-                Some(s) => 1 + s.part_perm[(s.part.sample(rng) - 1) as usize] as i64,
-            };
-            let suppkey = supp_for_part(partkey, rng.u64_below(4) as i64, suppliers as i64);
-            let qty = rng.i64_range(1, 50);
-            let extprice = qty * retail_price_cents(partkey);
-            let discount = rng.i64_range(0, 10); // 0.00 – 0.10
-            let tax = rng.i64_range(0, 8);
-            let shipdate = orderdate + rng.i32_range(1, 121);
-            let commitdate = orderdate + rng.i32_range(30, 90);
-            let receiptdate = shipdate + rng.i32_range(1, 30);
-            let returnflag = if receiptdate <= current {
-                if rng.bool(0.5) {
-                    "R"
-                } else {
-                    "A"
-                }
-            } else {
-                "N"
-            };
-            let linestatus = if shipdate > current { "O" } else { "F" };
-            if linestatus == "O" {
-                any_open = true;
-            } else {
-                any_fulfilled = true;
-            }
-            total += extprice * (100 - discount) / 100 * (100 + tax) / 100;
-
-            push_i64(&mut lb, 0, orderkey);
-            push_i64(&mut lb, 1, partkey);
-            push_i64(&mut lb, 2, suppkey);
-            push_i32(&mut lb, 3, ln);
-            push_dec(&mut lb, 4, qty * 100);
-            push_dec(&mut lb, 5, extprice);
-            push_dec(&mut lb, 6, discount);
-            push_dec(&mut lb, 7, tax);
-            push_str(&mut lb, 8, returnflag);
-            push_str(&mut lb, 9, linestatus);
-            push_date(&mut lb, 10, shipdate);
-            push_date(&mut lb, 11, commitdate);
-            push_date(&mut lb, 12, receiptdate);
-            push_str(&mut lb, 13, rng.pick::<&str>(&text::INSTRUCTIONS));
-            push_str(&mut lb, 14, rng.pick::<&str>(&text::MODES));
-            comment(rng, &mut buf);
-            push_str(&mut lb, 15, &buf);
-        }
-
-        let status = match (any_open, any_fulfilled) {
-            (true, false) => "O",
-            (false, true) => "F",
-            _ => "P",
-        };
-        push_i64(&mut ob, 0, orderkey);
-        push_i64(&mut ob, 1, custkey);
-        push_str(&mut ob, 2, status);
-        push_dec(&mut ob, 3, total);
-        push_date(&mut ob, 4, orderdate);
-        push_str(&mut ob, 5, rng.pick::<&str>(&text::PRIORITIES));
-        push_str(
-            &mut ob,
-            6,
-            &format!("Clerk#{:09}", 1 + rng.u64_below(clerks as u64)),
-        );
-        push_i32(&mut ob, 7, 0);
-        comment(rng, &mut buf);
-        push_str(&mut ob, 8, &buf);
-    }
-    (ob.finish(), lb.finish())
-}
-
-// Typed push helpers (hot path: no Value boxing).
-
-fn push_i64(b: &mut TableBuilder, col: usize, v: i64) {
-    match b.column_mut(col) {
-        ColumnData::Int64(c) => c.push(v),
-        _ => unreachable!(),
-    }
-}
-
-fn push_i32(b: &mut TableBuilder, col: usize, v: i32) {
-    match b.column_mut(col) {
-        ColumnData::Int32(c) => c.push(v),
-        _ => unreachable!(),
-    }
-}
-
-fn push_dec(b: &mut TableBuilder, col: usize, cents: i64) {
-    match b.column_mut(col) {
-        ColumnData::Decimal(c) => c.push(cents),
-        _ => unreachable!(),
-    }
-}
-
-fn push_date(b: &mut TableBuilder, col: usize, days: i32) {
-    match b.column_mut(col) {
-        ColumnData::Date(c) => c.push(days),
-        _ => unreachable!(),
-    }
-}
-
-fn push_str(b: &mut TableBuilder, col: usize, v: &str) {
-    match b.column_mut(col) {
-        ColumnData::Str(c) => c.push(v),
-        _ => unreachable!(),
-    }
-}
-
 /// Generate the full data set at scale factor `sf`, deterministically from
 /// `seed`.
 pub fn generate(sf: f64, seed: u64) -> TpchData {
-    generate_with_skew(sf, seed, None)
+    materialize(StreamGen::new(sf, seed))
 }
 
 /// Generate with Zipf-skewed foreign keys (`o_custkey`, `l_partkey` drawn
@@ -503,45 +100,22 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
 /// preserves referential integrity (the `(l_partkey, l_suppkey)` pairs are
 /// still derived with the spec formula). Footnote 11 of the paper.
 pub fn generate_skewed(sf: f64, seed: u64, zipf: f64) -> TpchData {
-    generate_with_skew(sf, seed, Some(zipf))
+    materialize(StreamGen::skewed(sf, seed, zipf))
 }
 
-fn generate_with_skew(sf: f64, seed: u64, zipf: Option<f64>) -> TpchData {
-    let mut root = Rng::new(seed ^ 0x7063_6854 /* "TPch" */);
-    let (suppliers, parts, customers, orders_n) = cardinalities(sf);
-
-    let region = gen_region(&mut root.fork());
-    let nation = gen_nation(&mut root.fork());
-    let supplier = gen_supplier(&mut root.fork(), suppliers);
-    let part = gen_part(&mut root.fork(), parts);
-    let partsupp = gen_partsupp(&mut root.fork(), parts, suppliers);
-    let customer = gen_customer(&mut root.fork(), customers);
-    let skew = zipf.map(|z| {
-        let mut srng = root.fork();
-        FkSkew {
-            cust: Zipf::new(customers as u64, z),
-            cust_perm: srng.permutation(customers),
-            part: Zipf::new(parts as u64, z),
-            part_perm: srng.permutation(parts),
-        }
-    });
-    let (orders, lineitem) = gen_orders_lineitem(
-        &mut root.fork(),
-        orders_n,
-        customers,
-        parts,
-        suppliers,
-        skew.as_ref(),
-    );
-
+/// One materializing pass over the chunk generator — the streaming and
+/// materializing paths are literally the same code, so SF-for-SF they
+/// produce identical rows (asserted in `tests/stream_determinism.rs`).
+fn materialize(gen: StreamGen) -> TpchData {
+    let (orders, lineitem) = gen.materialize_orders_lineitem();
     TpchData {
-        sf,
-        region: Arc::new(region),
-        nation: Arc::new(nation),
-        supplier: Arc::new(supplier),
-        part: Arc::new(part),
-        partsupp: Arc::new(partsupp),
-        customer: Arc::new(customer),
+        sf: gen.sf(),
+        region: Arc::new(gen.materialize(TpchTable::Region)),
+        nation: Arc::new(gen.materialize(TpchTable::Nation)),
+        supplier: Arc::new(gen.materialize(TpchTable::Supplier)),
+        part: Arc::new(gen.materialize(TpchTable::Part)),
+        partsupp: Arc::new(gen.materialize(TpchTable::Partsupp)),
+        customer: Arc::new(gen.materialize(TpchTable::Customer)),
         orders: Arc::new(orders),
         lineitem: Arc::new(lineitem),
     }

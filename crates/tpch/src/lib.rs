@@ -4,7 +4,9 @@
 
 pub mod dbgen;
 pub mod queries;
+pub mod stream;
 pub mod text;
 
 pub use dbgen::{generate, generate_skewed, TpchData};
 pub use queries::{all_queries, query, QueryConfig, TpchQuery};
+pub use stream::{StreamGen, StreamScan, TpchTable};

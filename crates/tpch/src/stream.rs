@@ -1,0 +1,763 @@
+//! Chunked, constant-memory streaming TPC-H generator.
+//!
+//! The materializing generator ([`crate::dbgen`]) caps experiments at the
+//! scale factors that fit in RAM. This module removes that cap in the
+//! spirit of tpchgen-rs: every table is generated in bounded **chunks**,
+//! and each *unit* (one supplier, one part, one partsupp row, one order
+//! together with its lineitems) is produced by its own deterministically
+//! seeded [`Rng`], so a chunk's content depends only on
+//! `(scale, seed, table, unit range)` — never on chunk size, chunk order,
+//! or how many worker threads are generating concurrently.
+//!
+//! # Determinism guarantee
+//!
+//! For a fixed `(sf, seed)`, concatenating the chunks of a table in unit
+//! order yields byte-identical rows for **any** chunk size and any degree
+//! of parallelism. [`crate::dbgen::generate`] is itself built on this
+//! module (one materializing pass over the chunks), so the streaming and
+//! materializing paths cannot drift apart: they are the same code.
+//!
+//! # Constant memory
+//!
+//! A [`StreamScan`] holds no table data; each executor task materializes
+//! one chunk (default [`CHUNK_UNITS`] units, a few MiB at most), slices it
+//! into batches, and drops it. Peak generator memory is
+//! `chunks_in_flight × chunk_bytes`, independent of scale factor — SF 10+
+//! flows straight into the (spilling) join path without ever existing as
+//! a whole table.
+
+use crate::dbgen::{cardinalities, retail_price_cents, supp_for_part};
+use crate::text;
+use joinstudy_exec::batch::{slice_column, Batch};
+use joinstudy_exec::error::ExecResult;
+use joinstudy_exec::metrics;
+use joinstudy_exec::pipeline::{Emit, Source};
+use joinstudy_exec::BATCH_ROWS;
+use joinstudy_storage::column::ColumnData;
+use joinstudy_storage::gen::{Rng, Zipf};
+use joinstudy_storage::table::{Field, Schema, Table, TableBuilder};
+use joinstudy_storage::types::{DataType, Date};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Default generation units per chunk. One unit is one row for the base
+/// tables and one *order* (with its 1–7 lineitems) for orders/lineitem, so
+/// a default chunk stays well under a few MiB for every table.
+pub const CHUNK_UNITS: usize = 8 * 1024;
+
+/// The eight TPC-H relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpchTable {
+    Region,
+    Nation,
+    Supplier,
+    Part,
+    Partsupp,
+    Customer,
+    Orders,
+    Lineitem,
+}
+
+/// All tables, in generation order.
+pub const TABLES: [TpchTable; 8] = [
+    TpchTable::Region,
+    TpchTable::Nation,
+    TpchTable::Supplier,
+    TpchTable::Part,
+    TpchTable::Partsupp,
+    TpchTable::Customer,
+    TpchTable::Orders,
+    TpchTable::Lineitem,
+];
+
+impl TpchTable {
+    pub fn name(self) -> &'static str {
+        match self {
+            TpchTable::Region => "region",
+            TpchTable::Nation => "nation",
+            TpchTable::Supplier => "supplier",
+            TpchTable::Part => "part",
+            TpchTable::Partsupp => "partsupp",
+            TpchTable::Customer => "customer",
+            TpchTable::Orders => "orders",
+            TpchTable::Lineitem => "lineitem",
+        }
+    }
+
+    pub fn by_name(name: &str) -> TpchTable {
+        TABLES
+            .into_iter()
+            .find(|t| t.name() == name)
+            .unwrap_or_else(|| panic!("unknown TPC-H table {name:?}"))
+    }
+
+    /// The table's schema (shared by the streaming and materializing paths).
+    pub fn schema(self) -> Schema {
+        match self {
+            TpchTable::Region => Schema::of(&[
+                ("r_regionkey", DataType::Int64),
+                ("r_name", DataType::Str),
+                ("r_comment", DataType::Str),
+            ]),
+            TpchTable::Nation => Schema::of(&[
+                ("n_nationkey", DataType::Int64),
+                ("n_name", DataType::Str),
+                ("n_regionkey", DataType::Int64),
+                ("n_comment", DataType::Str),
+            ]),
+            TpchTable::Supplier => Schema::of(&[
+                ("s_suppkey", DataType::Int64),
+                ("s_name", DataType::Str),
+                ("s_address", DataType::Str),
+                ("s_nationkey", DataType::Int64),
+                ("s_phone", DataType::Str),
+                ("s_acctbal", DataType::Decimal),
+                ("s_comment", DataType::Str),
+            ]),
+            TpchTable::Part => Schema::of(&[
+                ("p_partkey", DataType::Int64),
+                ("p_name", DataType::Str),
+                ("p_mfgr", DataType::Str),
+                ("p_brand", DataType::Str),
+                ("p_type", DataType::Str),
+                ("p_size", DataType::Int32),
+                ("p_container", DataType::Str),
+                ("p_retailprice", DataType::Decimal),
+                ("p_comment", DataType::Str),
+            ]),
+            TpchTable::Partsupp => Schema::of(&[
+                ("ps_partkey", DataType::Int64),
+                ("ps_suppkey", DataType::Int64),
+                ("ps_availqty", DataType::Int32),
+                ("ps_supplycost", DataType::Decimal),
+                ("ps_comment", DataType::Str),
+            ]),
+            TpchTable::Customer => Schema::of(&[
+                ("c_custkey", DataType::Int64),
+                ("c_name", DataType::Str),
+                ("c_address", DataType::Str),
+                ("c_nationkey", DataType::Int64),
+                ("c_phone", DataType::Str),
+                ("c_acctbal", DataType::Decimal),
+                ("c_mktsegment", DataType::Str),
+                ("c_comment", DataType::Str),
+            ]),
+            TpchTable::Orders => Schema::of(&[
+                ("o_orderkey", DataType::Int64),
+                ("o_custkey", DataType::Int64),
+                ("o_orderstatus", DataType::Str),
+                ("o_totalprice", DataType::Decimal),
+                ("o_orderdate", DataType::Date),
+                ("o_orderpriority", DataType::Str),
+                ("o_clerk", DataType::Str),
+                ("o_shippriority", DataType::Int32),
+                ("o_comment", DataType::Str),
+            ]),
+            TpchTable::Lineitem => Schema::of(&[
+                ("l_orderkey", DataType::Int64),
+                ("l_partkey", DataType::Int64),
+                ("l_suppkey", DataType::Int64),
+                ("l_linenumber", DataType::Int32),
+                ("l_quantity", DataType::Decimal),
+                ("l_extendedprice", DataType::Decimal),
+                ("l_discount", DataType::Decimal),
+                ("l_tax", DataType::Decimal),
+                ("l_returnflag", DataType::Str),
+                ("l_linestatus", DataType::Str),
+                ("l_shipdate", DataType::Date),
+                ("l_commitdate", DataType::Date),
+                ("l_receiptdate", DataType::Date),
+                ("l_shipinstruct", DataType::Str),
+                ("l_shipmode", DataType::Str),
+                ("l_comment", DataType::Str),
+            ]),
+        }
+    }
+
+    /// Per-table stream tag mixed into every unit's seed, so the same unit
+    /// index in different tables draws unrelated values.
+    fn tag(self) -> u64 {
+        (self as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)
+    }
+}
+
+/// SplitMix64 output permutation — the seed scrambler that makes per-unit
+/// RNG streams independent even for consecutive unit indices.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG owning all value draws of one generation unit.
+fn unit_rng(seed: u64, table: TpchTable, unit: u64) -> Rng {
+    let a = mix64(seed ^ 0x7063_6854_7374_726D); // "pchTstrm"
+    let b = mix64(a ^ table.tag());
+    Rng::new(mix64(b.wrapping_add(unit)))
+}
+
+/// Foreign-key skew configuration (the JCC-H-style extension the paper's
+/// footnote 11 points at). `o_custkey` / `l_partkey` are drawn Zipf over
+/// permuted key domains; referential integrity is preserved because
+/// `(l_partkey, l_suppkey)` pairs still come from the spec formula.
+pub(crate) struct FkSkew {
+    cust: Zipf,
+    cust_perm: Vec<u64>,
+    part: Zipf,
+    part_perm: Vec<u64>,
+}
+
+impl FkSkew {
+    /// The permutations are seeded from `(seed)` alone, so skewed streams
+    /// keep the same determinism guarantee as uniform ones. At large scale
+    /// factors the permutations are the only non-constant memory
+    /// (8 bytes/key); the SF-10+ streaming path uses uniform keys.
+    fn new(seed: u64, customers: usize, parts: usize, zipf: f64) -> FkSkew {
+        let mut rng = Rng::new(mix64(seed ^ 0x6A63_6348_536B_6577)); // "jccHSkew"
+        FkSkew {
+            cust: Zipf::new(customers as u64, zipf),
+            cust_perm: rng.permutation(customers),
+            part: Zipf::new(parts as u64, zipf),
+            part_perm: rng.permutation(parts),
+        }
+    }
+}
+
+/// The streaming generator: scale, seed, optional skew, chunk granularity.
+pub struct StreamGen {
+    sf: f64,
+    seed: u64,
+    suppliers: usize,
+    parts: usize,
+    customers: usize,
+    orders: usize,
+    clerks: i64,
+    chunk_units: usize,
+    skew: Option<FkSkew>,
+    date_lo: i32,
+    date_hi: i32,
+    current: i32,
+}
+
+impl StreamGen {
+    pub fn new(sf: f64, seed: u64) -> StreamGen {
+        let (suppliers, parts, customers, orders) = cardinalities(sf);
+        StreamGen {
+            sf,
+            seed,
+            suppliers,
+            parts,
+            customers,
+            orders,
+            clerks: ((orders / 1000).max(1)) as i64,
+            chunk_units: CHUNK_UNITS,
+            skew: None,
+            date_lo: Date::from_ymd(1992, 1, 1).0,
+            // Last order date: 1998-08-02 (spec: end - 151 days).
+            date_hi: Date::from_ymd(1998, 8, 2).0,
+            current: Date::from_ymd(1995, 6, 17).0,
+        }
+    }
+
+    /// Zipf-skewed foreign keys (JCC-H-flavoured variant).
+    pub fn skewed(sf: f64, seed: u64, zipf: f64) -> StreamGen {
+        let mut g = StreamGen::new(sf, seed);
+        g.skew = Some(FkSkew::new(seed, g.customers, g.parts, zipf));
+        g
+    }
+
+    /// Override the chunk granularity (units per chunk). Chunk size changes
+    /// *packaging only* — the generated rows are identical for any value.
+    pub fn with_chunk_units(mut self, units: usize) -> StreamGen {
+        assert!(units > 0);
+        self.chunk_units = units;
+        self
+    }
+
+    pub fn sf(&self) -> f64 {
+        self.sf
+    }
+
+    /// Generation units of a table: rows for base tables, *orders* for both
+    /// orders and lineitem (one order unit emits 1–7 lineitems).
+    pub fn units(&self, table: TpchTable) -> usize {
+        match table {
+            TpchTable::Region => text::REGIONS.len(),
+            TpchTable::Nation => text::NATIONS.len(),
+            TpchTable::Supplier => self.suppliers,
+            TpchTable::Part => self.parts,
+            TpchTable::Partsupp => self.parts * 4,
+            TpchTable::Customer => self.customers,
+            TpchTable::Orders | TpchTable::Lineitem => self.orders,
+        }
+    }
+
+    pub fn chunk_count(&self, table: TpchTable) -> usize {
+        self.units(table).div_ceil(self.chunk_units)
+    }
+
+    /// The unit range of chunk `idx`.
+    pub fn unit_range(&self, table: TpchTable, idx: usize) -> Range<usize> {
+        let lo = idx * self.chunk_units;
+        let hi = (lo + self.chunk_units).min(self.units(table));
+        lo..hi
+    }
+
+    /// Estimated output rows of a full scan (lineitem averages 4 per order).
+    pub fn est_rows(&self, table: TpchTable) -> f64 {
+        match table {
+            TpchTable::Lineitem => self.orders as f64 * 4.0,
+            t => self.units(t) as f64,
+        }
+    }
+
+    /// Materialize one chunk as a standalone table — deterministic in
+    /// `(sf, seed, table, unit range)` only.
+    pub fn chunk(&self, table: TpchTable, idx: usize) -> Table {
+        let range = self.unit_range(table, idx);
+        let cap = match table {
+            TpchTable::Lineitem => range.len() * 5,
+            _ => range.len(),
+        };
+        let mut b = TableBuilder::with_capacity(table.schema(), cap);
+        match table {
+            TpchTable::Orders => self.append_orders_lineitem(range, Some(&mut b), None),
+            TpchTable::Lineitem => self.append_orders_lineitem(range, None, Some(&mut b)),
+            t => self.append_units(t, range, &mut b),
+        }
+        b.finish()
+    }
+
+    /// Materialize a whole base table (the materializing generator's path).
+    pub fn materialize(&self, table: TpchTable) -> Table {
+        assert!(
+            !matches!(table, TpchTable::Orders | TpchTable::Lineitem),
+            "orders/lineitem are co-generated; use materialize_orders_lineitem"
+        );
+        let units = self.units(table);
+        let mut b = TableBuilder::with_capacity(table.schema(), units);
+        self.append_units(table, 0..units, &mut b);
+        b.finish()
+    }
+
+    /// Materialize orders and lineitem in one co-generating pass.
+    pub fn materialize_orders_lineitem(&self) -> (Table, Table) {
+        let mut ob = TableBuilder::with_capacity(TpchTable::Orders.schema(), self.orders);
+        let mut lb = TableBuilder::with_capacity(TpchTable::Lineitem.schema(), self.orders * 4);
+        self.append_orders_lineitem(0..self.orders, Some(&mut ob), Some(&mut lb));
+        (ob.finish(), lb.finish())
+    }
+
+    /// Generate the units `range` of a base table into `b`.
+    fn append_units(&self, table: TpchTable, range: Range<usize>, b: &mut TableBuilder) {
+        let mut buf = String::new();
+        let mut c = String::new();
+        for u in range {
+            let mut rng = unit_rng(self.seed, table, u as u64);
+            match table {
+                TpchTable::Region => {
+                    comment(&mut rng, &mut c);
+                    push_i64(b, 0, u as i64);
+                    push_str(b, 1, text::REGIONS[u]);
+                    push_str(b, 2, &c);
+                }
+                TpchTable::Nation => {
+                    let (name, region) = text::NATIONS[u];
+                    comment(&mut rng, &mut c);
+                    push_i64(b, 0, u as i64);
+                    push_str(b, 1, name);
+                    push_i64(b, 2, region);
+                    push_str(b, 3, &c);
+                }
+                TpchTable::Supplier => self.supplier_row(&mut rng, u as i64 + 1, b, &mut buf),
+                TpchTable::Part => self.part_row(&mut rng, u as i64 + 1, b, &mut buf),
+                TpchTable::Partsupp => {
+                    // Unit u is the u-th partsupp row: part u/4, slot u%4.
+                    let pk = (u / 4) as i64 + 1;
+                    let i = (u % 4) as i64;
+                    push_i64(b, 0, pk);
+                    push_i64(b, 1, supp_for_part(pk, i, self.suppliers as i64));
+                    push_i32(b, 2, rng.i32_range(1, 9_999));
+                    push_dec(b, 3, rng.i64_range(100, 100_000));
+                    comment(&mut rng, &mut buf);
+                    push_str(b, 4, &buf);
+                }
+                TpchTable::Customer => self.customer_row(&mut rng, u as i64 + 1, b, &mut buf),
+                TpchTable::Orders | TpchTable::Lineitem => unreachable!(),
+            }
+        }
+    }
+
+    fn supplier_row(&self, rng: &mut Rng, k: i64, b: &mut TableBuilder, buf: &mut String) {
+        let nation = rng.u64_below(25) as i64;
+        push_i64(b, 0, k);
+        push_str(b, 1, &format!("Supplier#{k:09}"));
+        rng.alpha_string(10, 30, buf);
+        push_str(b, 2, buf);
+        push_i64(b, 3, nation);
+        phone(rng, nation, buf);
+        push_str(b, 4, buf);
+        push_dec(b, 5, rng.i64_range(-99_999, 999_999));
+        // Q16's pattern: the spec injects complaints into 5 per 10k suppliers.
+        if rng.bool(0.0005) {
+            push_str(b, 6, "the slyly final Customer ironic Complaints sleep");
+        } else {
+            comment(rng, buf);
+            push_str(b, 6, buf);
+        }
+    }
+
+    fn part_row(&self, rng: &mut Rng, k: i64, b: &mut TableBuilder, buf: &mut String) {
+        push_i64(b, 0, k);
+        // p_name: five distinct color words.
+        buf.clear();
+        let mut used = [usize::MAX; 5];
+        for w in 0..5 {
+            let mut idx;
+            loop {
+                idx = rng.u64_below(text::COLORS.len() as u64) as usize;
+                if !used[..w].contains(&idx) {
+                    break;
+                }
+            }
+            used[w] = idx;
+            if w > 0 {
+                buf.push(' ');
+            }
+            buf.push_str(text::COLORS[idx]);
+        }
+        push_str(b, 1, buf);
+        let mfgr = 1 + rng.u64_below(5);
+        push_str(b, 2, &format!("Manufacturer#{mfgr}"));
+        push_str(b, 3, &format!("Brand#{}{}", mfgr, 1 + rng.u64_below(5)));
+        let ptype = format!(
+            "{} {} {}",
+            *rng.pick::<&str>(&text::TYPE_S1),
+            *rng.pick::<&str>(&text::TYPE_S2),
+            *rng.pick::<&str>(&text::TYPE_S3)
+        );
+        push_str(b, 4, &ptype);
+        push_i32(b, 5, rng.i32_range(1, 50));
+        let container = format!(
+            "{} {}",
+            *rng.pick::<&str>(&text::CONTAINER_S1),
+            *rng.pick::<&str>(&text::CONTAINER_S2)
+        );
+        push_str(b, 6, &container);
+        push_dec(b, 7, retail_price_cents(k));
+        comment(rng, buf);
+        push_str(b, 8, buf);
+    }
+
+    fn customer_row(&self, rng: &mut Rng, k: i64, b: &mut TableBuilder, buf: &mut String) {
+        let nation = rng.u64_below(25) as i64;
+        push_i64(b, 0, k);
+        push_str(b, 1, &format!("Customer#{k:09}"));
+        rng.alpha_string(10, 40, buf);
+        push_str(b, 2, buf);
+        push_i64(b, 3, nation);
+        phone(rng, nation, buf);
+        push_str(b, 4, buf);
+        push_dec(b, 5, rng.i64_range(-99_999, 999_999));
+        push_str(b, 6, rng.pick::<&str>(&text::SEGMENTS));
+        comment(rng, buf);
+        push_str(b, 7, buf);
+    }
+
+    /// Generate orders `range`, appending order rows to `ob` and their
+    /// lineitems to `lb` (either side optional: a lineitem-only stream
+    /// still draws the order-level values its dates derive from).
+    fn append_orders_lineitem(
+        &self,
+        range: Range<usize>,
+        mut ob: Option<&mut TableBuilder>,
+        mut lb: Option<&mut TableBuilder>,
+    ) {
+        let mut buf = String::new();
+        for u in range {
+            let mut rng = unit_rng(self.seed, TpchTable::Orders, u as u64);
+            let i = u as i64;
+            // Sparse keys: 8 used out of every 32 consecutive values.
+            let orderkey = (i / 8) * 32 + i % 8 + 1;
+            // A third of the customers place no orders (custkey % 3 == 0).
+            let custkey = loop {
+                let c = match &self.skew {
+                    None => 1 + rng.u64_below(self.customers as u64) as i64,
+                    Some(s) => 1 + s.cust_perm[(s.cust.sample(&mut rng) - 1) as usize] as i64,
+                };
+                if c % 3 != 0 || self.customers < 3 {
+                    break c;
+                }
+            };
+            let orderdate = rng.i32_range(self.date_lo, self.date_hi);
+
+            let nlines = 1 + rng.u64_below(7) as i32;
+            let mut total = 0i64;
+            let mut any_open = false;
+            let mut any_fulfilled = false;
+            for ln in 1..=nlines {
+                let partkey = match &self.skew {
+                    None => 1 + rng.u64_below(self.parts as u64) as i64,
+                    Some(s) => 1 + s.part_perm[(s.part.sample(&mut rng) - 1) as usize] as i64,
+                };
+                let suppkey =
+                    supp_for_part(partkey, rng.u64_below(4) as i64, self.suppliers as i64);
+                let qty = rng.i64_range(1, 50);
+                let extprice = qty * retail_price_cents(partkey);
+                let discount = rng.i64_range(0, 10); // 0.00 – 0.10
+                let tax = rng.i64_range(0, 8);
+                let shipdate = orderdate + rng.i32_range(1, 121);
+                let commitdate = orderdate + rng.i32_range(30, 90);
+                let receiptdate = shipdate + rng.i32_range(1, 30);
+                let returnflag = if receiptdate <= self.current {
+                    if rng.bool(0.5) {
+                        "R"
+                    } else {
+                        "A"
+                    }
+                } else {
+                    "N"
+                };
+                let linestatus = if shipdate > self.current { "O" } else { "F" };
+                if linestatus == "O" {
+                    any_open = true;
+                } else {
+                    any_fulfilled = true;
+                }
+                total += extprice * (100 - discount) / 100 * (100 + tax) / 100;
+
+                // The order-level draws below (instruction, mode, comment)
+                // must happen whether or not lineitems are materialized, so
+                // both streams see identical values.
+                let instruction = *rng.pick::<&str>(&text::INSTRUCTIONS);
+                let mode = *rng.pick::<&str>(&text::MODES);
+                comment(&mut rng, &mut buf);
+                if let Some(lb) = lb.as_deref_mut() {
+                    push_i64(lb, 0, orderkey);
+                    push_i64(lb, 1, partkey);
+                    push_i64(lb, 2, suppkey);
+                    push_i32(lb, 3, ln);
+                    push_dec(lb, 4, qty * 100);
+                    push_dec(lb, 5, extprice);
+                    push_dec(lb, 6, discount);
+                    push_dec(lb, 7, tax);
+                    push_str(lb, 8, returnflag);
+                    push_str(lb, 9, linestatus);
+                    push_date(lb, 10, shipdate);
+                    push_date(lb, 11, commitdate);
+                    push_date(lb, 12, receiptdate);
+                    push_str(lb, 13, instruction);
+                    push_str(lb, 14, mode);
+                    push_str(lb, 15, &buf);
+                }
+            }
+
+            let status = match (any_open, any_fulfilled) {
+                (true, false) => "O",
+                (false, true) => "F",
+                _ => "P",
+            };
+            let priority = *rng.pick::<&str>(&text::PRIORITIES);
+            let clerk = 1 + rng.u64_below(self.clerks as u64);
+            comment(&mut rng, &mut buf);
+            if let Some(ob) = ob.as_deref_mut() {
+                push_i64(ob, 0, orderkey);
+                push_i64(ob, 1, custkey);
+                push_str(ob, 2, status);
+                push_dec(ob, 3, total);
+                push_date(ob, 4, orderdate);
+                push_str(ob, 5, priority);
+                push_str(ob, 6, &format!("Clerk#{clerk:09}"));
+                push_i32(ob, 7, 0);
+                push_str(ob, 8, &buf);
+            }
+        }
+    }
+}
+
+fn comment(rng: &mut Rng, out: &mut String) {
+    out.clear();
+    let words = 3 + rng.u64_below(5);
+    for w in 0..words {
+        if w > 0 {
+            out.push(' ');
+        }
+        match w % 3 {
+            0 => out.push_str(rng.pick::<&str>(&text::ADVERBS)),
+            1 => out.push_str(rng.pick::<&str>(&text::NOUNS)),
+            _ => out.push_str(rng.pick::<&str>(&text::VERBS)),
+        }
+    }
+}
+
+fn phone(rng: &mut Rng, nationkey: i64, out: &mut String) {
+    use std::fmt::Write;
+    out.clear();
+    let _ = write!(
+        out,
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        100 + rng.u64_below(900),
+        100 + rng.u64_below(900),
+        1000 + rng.u64_below(9000)
+    );
+}
+
+// Typed push helpers (hot path: no Value boxing).
+
+pub(crate) fn push_i64(b: &mut TableBuilder, col: usize, v: i64) {
+    match b.column_mut(col) {
+        ColumnData::Int64(c) => c.push(v),
+        _ => unreachable!(),
+    }
+}
+
+pub(crate) fn push_i32(b: &mut TableBuilder, col: usize, v: i32) {
+    match b.column_mut(col) {
+        ColumnData::Int32(c) => c.push(v),
+        _ => unreachable!(),
+    }
+}
+
+pub(crate) fn push_dec(b: &mut TableBuilder, col: usize, cents: i64) {
+    match b.column_mut(col) {
+        ColumnData::Decimal(c) => c.push(cents),
+        _ => unreachable!(),
+    }
+}
+
+pub(crate) fn push_date(b: &mut TableBuilder, col: usize, days: i32) {
+    match b.column_mut(col) {
+        ColumnData::Date(c) => c.push(days),
+        _ => unreachable!(),
+    }
+}
+
+pub(crate) fn push_str(b: &mut TableBuilder, col: usize, v: &str) {
+    match b.column_mut(col) {
+        ColumnData::Str(c) => c.push(v),
+        _ => unreachable!(),
+    }
+}
+
+/// A [`Source`] that generates a TPC-H table on the fly, one chunk per
+/// executor task. Plugged into the engine's pipelines it gets
+/// morsel-stealing [`WorkerPool`](joinstudy_exec::pool::WorkerPool)
+/// parallelism for free, and never holds more than the in-flight chunks.
+pub struct StreamScan {
+    gen: Arc<StreamGen>,
+    table: TpchTable,
+    /// Projected column indices (in output order).
+    cols: Vec<usize>,
+    chunks: usize,
+}
+
+impl StreamScan {
+    pub fn new(gen: Arc<StreamGen>, table: TpchTable, cols: Vec<usize>) -> StreamScan {
+        let chunks = gen.chunk_count(table);
+        StreamScan {
+            gen,
+            table,
+            cols,
+            chunks,
+        }
+    }
+
+    /// Stream projecting columns by name.
+    pub fn by_names(gen: Arc<StreamGen>, table: TpchTable, names: &[&str]) -> StreamScan {
+        let schema = table.schema();
+        let cols = names.iter().map(|n| schema.index_of(n)).collect();
+        StreamScan::new(gen, table, cols)
+    }
+
+    /// The schema of emitted batches.
+    pub fn output_schema(&self) -> Schema {
+        let schema = self.table.schema();
+        let fields: Vec<Field> = self
+            .cols
+            .iter()
+            .map(|&i| schema.fields[i].clone())
+            .collect();
+        Schema::new(fields)
+    }
+
+    pub fn est_rows(&self) -> f64 {
+        self.gen.est_rows(self.table)
+    }
+
+    pub fn label(&self) -> String {
+        format!("stream {} sf={}", self.table.name(), self.gen.sf())
+    }
+}
+
+impl Source for StreamScan {
+    fn task_count(&self) -> usize {
+        self.chunks
+    }
+
+    fn poll_task(&self, task: usize, out: Emit) -> ExecResult {
+        let chunk = self.gen.chunk(self.table, task);
+        let rows = chunk.num_rows();
+        metrics::add_source_rows(rows as u64);
+        let mut start = 0usize;
+        while start < rows {
+            let end = (start + BATCH_ROWS).min(rows);
+            let columns: Vec<ColumnData> = self
+                .cols
+                .iter()
+                .map(|&c| slice_column(chunk.column(c), start, end))
+                .collect();
+            let batch = Batch::new(columns);
+            if metrics::enabled() {
+                let bytes: usize = batch.columns().iter().map(ColumnData::byte_size).sum();
+                metrics::record_read(metrics::MemPhase::Other, bytes as u64);
+            }
+            out(batch);
+            start = end;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_does_not_change_rows() {
+        let a = StreamGen::new(0.001, 11).with_chunk_units(64);
+        let b = StreamGen::new(0.001, 11).with_chunk_units(1000);
+        for table in TABLES {
+            let ta: Vec<Table> = (0..a.chunk_count(table))
+                .map(|i| a.chunk(table, i))
+                .collect();
+            let tb: Vec<Table> = (0..b.chunk_count(table))
+                .map(|i| b.chunk(table, i))
+                .collect();
+            let rows_a: usize = ta.iter().map(Table::num_rows).sum();
+            let rows_b: usize = tb.iter().map(Table::num_rows).sum();
+            assert_eq!(rows_a, rows_b, "{}", table.name());
+        }
+    }
+
+    #[test]
+    fn stream_scan_emits_all_units() {
+        let gen = Arc::new(StreamGen::new(0.001, 3).with_chunk_units(100));
+        let scan = StreamScan::by_names(gen.clone(), TpchTable::Customer, &["c_custkey"]);
+        assert!(scan.task_count() > 1);
+        let mut rows = 0usize;
+        let mut keys = Vec::new();
+        for t in 0..scan.task_count() {
+            scan.poll_task(t, &mut |b: Batch| {
+                rows += b.num_rows();
+                keys.extend_from_slice(b.column(0).as_i64());
+            })
+            .unwrap();
+        }
+        assert_eq!(rows, gen.units(TpchTable::Customer));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), rows, "customer keys must be unique");
+    }
+}

@@ -102,10 +102,14 @@ fn disconnect_and_fault_leak_nothing() {
 
         // Scenario A: the client fires the heavy join and vanishes. The
         // watchdog cancels the query; everything must be reclaimed.
-        let admitted_before = admission.admitted();
         let mut client = Client::connect(addr).expect("connect");
         client.query("SET join_algo = hybrid").unwrap();
         client.query(&set_spill).unwrap();
+        // Snapshot *after* the SETs: they go through admission too, so an
+        // earlier snapshot lets this wait pass before the heavy statement
+        // is even admitted — and scenario B would then race against the
+        // still-running abandoned query.
+        let admitted_before = admission.admitted();
         client
             .fire_and_disconnect(HEAVY)
             .expect("fire and disconnect");
@@ -115,6 +119,9 @@ fn disconnect_and_fault_leak_nothing() {
             Duration::from_secs(30),
             || admission.admitted() > admitted_before,
         );
+        // Admitted and the pool is whole again: the abandoned statement's
+        // grant was held for its entire execution, so this pair of
+        // conditions means it has genuinely finished, not merely queued.
         wait_until(
             "the abandoned grant to return",
             Duration::from_secs(30),
